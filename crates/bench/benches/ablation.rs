@@ -1,0 +1,93 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * ABL-DUP — duplicate elimination on/off;
+//! * ABL-FWD — §7 forward search vs §3 backward search on a
+//!   metadata-heavy query (the blow-up case) and on a selective one;
+//! * ABL-HEAP — output-heap capacity;
+//! * backward-edge weighting (eq. 1) on/off at graph build time.
+
+use banks_bench::{banks_for, corpus};
+use banks_core::{Banks, GraphConfig, SearchStrategy, TupleGraph};
+use banks_eval::workload::dblp_eval_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let dataset = corpus("tiny");
+    let banks = banks_for(&dataset);
+
+    // ABL-DUP: dedup cost on a duplicate-heavy query.
+    let mut group = c.benchmark_group("ablation_dedup");
+    for dedup in [true, false] {
+        let mut config = dblp_eval_config();
+        config.search.deduplicate = dedup;
+        let banks = Banks::with_config(dataset.db.clone(), config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dedup), &banks, |b, banks| {
+            b.iter(|| black_box(banks.search("soumen sunita").unwrap().len()));
+        });
+    }
+    group.finish();
+
+    // ABL-FWD: strategy comparison.
+    let mut group = c.benchmark_group("ablation_strategy");
+    group.sample_size(20);
+    for (label, query) in [("metadata_heavy", "author sunita"), ("selective", "seltzer sunita")] {
+        group.bench_with_input(
+            BenchmarkId::new("backward", label),
+            &query,
+            |b, query| {
+                b.iter(|| {
+                    let outcome = banks
+                        .search_with(query, SearchStrategy::Backward, banks.config())
+                        .unwrap();
+                    black_box(outcome.stats.pops)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("forward", label), &query, |b, query| {
+            b.iter(|| {
+                let outcome = banks
+                    .search_with(query, SearchStrategy::Forward, banks.config())
+                    .unwrap();
+                black_box(outcome.stats.pops)
+            });
+        });
+    }
+    group.finish();
+
+    // ABL-HEAP: output buffer capacity.
+    let mut group = c.benchmark_group("ablation_heap");
+    for size in [1usize, 30, 1000] {
+        let mut config = dblp_eval_config();
+        config.search.output_heap_size = size;
+        let banks = Banks::with_config(dataset.db.clone(), config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &banks, |b, banks| {
+            b.iter(|| black_box(banks.search("soumen sunita byron").unwrap().len()));
+        });
+    }
+    group.finish();
+
+    // Backward-edge weighting at build time (eq. 1 vs symmetric).
+    let mut group = c.benchmark_group("ablation_backward_weights");
+    group.sample_size(10);
+    for weighted in [true, false] {
+        let config = GraphConfig {
+            indegree_backward_weights: weighted,
+            ..GraphConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(weighted),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let tg = TupleGraph::build(&dataset.db, config).unwrap();
+                    black_box(tg.graph().edge_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

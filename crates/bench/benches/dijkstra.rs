@@ -1,0 +1,61 @@
+//! Microbenchmark of the lazy Dijkstra iterator underlying §3: full
+//! expansion, bounded expansion, and the peek/next interleave pattern the
+//! iterator heap exercises.
+
+use banks_bench::corpus;
+use banks_core::{GraphConfig, TupleGraph};
+use banks_graph::{Dijkstra, Direction, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let dataset = corpus("small");
+    let tg = TupleGraph::build(&dataset.db, &GraphConfig::default()).unwrap();
+    let graph = tg.graph();
+    let start = NodeId(0);
+
+    let mut group = c.benchmark_group("dijkstra");
+    group.sample_size(20);
+    group.bench_function("full_expansion_reverse", |b| {
+        b.iter(|| {
+            let it = Dijkstra::new(graph, start, Direction::Reverse);
+            black_box(it.count())
+        });
+    });
+    group.bench_function("full_expansion_forward", |b| {
+        b.iter(|| {
+            let it = Dijkstra::new(graph, start, Direction::Forward);
+            black_box(it.count())
+        });
+    });
+    for budget in [100usize, 1000, 10000] {
+        group.bench_with_input(
+            BenchmarkId::new("bounded_expansion", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let it = Dijkstra::new(graph, start, Direction::Reverse)
+                        .with_max_settled(budget);
+                    black_box(it.count())
+                });
+            },
+        );
+    }
+    group.bench_function("peek_next_interleave", |b| {
+        b.iter(|| {
+            let mut it = Dijkstra::new(graph, start, Direction::Reverse).with_max_settled(1000);
+            let mut sum = 0.0;
+            while let Some(d) = it.peek_dist() {
+                sum += d;
+                if it.next().is_none() {
+                    break;
+                }
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra);
+criterion_main!(benches);

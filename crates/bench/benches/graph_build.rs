@@ -1,0 +1,53 @@
+//! EXP-S52-LOAD: time to materialize the BANKS data graph (the paper's
+//! "graph currently takes about 2 minutes to load" for 100K nodes; a
+//! tuned implementation was expected to be far faster).
+
+use banks_bench::corpus;
+use banks_core::{GraphConfig, TupleGraph};
+use banks_storage::{MetadataIndex, TextIndex, Tokenizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for scale in ["tiny", "small"] {
+        let dataset = corpus(scale);
+        group.bench_with_input(
+            BenchmarkId::new("tuple_graph", scale),
+            &dataset,
+            |b, dataset| {
+                b.iter(|| {
+                    let tg = TupleGraph::build(&dataset.db, &GraphConfig::default()).unwrap();
+                    black_box(tg.node_count())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("text_index", scale),
+            &dataset,
+            |b, dataset| {
+                let tokenizer = Tokenizer::new();
+                b.iter(|| {
+                    let idx = TextIndex::build(&dataset.db, &tokenizer);
+                    black_box(idx.distinct_tokens())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("metadata_index", scale),
+            &dataset,
+            |b, dataset| {
+                let tokenizer = Tokenizer::new();
+                b.iter(|| {
+                    let idx = MetadataIndex::build(&dataset.db, &tokenizer);
+                    black_box(idx.distinct_tokens())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

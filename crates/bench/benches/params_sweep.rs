@@ -1,0 +1,29 @@
+//! EXP-F5: cost of evaluating one Figure 5 cell (the whole seven-query
+//! workload at one parameter setting) and of the full main-axis sweep.
+
+use banks_bench::corpus;
+use banks_eval::fig5::run_fig5;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_params_sweep(c: &mut Criterion) {
+    let dataset = corpus("tiny");
+    let mut group = c.benchmark_group("params_sweep");
+    group.sample_size(10);
+    group.bench_function("fig5_main_axes", |b| {
+        b.iter(|| {
+            let report = run_fig5(&dataset, false);
+            black_box(report.cells.len())
+        });
+    });
+    group.bench_function("fig5_full", |b| {
+        b.iter(|| {
+            let report = run_fig5(&dataset, true);
+            black_box(report.cells.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_params_sweep);
+criterion_main!(benches);

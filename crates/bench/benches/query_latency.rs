@@ -1,0 +1,48 @@
+//! EXP-S52-QUERY: per-query latency over the §5.3 workload (the paper:
+//! "queries take about a second to a few seconds" on the untuned
+//! prototype at 100K nodes).
+
+use banks_bench::{banks_for, corpus};
+use banks_eval::workload::dblp_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_latency_tiny");
+    let dataset = corpus("tiny");
+    let banks = banks_for(&dataset);
+    for query in dblp_workload(&dataset.planted) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(query.id),
+            &query,
+            |b, query| {
+                b.iter(|| black_box(banks.search(query.text).unwrap().len()));
+            },
+        );
+    }
+    group.finish();
+
+    // Selective queries at the larger scale; the metadata-heavy Q6 is
+    // covered by the ablation bench (forward search) instead, because a
+    // 4K-iterator backward search per sample would dominate the run.
+    let mut group = c.benchmark_group("query_latency_small");
+    group.sample_size(10);
+    let dataset = corpus("small");
+    let banks = banks_for(&dataset);
+    for query in dblp_workload(&dataset.planted) {
+        if query.id == "Q6-metadata" {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(query.id),
+            &query,
+            |b, query| {
+                b.iter(|| black_box(banks.search(query.text).unwrap().len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared fixtures for the BANKS benchmarks.
+//!
+//! Every bench target regenerates one §5 measurement (see DESIGN.md's
+//! experiment index):
+//!
+//! * `graph_build` — EXP-S52-LOAD: database → in-memory graph time.
+//! * `query_latency` — EXP-S52-QUERY: the seven-query workload.
+//! * `dijkstra` — the single-source shortest-path iterator underneath §3.
+//! * `params_sweep` — EXP-F5: one full Figure 5 cell evaluation.
+//! * `ablation` — ABL-DUP / ABL-FWD / ABL-HEAP toggles.
+
+use banks_core::Banks;
+use banks_datagen::dblp::{generate, DblpConfig, DblpDataset};
+use banks_eval::workload::dblp_eval_config;
+
+/// Generate the benchmark corpus at a named scale.
+pub fn corpus(scale: &str) -> DblpDataset {
+    let config = match scale {
+        "tiny" => DblpConfig::tiny(1),
+        "small" => DblpConfig::small(1),
+        "paper" => DblpConfig::paper_scale(1),
+        other => panic!("unknown scale {other}"),
+    };
+    generate(config).expect("generation succeeds")
+}
+
+/// Build a query-ready BANKS instance with the evaluation configuration.
+pub fn banks_for(dataset: &DblpDataset) -> Banks {
+    Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("banks builds")
+}

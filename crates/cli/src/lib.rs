@@ -1,0 +1,19 @@
+//! # banks-cli
+//!
+//! An interactive shell over the BANKS system — the terminal counterpart
+//! of the paper's web interface. The command interpreter ([`Shell`]) is a
+//! plain function from command lines to output strings, so the whole
+//! surface is unit-testable; `src/main.rs` wraps it in a stdin REPL.
+//!
+//! ```
+//! use banks_cli::Shell;
+//! let mut shell = Shell::new();
+//! shell.exec("open dblp 1").unwrap();
+//! let out = shell.exec("search soumen sunita").unwrap();
+//! assert!(out.contains("ChakrabartiSD98"));
+//! ```
+
+pub mod shell;
+pub mod table;
+
+pub use shell::Shell;

@@ -1,0 +1,63 @@
+//! The `banks` interactive shell.
+//!
+//! ```text
+//! cargo run --release -p banks-cli
+//! banks> open dblp
+//! banks> search soumen sunita
+//! banks> show 1
+//! ```
+//!
+//! Also supports one-shot execution: `banks -c "open dblp; search mohan"`.
+
+use banks_cli::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell::new();
+
+    // One-shot mode: -c "cmd; cmd; …"
+    if args.first().map(String::as_str) == Some("-c") {
+        let script = args.get(1).cloned().unwrap_or_default();
+        for command in script.split(';') {
+            match shell.exec(command) {
+                Ok(out) => print!("{out}"),
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    println!("BANKS — keyword searching and browsing in databases (ICDE 2002)");
+    println!("type `help` for commands, `open dblp` to load a corpus\n");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("banks> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        match shell.exec(trimmed) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Err(err) => println!("error: {err}"),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the BANKS core.
+
+use banks_storage::StorageError;
+use std::fmt;
+
+/// Result alias for BANKS operations.
+pub type BanksResult<T> = Result<T, BanksError>;
+
+/// Errors raised by query parsing and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BanksError {
+    /// The underlying storage layer failed.
+    Storage(StorageError),
+    /// The query contained no search terms after tokenization.
+    EmptyQuery,
+    /// A query term was malformed (e.g. `approx()` without a number).
+    BadTerm {
+        /// The raw term text.
+        term: String,
+        /// Why it failed to parse.
+        message: String,
+    },
+    /// A configuration value was out of range.
+    BadConfig(String),
+}
+
+impl fmt::Display for BanksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BanksError::Storage(e) => write!(f, "storage error: {e}"),
+            BanksError::EmptyQuery => write!(f, "query contains no search terms"),
+            BanksError::BadTerm { term, message } => {
+                write!(f, "bad query term `{term}`: {message}")
+            }
+            BanksError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BanksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BanksError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for BanksError {
+    fn from(e: StorageError) -> Self {
+        BanksError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BanksError::EmptyQuery;
+        assert_eq!(e.to_string(), "query contains no search terms");
+        let e: BanksError = StorageError::UnknownRelation("X".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = BanksError::BadTerm {
+            term: "approx()".into(),
+            message: "missing number".into(),
+        };
+        assert!(e.to_string().contains("approx()"));
+    }
+}

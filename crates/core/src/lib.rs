@@ -1,0 +1,102 @@
+//! # banks-core
+//!
+//! A faithful Rust implementation of **BANKS** — *Browsing ANd Keyword
+//! Searching* — the keyword-search-over-relational-databases system of
+//! Bhalotia, Hulgeri, Nakhe, Chakrabarti and Sudarshan (ICDE 2002).
+//!
+//! BANKS lets users query a relational database with a few keywords and no
+//! knowledge of the schema. It models the database as a directed graph
+//! (tuples → nodes, foreign-key references → edges) and returns answers as
+//! *connection trees*: rooted directed trees whose leaves contain the
+//! query keywords and whose root — the *information node* — explains how
+//! they relate. Ranking combines **proximity** (tree edge weight, §2.2)
+//! with **prestige** (node indegree, PageRank-flavoured, §2.2); answers
+//! are found incrementally by **backward expanding search** (§3), one
+//! Dijkstra iterator per keyword node over reversed edges.
+//!
+//! ## Crate map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`graph_build`] | §2.2 | database → weighted graph (eq. 1 backward weights, prestige) |
+//! | [`query`], [`matching`] | §2.3, §7 | parsing, `Sᵢ` node sets, metadata/approx matching |
+//! | [`score`] | §2.3 | Escore/Nscore normalization, λ combination |
+//! | [`search`] | §3, §7 | backward expanding search, output heap, forward search |
+//! | [`answer`] | §2.3, Fig. 2 | connection trees, duplicate signatures, rendering |
+//! | [`summarize`] | §7 | grouping answers by tree shape |
+//! | [`prestige`] | §7 | authority-transfer node weights |
+//! | [`system`] | — | the [`Banks`] facade tying it together |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use banks_core::Banks;
+//! use banks_storage::{ColumnType, Database, RelationSchema, Value};
+//!
+//! // The bibliography schema of the paper's Figure 1.
+//! let mut db = Database::new("dblp");
+//! db.create_relation(
+//!     RelationSchema::builder("Author")
+//!         .column("AuthorId", ColumnType::Text)
+//!         .column("AuthorName", ColumnType::Text)
+//!         .primary_key(&["AuthorId"])
+//!         .build()?,
+//! )?;
+//! db.create_relation(
+//!     RelationSchema::builder("Paper")
+//!         .column("PaperId", ColumnType::Text)
+//!         .column("PaperName", ColumnType::Text)
+//!         .primary_key(&["PaperId"])
+//!         .build()?,
+//! )?;
+//! db.create_relation(
+//!     RelationSchema::builder("Writes")
+//!         .column("AuthorId", ColumnType::Text)
+//!         .column("PaperId", ColumnType::Text)
+//!         .primary_key(&["AuthorId", "PaperId"])
+//!         .foreign_key(&["AuthorId"], "Author")
+//!         .foreign_key(&["PaperId"], "Paper")
+//!         .build()?,
+//! )?;
+//! db.insert("Author", vec![Value::text("SoumenC"), Value::text("Soumen Chakrabarti")])?;
+//! db.insert("Author", vec![Value::text("SunitaS"), Value::text("Sunita Sarawagi")])?;
+//! db.insert("Paper", vec![Value::text("ChakrabartiSD98"), Value::text("Mining Surprising Patterns")])?;
+//! db.insert("Writes", vec![Value::text("SoumenC"), Value::text("ChakrabartiSD98")])?;
+//! db.insert("Writes", vec![Value::text("SunitaS"), Value::text("ChakrabartiSD98")])?;
+//!
+//! let banks = Banks::new(db)?;
+//! let answers = banks.search("soumen sunita")?;
+//! println!("{}", banks.render_answer(&answers[0]));
+//! // Paper(ChakrabartiSD98: Mining Surprising Patterns)
+//! //   Writes(SoumenC,ChakrabartiSD98)
+//! //     *Author(SoumenC: Soumen Chakrabarti)
+//! //   Writes(SunitaS,ChakrabartiSD98)
+//! //     *Author(SunitaS: Sunita Sarawagi)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod answer;
+pub mod config;
+pub mod error;
+pub mod graph_build;
+pub mod matching;
+pub mod prestige;
+pub mod query;
+pub mod score;
+pub mod search;
+pub mod summarize;
+pub mod system;
+
+pub use answer::{Answer, ConnectionTree, TreeSignature};
+pub use config::{
+    BanksConfig, CombineMode, EdgeScoreMode, GraphConfig, MatchConfig, NodeScoreMode,
+    NodeWeightMode, ScoreParams, SearchConfig,
+};
+pub use error::{BanksError, BanksResult};
+pub use graph_build::TupleGraph;
+pub use matching::{MatchKind, TermMatch};
+pub use query::{Query, Term};
+pub use score::Scorer;
+pub use search::{SearchOutcome, SearchStats};
+pub use summarize::AnswerGroup;
+pub use system::{Banks, SearchStrategy};

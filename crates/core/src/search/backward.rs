@@ -1,0 +1,636 @@
+//! Backward expanding search (§3, Figure 3).
+//!
+//! One Dijkstra iterator per keyword node runs over *reversed* edges; a
+//! heap multiplexes the iterators by the distance of the next node each
+//! would output. Every graph node `u` keeps one origin list per search
+//! term (`u.Lᵢ`). When the iterator started at origin `o ∈ Sᵢ` visits `u`,
+//! the cross product `{o} × Π_{j≠i} u.Lⱼ` enumerates exactly the new
+//! connection trees rooted at `u`, after which `o` joins `u.Lᵢ`.
+
+use crate::answer::{Answer, ConnectionTree, TreeSignature};
+use crate::config::SearchConfig;
+use crate::graph_build::TupleGraph;
+use crate::score::Scorer;
+use crate::search::output_heap::OutputHeap;
+use crate::search::{SearchOutcome, SearchStats};
+use banks_graph::{Dijkstra, Direction, FxHashMap, FxHashSet, NodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Iterator-heap entry: min-heap on the distance of the iterator's next
+/// output ("ordered on the distance of the first node it will output").
+#[derive(Debug, Clone, Copy)]
+struct IterEntry {
+    dist: f64,
+    idx: usize,
+}
+
+impl PartialEq for IterEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.idx == other.idx
+    }
+}
+impl Eq for IterEntry {}
+impl PartialOrd for IterEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IterEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Duplicate-tracking state per tree signature.
+pub(super) enum DupState {
+    /// Still buffered; may be replaced by a better-scoring twin.
+    InHeap,
+    /// Already output; later twins are discarded even if better (§3: "in
+    /// that case we discard the new result").
+    Emitted,
+}
+
+/// Run backward expanding search.
+///
+/// `keyword_sets[i]` is the node set `Sᵢ` for term `i`; `excluded_roots`
+/// holds relation ids whose tuples may not be information nodes.
+pub fn backward_search(
+    tuple_graph: &TupleGraph,
+    scorer: &Scorer<'_>,
+    keyword_sets: &[Vec<NodeId>],
+    config: &SearchConfig,
+    excluded_roots: &FxHashSet<u32>,
+) -> SearchOutcome {
+    let mut stats = SearchStats::default();
+    if keyword_sets.is_empty() || keyword_sets.iter().any(|s| s.is_empty()) {
+        return SearchOutcome {
+            answers: Vec::new(),
+            stats,
+        };
+    }
+    if keyword_sets.len() == 1 {
+        return single_term_search(tuple_graph, scorer, &keyword_sets[0], config, excluded_roots);
+    }
+
+    let graph = tuple_graph.graph();
+    let n_terms = keyword_sets.len();
+
+    // One reverse-direction Dijkstra per keyword node.
+    let mut iterators: Vec<Dijkstra<'_>> = Vec::new();
+    let mut infos: Vec<(usize, NodeId)> = Vec::new();
+    let mut iter_index: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    let prestige_handicap = graph.min_edge_weight().min(1.0);
+    for (term, set) in keyword_sets.iter().enumerate() {
+        for &origin in set {
+            let idx = iterators.len();
+            let mut iterator = Dijkstra::new(graph, origin, Direction::Reverse)
+                .with_max_dist(config.max_distance);
+            if config.node_weight_in_distance {
+                // §3: fold keyword-node prestige into the distance —
+                // low-prestige origins start behind by up to one w_min.
+                let handicap = (1.0 - scorer.node_score(origin)) * prestige_handicap;
+                iterator = iterator.with_initial_dist(handicap);
+            }
+            iterators.push(iterator);
+            infos.push((term, origin));
+            iter_index.insert((term as u32, origin.0), idx);
+        }
+    }
+    stats.iterators = iterators.len();
+
+    let mut iter_heap: BinaryHeap<IterEntry> = BinaryHeap::with_capacity(iterators.len());
+    for (idx, it) in iterators.iter_mut().enumerate() {
+        if let Some(dist) = it.peek_dist() {
+            iter_heap.push(IterEntry { dist, idx });
+        }
+    }
+
+    // u.Lᵢ lists, allocated lazily per visited node.
+    let mut node_lists: FxHashMap<u32, Vec<Vec<u32>>> = FxHashMap::default();
+    let mut output = OutputHeap::new(config.output_heap_size);
+    let mut dedup: HashMap<TreeSignature, DupState> = HashMap::new();
+    let mut emitted: Vec<Answer> = Vec::new();
+
+    while emitted.len() < config.max_results && stats.pops < config.max_pops {
+        let Some(entry) = iter_heap.pop() else {
+            break;
+        };
+        let (term, origin) = infos[entry.idx];
+        let Some(visit) = iterators[entry.idx].next() else {
+            continue;
+        };
+        stats.pops += 1;
+        if let Some(dist) = iterators[entry.idx].peek_dist() {
+            iter_heap.push(IterEntry {
+                dist,
+                idx: entry.idx,
+            });
+        }
+        let u = visit.node;
+        let lists = node_lists
+            .entry(u.0)
+            .or_insert_with(|| vec![Vec::new(); n_terms]);
+
+        // Snapshot the other terms' origin lists for the cross product.
+        let mut other: Vec<(usize, Vec<u32>)> = Vec::with_capacity(n_terms - 1);
+        let mut all_nonempty = true;
+        for (j, list) in lists.iter().enumerate() {
+            if j == term {
+                continue;
+            }
+            if list.is_empty() {
+                all_nonempty = false;
+                break;
+            }
+            other.push((j, list.clone()));
+        }
+        // "Insert origin in u.Lᵢ" — after the cross product snapshot.
+        lists[term].push(origin.0);
+
+        if !all_nonempty {
+            continue;
+        }
+
+        // Enumerate the cross product with a mixed-radix counter.
+        let total: usize = other
+            .iter()
+            .map(|(_, l)| l.len())
+            .fold(1usize, |acc, len| acc.saturating_mul(len));
+        let budget = total.min(config.max_cross_product);
+        if total > budget {
+            stats.cross_product_truncations += 1;
+        }
+        let mut counter = vec![0usize; other.len()];
+        for _ in 0..budget {
+            let mut origins = vec![NodeId(0); n_terms];
+            origins[term] = origin;
+            for (pos, &(j, ref list)) in other.iter().enumerate() {
+                origins[j] = NodeId(list[counter[pos]]);
+            }
+            // Advance the counter for next combination.
+            for pos in (0..counter.len()).rev() {
+                counter[pos] += 1;
+                if counter[pos] < other[pos].1.len() {
+                    break;
+                }
+                counter[pos] = 0;
+            }
+
+            let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+            for (j, &o) in origins.iter().enumerate() {
+                let idx = iter_index[&(j as u32, o.0)];
+                let path = iterators[idx]
+                    .path_edges(u)
+                    .expect("iterator in u.Lj has settled u");
+                edges.extend(path);
+            }
+            let tree = ConnectionTree::new(u, origins, edges);
+            stats.trees_generated += 1;
+
+            if excluded_roots.contains(&tuple_graph.relation_of(u)) {
+                stats.excluded_roots += 1;
+                continue;
+            }
+            if config.discard_single_child_root
+                && tree.root_child_count() == 1
+                && !tree.keyword_nodes.contains(&tree.root)
+            {
+                // A keyword-bearing root cannot be removed without
+                // invalidating the answer, so the discard justification
+                // ("the tree formed by removing the root node would also
+                // have been generated") does not apply to it.
+                stats.discarded_single_child += 1;
+                continue;
+            }
+            let relevance = scorer.relevance(&tree);
+            offer(
+                Answer { tree, relevance },
+                &mut output,
+                &mut dedup,
+                &mut emitted,
+                config,
+                &mut stats,
+            );
+            if emitted.len() >= config.max_results {
+                break;
+            }
+        }
+    }
+
+    finish(emitted, output, config, stats)
+}
+
+/// Insert an answer into the output buffer, handling duplicate trees.
+pub(super) fn offer(
+    answer: Answer,
+    output: &mut OutputHeap,
+    dedup: &mut HashMap<TreeSignature, DupState>,
+    emitted: &mut Vec<Answer>,
+    config: &SearchConfig,
+    stats: &mut SearchStats,
+) {
+    let sig = answer.tree.signature();
+    if config.deduplicate {
+        match dedup.get(&sig) {
+            Some(DupState::Emitted) => {
+                stats.duplicates_discarded += 1;
+                return;
+            }
+            Some(DupState::InHeap) => {
+                let existing = output.relevance_of(&sig).unwrap_or(f64::NEG_INFINITY);
+                if answer.relevance > existing {
+                    output.remove(&sig);
+                    stats.duplicates_replaced += 1;
+                } else {
+                    stats.duplicates_discarded += 1;
+                    return;
+                }
+            }
+            None => {}
+        }
+        dedup.insert(sig.clone(), DupState::InHeap);
+    }
+    if let Some((out_answer, out_sig)) = output.push(answer, sig) {
+        if config.deduplicate {
+            dedup.insert(out_sig, DupState::Emitted);
+        }
+        emitted.push(out_answer);
+    }
+}
+
+/// Drain the buffer and assemble the final ranked list.
+pub(super) fn finish(
+    mut emitted: Vec<Answer>,
+    output: OutputHeap,
+    config: &SearchConfig,
+    mut stats: SearchStats,
+) -> SearchOutcome {
+    for (answer, _) in output.drain_sorted() {
+        if emitted.len() >= config.max_results {
+            break;
+        }
+        emitted.push(answer);
+    }
+    emitted.truncate(config.max_results);
+    stats.trees_emitted = emitted.len();
+    SearchOutcome {
+        answers: emitted,
+        stats,
+    }
+}
+
+/// Fast path for single-term queries.
+///
+/// With `n = 1` the general algorithm only ever keeps single-node trees
+/// (every multi-node tree rooted away from the keyword node has exactly
+/// one root child and is discarded), so the answers are precisely the
+/// keyword nodes ranked by relevance — prestige decides, which is how the
+/// paper's "Mohan" anecdote works. We build those directly instead of
+/// expanding the whole graph.
+fn single_term_search(
+    tuple_graph: &TupleGraph,
+    scorer: &Scorer<'_>,
+    set: &[NodeId],
+    config: &SearchConfig,
+    excluded_roots: &FxHashSet<u32>,
+) -> SearchOutcome {
+    let mut stats = SearchStats::default();
+    let mut output = OutputHeap::new(config.output_heap_size);
+    let mut dedup: HashMap<TreeSignature, DupState> = HashMap::new();
+    let mut emitted: Vec<Answer> = Vec::new();
+    for &node in set {
+        stats.trees_generated += 1;
+        if excluded_roots.contains(&tuple_graph.relation_of(node)) {
+            stats.excluded_roots += 1;
+            continue;
+        }
+        let tree = ConnectionTree::new(node, vec![node], Vec::new());
+        let relevance = scorer.relevance(&tree);
+        offer(
+            Answer { tree, relevance },
+            &mut output,
+            &mut dedup,
+            &mut emitted,
+            config,
+            &mut stats,
+        );
+        if emitted.len() >= config.max_results {
+            break;
+        }
+    }
+    finish(emitted, output, config, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GraphConfig, ScoreParams};
+    use crate::graph_build::TupleGraph;
+    use banks_storage::{ColumnType, Database, RelationSchema, Value};
+
+    /// The Fig. 1 database: one paper by three authors, linked via Writes.
+    fn fig1_db() -> Database {
+        let mut db = Database::new("dblp");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("AuthorId", ColumnType::Text)
+                .column("AuthorName", ColumnType::Text)
+                .primary_key(&["AuthorId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("AuthorId", ColumnType::Text)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["AuthorId", "PaperId"])
+                .foreign_key(&["AuthorId"], "Author")
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert(
+            "Paper",
+            vec![
+                Value::text("ChakrabartiSD98"),
+                Value::text("Mining Surprising Patterns"),
+            ],
+        )
+        .unwrap();
+        for (id, name) in [
+            ("SoumenC", "Soumen Chakrabarti"),
+            ("SunitaS", "Sunita Sarawagi"),
+            ("ByronD", "Byron Dom"),
+        ] {
+            db.insert("Author", vec![Value::text(id), Value::text(name)])
+                .unwrap();
+            db.insert(
+                "Writes",
+                vec![Value::text(id), Value::text("ChakrabartiSD98")],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    struct Fixture {
+        db: Database,
+        tg: TupleGraph,
+    }
+
+    fn fixture() -> Fixture {
+        let db = fig1_db();
+        let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
+        Fixture { db, tg }
+    }
+
+    fn author_node(f: &Fixture, id: &str) -> NodeId {
+        let rid = f
+            .db
+            .relation("Author")
+            .unwrap()
+            .lookup_pk(&[Value::text(id)])
+            .unwrap();
+        f.tg.node(rid).unwrap()
+    }
+
+    fn paper_node(f: &Fixture, id: &str) -> NodeId {
+        let rid = f
+            .db
+            .relation("Paper")
+            .unwrap()
+            .lookup_pk(&[Value::text(id)])
+            .unwrap();
+        f.tg.node(rid).unwrap()
+    }
+
+    fn run(f: &Fixture, sets: Vec<Vec<NodeId>>, config: &SearchConfig) -> SearchOutcome {
+        let scorer = Scorer::new(f.tg.graph(), ScoreParams::default());
+        backward_search(&f.tg, &scorer, &sets, config, &FxHashSet::default())
+    }
+
+    #[test]
+    fn fig1_two_authors_connect_through_paper() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        let sunita = author_node(&f, "SunitaS");
+        let outcome = run(&f, vec![vec![soumen], vec![sunita]], &SearchConfig::default());
+        assert_eq!(outcome.answers.len(), 1, "exactly one connection tree");
+        let tree = &outcome.answers[0].tree;
+        assert_eq!(tree.root, paper_node(&f, "ChakrabartiSD98"));
+        assert_eq!(tree.keyword_nodes, vec![soumen, sunita]);
+        // Root (paper) → Writes → Author on both sides: 4 edges.
+        assert_eq!(tree.edges.len(), 4);
+        assert_eq!(tree.root_child_count(), 2);
+        assert!(outcome.stats.trees_generated >= 1);
+    }
+
+    #[test]
+    fn fig1_three_keywords_root_at_paper() {
+        let f = fixture();
+        let sets = vec![
+            vec![author_node(&f, "SoumenC")],
+            vec![author_node(&f, "SunitaS")],
+            vec![author_node(&f, "ByronD")],
+        ];
+        let outcome = run(&f, sets, &SearchConfig::default());
+        assert_eq!(outcome.answers.len(), 1);
+        let tree = &outcome.answers[0].tree;
+        assert_eq!(tree.root, paper_node(&f, "ChakrabartiSD98"));
+        assert_eq!(tree.edges.len(), 6);
+        assert_eq!(tree.root_child_count(), 3);
+    }
+
+    #[test]
+    fn single_term_ranks_by_prestige() {
+        let f = fixture();
+        // Paper has indegree 3, authors 1 each: paper ranks first.
+        let set = vec![
+            author_node(&f, "SoumenC"),
+            paper_node(&f, "ChakrabartiSD98"),
+            author_node(&f, "ByronD"),
+        ];
+        let outcome = run(&f, vec![set], &SearchConfig::default());
+        assert_eq!(outcome.answers.len(), 3);
+        assert_eq!(outcome.answers[0].tree.root, paper_node(&f, "ChakrabartiSD98"));
+        assert!(outcome.answers[0].relevance >= outcome.answers[1].relevance);
+        assert!(outcome.stats.pops == 0, "fast path does not expand");
+    }
+
+    #[test]
+    fn same_node_matching_both_terms_yields_single_node_tree() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        // "soumen chakrabarti" — both terms match the same author node.
+        let outcome = run(
+            &f,
+            vec![vec![soumen], vec![soumen]],
+            &SearchConfig::default(),
+        );
+        assert!(!outcome.answers.is_empty());
+        let best = &outcome.answers[0];
+        assert_eq!(best.tree.root, soumen);
+        assert!(best.tree.edges.is_empty());
+        assert_eq!(best.tree.keyword_nodes, vec![soumen, soumen]);
+    }
+
+    #[test]
+    fn excluded_root_relations_suppress_roots() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        let sunita = author_node(&f, "SunitaS");
+        let paper_rel = f.db.relation_id("Paper").unwrap().0;
+        let mut excluded = FxHashSet::default();
+        excluded.insert(paper_rel);
+        let scorer = Scorer::new(f.tg.graph(), ScoreParams::default());
+        let outcome = backward_search(
+            &f.tg,
+            &scorer,
+            &[vec![soumen], vec![sunita]],
+            &SearchConfig::default(),
+            &excluded,
+        );
+        // With Paper excluded as information node, the same undirected
+        // connection surfaces rooted at a Writes tuple instead (§3:
+        // duplicates "represent the same result, except with different
+        // information nodes").
+        assert!(outcome.stats.excluded_roots > 0);
+        for a in &outcome.answers {
+            assert_ne!(
+                f.tg.relation_of(a.tree.root),
+                paper_rel,
+                "no answer may be rooted at a Paper tuple"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_keyword_set_gives_no_answers() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        let outcome = run(&f, vec![vec![soumen], vec![]], &SearchConfig::default());
+        assert!(outcome.answers.is_empty());
+    }
+
+    #[test]
+    fn max_results_bounds_output() {
+        let f = fixture();
+        let set = vec![
+            author_node(&f, "SoumenC"),
+            author_node(&f, "SunitaS"),
+            author_node(&f, "ByronD"),
+        ];
+        let config = SearchConfig {
+            max_results: 2,
+            ..SearchConfig::default()
+        };
+        let outcome = run(&f, vec![set], &config);
+        assert_eq!(outcome.answers.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_keywords_give_no_answers() {
+        // Two papers, no links at all between them.
+        let mut db = Database::new("x");
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("Id", ColumnType::Text)
+                .primary_key(&["Id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let a = db.insert("Paper", vec![Value::text("a")]).unwrap();
+        let b = db.insert("Paper", vec![Value::text("b")]).unwrap();
+        let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
+        let scorer = Scorer::new(tg.graph(), ScoreParams::default());
+        let outcome = backward_search(
+            &tg,
+            &scorer,
+            &[vec![tg.node(a).unwrap()], vec![tg.node(b).unwrap()]],
+            &SearchConfig::default(),
+            &FxHashSet::default(),
+        );
+        assert!(outcome.answers.is_empty());
+        assert!(outcome.stats.pops > 0, "iterators did run");
+    }
+
+    #[test]
+    fn max_pops_safety_valve() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        let sunita = author_node(&f, "SunitaS");
+        let config = SearchConfig {
+            max_pops: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = run(&f, vec![vec![soumen], vec![sunita]], &config);
+        assert!(outcome.stats.pops <= 1);
+        assert!(outcome.answers.is_empty());
+    }
+
+    #[test]
+    fn node_weight_in_distance_still_finds_the_answer() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        let sunita = author_node(&f, "SunitaS");
+        let config = SearchConfig {
+            node_weight_in_distance: true,
+            ..SearchConfig::default()
+        };
+        let outcome = run(&f, vec![vec![soumen], vec![sunita]], &config);
+        assert_eq!(outcome.answers.len(), 1);
+        assert_eq!(
+            outcome.answers[0].tree.root,
+            paper_node(&f, "ChakrabartiSD98")
+        );
+        // Distances are shifted but paths (and thus tree weight) are not.
+        let plain = run(
+            &f,
+            vec![vec![soumen], vec![sunita]],
+            &SearchConfig::default(),
+        );
+        assert_eq!(
+            outcome.answers[0].tree.weight,
+            plain.answers[0].tree.weight
+        );
+    }
+
+    #[test]
+    fn answers_unique_by_signature() {
+        let f = fixture();
+        // Both terms match both authors: four iterator pairs, but dedup
+        // keeps distinct trees only.
+        let soumen = author_node(&f, "SoumenC");
+        let sunita = author_node(&f, "SunitaS");
+        let outcome = run(
+            &f,
+            vec![vec![soumen, sunita], vec![soumen, sunita]],
+            &SearchConfig::default(),
+        );
+        let mut sigs: Vec<_> = outcome
+            .answers
+            .iter()
+            .map(|a| a.tree.signature())
+            .collect();
+        let before = sigs.len();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(before, sigs.len(), "duplicate trees in output");
+    }
+}

@@ -1,0 +1,46 @@
+//! Query execution: the backward expanding search of §3 plus the §7
+//! forward-search extension.
+
+pub mod backward;
+pub mod forward;
+pub mod output_heap;
+
+pub use backward::backward_search;
+pub use forward::forward_search;
+pub use output_heap::OutputHeap;
+
+use crate::answer::Answer;
+
+/// Counters describing one search execution, for diagnostics, tests and
+/// the evaluation harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Shortest-path iterators created (Σ|Sᵢ| in the paper's notation).
+    pub iterators: usize,
+    /// Total nodes settled across all iterators.
+    pub pops: usize,
+    /// Connection trees constructed (before any filtering).
+    pub trees_generated: usize,
+    /// Trees dropped because the root had exactly one child.
+    pub discarded_single_child: usize,
+    /// Answers actually emitted to the caller.
+    pub trees_emitted: usize,
+    /// Trees dropped because the root's relation is excluded.
+    pub excluded_roots: usize,
+    /// Duplicates discarded (an equal-or-better twin existed).
+    pub duplicates_discarded: usize,
+    /// Duplicates that replaced a worse twin still in the buffer.
+    pub duplicates_replaced: usize,
+    /// Cross products truncated by the per-node combination cap.
+    pub cross_product_truncations: usize,
+}
+
+/// The result of a search: ranked answers plus execution counters.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Answers in decreasing relevance order (approximately — the output
+    /// buffer makes the order heuristic, exactly as in the paper).
+    pub answers: Vec<Answer>,
+    /// Execution counters.
+    pub stats: SearchStats,
+}

@@ -1,0 +1,485 @@
+//! The `Banks` facade: load a database, build indexes and the data graph
+//! once, then answer keyword queries.
+
+use crate::answer::Answer;
+use crate::config::BanksConfig;
+use crate::error::BanksResult;
+use crate::graph_build::TupleGraph;
+use crate::matching::{match_query, TermMatch};
+use crate::query::Query;
+use crate::score::Scorer;
+use crate::search::{backward_search, forward_search, SearchOutcome};
+use crate::summarize::{summarize, AnswerGroup};
+use banks_graph::{FxHashSet, NodeId};
+use banks_storage::{Database, MetadataIndex, TextIndex, Tokenizer};
+
+/// §2.3's node-relevance extension: when some keyword node matched only
+/// approximately, scale each answer's relevance by the mean match
+/// relevance of its chosen keyword nodes and restore descending order.
+/// Exact matches all carry relevance 1.0, so the common path is a no-op.
+fn apply_node_relevances(matches: &[crate::matching::TermMatch], outcome: &mut SearchOutcome) {
+    if matches.iter().all(|m| m.relevances.is_empty()) {
+        return;
+    }
+    for answer in &mut outcome.answers {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (term, &node) in matches.iter().zip(&answer.tree.keyword_nodes) {
+            total += term.relevance(node);
+            count += 1;
+        }
+        if count > 0 {
+            answer.relevance *= total / count as f64;
+        }
+    }
+    outcome
+        .answers
+        .sort_by(|a, b| b.relevance.total_cmp(&a.relevance));
+}
+
+/// Which search algorithm executes queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Backward expanding search (§3) — the paper's algorithm.
+    #[default]
+    Backward,
+    /// Forward search (§7) — faster when some term matches many nodes.
+    Forward,
+}
+
+/// A ready-to-query BANKS instance.
+///
+/// Construction tokenizes and indexes every relation and materializes the
+/// data graph (the paper's "graph load" phase, measured in §5.2). The
+/// database is then owned immutably; rebuild the instance after bulk
+/// updates.
+///
+/// ```
+/// use banks_core::Banks;
+/// use banks_storage::{ColumnType, Database, RelationSchema, Value};
+///
+/// let mut db = Database::new("mini");
+/// db.create_relation(
+///     RelationSchema::builder("Paper")
+///         .column("Id", ColumnType::Text)
+///         .column("Title", ColumnType::Text)
+///         .primary_key(&["Id"])
+///         .build()
+///         .unwrap(),
+/// )
+/// .unwrap();
+/// db.insert("Paper", vec![Value::text("p1"), Value::text("The Transaction Concept")])
+///     .unwrap();
+/// let banks = Banks::new(db).unwrap();
+/// let answers = banks.search("transaction").unwrap();
+/// assert_eq!(answers.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Banks {
+    db: Database,
+    config: BanksConfig,
+    tokenizer: Tokenizer,
+    text_index: TextIndex,
+    metadata_index: MetadataIndex,
+    tuple_graph: TupleGraph,
+    excluded_roots: FxHashSet<u32>,
+}
+
+impl Banks {
+    /// Build with the default configuration (the paper's best settings).
+    pub fn new(db: Database) -> BanksResult<Banks> {
+        Banks::with_config(db, BanksConfig::default())
+    }
+
+    /// Build with an explicit configuration.
+    pub fn with_config(db: Database, config: BanksConfig) -> BanksResult<Banks> {
+        config.validate()?;
+        let tokenizer = Tokenizer::new();
+        let text_index = TextIndex::build(&db, &tokenizer);
+        let metadata_index = MetadataIndex::build(&db, &tokenizer);
+        let tuple_graph = TupleGraph::build(&db, &config.graph)?;
+        let mut excluded_roots = FxHashSet::default();
+        for name in &config.search.excluded_root_relations {
+            if let Ok(id) = db.relation_id(name) {
+                excluded_roots.insert(id.0);
+            }
+        }
+        Ok(Banks {
+            db,
+            config,
+            tokenizer,
+            text_index,
+            metadata_index,
+            tuple_graph,
+            excluded_roots,
+        })
+    }
+
+    /// Answer a keyword query with the configured `max_results`.
+    pub fn search(&self, query_text: &str) -> BanksResult<Vec<Answer>> {
+        Ok(self.search_outcome(query_text)?.answers
+    )
+    }
+
+    /// Answer a keyword query, also returning execution counters.
+    pub fn search_outcome(&self, query_text: &str) -> BanksResult<SearchOutcome> {
+        self.search_with(query_text, SearchStrategy::Backward, &self.config)
+    }
+
+    /// Full-control entry point: explicit strategy and configuration.
+    ///
+    /// Two parts of `config` are fixed at construction time and ignored
+    /// here: the graph section (the graph is built once) and
+    /// `search.excluded_root_relations` (resolved to relation ids when
+    /// the instance was created). Everything else — matching, scoring,
+    /// and the remaining search knobs — applies per call, which is how
+    /// the Figure 5 parameter sweep reuses one graph across settings.
+    pub fn search_with(
+        &self,
+        query_text: &str,
+        strategy: SearchStrategy,
+        config: &BanksConfig,
+    ) -> BanksResult<SearchOutcome> {
+        let query = Query::parse(query_text, &self.tokenizer)?;
+        let matches = self.match_terms(&query, config)?;
+        let keyword_sets: Vec<Vec<NodeId>> = matches.iter().map(|m| m.nodes.clone()).collect();
+        let scorer = Scorer::new(self.tuple_graph.graph(), config.score);
+        let mut outcome = match strategy {
+            SearchStrategy::Backward => backward_search(
+                &self.tuple_graph,
+                &scorer,
+                &keyword_sets,
+                &config.search,
+                &self.excluded_roots,
+            ),
+            SearchStrategy::Forward => forward_search(
+                &self.tuple_graph,
+                &scorer,
+                &keyword_sets,
+                &config.search,
+                &self.excluded_roots,
+            ),
+        };
+        apply_node_relevances(&matches, &mut outcome);
+        Ok(outcome)
+    }
+
+    /// Answer several queries concurrently, one OS thread per query
+    /// (capped at the available parallelism).
+    ///
+    /// `Banks` is immutable after construction, so queries share the
+    /// graph and indexes without synchronization — the multi-user serving
+    /// scenario of the original web deployment.
+    pub fn search_batch(&self, queries: &[&str]) -> Vec<BanksResult<Vec<Answer>>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(1);
+        let mut results: Vec<BanksResult<Vec<Answer>>> = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(threads) {
+            let chunk_results = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunk
+                    .iter()
+                    .map(|q| scope.spawn(move || self.search(q)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search thread panicked"))
+                    .collect::<Vec<_>>()
+            });
+            results.extend(chunk_results);
+        }
+        results
+    }
+
+    /// Match query terms to node sets without running the search.
+    pub fn match_terms(&self, query: &Query, config: &BanksConfig) -> BanksResult<Vec<TermMatch>> {
+        match_query(
+            &self.db,
+            &self.text_index,
+            &self.metadata_index,
+            &self.tuple_graph,
+            query,
+            &config.matching,
+        )
+    }
+
+    /// Parse query text with this instance's tokenizer.
+    pub fn parse(&self, query_text: &str) -> BanksResult<Query> {
+        Query::parse(query_text, &self.tokenizer)
+    }
+
+    /// Render an answer as indented text (Figure 2 style).
+    pub fn render_answer(&self, answer: &Answer) -> String {
+        answer.tree.render(&self.db, &self.tuple_graph)
+    }
+
+    /// Group answers by schema-level tree shape (§7 summarization).
+    pub fn summarize(&self, answers: &[Answer]) -> Vec<AnswerGroup> {
+        summarize(&self.db, &self.tuple_graph, answers)
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The data graph.
+    pub fn tuple_graph(&self) -> &TupleGraph {
+        &self.tuple_graph
+    }
+
+    /// The inverted keyword index.
+    pub fn text_index(&self) -> &TextIndex {
+        &self.text_index
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BanksConfig {
+        &self.config
+    }
+
+    /// Total index+graph memory, in bytes (§5.2 space accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.tuple_graph.memory_bytes() + self.text_index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_storage::{ColumnType, RelationSchema, Value};
+
+    /// The paper's Fig. 1 database plus a second paper to make ranking
+    /// interesting.
+    fn dblp() -> Database {
+        let mut db = Database::new("dblp");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("AuthorId", ColumnType::Text)
+                .column("AuthorName", ColumnType::Text)
+                .primary_key(&["AuthorId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("AuthorId", ColumnType::Text)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["AuthorId", "PaperId"])
+                .foreign_key(&["AuthorId"], "Author")
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (id, name) in [
+            ("SoumenC", "Soumen Chakrabarti"),
+            ("SunitaS", "Sunita Sarawagi"),
+            ("ByronD", "Byron Dom"),
+        ] {
+            db.insert("Author", vec![Value::text(id), Value::text(name)])
+                .unwrap();
+        }
+        for (id, title) in [
+            (
+                "ChakrabartiSD98",
+                "Mining Surprising Patterns Using Temporal Description Length",
+            ),
+            ("SarawagiC00", "Scalable Mining For Classification Rules"),
+        ] {
+            db.insert("Paper", vec![Value::text(id), Value::text(title)])
+                .unwrap();
+        }
+        for (a, p) in [
+            ("SoumenC", "ChakrabartiSD98"),
+            ("SunitaS", "ChakrabartiSD98"),
+            ("ByronD", "ChakrabartiSD98"),
+            ("SoumenC", "SarawagiC00"),
+            ("SunitaS", "SarawagiC00"),
+        ] {
+            db.insert("Writes", vec![Value::text(a), Value::text(p)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn soumen_sunita_returns_coauthored_papers() {
+        let banks = Banks::new(dblp()).unwrap();
+        let answers = banks.search("soumen sunita").unwrap();
+        assert_eq!(answers.len(), 2, "two co-authored papers");
+        for a in &answers {
+            let rid = banks.tuple_graph().rid(a.tree.root);
+            let rel = banks.db().table(rid.relation).schema().name.clone();
+            assert_eq!(rel, "Paper", "information node is a paper");
+        }
+    }
+
+    #[test]
+    fn render_produces_figure2_style_output() {
+        let banks = Banks::new(dblp()).unwrap();
+        let answers = banks.search("soumen sunita").unwrap();
+        let text = banks.render_answer(&answers[0]);
+        assert!(text.contains("Paper("));
+        assert!(text.contains("Writes("));
+        assert!(text.contains("*Author("), "keyword nodes are starred");
+        // Indentation grows along the tree.
+        assert!(text.lines().any(|l| l.starts_with("    ")));
+    }
+
+    #[test]
+    fn metadata_query_author_matches_all_authors() {
+        let banks = Banks::new(dblp()).unwrap();
+        // "author" matches the Author relation name (3 tuples) and the
+        // AuthorId column of Writes (5 tuples): 8 single-node answers,
+        // ranked by prestige, so the referenced Author tuples come first.
+        let answers = banks.search("author").unwrap();
+        assert_eq!(answers.len(), 8);
+        for a in &answers[..3] {
+            let rid = banks.tuple_graph().rid(a.tree.root);
+            assert_eq!(banks.db().table(rid.relation).schema().name, "Author");
+        }
+    }
+
+    #[test]
+    fn qualified_search() {
+        let banks = Banks::new(dblp()).unwrap();
+        let answers = banks.search("AuthorName:byron").unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_term_yields_empty() {
+        let banks = Banks::new(dblp()).unwrap();
+        let answers = banks.search("soumen xyzzy").unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn empty_query_is_error() {
+        let banks = Banks::new(dblp()).unwrap();
+        assert!(banks.search("").is_err());
+    }
+
+    #[test]
+    fn excluded_root_config_respected() {
+        let mut config = BanksConfig::default();
+        config.search.excluded_root_relations = vec!["Paper".into()];
+        let banks = Banks::with_config(dblp(), config).unwrap();
+        // The connection still surfaces, but rooted at a non-Paper tuple
+        // (the duplicate rooted at a Writes node).
+        let answers = banks.search("soumen sunita").unwrap();
+        for a in &answers {
+            let rid = banks.tuple_graph().rid(a.tree.root);
+            assert_ne!(banks.db().table(rid.relation).schema().name, "Paper");
+        }
+    }
+
+    #[test]
+    fn forward_strategy_agrees_on_root_relation() {
+        let banks = Banks::new(dblp()).unwrap();
+        let outcome = banks
+            .search_with("soumen byron", SearchStrategy::Forward, banks.config())
+            .unwrap();
+        assert!(!outcome.answers.is_empty());
+        let rid = banks.tuple_graph().rid(outcome.answers[0].tree.root);
+        assert_eq!(banks.db().table(rid.relation).schema().name, "Paper");
+    }
+
+    #[test]
+    fn summarize_groups_equal_shapes() {
+        let banks = Banks::new(dblp()).unwrap();
+        let answers = banks.search("soumen sunita").unwrap();
+        let groups = banks.summarize(&answers);
+        assert_eq!(groups.len(), 1, "both answers share the coauthor shape");
+        assert_eq!(groups[0].answers.len(), 2);
+    }
+
+    #[test]
+    fn memory_reporting() {
+        let banks = Banks::new(dblp()).unwrap();
+        assert!(banks.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn node_relevance_ranks_exact_above_fuzzy() {
+        // Add a decoy author whose name is one edit away from "sunita";
+        // with approximate matching on, exact-match answers must outrank
+        // fuzzy ones because of the §2.3 node-relevance adjustment.
+        let mut db = dblp();
+        db.insert(
+            "Author",
+            vec![Value::text("SunitaX"), Value::text("Sunitha Prestigious")],
+        )
+        .unwrap();
+        // Decoy gets more references than the real Sunita so raw prestige
+        // alone would put it first for a single-keyword query.
+        db.insert(
+            "Paper",
+            vec![Value::text("PX1"), Value::text("Decoy Topics One")],
+        )
+        .unwrap();
+        db.insert(
+            "Paper",
+            vec![Value::text("PX2"), Value::text("Decoy Topics Two")],
+        )
+        .unwrap();
+        db.insert(
+            "Paper",
+            vec![Value::text("PX3"), Value::text("Decoy Topics Three")],
+        )
+        .unwrap();
+        for p in ["PX1", "PX2", "PX3"] {
+            db.insert("Writes", vec![Value::text("SunitaX"), Value::text(p)])
+                .unwrap();
+        }
+        let mut config = BanksConfig::default();
+        config.matching.approximate = true;
+        let banks = Banks::with_config(db, config).unwrap();
+        let answers = banks.search("sunita").unwrap();
+        let top_rid = banks.tuple_graph().rid(answers[0].tree.root);
+        let name = banks.db().tuple(top_rid).unwrap().values()[1]
+            .as_text()
+            .unwrap()
+            .to_string();
+        assert_eq!(
+            name, "Sunita Sarawagi",
+            "the exact match outranks the higher-prestige fuzzy decoy"
+        );
+        // Answers stay sorted descending after the adjustment.
+        for pair in answers.windows(2) {
+            assert!(pair[0].relevance >= pair[1].relevance - 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_search_matches_sequential() {
+        let banks = Banks::new(dblp()).unwrap();
+        let queries = ["soumen sunita", "byron", "", "mining classification"];
+        let batch = banks.search_batch(&queries);
+        assert_eq!(batch.len(), 4);
+        for (query, result) in queries.iter().zip(&batch) {
+            match banks.search(query) {
+                Ok(sequential) => {
+                    let parallel = result.as_ref().expect("same success");
+                    assert_eq!(sequential.len(), parallel.len());
+                    for (a, b) in sequential.iter().zip(parallel) {
+                        assert_eq!(a.tree.signature(), b.tree.signature());
+                    }
+                }
+                Err(_) => assert!(result.is_err(), "empty query errs in both paths"),
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! §5.1 reproduction: the six anecdotal queries.
+//!
+//! Each anecdote runs a query against the appropriate synthetic dataset
+//! and checks the paper's reported behaviour structurally.
+
+use crate::workload::dblp_eval_config;
+use banks_core::{Answer, Banks};
+use banks_datagen::dblp::{self, DblpConfig};
+use banks_datagen::thesis::{self, ThesisConfig};
+use banks_storage::Value;
+use serde::Serialize;
+
+/// One anecdote's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnecdoteOutcome {
+    /// Anecdote id (A1…A6).
+    pub id: String,
+    /// Which dataset it runs on.
+    pub dataset: String,
+    /// The query text.
+    pub query: String,
+    /// What the paper reports.
+    pub expectation: String,
+    /// Whether our system reproduces it.
+    pub passed: bool,
+    /// Rendered top answers (up to 3), Figure 2 style.
+    pub top: Vec<String>,
+}
+
+fn node_of(banks: &Banks, relation: &str, key: &str) -> banks_graph::NodeId {
+    let rid = banks
+        .db()
+        .relation(relation)
+        .expect("relation exists")
+        .lookup_pk(&[Value::text(key)])
+        .expect("planted tuple exists");
+    banks.tuple_graph().node(rid).expect("tuple is in the graph")
+}
+
+fn contains_all(banks: &Banks, answer: &Answer, tuples: &[(&str, &str)]) -> bool {
+    let nodes = answer.tree.nodes();
+    tuples
+        .iter()
+        .all(|(rel, key)| nodes.contains(&node_of(banks, rel, key)))
+}
+
+fn render_top(banks: &Banks, answers: &[Answer]) -> Vec<String> {
+    answers
+        .iter()
+        .take(3)
+        .map(|a| banks.render_answer(a))
+        .collect()
+}
+
+/// Run all six anecdotes at the given seed (tiny-scale datasets).
+pub fn run_anecdotes(seed: u64) -> Vec<AnecdoteOutcome> {
+    let dblp = dblp::generate(DblpConfig::tiny(seed)).expect("dblp generates");
+    let dblp_banks = Banks::with_config(dblp.db.clone(), dblp_eval_config()).expect("banks builds");
+    let thesis = thesis::generate(ThesisConfig::tiny(seed)).expect("thesis generates");
+    let thesis_banks = Banks::new(thesis.db.clone()).expect("banks builds");
+    let p = &dblp.planted;
+    let tp = &thesis.planted;
+    let mut out = Vec::new();
+
+    // A1 — "Mohan": C. Mohan first by prestige, then Ahuja, then Kamat.
+    {
+        let answers = dblp_banks.search("mohan").expect("query runs");
+        let pos = |key: &str| {
+            let node = node_of(&dblp_banks, "Author", key);
+            answers.iter().position(|a| a.tree.root == node)
+        };
+        let passed = match (pos(&p.mohan_c), pos(&p.mohan_ahuja), pos(&p.mohan_kamat)) {
+            (Some(c), Some(a), Some(k)) => c == 0 && c < a && a < k,
+            _ => false,
+        };
+        out.push(AnecdoteOutcome {
+            id: "A1".into(),
+            dataset: "dblp".into(),
+            query: "mohan".into(),
+            expectation: "C. Mohan at the top, Mohan Ahuja and Mohan Kamat following".into(),
+            passed,
+            top: render_top(&dblp_banks, &answers),
+        });
+    }
+
+    // A2 — "transaction": Gray's classic paper and the Gray&Reuter book as
+    // the top two answers.
+    {
+        let answers = dblp_banks.search("transaction").expect("query runs");
+        let paper = node_of(&dblp_banks, "Paper", &p.transaction_paper);
+        let book = node_of(&dblp_banks, "Paper", &p.transaction_book);
+        let passed = answers.len() >= 2
+            && answers[0].tree.root == paper
+            && answers[1].tree.root == book;
+        out.push(AnecdoteOutcome {
+            id: "A2".into(),
+            dataset: "dblp".into(),
+            query: "transaction".into(),
+            expectation: "Jim Gray's classic paper and the Gray&Reuter book as the top two".into(),
+            passed,
+            top: render_top(&dblp_banks, &answers),
+        });
+    }
+
+    // A3 — "computer engineering": the CSE department beats theses whose
+    // titles contain the words, thanks to its node weight.
+    {
+        let answers = thesis_banks.search("computer engineering").expect("query runs");
+        let cse = node_of(&thesis_banks, "Department", &tp.cse_dept);
+        let passed = answers.first().is_some_and(|a| a.tree.root == cse);
+        out.push(AnecdoteOutcome {
+            id: "A3".into(),
+            dataset: "thesis".into(),
+            query: "computer engineering".into(),
+            expectation: "the Computer Science and Engineering department ranked first".into(),
+            passed,
+            top: render_top(&thesis_banks, &answers),
+        });
+    }
+
+    // A4 — "sudarshan aditya": the thesis written by Aditya and advised by
+    // Sudarshan.
+    {
+        let answers = thesis_banks.search("sudarshan aditya").expect("query runs");
+        let passed = answers.first().is_some_and(|a| {
+            contains_all(
+                &thesis_banks,
+                a,
+                &[
+                    ("Thesis", &tp.aditya_thesis),
+                    ("Student", &tp.aditya),
+                    ("Faculty", &tp.sudarshan),
+                ],
+            )
+        });
+        out.push(AnecdoteOutcome {
+            id: "A4".into(),
+            dataset: "thesis".into(),
+            query: "sudarshan aditya".into(),
+            expectation: "a thesis written by Aditya whose advisor is Sudarshan".into(),
+            passed,
+            top: render_top(&thesis_banks, &answers),
+        });
+    }
+
+    // A5 — "soumen sunita": the Figure 2 answer (ChakrabartiSD98) first.
+    {
+        let answers = dblp_banks.search("soumen sunita").expect("query runs");
+        let passed = answers.first().is_some_and(|a| {
+            contains_all(
+                &dblp_banks,
+                a,
+                &[
+                    ("Paper", &p.chakrabarti_sd98),
+                    ("Author", &p.soumen),
+                    ("Author", &p.sunita),
+                ],
+            )
+        });
+        out.push(AnecdoteOutcome {
+            id: "A5".into(),
+            dataset: "dblp".into(),
+            query: "soumen sunita".into(),
+            expectation: "the Figure 2 answer: their co-authored paper connecting both".into(),
+            passed,
+            top: render_top(&dblp_banks, &answers),
+        });
+    }
+
+    // A6 — "seltzer sunita": Stonebraker as the root, connecting both
+    // through separately co-authored papers.
+    {
+        let answers = dblp_banks.search("seltzer sunita").expect("query runs");
+        let stonebraker = node_of(&dblp_banks, "Author", &p.stonebraker);
+        let passed = answers.first().is_some_and(|a| {
+            a.tree.root == stonebraker
+                && contains_all(
+                    &dblp_banks,
+                    a,
+                    &[("Author", &p.seltzer), ("Author", &p.sunita)],
+                )
+        });
+        out.push(AnecdoteOutcome {
+            id: "A6".into(),
+            dataset: "dblp".into(),
+            query: "seltzer sunita".into(),
+            expectation: "Stonebraker as the root, connected to Sunita and Seltzer".into(),
+            passed,
+            top: render_top(&dblp_banks, &answers),
+        });
+    }
+
+    out
+}
+
+/// Pretty-print the outcomes.
+pub fn format_outcomes(outcomes: &[AnecdoteOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&format!(
+            "[{}] {} — \"{}\" on {}\n  expectation: {}\n",
+            if o.passed { "PASS" } else { "FAIL" },
+            o.id,
+            o.query,
+            o.dataset,
+            o.expectation
+        ));
+        for (i, answer) in o.top.iter().enumerate() {
+            out.push_str(&format!("  answer {}:\n", i + 1));
+            for line in answer.lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_anecdotes_reproduce() {
+        let outcomes = run_anecdotes(1);
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            assert!(
+                o.passed,
+                "anecdote {} ({}) failed:\n{}",
+                o.id,
+                o.query,
+                o.top.join("\n---\n")
+            );
+        }
+    }
+
+    #[test]
+    fn outcomes_format() {
+        let outcomes = run_anecdotes(2);
+        let text = format_outcomes(&outcomes);
+        assert!(text.contains("A1"));
+        assert!(text.contains("expectation"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Figure 5 reproduction: average scaled error vs (λ, EdgeLog), plus the
+//! §5.3 side claims (combination mode and node-log scaling have almost no
+//! ranking impact) and the ABL-HEAP ablation (output-heap size).
+
+use crate::error_score::{average_scaled_error, score_query, QueryError};
+use crate::workload::{dblp_eval_config, dblp_workload, WorkloadQuery};
+use banks_core::{
+    Banks, CombineMode, EdgeScoreMode, NodeScoreMode, ScoreParams, SearchStrategy,
+};
+use banks_datagen::dblp::DblpDataset;
+use serde::Serialize;
+
+/// The λ values swept in Figure 5.
+pub const LAMBDAS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+/// Per-query result inside a cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerQuery {
+    /// Query id.
+    pub id: String,
+    /// Scaled error for this query.
+    pub scaled: f64,
+    /// Actual ranks of the ideals (11 = missing).
+    pub ranks: Vec<usize>,
+}
+
+/// One parameter setting's measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Cell {
+    /// λ (node-weight factor).
+    pub lambda: f64,
+    /// Edge score log scaling (the EdgeLog axis of Figure 5).
+    pub edge_log: bool,
+    /// Node score log scaling.
+    pub node_log: bool,
+    /// Multiplicative (vs additive) combination.
+    pub multiplicative: bool,
+    /// Average scaled error over the workload.
+    pub avg_scaled_error: f64,
+    /// Per-query breakdown.
+    pub per_query: Vec<PerQuery>,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Report {
+    /// Swept cells (the Figure 5 surface; all retained combinations under
+    /// `--full`).
+    pub cells: Vec<Fig5Cell>,
+    /// Max |error(additive) − error(multiplicative)| over matched settings
+    /// (paper: "almost no impact").
+    pub combination_mode_max_delta: f64,
+    /// Max |error(node-log) − error(node-linear)| over matched settings
+    /// (paper: "log scaling gave the same ranking").
+    pub node_log_max_delta: f64,
+}
+
+fn eval_params(
+    banks: &Banks,
+    workload: &[WorkloadQuery],
+    params: ScoreParams,
+) -> (f64, Vec<PerQuery>, Vec<QueryError>) {
+    let mut config = banks.config().clone();
+    config.score = params;
+    let mut errors = Vec::with_capacity(workload.len());
+    for query in workload {
+        let outcome = banks
+            .search_with(query.text, SearchStrategy::Backward, &config)
+            .expect("workload queries parse");
+        errors.push(score_query(banks, query, &outcome.answers));
+    }
+    let avg = average_scaled_error(&errors);
+    let per_query = errors
+        .iter()
+        .map(|e| PerQuery {
+            id: e.query.clone(),
+            scaled: e.scaled,
+            ranks: e.actual_ranks.clone(),
+        })
+        .collect();
+    (avg, per_query, errors)
+}
+
+fn params(lambda: f64, edge_log: bool, node_log: bool, multiplicative: bool) -> ScoreParams {
+    ScoreParams {
+        lambda,
+        edge_score: if edge_log {
+            EdgeScoreMode::Log
+        } else {
+            EdgeScoreMode::Linear
+        },
+        node_score: if node_log {
+            NodeScoreMode::Log
+        } else {
+            NodeScoreMode::Linear
+        },
+        combine: if multiplicative {
+            CombineMode::Multiplicative
+        } else {
+            CombineMode::Additive
+        },
+    }
+}
+
+/// Run the Figure 5 sweep.
+///
+/// `full = false` sweeps the figure's two axes (λ × EdgeLog, node score
+/// linear, additive). `full = true` additionally sweeps the retained
+/// combinations of §2.3 and fills in the side-claim deltas.
+pub fn run_fig5(dataset: &DblpDataset, full: bool) -> Fig5Report {
+    let banks = Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("valid dataset");
+    let workload = dblp_workload(&dataset.planted);
+
+    let mut cells = Vec::new();
+    for &lambda in &LAMBDAS {
+        for edge_log in [false, true] {
+            let p = params(lambda, edge_log, false, false);
+            let (avg, per_query, _) = eval_params(&banks, &workload, p);
+            cells.push(Fig5Cell {
+                lambda,
+                edge_log,
+                node_log: false,
+                multiplicative: false,
+                avg_scaled_error: avg,
+                per_query,
+            });
+        }
+    }
+
+    let mut combination_mode_max_delta = 0.0f64;
+    let mut node_log_max_delta = 0.0f64;
+    if full {
+        for &lambda in &LAMBDAS {
+            // Combination-mode claim: compare additive vs multiplicative
+            // with linear scaling (the retained multiplicative combos).
+            let (add, ..) = eval_params(&banks, &workload, params(lambda, false, false, false));
+            let (mul, per_query, _) =
+                eval_params(&banks, &workload, params(lambda, false, false, true));
+            combination_mode_max_delta = combination_mode_max_delta.max((add - mul).abs());
+            cells.push(Fig5Cell {
+                lambda,
+                edge_log: false,
+                node_log: false,
+                multiplicative: true,
+                avg_scaled_error: mul,
+                per_query,
+            });
+            // Node-log claim: additive, edge log, node log vs linear.
+            let (nlin, ..) = eval_params(&banks, &workload, params(lambda, true, false, false));
+            let (nlog, per_query, _) =
+                eval_params(&banks, &workload, params(lambda, true, true, false));
+            node_log_max_delta = node_log_max_delta.max((nlin - nlog).abs());
+            cells.push(Fig5Cell {
+                lambda,
+                edge_log: true,
+                node_log: true,
+                multiplicative: false,
+                avg_scaled_error: nlog,
+                per_query,
+            });
+        }
+    }
+
+    Fig5Report {
+        cells,
+        combination_mode_max_delta,
+        node_log_max_delta,
+    }
+}
+
+/// ABL-HEAP: average scaled error as a function of the output-heap size,
+/// at the paper-best score parameters. Validates the §3 claim that the
+/// fixed-size-heap heuristic "works well even with a reasonably small
+/// heap size".
+#[derive(Debug, Clone, Serialize)]
+pub struct HeapSweepRow {
+    /// Output-heap capacity.
+    pub heap_size: usize,
+    /// Average scaled error at the default score parameters.
+    pub avg_scaled_error: f64,
+}
+
+/// Run the heap-size ablation.
+pub fn run_heap_sweep(dataset: &DblpDataset, sizes: &[usize]) -> Vec<HeapSweepRow> {
+    let banks = Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("valid dataset");
+    let workload = dblp_workload(&dataset.planted);
+    sizes
+        .iter()
+        .map(|&heap_size| {
+            let mut config = banks.config().clone();
+            config.search.output_heap_size = heap_size;
+            let mut errors = Vec::new();
+            for query in &workload {
+                let outcome = banks
+                    .search_with(query.text, SearchStrategy::Backward, &config)
+                    .expect("workload queries parse");
+                errors.push(score_query(&banks, query, &outcome.answers));
+            }
+            HeapSweepRow {
+                heap_size,
+                avg_scaled_error: average_scaled_error(&errors),
+            }
+        })
+        .collect()
+}
+
+/// Pretty-print the main Figure 5 table.
+pub fn format_table(report: &Fig5Report) -> String {
+    let mut out = String::new();
+    out.push_str("lambda  edge_log  node_log  mult  avg_scaled_error\n");
+    for cell in &report.cells {
+        out.push_str(&format!(
+            "{:<7} {:<9} {:<9} {:<5} {:>8.2}\n",
+            cell.lambda,
+            cell.edge_log as u8,
+            cell.node_log as u8,
+            cell.multiplicative as u8,
+            cell.avg_scaled_error
+        ));
+    }
+    out
+}
+
+/// Locate a main-axis cell.
+pub fn cell(report: &Fig5Report, lambda: f64, edge_log: bool) -> Option<&Fig5Cell> {
+    report.cells.iter().find(|c| {
+        c.lambda == lambda && c.edge_log == edge_log && !c.node_log && !c.multiplicative
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_datagen::dblp::{generate, DblpConfig};
+
+    fn dataset() -> DblpDataset {
+        generate(DblpConfig::tiny(1)).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_main_axes() {
+        let report = run_fig5(&dataset(), false);
+        assert_eq!(report.cells.len(), LAMBDAS.len() * 2);
+        for &lambda in &LAMBDAS {
+            for edge_log in [false, true] {
+                assert!(cell(&report, lambda, edge_log).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn errors_bounded_zero_to_hundred() {
+        let report = run_fig5(&dataset(), false);
+        for c in &report.cells {
+            assert!(
+                (0.0..=100.0).contains(&c.avg_scaled_error),
+                "cell {c:?} out of range"
+            );
+            assert_eq!(c.per_query.len(), 7);
+        }
+    }
+
+    /// The paper's headline finding: λ = 0.2 with log-scaled edges does
+    /// best; λ = 1 (ignore edge weights) does worst.
+    #[test]
+    fn paper_shape_best_and_worst() {
+        let report = run_fig5(&dataset(), false);
+        let best = cell(&report, 0.2, true).unwrap().avg_scaled_error;
+        for c in &report.cells {
+            assert!(
+                best <= c.avg_scaled_error + 1e-9,
+                "λ=0.2+log ({best:.2}) beaten by λ={} log={} ({:.2})",
+                c.lambda,
+                c.edge_log,
+                c.avg_scaled_error
+            );
+        }
+        let worst_lambda1 = cell(&report, 1.0, true)
+            .unwrap()
+            .avg_scaled_error
+            .min(cell(&report, 1.0, false).unwrap().avg_scaled_error);
+        assert!(
+            worst_lambda1 >= best,
+            "ignoring edge weights must not beat the best setting"
+        );
+    }
+
+    #[test]
+    fn format_table_readable() {
+        let report = run_fig5(&dataset(), false);
+        let table = format_table(&report);
+        assert!(table.contains("lambda"));
+        assert_eq!(table.lines().count(), 1 + report.cells.len());
+    }
+
+    #[test]
+    fn heap_sweep_runs() {
+        let rows = run_heap_sweep(&dataset(), &[1, 5, 30]);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!((0.0..=100.0).contains(&row.avg_scaled_error));
+        }
+    }
+}

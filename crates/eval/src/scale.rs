@@ -1,0 +1,112 @@
+//! EXP-SCALE: how build time, memory, and query latency grow with corpus
+//! size — the quantitative backing for the paper's conclusion that "it is
+//! feasible to use BANKS for moderately large databases".
+
+use crate::workload::{dblp_eval_config, dblp_workload};
+use banks_core::Banks;
+use banks_datagen::dblp::{generate, DblpConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One corpus size's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Scale factor relative to the paper's 100K-node corpus.
+    pub factor: f64,
+    /// Graph nodes.
+    pub nodes: usize,
+    /// Directed graph edges.
+    pub edges: usize,
+    /// Milliseconds to build indexes + graph (the "load" phase).
+    pub load_ms: f64,
+    /// Graph + index memory in bytes.
+    pub memory_bytes: usize,
+    /// Median workload-query latency (ms), metadata query excluded.
+    pub median_query_ms: f64,
+    /// The metadata query's latency (ms) — the §7 worst case.
+    pub metadata_query_ms: f64,
+}
+
+/// Run the sweep over the given scale factors.
+pub fn run_scale_sweep(seed: u64, factors: &[f64]) -> Vec<ScalePoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let dataset = generate(DblpConfig::scaled(seed, factor)).expect("generation");
+            let t = Instant::now();
+            let banks =
+                Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("banks builds");
+            let load_ms = t.elapsed().as_secs_f64() * 1e3;
+            let nodes = banks.tuple_graph().node_count();
+            let edges = banks.tuple_graph().graph().edge_count();
+            let memory_bytes = banks.memory_bytes();
+            let mut latencies = Vec::new();
+            let mut metadata_query_ms = 0.0;
+            for query in dblp_workload(&dataset.planted) {
+                let t = Instant::now();
+                let _ = banks.search(query.text).expect("query runs");
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                if query.id == "Q6-metadata" {
+                    metadata_query_ms = ms;
+                } else {
+                    latencies.push(ms);
+                }
+            }
+            latencies.sort_by(f64::total_cmp);
+            ScalePoint {
+                factor,
+                nodes,
+                edges,
+                load_ms,
+                memory_bytes,
+                median_query_ms: latencies[latencies.len() / 2],
+                metadata_query_ms,
+            }
+        })
+        .collect()
+}
+
+/// Pretty-print the sweep.
+pub fn format_sweep(points: &[ScalePoint]) -> String {
+    let mut out = String::from(
+        "factor   nodes     edges     load_ms   mem_mb   median_q_ms   metadata_q_ms\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<8} {:<9} {:<9} {:<9.1} {:<8.2} {:<13.2} {:<10.2}\n",
+            p.factor,
+            p.nodes,
+            p.edges,
+            p.load_ms,
+            p.memory_bytes as f64 / 1e6,
+            p.median_query_ms,
+            p.metadata_query_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_grows_monotonically() {
+        let points = run_scale_sweep(1, &[0.02, 0.05]);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].nodes > points[0].nodes);
+        assert!(points[1].memory_bytes > points[0].memory_bytes);
+        for p in &points {
+            assert!(p.median_query_ms >= 0.0);
+            assert!(p.edges > p.nodes, "DBLP graphs have more edges than nodes");
+        }
+    }
+
+    #[test]
+    fn sweep_formats() {
+        let points = run_scale_sweep(2, &[0.02]);
+        let text = format_sweep(&points);
+        assert!(text.contains("factor"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

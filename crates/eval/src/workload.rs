@@ -1,0 +1,290 @@
+//! The §5.3 query workload.
+//!
+//! "Our performance evaluation was conducted using 7 different queries
+//! whose form was outlined earlier … (e.g. keywords from two authors who
+//! are coauthors, authors who have a common coauthor, an author and a
+//! title, keywords from titles alone, and so on). For each query we chose
+//! answers that we felt were the most meaningful, and we call these the
+//! ideal answers; there were an average of 4 such answers per query."
+//!
+//! Our seven queries instantiate the same classes against the synthetic
+//! DBLP corpus, with ideal answers defined structurally over the planted
+//! entities (so they remain valid for every seed).
+
+use banks_core::{Answer, Banks, BanksConfig};
+use banks_datagen::DblpPlanted;
+use banks_storage::Value;
+
+/// The BANKS configuration used for all DBLP experiments: the paper's
+/// default parameters plus the §2.1 root restriction ("we may exclude the
+/// nodes corresponding to the tuples from a specified set of relations,
+/// such as Writes, which we believe are not meaningful root nodes") —
+/// link relations (Writes, Cites) may not serve as information nodes.
+pub fn dblp_eval_config() -> BanksConfig {
+    let mut config = BanksConfig::default();
+    config.search.excluded_root_relations = vec!["Writes".into(), "Cites".into()];
+    config
+}
+
+/// The query classes named in §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Keywords from two authors who are co-authors.
+    CoAuthors,
+    /// Two authors who share a co-author but no paper.
+    CommonCoAuthor,
+    /// An author plus a title word.
+    AuthorTitle,
+    /// Keywords from titles alone.
+    TitleOnly,
+    /// A single author keyword (prestige ranking).
+    SingleAuthor,
+    /// A metadata keyword plus a data keyword.
+    Metadata,
+    /// Three author keywords.
+    ThreeKeyword,
+}
+
+/// Structural matcher for an ideal answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnswerMatcher {
+    /// The answer is exactly one tuple (single-node tree).
+    SingleNode {
+        /// Relation name of the tuple.
+        relation: String,
+        /// Primary key of the tuple.
+        key: Vec<Value>,
+    },
+    /// The answer's tree contains all the listed tuples (by relation name
+    /// and primary key) — roots may differ, matching the paper's "answers
+    /// are the same if their trees are the same".
+    ContainsAll(Vec<(String, Vec<Value>)>),
+}
+
+impl AnswerMatcher {
+    /// Whether `answer` satisfies this matcher under `banks`' database.
+    pub fn matches(&self, banks: &Banks, answer: &Answer) -> bool {
+        match self {
+            AnswerMatcher::SingleNode { relation, key } => {
+                if !answer.tree.edges.is_empty() {
+                    return false;
+                }
+                let Some(node) = lookup_node(banks, relation, key) else {
+                    return false;
+                };
+                answer.tree.root == node
+            }
+            AnswerMatcher::ContainsAll(tuples) => {
+                let nodes = answer.tree.nodes();
+                tuples.iter().all(|(relation, key)| {
+                    lookup_node(banks, relation, key)
+                        .map(|n| nodes.contains(&n))
+                        .unwrap_or(false)
+                })
+            }
+        }
+    }
+}
+
+fn lookup_node(banks: &Banks, relation: &str, key: &[Value]) -> Option<banks_graph::NodeId> {
+    let rid = banks.db().relation(relation).ok()?.lookup_pk(key)?;
+    banks.tuple_graph().node(rid)
+}
+
+/// One ideal answer: a description plus its matcher. Position in the
+/// query's ideal list is its ideal rank (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealAnswer {
+    /// Human-readable description (for reports).
+    pub description: String,
+    /// Structural matcher.
+    pub matcher: AnswerMatcher,
+}
+
+/// One workload query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadQuery {
+    /// Short id (used in reports, e.g. `Q1-coauthors`).
+    pub id: &'static str,
+    /// The query text submitted to BANKS.
+    pub text: &'static str,
+    /// Class of the query.
+    pub class: QueryClass,
+    /// Ideal answers in ideal rank order.
+    pub ideals: Vec<IdealAnswer>,
+}
+
+fn single(relation: &str, key: &str) -> AnswerMatcher {
+    AnswerMatcher::SingleNode {
+        relation: relation.to_string(),
+        key: vec![Value::text(key)],
+    }
+}
+
+fn contains(tuples: &[(&str, &str)]) -> AnswerMatcher {
+    AnswerMatcher::ContainsAll(
+        tuples
+            .iter()
+            .map(|(rel, key)| (rel.to_string(), vec![Value::text(*key)]))
+            .collect(),
+    )
+}
+
+/// Build the seven-query workload for a planted DBLP corpus.
+pub fn dblp_workload(planted: &DblpPlanted) -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery {
+            id: "Q1-coauthors",
+            text: "soumen sunita",
+            class: QueryClass::CoAuthors,
+            ideals: vec![
+                IdealAnswer {
+                    description: "ChakrabartiSD98 connecting Soumen and Sunita".into(),
+                    matcher: contains(&[
+                        ("Paper", &planted.chakrabarti_sd98),
+                        ("Author", &planted.soumen),
+                        ("Author", &planted.sunita),
+                    ]),
+                },
+                IdealAnswer {
+                    description: "their second co-authored paper".into(),
+                    matcher: contains(&[
+                        ("Paper", &planted.scalable_mining),
+                        ("Author", &planted.soumen),
+                        ("Author", &planted.sunita),
+                    ]),
+                },
+            ],
+        },
+        WorkloadQuery {
+            id: "Q2-common-coauthor",
+            text: "seltzer sunita",
+            class: QueryClass::CommonCoAuthor,
+            ideals: vec![IdealAnswer {
+                description: "Stonebraker as the root connecting Seltzer and Sunita".into(),
+                matcher: contains(&[
+                    ("Author", &planted.stonebraker),
+                    ("Author", &planted.seltzer),
+                    ("Author", &planted.sunita),
+                ]),
+            }],
+        },
+        WorkloadQuery {
+            id: "Q3-author-title",
+            text: "gray transaction",
+            class: QueryClass::AuthorTitle,
+            ideals: vec![
+                IdealAnswer {
+                    description: "Gray with his classic transaction paper".into(),
+                    matcher: contains(&[
+                        ("Author", &planted.gray),
+                        ("Paper", &planted.transaction_paper),
+                    ]),
+                },
+                IdealAnswer {
+                    description: "Gray with the Gray&Reuter book".into(),
+                    matcher: contains(&[
+                        ("Author", &planted.gray),
+                        ("Paper", &planted.transaction_book),
+                    ]),
+                },
+            ],
+        },
+        WorkloadQuery {
+            id: "Q4-title-only",
+            text: "surprising temporal",
+            class: QueryClass::TitleOnly,
+            ideals: vec![IdealAnswer {
+                description: "ChakrabartiSD98, whose title has both words".into(),
+                matcher: single("Paper", &planted.chakrabarti_sd98),
+            }],
+        },
+        WorkloadQuery {
+            id: "Q5-single-author",
+            text: "mohan",
+            class: QueryClass::SingleAuthor,
+            ideals: vec![
+                IdealAnswer {
+                    description: "C. Mohan (most papers)".into(),
+                    matcher: single("Author", &planted.mohan_c),
+                },
+                IdealAnswer {
+                    description: "Mohan Ahuja".into(),
+                    matcher: single("Author", &planted.mohan_ahuja),
+                },
+                IdealAnswer {
+                    description: "Mohan Kamat".into(),
+                    matcher: single("Author", &planted.mohan_kamat),
+                },
+            ],
+        },
+        WorkloadQuery {
+            id: "Q6-metadata",
+            text: "author sunita",
+            class: QueryClass::Metadata,
+            ideals: vec![IdealAnswer {
+                description: "the Sunita author tuple itself".into(),
+                matcher: single("Author", &planted.sunita),
+            }],
+        },
+        WorkloadQuery {
+            id: "Q7-three-keywords",
+            text: "soumen sunita byron",
+            class: QueryClass::ThreeKeyword,
+            ideals: vec![IdealAnswer {
+                description: "ChakrabartiSD98 with all three authors".into(),
+                matcher: contains(&[
+                    ("Paper", &planted.chakrabarti_sd98),
+                    ("Author", &planted.soumen),
+                    ("Author", &planted.sunita),
+                    ("Author", &planted.byron),
+                ]),
+            }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_datagen::dblp::{generate, DblpConfig};
+
+    #[test]
+    fn workload_has_seven_queries_average_ideals() {
+        let d = generate(DblpConfig::tiny(1)).unwrap();
+        let w = dblp_workload(&d.planted);
+        assert_eq!(w.len(), 7, "the paper used 7 queries");
+        let ideals: usize = w.iter().map(|q| q.ideals.len()).sum();
+        assert!(ideals >= 7, "every query has at least one ideal answer");
+    }
+
+    #[test]
+    fn matchers_resolve_against_default_banks() {
+        let d = generate(DblpConfig::tiny(2)).unwrap();
+        let banks = Banks::with_config(d.db, dblp_eval_config()).unwrap();
+        let w = dblp_workload(&d.planted);
+        // Q1's first ideal must match the actual top answer under the
+        // paper-best default parameters.
+        let q1 = &w[0];
+        let answers = banks.search(q1.text).unwrap();
+        assert!(!answers.is_empty());
+        let matched = answers
+            .iter()
+            .any(|a| q1.ideals[0].matcher.matches(&banks, a));
+        assert!(matched, "ChakrabartiSD98 tree must appear in the top 10");
+    }
+
+    #[test]
+    fn single_node_matcher_rejects_trees() {
+        let d = generate(DblpConfig::tiny(3)).unwrap();
+        let banks = Banks::new(d.db).unwrap();
+        let answers = banks.search("soumen sunita").unwrap();
+        let matcher = single("Author", &d.planted.sunita);
+        for a in &answers {
+            assert!(
+                !matcher.matches(&banks, a),
+                "multi-node trees cannot match a single-node ideal"
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Host crate for the workspace's runnable examples.
+//!
+//! The example sources live in the repository-level `examples/` directory;
+//! run them with:
+//!
+//! ```text
+//! cargo run -p banks-examples --example quickstart
+//! cargo run -p banks-examples --example bibliography_search
+//! cargo run -p banks-examples --example thesis_browsing
+//! cargo run -p banks-examples --example parameter_tuning
+//! ```

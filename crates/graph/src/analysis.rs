@@ -1,0 +1,227 @@
+//! Whole-graph analyses: degree distributions and connectivity.
+//!
+//! Used by the data generators (to verify the synthetic DBLP has the hub
+//! structure the paper's §2.1 discussion assumes) and the evaluation
+//! harness (§5.2 reporting).
+
+use crate::graph::{Graph, NodeId};
+
+/// In-degree of every node as a dense vector.
+pub fn indegrees(graph: &Graph) -> Vec<usize> {
+    graph.nodes().map(|n| graph.in_degree(n)).collect()
+}
+
+/// Out-degree of every node as a dense vector.
+pub fn outdegrees(graph: &Graph) -> Vec<usize> {
+    graph.nodes().map(|n| graph.out_degree(n)).collect()
+}
+
+/// Histogram of a degree vector: `hist[d]` counts nodes with degree `d`,
+/// values above `max_bucket` land in the final overflow bucket.
+pub fn degree_histogram(degrees: &[usize], max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 2];
+    for &d in degrees {
+        hist[d.min(max_bucket + 1)] += 1;
+    }
+    hist
+}
+
+/// Weakly connected components: ignores edge direction. Returns a
+/// component id per node plus the number of components.
+///
+/// BANKS answers can only connect keywords within one weak component, so
+/// generators check their output is (mostly) one large component.
+pub fn weakly_connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            let node = NodeId(v);
+            for (nbr, _) in graph.out_edges(node).chain(graph.in_edges(node)) {
+                if comp[nbr.index()] == u32::MAX {
+                    comp[nbr.index()] = next;
+                    stack.push(nbr.0);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Size of the largest weakly connected component.
+pub fn largest_component_size(graph: &Graph) -> usize {
+    let (comp, count) = weakly_connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for c in comp {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Nodes reachable from `start` following forward edges (including
+/// `start`). Plain BFS; used in tests as an oracle for Dijkstra coverage.
+pub fn reachable_from(graph: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    let mut out = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        for (nbr, _) in graph.out_edges(v) {
+            if !seen[nbr.index()] {
+                seen[nbr.index()] = true;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{Dijkstra, Direction};
+    use crate::graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn two_components() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0);
+        b.add_edge(n[1], n[2], 1.0);
+        b.add_edge(n[3], n[4], 1.0);
+        // n[5] isolated
+        b.build()
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = two_components();
+        let (comp, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn degree_vectors_and_histogram() {
+        let g = two_components();
+        let ins = indegrees(&g);
+        let outs = outdegrees(&g);
+        assert_eq!(ins, vec![0, 1, 1, 0, 1, 0]);
+        assert_eq!(outs, vec![1, 1, 0, 1, 0, 0]);
+        let hist = degree_histogram(&ins, 2);
+        assert_eq!(hist[0], 3);
+        assert_eq!(hist[1], 3);
+        assert_eq!(hist[2], 0);
+    }
+
+    #[test]
+    fn bfs_reachability() {
+        let g = two_components();
+        let r = reachable_from(&g, NodeId(0));
+        assert_eq!(r.len(), 3);
+        let r = reachable_from(&g, NodeId(5));
+        assert_eq!(r, vec![NodeId(5)]);
+    }
+
+    /// Random-graph strategy: up to 24 nodes, arbitrary edges with small
+    /// positive weights.
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (2usize..24).prop_flat_map(|n| {
+            proptest::collection::vec((0..n, 0..n, 1u32..10), 0..80).prop_map(move |edges| {
+                let mut b = GraphBuilder::new();
+                let ids: Vec<_> = (0..n).map(|_| b.add_node(1.0)).collect();
+                for (f, t, w) in edges {
+                    b.add_edge(ids[f], ids[t], w as f64);
+                }
+                b.build()
+            })
+        })
+    }
+
+    proptest! {
+        /// Dijkstra settles exactly the BFS-reachable set, in
+        /// nondecreasing distance order.
+        #[test]
+        fn dijkstra_matches_bfs_reachability(g in arb_graph()) {
+            let start = NodeId(0);
+            let visits: Vec<_> = Dijkstra::new(&g, start, Direction::Forward).collect();
+            let mut reach: Vec<_> = reachable_from(&g, start);
+            reach.sort();
+            let mut settled: Vec<_> = visits.iter().map(|v| v.node).collect();
+            settled.sort();
+            prop_assert_eq!(settled, reach);
+            for w in visits.windows(2) {
+                prop_assert!(w[0].dist <= w[1].dist);
+            }
+        }
+
+        /// Triangle inequality of settled distances along any edge.
+        #[test]
+        fn dijkstra_distances_respect_edges(g in arb_graph()) {
+            let start = NodeId(0);
+            let mut it = Dijkstra::new(&g, start, Direction::Forward);
+            it.by_ref().for_each(drop);
+            for u in g.nodes() {
+                if let Some(du) = it.distance(u) {
+                    for (v, w) in g.out_edges(u) {
+                        if let Some(dv) = it.distance(v) {
+                            prop_assert!(dv <= du + w + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Path edges reconstruct to the reported distance.
+        #[test]
+        fn path_weights_sum_to_distance(g in arb_graph()) {
+            let start = NodeId(0);
+            let mut it = Dijkstra::new(&g, start, Direction::Forward);
+            it.by_ref().for_each(drop);
+            for u in g.nodes() {
+                if let Some(d) = it.distance(u) {
+                    let path = it.path_edges(u).unwrap();
+                    let sum: f64 = path.iter().map(|e| e.2).sum();
+                    prop_assert!((sum - d).abs() < 1e-9);
+                    // every edge on the path exists in the graph with a
+                    // weight no larger than recorded
+                    for (f, t, w) in path {
+                        let gw = g.edge_weight(f, t).unwrap();
+                        prop_assert!(gw <= w + 1e-9);
+                    }
+                }
+            }
+        }
+
+        /// Reverse iteration from t finds s iff forward from s finds t,
+        /// with equal distance.
+        #[test]
+        fn forward_reverse_symmetry(g in arb_graph()) {
+            let s = NodeId(0);
+            let t = NodeId((g.node_count() - 1) as u32);
+            let mut fwd = Dijkstra::new(&g, s, Direction::Forward);
+            fwd.by_ref().for_each(drop);
+            let mut rev = Dijkstra::new(&g, t, Direction::Reverse);
+            rev.by_ref().for_each(drop);
+            match (fwd.distance(t), rev.distance(s)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "asymmetry: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

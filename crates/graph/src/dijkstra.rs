@@ -1,0 +1,416 @@
+//! Lazy single-source shortest-path iterators.
+//!
+//! The backward expanding search of the paper (§3, Figure 3) runs one copy
+//! of "Dijkstra's single source shortest path algorithm" per keyword node,
+//! "run concurrently by creating an iterator interface to the shortest path
+//! algorithm". [`Dijkstra`] is that iterator: each `next()` settles and
+//! yields the nearest unsettled node; [`Dijkstra::peek_dist`] reports the
+//! distance of the node `next()` would yield, which is the key the
+//! iterator heap orders on.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which way the iterator walks the graph's edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to target.
+    Forward,
+    /// Follow edges from target to source. Backward expanding search uses
+    /// this: reaching node `u` from origin `o` at distance `d` proves a
+    /// *forward* path `u → o` of weight `d`.
+    Reverse,
+}
+
+/// One settled node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Visit {
+    /// The settled node.
+    pub node: NodeId,
+    /// Shortest distance from the origin (along the traversal direction).
+    pub dist: f64,
+}
+
+/// Heap entry; ordered as a min-heap on distance via reversed comparison.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    dist: f64,
+    node: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the smallest distance
+        // first (ties broken by node id for determinism).
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// A lazy Dijkstra iterator with parent tracking for path reconstruction.
+#[derive(Debug, Clone)]
+pub struct Dijkstra<'g> {
+    graph: &'g Graph,
+    origin: NodeId,
+    direction: Direction,
+    /// Settled nodes → final distance.
+    settled: FxHashMap<u32, f64>,
+    /// Best tentative distance seen per node (settled or frontier).
+    tentative: FxHashMap<u32, f64>,
+    /// `parent[n]` = the neighbour through which `n` was best reached,
+    /// plus the weight of that connecting edge. Follows the traversal
+    /// direction: walking parents from any settled node leads to the origin.
+    parent: FxHashMap<u32, (u32, f64)>,
+    heap: BinaryHeap<Entry>,
+    /// Stop expanding past this distance (§3 needs only proximate answers;
+    /// callers may bound the search).
+    max_dist: f64,
+    /// Stop after settling this many nodes.
+    max_settled: usize,
+}
+
+impl<'g> Dijkstra<'g> {
+    /// Start a shortest-path iteration from `origin`.
+    pub fn new(graph: &'g Graph, origin: NodeId, direction: Direction) -> Dijkstra<'g> {
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry {
+            dist: 0.0,
+            node: origin.0,
+        });
+        let mut tentative = FxHashMap::default();
+        tentative.insert(origin.0, 0.0);
+        Dijkstra {
+            graph,
+            origin,
+            direction,
+            settled: FxHashMap::default(),
+            tentative,
+            parent: FxHashMap::default(),
+            heap,
+            max_dist: f64::INFINITY,
+            max_settled: usize::MAX,
+        }
+    }
+
+    /// Bound the search radius: nodes farther than `max_dist` are never
+    /// yielded.
+    pub fn with_max_dist(mut self, max_dist: f64) -> Self {
+        self.max_dist = max_dist;
+        self
+    }
+
+    /// Start the origin at a non-zero distance.
+    ///
+    /// Backward expanding search uses this for the §3 extension "the
+    /// distance measure can be extended to include node weights of nodes
+    /// matching keywords": a low-prestige keyword node is handicapped so
+    /// iterators from prestigious origins expand (and connect) first.
+    /// Must be called before the first `next()`/`peek_dist()`.
+    pub fn with_initial_dist(mut self, dist: f64) -> Self {
+        debug_assert!(self.settled.is_empty(), "origin already expanded");
+        self.heap.clear();
+        self.heap.push(Entry {
+            dist,
+            node: self.origin.0,
+        });
+        self.tentative.insert(self.origin.0, dist);
+        self
+    }
+
+    /// Bound the number of settled nodes.
+    pub fn with_max_settled(mut self, max_settled: usize) -> Self {
+        self.max_settled = max_settled;
+        self
+    }
+
+    /// The origin node this iterator expands from.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// Number of nodes settled so far.
+    pub fn settled_count(&self) -> usize {
+        self.settled.len()
+    }
+
+    /// Final distance of a settled node (`None` if not yet settled).
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        self.settled.get(&node.0).copied()
+    }
+
+    /// Drop stale heap entries (already settled, or beyond the bounds).
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.settled.contains_key(&top.node) {
+                self.heap.pop();
+                continue;
+            }
+            if top.dist > self.max_dist || self.settled.len() >= self.max_settled {
+                // Out of budget: the search is exhausted.
+                self.heap.clear();
+            }
+            break;
+        }
+    }
+
+    /// Distance of the node the next `next()` call will yield, without
+    /// consuming it. `None` when the iterator is exhausted.
+    pub fn peek_dist(&mut self) -> Option<f64> {
+        self.skim();
+        self.heap.peek().map(|e| e.dist)
+    }
+
+    /// Reconstruct the traversal path from `node` back to the origin as a
+    /// list of `(from, to, weight)` *graph* edges (i.e. already oriented
+    /// the way they exist in the graph, regardless of traversal direction).
+    ///
+    /// With `Direction::Reverse`, the returned edges form the forward path
+    /// `node → … → origin`, which is exactly the root-to-leaf path of a
+    /// BANKS connection tree. Returns `None` if `node` is unsettled.
+    pub fn path_edges(&self, node: NodeId) -> Option<Vec<(NodeId, NodeId, f64)>> {
+        if !self.settled.contains_key(&node.0) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = node.0;
+        while cur != self.origin.0 {
+            let &(prev, w) = self
+                .parent
+                .get(&cur)
+                .expect("settled non-origin node must have a parent");
+            match self.direction {
+                // Traversal relaxed prev→cur over a forward edge.
+                Direction::Forward => edges.push((NodeId(prev), NodeId(cur), w)),
+                // Traversal relaxed prev→cur over a *reverse* view of the
+                // graph edge cur→prev.
+                Direction::Reverse => edges.push((NodeId(cur), NodeId(prev), w)),
+            }
+            cur = prev;
+        }
+        Some(edges)
+    }
+}
+
+impl Iterator for Dijkstra<'_> {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        let node = NodeId(entry.node);
+        self.settled.insert(entry.node, entry.dist);
+
+        let neighbours: Box<dyn Iterator<Item = (NodeId, f64)>> = match self.direction {
+            Direction::Forward => Box::new(self.graph.out_edges(node)),
+            Direction::Reverse => Box::new(self.graph.in_edges(node)),
+        };
+        let mut updates: Vec<(u32, f64)> = Vec::new();
+        for (next, w) in neighbours {
+            if self.settled.contains_key(&next.0) {
+                continue;
+            }
+            let cand = entry.dist + w;
+            if cand > self.max_dist {
+                continue;
+            }
+            let better = match self.tentative.get(&next.0) {
+                Some(&old) => cand < old,
+                None => true,
+            };
+            if better {
+                updates.push((next.0, cand));
+            }
+        }
+        for (next, cand) in updates {
+            self.tentative.insert(next, cand);
+            self.parent.insert(next, (entry.node, cand - entry.dist));
+            self.heap.push(Entry {
+                dist: cand,
+                node: next,
+            });
+        }
+        Some(Visit {
+            node,
+            dist: entry.dist,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// a →1 b →1 c →1 d, plus shortcut a →2.5 c
+    fn chain() -> (Graph, [NodeId; 4]) {
+        let mut b = GraphBuilder::new();
+        let na = b.add_node(1.0);
+        let nb = b.add_node(1.0);
+        let nc = b.add_node(1.0);
+        let nd = b.add_node(1.0);
+        b.add_edge(na, nb, 1.0);
+        b.add_edge(nb, nc, 1.0);
+        b.add_edge(nc, nd, 1.0);
+        b.add_edge(na, nc, 2.5);
+        (b.build(), [na, nb, nc, nd])
+    }
+
+    #[test]
+    fn forward_distances_nondecreasing_and_correct() {
+        let (g, [a, b, c, d]) = chain();
+        let visits: Vec<_> = Dijkstra::new(&g, a, Direction::Forward).collect();
+        assert_eq!(
+            visits,
+            vec![
+                Visit { node: a, dist: 0.0 },
+                Visit { node: b, dist: 1.0 },
+                Visit { node: c, dist: 2.0 },
+                Visit { node: d, dist: 3.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reverse_traversal_finds_ancestors() {
+        let (g, [a, b, c, d]) = chain();
+        let visits: Vec<_> = Dijkstra::new(&g, d, Direction::Reverse).collect();
+        let nodes: Vec<_> = visits.iter().map(|v| v.node).collect();
+        assert_eq!(nodes, vec![d, c, b, a]);
+        // a reaches d through b,c at total weight 3.
+        assert_eq!(visits[3].dist, 3.0);
+    }
+
+    #[test]
+    fn peek_matches_next() {
+        let (g, [a, ..]) = chain();
+        let mut it = Dijkstra::new(&g, a, Direction::Forward);
+        loop {
+            let peeked = it.peek_dist();
+            match it.next() {
+                Some(v) => assert_eq!(peeked, Some(v.dist)),
+                None => {
+                    assert_eq!(peeked, None);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_edges_reverse_direction_returns_forward_edges() {
+        let (g, [a, b, c, d]) = chain();
+        let mut it = Dijkstra::new(&g, d, Direction::Reverse);
+        it.by_ref().for_each(drop);
+        // Path from a (settled) back to origin d: forward edges a→b→c→d.
+        let path = it.path_edges(a).unwrap();
+        assert_eq!(path, vec![(a, b, 1.0), (b, c, 1.0), (c, d, 1.0)]);
+        // Origin's own path is empty.
+        assert_eq!(it.path_edges(d).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn path_edges_unsettled_is_none() {
+        let (g, [a, _b, _c, d]) = chain();
+        let mut it = Dijkstra::new(&g, a, Direction::Forward);
+        it.next(); // settles only a
+        assert!(it.path_edges(d).is_none());
+    }
+
+    #[test]
+    fn max_dist_bounds_search() {
+        let (g, [a, ..]) = chain();
+        let visits: Vec<_> = Dijkstra::new(&g, a, Direction::Forward)
+            .with_max_dist(1.5)
+            .collect();
+        assert_eq!(visits.len(), 2, "only a and b are within 1.5");
+    }
+
+    #[test]
+    fn max_settled_bounds_search() {
+        let (g, [a, ..]) = chain();
+        let visits: Vec<_> = Dijkstra::new(&g, a, Direction::Forward)
+            .with_max_settled(2)
+            .collect();
+        assert_eq!(visits.len(), 2);
+    }
+
+    #[test]
+    fn shortcut_not_taken_when_longer() {
+        let (g, [a, _b, c, _d]) = chain();
+        let mut it = Dijkstra::new(&g, a, Direction::Forward);
+        it.by_ref().for_each(drop);
+        // c is reached via b (dist 2.0), not the 2.5 shortcut.
+        assert_eq!(it.distance(c), Some(2.0));
+        let path = it.path_edges(c).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_node_never_yielded() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(1.0);
+        let _lonely = b.add_node(1.0);
+        let g = b.build();
+        let visits: Vec<_> = Dijkstra::new(&g, x, Direction::Forward).collect();
+        assert_eq!(visits.len(), 1);
+    }
+
+    #[test]
+    fn distance_query_only_for_settled() {
+        let (g, [a, b, ..]) = chain();
+        let mut it = Dijkstra::new(&g, a, Direction::Forward);
+        assert_eq!(it.distance(a), None);
+        it.next();
+        assert_eq!(it.distance(a), Some(0.0));
+        assert_eq!(it.distance(b), None);
+        assert_eq!(it.settled_count(), 1);
+        assert_eq!(it.origin(), a);
+    }
+
+    #[test]
+    fn initial_distance_offsets_everything() {
+        let (g, [a, b, c, d]) = chain();
+        let visits: Vec<_> = Dijkstra::new(&g, a, Direction::Forward)
+            .with_initial_dist(10.0)
+            .collect();
+        assert_eq!(
+            visits,
+            vec![
+                Visit { node: a, dist: 10.0 },
+                Visit { node: b, dist: 11.0 },
+                Visit { node: c, dist: 12.0 },
+                Visit { node: d, dist: 13.0 },
+            ]
+        );
+        // Paths are unaffected by the offset.
+        let mut it = Dijkstra::new(&g, a, Direction::Forward).with_initial_dist(5.0);
+        it.by_ref().for_each(drop);
+        assert_eq!(it.path_edges(d).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        b.add_edge(x, y, 0.0);
+        let g = b.build();
+        let visits: Vec<_> = Dijkstra::new(&g, x, Direction::Forward).collect();
+        assert_eq!(visits[1], Visit { node: y, dist: 0.0 });
+    }
+}

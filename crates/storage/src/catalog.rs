@@ -1,0 +1,519 @@
+//! The database catalog: a set of relations plus cross-relation link
+//! bookkeeping (foreign-key resolution in both directions).
+//!
+//! The backward direction — "which tuples reference this one?" — powers two
+//! core pieces of BANKS: the backward-edge weights / node prestige of §2.2
+//! (both derived from indegree) and the "browse a primary key backwards"
+//! feature of §4.
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::RelationSchema;
+use crate::table::Table;
+use crate::tuple::{RelationId, Rid, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A recorded reverse reference: tuple `from` references the indexed tuple
+/// through foreign key `fk_index` of `from`'s relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackRef {
+    /// The referencing tuple.
+    pub from: Rid,
+    /// Which foreign key of `from`'s relation produced the reference.
+    pub fk_index: usize,
+}
+
+/// An in-memory relational database.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+    by_name: HashMap<String, RelationId>,
+    /// rid → tuples referencing it. Maintained on insert/delete.
+    back_refs: HashMap<Rid, Vec<BackRef>>,
+    /// Total number of resolved foreign-key links.
+    link_count: usize,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            name: name.into(),
+            ..Database::default()
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a new relation. Foreign keys must reference relations that
+    /// already exist (self-references are allowed).
+    pub fn create_relation(&mut self, schema: RelationSchema) -> StorageResult<RelationId> {
+        schema.validate()?;
+        if self.by_name.contains_key(&schema.name) {
+            return Err(StorageError::DuplicateRelation(schema.name));
+        }
+        for fk in &schema.foreign_keys {
+            if fk.ref_relation != schema.name && !self.by_name.contains_key(&fk.ref_relation) {
+                return Err(StorageError::UnknownRelation(fk.ref_relation.clone()));
+            }
+            let target = if fk.ref_relation == schema.name {
+                &schema
+            } else {
+                self.relation(&fk.ref_relation)?.schema()
+            };
+            if !target.has_primary_key() {
+                return Err(StorageError::InvalidSchema(format!(
+                    "foreign key from `{}` references `{}` which has no primary key",
+                    schema.name, fk.ref_relation
+                )));
+            }
+            if target.primary_key.len() != fk.columns.len() {
+                return Err(StorageError::InvalidSchema(format!(
+                    "foreign key from `{}` to `{}` has {} columns but the key has {}",
+                    schema.name,
+                    fk.ref_relation,
+                    fk.columns.len(),
+                    target.primary_key.len()
+                )));
+            }
+        }
+        let id = RelationId(u32::try_from(self.tables.len()).expect("too many relations"));
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(Table::new(id, schema));
+        Ok(id)
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Iterate over all tables.
+    pub fn relations(&self) -> impl Iterator<Item = &Table> + '_ {
+        self.tables.iter()
+    }
+
+    /// Resolve a relation name to its id.
+    pub fn relation_id(&self, name: &str) -> StorageResult<RelationId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Borrow a table by name.
+    pub fn relation(&self, name: &str) -> StorageResult<&Table> {
+        let id = self.relation_id(name)?;
+        Ok(&self.tables[id.index()])
+    }
+
+    /// Borrow a table by id.
+    pub fn table(&self, id: RelationId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Fetch a tuple by rid.
+    pub fn tuple(&self, rid: Rid) -> StorageResult<&Tuple> {
+        self.tables
+            .get(rid.relation.index())
+            .and_then(|t| t.get(rid.slot))
+            .ok_or_else(|| StorageError::InvalidRid(rid.to_string()))
+    }
+
+    /// Extract the foreign-key value of `values` for foreign key `fk_index`
+    /// of `schema`. Returns `None` if any component is NULL.
+    fn fk_key(schema: &RelationSchema, fk_index: usize, values: &[Value]) -> Option<Vec<Value>> {
+        let fk = &schema.foreign_keys[fk_index];
+        let mut key = Vec::with_capacity(fk.columns.len());
+        for &c in &fk.columns {
+            let v = &values[c];
+            if v.is_null() {
+                return None;
+            }
+            key.push(v.clone());
+        }
+        Some(key)
+    }
+
+    /// Insert a tuple, enforcing schema, primary-key, and foreign-key
+    /// constraints, and maintaining the reverse-reference index.
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> StorageResult<Rid> {
+        let id = self.relation_id(relation)?;
+        // Resolve every foreign key before mutating anything.
+        let schema = self.tables[id.index()].schema().clone();
+        if values.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: schema.arity(),
+                actual: values.len(),
+            });
+        }
+        let mut resolved: Vec<(usize, Rid)> = Vec::with_capacity(schema.foreign_keys.len());
+        for (fk_index, fk) in schema.foreign_keys.iter().enumerate() {
+            match Self::fk_key(&schema, fk_index, &values) {
+                None => {
+                    if !fk.nullable {
+                        return Err(StorageError::NullViolation {
+                            relation: schema.name.clone(),
+                            column: schema.columns[fk.columns[0]].name.clone(),
+                        });
+                    }
+                }
+                Some(key) => {
+                    let target = self.relation(&fk.ref_relation)?;
+                    match target.lookup_pk(&key) {
+                        Some(target_rid) => resolved.push((fk_index, target_rid)),
+                        None => {
+                            return Err(StorageError::ForeignKeyViolation {
+                                relation: schema.name.clone(),
+                                referenced: fk.ref_relation.clone(),
+                                key: format!("{key:?}"),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        let rid = self.tables[id.index()].insert(values)?;
+        for (fk_index, target) in resolved {
+            self.back_refs
+                .entry(target)
+                .or_default()
+                .push(BackRef { from: rid, fk_index });
+            self.link_count += 1;
+        }
+        Ok(rid)
+    }
+
+    /// Delete a tuple. Fails (RESTRICT semantics) if other tuples still
+    /// reference it.
+    pub fn delete(&mut self, rid: Rid) -> StorageResult<Tuple> {
+        if self.back_refs.get(&rid).is_some_and(|v| !v.is_empty()) {
+            return Err(StorageError::ForeignKeyViolation {
+                relation: self.table(rid.relation).schema().name.clone(),
+                referenced: self.table(rid.relation).schema().name.clone(),
+                key: format!("{rid} is still referenced"),
+            });
+        }
+        // Remove this tuple's own outgoing references from the reverse index.
+        let schema = self.table(rid.relation).schema().clone();
+        let values: Vec<Value> = self.tuple(rid)?.values().to_vec();
+        for fk_index in 0..schema.foreign_keys.len() {
+            if let Some(key) = Self::fk_key(&schema, fk_index, &values) {
+                let fk = &schema.foreign_keys[fk_index];
+                if let Some(target_rid) = self.relation(&fk.ref_relation)?.lookup_pk(&key) {
+                    if let Some(refs) = self.back_refs.get_mut(&target_rid) {
+                        if let Some(pos) = refs
+                            .iter()
+                            .position(|b| b.from == rid && b.fk_index == fk_index)
+                        {
+                            refs.swap_remove(pos);
+                            self.link_count -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.tables[rid.relation.index()].delete(rid.slot)
+    }
+
+    /// Resolve foreign key `fk_index` of the tuple at `rid`.
+    ///
+    /// Returns `Ok(None)` when the key is NULL (no link).
+    pub fn resolve_fk(&self, rid: Rid, fk_index: usize) -> StorageResult<Option<Rid>> {
+        let table = self.table(rid.relation);
+        let schema = table.schema();
+        if fk_index >= schema.foreign_keys.len() {
+            return Err(StorageError::InvalidSchema(format!(
+                "relation `{}` has no foreign key #{fk_index}",
+                schema.name
+            )));
+        }
+        let tuple = self.tuple(rid)?;
+        match Self::fk_key(schema, fk_index, tuple.values()) {
+            None => Ok(None),
+            Some(key) => {
+                let fk = &schema.foreign_keys[fk_index];
+                let target = self.relation(&fk.ref_relation)?;
+                Ok(target.lookup_pk(&key))
+            }
+        }
+    }
+
+    /// All tuples referencing `rid` (the backward direction of §4 browsing
+    /// and the indegree of §2.2).
+    pub fn referencing(&self, rid: Rid) -> &[BackRef] {
+        self.back_refs.get(&rid).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Indegree of a tuple: number of references to it (the paper's node
+    /// prestige, §2.2: "we set the node prestige to the indegree of the
+    /// node").
+    pub fn indegree(&self, rid: Rid) -> usize {
+        self.referencing(rid).len()
+    }
+
+    /// Indegree of `rid` contributed by tuples of `relation` — the
+    /// `IN_{R}(v)` term of the paper's backward-edge weight (eq. 1).
+    pub fn indegree_from(&self, rid: Rid, relation: RelationId) -> usize {
+        self.referencing(rid)
+            .iter()
+            .filter(|b| b.from.relation == relation)
+            .count()
+    }
+
+    /// Total live tuples over all relations (graph node count).
+    pub fn total_tuples(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Total resolved foreign-key links (half the directed edge count of the
+    /// BANKS graph, which adds a backward edge per link).
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// A short human-readable rendering of a tuple, used in answers and
+    /// browsing: the primary key plus the first textual non-key attribute.
+    pub fn describe_tuple(&self, rid: Rid) -> StorageResult<String> {
+        let table = self.table(rid.relation);
+        let schema = table.schema();
+        let tuple = self.tuple(rid)?;
+        let key = if schema.has_primary_key() {
+            schema
+                .key_of(tuple.values())
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        } else {
+            rid.to_string()
+        };
+        let text = schema
+            .columns
+            .iter()
+            .enumerate()
+            .find(|(i, c)| {
+                !schema.primary_key.contains(i)
+                    && matches!(c.ty, crate::schema::ColumnType::Text)
+                    && !tuple.values()[*i].is_null()
+            })
+            .map(|(i, _)| tuple.values()[i].to_string());
+        Ok(match text {
+            Some(t) => format!("{}({key}: {t})", schema.name),
+            None => format!("{}({key})", schema.name),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    /// The Fig. 1 bibliography schema of the paper.
+    pub(crate) fn bib_db() -> Database {
+        let mut db = Database::new("dblp");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("AuthorId", ColumnType::Text)
+                .column("AuthorName", ColumnType::Text)
+                .primary_key(&["AuthorId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("AuthorId", ColumnType::Text)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["AuthorId", "PaperId"])
+                .foreign_key(&["AuthorId"], "Author")
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Cites")
+                .column("Citing", ColumnType::Text)
+                .column("Cited", ColumnType::Text)
+                .primary_key(&["Citing", "Cited"])
+                .foreign_key_with_similarity(&["Citing"], "Paper", 2.0)
+                .foreign_key_with_similarity(&["Cited"], "Paper", 2.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn seed_fig1(db: &mut Database) -> (Rid, Vec<Rid>, Vec<Rid>) {
+        let paper = db
+            .insert(
+                "Paper",
+                vec![
+                    Value::text("ChakrabartiSD98"),
+                    Value::text("Mining Surprising Patterns Using Temporal Description Length"),
+                ],
+            )
+            .unwrap();
+        let mut authors = Vec::new();
+        let mut writes = Vec::new();
+        for (id, name) in [
+            ("SoumenC", "Soumen Chakrabarti"),
+            ("SunitaS", "Sunita Sarawagi"),
+            ("ByronD", "Byron Dom"),
+        ] {
+            let a = db
+                .insert("Author", vec![Value::text(id), Value::text(name)])
+                .unwrap();
+            let w = db
+                .insert(
+                    "Writes",
+                    vec![Value::text(id), Value::text("ChakrabartiSD98")],
+                )
+                .unwrap();
+            authors.push(a);
+            writes.push(w);
+        }
+        (paper, authors, writes)
+    }
+
+    #[test]
+    fn fig1_links_resolve_both_directions() {
+        let mut db = bib_db();
+        let (paper, authors, writes) = seed_fig1(&mut db);
+        // Forward: each Writes tuple resolves to its author and paper.
+        assert_eq!(db.resolve_fk(writes[0], 0).unwrap(), Some(authors[0]));
+        assert_eq!(db.resolve_fk(writes[0], 1).unwrap(), Some(paper));
+        // Backward: the paper is referenced by all three Writes tuples.
+        assert_eq!(db.indegree(paper), 3);
+        let writes_rel = db.relation_id("Writes").unwrap();
+        assert_eq!(db.indegree_from(paper, writes_rel), 3);
+        assert_eq!(db.indegree(authors[1]), 1);
+        // Counts match the seven tuples of Fig. 1(B).
+        assert_eq!(db.total_tuples(), 7);
+        assert_eq!(db.link_count(), 6);
+    }
+
+    #[test]
+    fn fk_violation_rejected_and_db_unchanged() {
+        let mut db = bib_db();
+        let err = db
+            .insert(
+                "Writes",
+                vec![Value::text("ghost"), Value::text("nopaper")],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
+        assert_eq!(db.total_tuples(), 0);
+        assert_eq!(db.link_count(), 0);
+    }
+
+    #[test]
+    fn delete_restrict_then_allow() {
+        let mut db = bib_db();
+        let (paper, _authors, writes) = seed_fig1(&mut db);
+        // The paper is referenced: delete must fail.
+        assert!(db.delete(paper).is_err());
+        // Deleting the referencing tuples unblocks it and decrements links.
+        for w in writes {
+            db.delete(w).unwrap();
+        }
+        assert_eq!(db.indegree(paper), 0);
+        db.delete(paper).unwrap();
+        assert_eq!(db.link_count(), 0);
+    }
+
+    #[test]
+    fn create_relation_checks_fk_targets() {
+        let mut db = Database::new("x");
+        let err = db
+            .create_relation(
+                RelationSchema::builder("Writes")
+                    .column("AuthorId", ColumnType::Text)
+                    .foreign_key(&["AuthorId"], "Author")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn self_referencing_relation_allowed() {
+        let mut db = Database::new("org");
+        db.create_relation(
+            RelationSchema::builder("Person")
+                .column("Id", ColumnType::Text)
+                .nullable_column("Manager", ColumnType::Text)
+                .primary_key(&["Id"])
+                .nullable_foreign_key(&["Manager"], "Person")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let boss = db
+            .insert("Person", vec![Value::text("boss"), Value::Null])
+            .unwrap();
+        let emp = db
+            .insert("Person", vec![Value::text("emp"), Value::text("boss")])
+            .unwrap();
+        assert_eq!(db.resolve_fk(emp, 0).unwrap(), Some(boss));
+        assert_eq!(db.resolve_fk(boss, 0).unwrap(), None);
+        assert_eq!(db.indegree(boss), 1);
+    }
+
+    #[test]
+    fn fk_arity_mismatch_rejected_at_create() {
+        let mut db = bib_db();
+        let err = db
+            .create_relation(
+                RelationSchema::builder("Bad")
+                    .column("A", ColumnType::Text)
+                    .column("B", ColumnType::Text)
+                    .foreign_key(&["A", "B"], "Author")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn describe_tuple_renders_key_and_text() {
+        let mut db = bib_db();
+        let (paper, ..) = seed_fig1(&mut db);
+        let desc = db.describe_tuple(paper).unwrap();
+        assert!(desc.starts_with("Paper(ChakrabartiSD98"));
+        assert!(desc.contains("Mining Surprising Patterns"));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = bib_db();
+        let err = db
+            .create_relation(
+                RelationSchema::builder("Author")
+                    .column("X", ColumnType::Int)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+}

@@ -1,0 +1,328 @@
+//! Minimal CSV import/export so databases can be persisted and the example
+//! binaries can ship data as plain files.
+//!
+//! Format: RFC-4180-style quoting; the first line is a header of
+//! `name:type` pairs matching [`crate::ColumnType::name`]. NULL is encoded
+//! as a fully empty unquoted field; an empty *quoted* field (`""`) is an
+//! empty string.
+
+use crate::catalog::Database;
+use crate::error::{StorageError, StorageResult};
+use crate::schema::ColumnType;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Serialize one table to CSV (header + one line per live tuple).
+pub fn table_to_csv(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let header: Vec<String> = schema
+        .columns
+        .iter()
+        .map(|c| format!("{}:{}", c.name, c.ty.name()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (_, tuple) in table.scan() {
+        let fields: Vec<String> = tuple.values().iter().map(encode_field).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn encode_field(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Text(s) => {
+            if s.is_empty()
+                || s.contains(',')
+                || s.contains('"')
+                || s.contains('\n')
+                || s.contains('\r')
+            {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+/// One parsed CSV record: the raw fields plus whether each was quoted.
+#[derive(Debug, PartialEq, Eq)]
+struct Record {
+    fields: Vec<(String, bool)>,
+}
+
+/// Parse CSV text into records. Handles quoted fields, embedded quotes,
+/// and embedded newlines inside quotes.
+fn parse_csv(text: &str) -> StorageResult<Vec<Record>> {
+    let mut records = Vec::new();
+    let mut fields: Vec<(String, bool)> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+    while let Some(ch) = chars.next() {
+        any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(StorageError::Csv {
+                        line,
+                        message: "quote in the middle of an unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+                quoted = true;
+            }
+            ',' => {
+                fields.push((std::mem::take(&mut field), quoted));
+                quoted = false;
+            }
+            '\r' => {} // tolerate CRLF
+            '\n' => {
+                fields.push((std::mem::take(&mut field), quoted));
+                quoted = false;
+                records.push(Record {
+                    fields: std::mem::take(&mut fields),
+                });
+                line += 1;
+            }
+            _ => field.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv {
+            line,
+            message: "unterminated quote".into(),
+        });
+    }
+    if any && (!field.is_empty() || !fields.is_empty() || quoted) {
+        fields.push((field, quoted));
+        records.push(Record { fields });
+    }
+    Ok(records)
+}
+
+fn decode_field(raw: &str, was_quoted: bool, ty: ColumnType, line: usize) -> StorageResult<Value> {
+    if raw.is_empty() && !was_quoted {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ColumnType::Text => Ok(Value::text(raw)),
+        ColumnType::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| StorageError::Csv {
+                line,
+                message: format!("bad int `{raw}`: {e}"),
+            }),
+        ColumnType::Float => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| StorageError::Csv {
+                line,
+                message: format!("bad float `{raw}`: {e}"),
+            }),
+        ColumnType::Bool => match raw {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(StorageError::Csv {
+                line,
+                message: format!("bad bool `{raw}`"),
+            }),
+        },
+    }
+}
+
+/// Load CSV rows into an existing relation of `db`.
+///
+/// The header must list exactly the relation's columns, in order, with
+/// matching types. Returns the number of inserted tuples.
+pub fn load_csv_into(db: &mut Database, relation: &str, text: &str) -> StorageResult<usize> {
+    let records = parse_csv(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Ok(0);
+    };
+    let schema = db.relation(relation)?.schema().clone();
+    if header.fields.len() != schema.arity() {
+        return Err(StorageError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, relation `{relation}` has {}",
+                header.fields.len(),
+                schema.arity()
+            ),
+        });
+    }
+    for ((raw, _), col) in header.fields.iter().zip(&schema.columns) {
+        let expected = format!("{}:{}", col.name, col.ty.name());
+        if raw != &expected {
+            return Err(StorageError::Csv {
+                line: 1,
+                message: format!("header field `{raw}` does not match `{expected}`"),
+            });
+        }
+    }
+    let mut inserted = 0usize;
+    for (i, record) in rows.iter().enumerate() {
+        let line = i + 2;
+        if record.fields.len() != schema.arity() {
+            return Err(StorageError::Csv {
+                line,
+                message: format!(
+                    "row has {} fields, expected {}",
+                    record.fields.len(),
+                    schema.arity()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(schema.arity());
+        for ((raw, quoted), col) in record.fields.iter().zip(&schema.columns) {
+            values.push(decode_field(raw, *quoted, col.ty, line)?);
+        }
+        db.insert(relation, values)?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+
+    fn make_db() -> Database {
+        let mut db = Database::new("t");
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .nullable_column("PaperName", ColumnType::Text)
+                .nullable_column("Year", ColumnType::Int)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut db = make_db();
+        db.insert(
+            "Paper",
+            vec![Value::text("p1"), Value::text("Title, with \"quotes\""), Value::Int(1998)],
+        )
+        .unwrap();
+        db.insert("Paper", vec![Value::text("p2"), Value::Null, Value::Null])
+            .unwrap();
+        db.insert("Paper", vec![Value::text("p3"), Value::text(""), Value::Int(0)])
+            .unwrap();
+        let csv = table_to_csv(db.relation("Paper").unwrap());
+
+        let mut db2 = make_db();
+        let n = load_csv_into(&mut db2, "Paper", &csv).unwrap();
+        assert_eq!(n, 3);
+        let t1 = db2
+            .relation("Paper")
+            .unwrap()
+            .lookup_pk(&[Value::text("p1")])
+            .unwrap();
+        assert_eq!(
+            db2.tuple(t1).unwrap().get(1),
+            Some(&Value::text("Title, with \"quotes\""))
+        );
+        let t2 = db2
+            .relation("Paper")
+            .unwrap()
+            .lookup_pk(&[Value::text("p2")])
+            .unwrap();
+        assert_eq!(db2.tuple(t2).unwrap().get(1), Some(&Value::Null));
+        // empty quoted string is an empty string, not NULL
+        let t3 = db2
+            .relation("Paper")
+            .unwrap()
+            .lookup_pk(&[Value::text("p3")])
+            .unwrap();
+        assert_eq!(db2.tuple(t3).unwrap().get(1), Some(&Value::text("")));
+    }
+
+    #[test]
+    fn embedded_newline_roundtrip() {
+        let mut db = make_db();
+        db.insert(
+            "Paper",
+            vec![Value::text("p1"), Value::text("line one\nline two"), Value::Null],
+        )
+        .unwrap();
+        let csv = table_to_csv(db.relation("Paper").unwrap());
+        let mut db2 = make_db();
+        load_csv_into(&mut db2, "Paper", &csv).unwrap();
+        let t = db2
+            .relation("Paper")
+            .unwrap()
+            .lookup_pk(&[Value::text("p1")])
+            .unwrap();
+        assert_eq!(
+            db2.tuple(t).unwrap().get(1),
+            Some(&Value::text("line one\nline two"))
+        );
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let mut db = make_db();
+        let err = load_csv_into(&mut db, "Paper", "Wrong:text\n").unwrap_err();
+        assert!(matches!(err, StorageError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_int_reports_line() {
+        let mut db = make_db();
+        let csv = "PaperId:text,PaperName:text,Year:int\np1,Title,notanint\n";
+        let err = load_csv_into(&mut db, "Paper", csv).unwrap_err();
+        assert!(matches!(err, StorageError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_detected() {
+        assert!(parse_csv("a,\"unterminated\nrow2").is_err());
+    }
+
+    #[test]
+    fn empty_input_loads_zero() {
+        let mut db = make_db();
+        assert_eq!(load_csv_into(&mut db, "Paper", "").unwrap(), 0);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let mut db = make_db();
+        let csv = "PaperId:text,PaperName:text,Year:int\r\np1,Title,1998\r\n";
+        assert_eq!(load_csv_into(&mut db, "Paper", csv).unwrap(), 1);
+    }
+}

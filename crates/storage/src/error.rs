@@ -1,0 +1,170 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Result alias used across the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the relational storage engine.
+///
+/// The engine enforces schema and referential integrity at insertion time,
+/// so most variants describe constraint violations rather than I/O failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A relation with this name already exists in the catalog.
+    DuplicateRelation(String),
+    /// No relation with this name exists in the catalog.
+    UnknownRelation(String),
+    /// No column with this name exists in the relation.
+    UnknownColumn {
+        /// Relation that was searched.
+        relation: String,
+        /// Column name that failed to resolve.
+        column: String,
+    },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        /// Relation being inserted into.
+        relation: String,
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A value's type does not match the declared column type.
+    TypeMismatch {
+        /// Relation being inserted into.
+        relation: String,
+        /// Offending column name.
+        column: String,
+        /// Human-readable description of the expected type.
+        expected: String,
+        /// Human-readable description of the supplied value.
+        actual: String,
+    },
+    /// A NULL was supplied for a non-nullable column.
+    NullViolation {
+        /// Relation being inserted into.
+        relation: String,
+        /// Offending column name.
+        column: String,
+    },
+    /// Primary-key uniqueness was violated.
+    DuplicateKey {
+        /// Relation being inserted into.
+        relation: String,
+        /// Rendered key values.
+        key: String,
+    },
+    /// A foreign key referenced a tuple that does not exist.
+    ForeignKeyViolation {
+        /// Relation being inserted into.
+        relation: String,
+        /// Relation the foreign key points at.
+        referenced: String,
+        /// Rendered key values that failed to resolve.
+        key: String,
+    },
+    /// A schema declaration was internally inconsistent.
+    InvalidSchema(String),
+    /// A row identifier pointed at a missing (deleted or out-of-range) tuple.
+    InvalidRid(String),
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` expects {expected} values, got {actual}"
+            ),
+            StorageError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in `{relation}.{column}`: expected {expected}, got {actual}"
+            ),
+            StorageError::NullViolation { relation, column } => {
+                write!(f, "column `{relation}.{column}` is not nullable")
+            }
+            StorageError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate primary key {key} in relation `{relation}`")
+            }
+            StorageError::ForeignKeyViolation {
+                relation,
+                referenced,
+                key,
+            } => write!(
+                f,
+                "foreign key from `{relation}` to `{referenced}` dangles: no tuple with key {key}"
+            ),
+            StorageError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            StorageError::InvalidRid(msg) => write!(f, "invalid rid: {msg}"),
+            StorageError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::UnknownColumn {
+            relation: "Paper".into(),
+            column: "Title".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column `Title` in relation `Paper`");
+
+        let e = StorageError::ArityMismatch {
+            relation: "Writes".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expects 2 values, got 3"));
+
+        let e = StorageError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::DuplicateRelation("A".into()),
+            StorageError::DuplicateRelation("A".into())
+        );
+        assert_ne!(
+            StorageError::DuplicateRelation("A".into()),
+            StorageError::UnknownRelation("A".into())
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Selection predicates for the browsing interface (§4: "Selections can be
+//! imposed on any column").
+
+use crate::value::Value;
+use std::fmt;
+
+/// A comparison predicate against one column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Equal to the given value.
+    Eq(Value),
+    /// Not equal to the given value.
+    Ne(Value),
+    /// Strictly less than.
+    Lt(Value),
+    /// Less than or equal.
+    Le(Value),
+    /// Strictly greater than.
+    Gt(Value),
+    /// Greater than or equal.
+    Ge(Value),
+    /// Text contains the given substring (case-insensitive); false for
+    /// non-text values.
+    Contains(String),
+    /// Value is NULL.
+    IsNull,
+    /// Value is not NULL.
+    IsNotNull,
+}
+
+impl Predicate {
+    /// Evaluate the predicate against a value.
+    ///
+    /// Following SQL three-valued-logic collapsed to two values: comparisons
+    /// against NULL are false (except the explicit null tests).
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            Predicate::IsNull => return value.is_null(),
+            Predicate::IsNotNull => return !value.is_null(),
+            _ => {}
+        }
+        if value.is_null() {
+            return false;
+        }
+        match self {
+            Predicate::Eq(v) => value == v,
+            Predicate::Ne(v) => value != v,
+            Predicate::Lt(v) => value < v,
+            Predicate::Le(v) => value <= v,
+            Predicate::Gt(v) => value > v,
+            Predicate::Ge(v) => value >= v,
+            Predicate::Contains(s) => value
+                .as_text()
+                .is_some_and(|t| t.to_lowercase().contains(&s.to_lowercase())),
+            Predicate::IsNull | Predicate::IsNotNull => unreachable!("handled above"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Eq(v) => write!(f, "= {v}"),
+            Predicate::Ne(v) => write!(f, "<> {v}"),
+            Predicate::Lt(v) => write!(f, "< {v}"),
+            Predicate::Le(v) => write!(f, "<= {v}"),
+            Predicate::Gt(v) => write!(f, "> {v}"),
+            Predicate::Ge(v) => write!(f, ">= {v}"),
+            Predicate::Contains(s) => write!(f, "contains '{s}'"),
+            Predicate::IsNull => write!(f, "is null"),
+            Predicate::IsNotNull => write!(f, "is not null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        assert!(Predicate::Eq(Value::Int(3)).matches(&Value::Int(3)));
+        assert!(!Predicate::Eq(Value::Int(3)).matches(&Value::Int(4)));
+        assert!(Predicate::Ne(Value::Int(3)).matches(&Value::Int(4)));
+        assert!(Predicate::Lt(Value::Int(3)).matches(&Value::Int(2)));
+        assert!(Predicate::Le(Value::Int(3)).matches(&Value::Int(3)));
+        assert!(Predicate::Gt(Value::text("b")).matches(&Value::text("c")));
+        assert!(Predicate::Ge(Value::text("b")).matches(&Value::text("b")));
+    }
+
+    #[test]
+    fn contains_case_insensitive() {
+        let p = Predicate::Contains("engineer".into());
+        assert!(p.matches(&Value::text("Computer Science and Engineering")));
+        assert!(!p.matches(&Value::text("Mathematics")));
+        assert!(!p.matches(&Value::Int(5)));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(Predicate::IsNull.matches(&Value::Null));
+        assert!(!Predicate::IsNotNull.matches(&Value::Null));
+        assert!(Predicate::IsNotNull.matches(&Value::Int(0)));
+        // comparisons against NULL are false
+        assert!(!Predicate::Eq(Value::Null).matches(&Value::Null));
+        assert!(!Predicate::Lt(Value::Int(5)).matches(&Value::Null));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Predicate::Eq(Value::Int(3)).to_string(), "= 3");
+        assert_eq!(Predicate::Contains("x".into()).to_string(), "contains 'x'");
+        assert_eq!(Predicate::IsNull.to_string(), "is null");
+    }
+}

@@ -1,0 +1,187 @@
+//! Database statistics: tuple counts, link fanouts, degree distributions.
+//!
+//! Used by the evaluation harness (§5.2 space/time accounting) and by the
+//! data generators to verify that synthetic databases have the hub/degree
+//! structure the paper's ranking discussion relies on.
+
+use crate::catalog::Database;
+use std::fmt;
+
+/// Per-relation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Relation name.
+    pub name: String,
+    /// Live tuple count.
+    pub tuples: usize,
+    /// Number of foreign keys declared.
+    pub foreign_keys: usize,
+    /// Resolved outgoing links (non-NULL foreign keys × tuples).
+    pub outgoing_links: usize,
+    /// Incoming references to tuples of this relation.
+    pub incoming_links: usize,
+    /// Maximum indegree over tuples of this relation.
+    pub max_indegree: usize,
+}
+
+/// Whole-database statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatabaseStats {
+    /// Per-relation breakdown, in catalog order.
+    pub relations: Vec<RelationStats>,
+    /// Total live tuples (BANKS graph node count).
+    pub total_tuples: usize,
+    /// Total resolved links (the BANKS graph has 2× this many directed
+    /// edges, one forward and one backward per link).
+    pub total_links: usize,
+}
+
+impl DatabaseStats {
+    /// Gather statistics by scanning `db`.
+    pub fn gather(db: &Database) -> DatabaseStats {
+        let mut relations = Vec::with_capacity(db.relation_count());
+        for table in db.relations() {
+            let mut outgoing = 0usize;
+            let mut incoming = 0usize;
+            let mut max_in = 0usize;
+            for (rid, _) in table.scan() {
+                let deg = db.indegree(rid);
+                incoming += deg;
+                max_in = max_in.max(deg);
+                for fk in 0..table.schema().foreign_keys.len() {
+                    if matches!(db.resolve_fk(rid, fk), Ok(Some(_))) {
+                        outgoing += 1;
+                    }
+                }
+            }
+            relations.push(RelationStats {
+                name: table.schema().name.clone(),
+                tuples: table.len(),
+                foreign_keys: table.schema().foreign_keys.len(),
+                outgoing_links: outgoing,
+                incoming_links: incoming,
+                max_indegree: max_in,
+            });
+        }
+        DatabaseStats {
+            relations,
+            total_tuples: db.total_tuples(),
+            total_links: db.link_count(),
+        }
+    }
+
+    /// Directed edge count of the corresponding BANKS graph.
+    pub fn graph_edges(&self) -> usize {
+        self.total_links * 2
+    }
+
+    /// Histogram of indegrees across all tuples: `hist[d]` = number of
+    /// tuples with indegree exactly `d` (capped at `max_bucket`, with a
+    /// final overflow bucket).
+    pub fn indegree_histogram(db: &Database, max_bucket: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; max_bucket + 2];
+        for table in db.relations() {
+            for (rid, _) in table.scan() {
+                let d = db.indegree(rid).min(max_bucket + 1);
+                hist[d] += 1;
+            }
+        }
+        hist
+    }
+}
+
+impl fmt::Display for DatabaseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} tuples, {} links ({} graph edges)",
+            self.total_tuples,
+            self.total_links,
+            self.graph_edges()
+        )?;
+        for r in &self.relations {
+            writeln!(
+                f,
+                "  {:<16} {:>8} tuples  {:>8} out  {:>8} in  max-in {}",
+                r.name, r.tuples, r.outgoing_links, r.incoming_links, r.max_indegree
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, RelationSchema};
+    use crate::value::Value;
+
+    fn small_db() -> Database {
+        let mut db = Database::new("t");
+        db.create_relation(
+            RelationSchema::builder("Dept")
+                .column("Id", ColumnType::Text)
+                .primary_key(&["Id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Student")
+                .column("Id", ColumnType::Text)
+                .column("Dept", ColumnType::Text)
+                .primary_key(&["Id"])
+                .foreign_key(&["Dept"], "Dept")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("Dept", vec![Value::text("cse")]).unwrap();
+        db.insert("Dept", vec![Value::text("math")]).unwrap();
+        for i in 0..5 {
+            db.insert(
+                "Student",
+                vec![Value::text(format!("s{i}")), Value::text("cse")],
+            )
+            .unwrap();
+        }
+        db.insert("Student", vec![Value::text("s5"), Value::text("math")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn gather_counts_links_both_ways() {
+        let db = small_db();
+        let stats = DatabaseStats::gather(&db);
+        assert_eq!(stats.total_tuples, 8);
+        assert_eq!(stats.total_links, 6);
+        assert_eq!(stats.graph_edges(), 12);
+        let dept = &stats.relations[0];
+        assert_eq!(dept.name, "Dept");
+        assert_eq!(dept.incoming_links, 6);
+        assert_eq!(dept.max_indegree, 5, "cse is a hub with 5 students");
+        let student = &stats.relations[1];
+        assert_eq!(student.outgoing_links, 6);
+        assert_eq!(student.incoming_links, 0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let db = small_db();
+        let hist = DatabaseStats::indegree_histogram(&db, 4);
+        // 6 students with indegree 0, math dept with 1, cse overflows (5 > 4).
+        assert_eq!(hist[0], 6);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[5], 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let db = small_db();
+        let s = DatabaseStats::gather(&db).to_string();
+        assert!(s.contains("8 tuples"));
+        assert!(s.contains("Dept"));
+        assert!(s.contains("Student"));
+    }
+}

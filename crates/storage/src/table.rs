@@ -1,0 +1,308 @@
+//! A single relation's stored tuples plus its primary-key index.
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::RelationSchema;
+use crate::tuple::{RelationId, Rid, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Storage for one relation: a slot vector of tuples (deleted slots become
+/// `None`, so rids stay stable) and a hash index on the primary key.
+#[derive(Debug, Clone)]
+pub struct Table {
+    id: RelationId,
+    schema: RelationSchema,
+    slots: Vec<Option<Tuple>>,
+    live: usize,
+    pk_index: HashMap<Vec<Value>, u32>,
+}
+
+impl Table {
+    /// Create an empty table for `schema` with catalog id `id`.
+    pub fn new(id: RelationId, schema: RelationSchema) -> Table {
+        Table {
+            id,
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            pk_index: HashMap::new(),
+        }
+    }
+
+    /// The catalog id of this relation.
+    pub fn id(&self) -> RelationId {
+        self.id
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of live (non-deleted) tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table holds no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of slots ever allocated (live + deleted).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Type/arity/nullability-check `values` against the schema.
+    fn check_values(&self, values: &[Value]) -> StorageResult<()> {
+        if values.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                actual: values.len(),
+            });
+        }
+        for (col, value) in self.schema.columns.iter().zip(values) {
+            if value.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::NullViolation {
+                        relation: self.schema.name.clone(),
+                        column: col.name.clone(),
+                    });
+                }
+                continue;
+            }
+            if !col.ty.accepts(value) {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.ty.name().to_string(),
+                    actual: value.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple, enforcing schema and primary-key constraints.
+    ///
+    /// Foreign keys are enforced one level up, by
+    /// [`crate::Database::insert`], which can see the referenced tables.
+    pub fn insert(&mut self, values: Vec<Value>) -> StorageResult<Rid> {
+        self.check_values(&values)?;
+        let key: Vec<Value> = if self.schema.has_primary_key() {
+            self.schema.key_of(&values).into_iter().cloned().collect()
+        } else {
+            Vec::new()
+        };
+        if self.schema.has_primary_key() && self.pk_index.contains_key(&key) {
+            return Err(StorageError::DuplicateKey {
+                relation: self.schema.name.clone(),
+                key: format!("{key:?}"),
+            });
+        }
+        let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX tuples");
+        self.slots.push(Some(Tuple::new(values)));
+        self.live += 1;
+        if self.schema.has_primary_key() {
+            self.pk_index.insert(key, slot);
+        }
+        Ok(Rid::new(self.id, slot))
+    }
+
+    /// Fetch the tuple at `slot`, if live.
+    pub fn get(&self, slot: u32) -> Option<&Tuple> {
+        self.slots.get(slot as usize).and_then(|t| t.as_ref())
+    }
+
+    /// Look up a tuple by its full primary-key value.
+    pub fn lookup_pk(&self, key: &[Value]) -> Option<Rid> {
+        self.pk_index.get(key).map(|&slot| Rid::new(self.id, slot))
+    }
+
+    /// Delete the tuple at `slot`. Returns the removed tuple.
+    ///
+    /// The slot is tombstoned, keeping every other rid stable.
+    pub fn delete(&mut self, slot: u32) -> StorageResult<Tuple> {
+        let entry = self
+            .slots
+            .get_mut(slot as usize)
+            .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} out of range")))?;
+        let tuple = entry
+            .take()
+            .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} already deleted")))?;
+        self.live -= 1;
+        if self.schema.has_primary_key() {
+            let key: Vec<Value> = self
+                .schema
+                .key_of(tuple.values())
+                .into_iter()
+                .cloned()
+                .collect();
+            self.pk_index.remove(&key);
+        }
+        Ok(tuple)
+    }
+
+    /// Update one column of the tuple at `slot`.
+    ///
+    /// Primary-key columns cannot be updated (delete + insert instead);
+    /// this keeps the pk index and any foreign keys pointing here valid.
+    pub fn update(&mut self, slot: u32, column: usize, value: Value) -> StorageResult<()> {
+        if self.schema.primary_key.contains(&column) {
+            return Err(StorageError::InvalidSchema(format!(
+                "cannot update primary-key column {column} of `{}`",
+                self.schema.name
+            )));
+        }
+        let col = self
+            .schema
+            .columns
+            .get(column)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                relation: self.schema.name.clone(),
+                column: format!("#{column}"),
+            })?
+            .clone();
+        if value.is_null() && !col.nullable {
+            return Err(StorageError::NullViolation {
+                relation: self.schema.name.clone(),
+                column: col.name,
+            });
+        }
+        if !value.is_null() && !col.ty.accepts(&value) {
+            return Err(StorageError::TypeMismatch {
+                relation: self.schema.name.clone(),
+                column: col.name,
+                expected: col.ty.name().to_string(),
+                actual: value.to_string(),
+            });
+        }
+        let tuple = self
+            .slots
+            .get_mut(slot as usize)
+            .and_then(|t| t.as_mut())
+            .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} not live")))?;
+        *tuple.get_mut(column).expect("arity checked at insert") = value;
+        Ok(())
+    }
+
+    /// Iterate over live tuples as `(Rid, &Tuple)`.
+    pub fn scan(&self) -> impl Iterator<Item = (Rid, &Tuple)> + '_ {
+        let id = self.id;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(slot, t)| t.as_ref().map(|t| (Rid::new(id, slot as u32), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn author_table() -> Table {
+        let schema = RelationSchema::builder("Author")
+            .column("AuthorId", ColumnType::Text)
+            .column("AuthorName", ColumnType::Text)
+            .nullable_column("HIndex", ColumnType::Int)
+            .primary_key(&["AuthorId"])
+            .build()
+            .unwrap();
+        Table::new(RelationId(0), schema)
+    }
+
+    fn row(id: &str, name: &str) -> Vec<Value> {
+        vec![Value::text(id), Value::text(name), Value::Null]
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let mut t = author_table();
+        let r1 = t.insert(row("SoumenC", "Soumen Chakrabarti")).unwrap();
+        let r2 = t.insert(row("SunitaS", "Sunita Sarawagi")).unwrap();
+        assert_eq!(t.len(), 2);
+        let scanned: Vec<Rid> = t.scan().map(|(rid, _)| rid).collect();
+        assert_eq!(scanned, vec![r1, r2]);
+    }
+
+    #[test]
+    fn pk_lookup() {
+        let mut t = author_table();
+        let rid = t.insert(row("ByronD", "Byron Dom")).unwrap();
+        assert_eq!(t.lookup_pk(&[Value::text("ByronD")]), Some(rid));
+        assert_eq!(t.lookup_pk(&[Value::text("nobody")]), None);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = author_table();
+        t.insert(row("A", "First")).unwrap();
+        let err = t.insert(row("A", "Second")).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_and_type_enforced() {
+        let mut t = author_table();
+        assert!(matches!(
+            t.insert(vec![Value::text("A")]).unwrap_err(),
+            StorageError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Int(1), Value::text("x"), Value::Null])
+                .unwrap_err(),
+            StorageError::TypeMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Null, Value::text("x"), Value::Null])
+                .unwrap_err(),
+            StorageError::NullViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn delete_keeps_rids_stable_and_frees_key() {
+        let mut t = author_table();
+        let r1 = t.insert(row("A", "First")).unwrap();
+        let r2 = t.insert(row("B", "Second")).unwrap();
+        t.delete(r1.slot).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.get(r1.slot).is_none());
+        assert!(t.get(r2.slot).is_some());
+        // Key is free again and new insert gets a fresh slot.
+        let r3 = t.insert(row("A", "Third")).unwrap();
+        assert_ne!(r3.slot, r1.slot);
+        // Double delete errors.
+        assert!(t.delete(r1.slot).is_err());
+    }
+
+    #[test]
+    fn update_non_key_column() {
+        let mut t = author_table();
+        let r = t.insert(row("A", "First")).unwrap();
+        t.update(r.slot, 2, Value::Int(42)).unwrap();
+        assert_eq!(t.get(r.slot).unwrap().get(2), Some(&Value::Int(42)));
+        // pk column update rejected
+        assert!(t.update(r.slot, 0, Value::text("B")).is_err());
+        // type still enforced
+        assert!(t.update(r.slot, 2, Value::text("nope")).is_err());
+    }
+
+    #[test]
+    fn table_without_pk_allows_duplicates() {
+        let schema = RelationSchema::builder("Writes")
+            .column("AuthorId", ColumnType::Text)
+            .column("PaperId", ColumnType::Text)
+            .build()
+            .unwrap();
+        let mut t = Table::new(RelationId(1), schema);
+        t.insert(vec![Value::text("a"), Value::text("p")]).unwrap();
+        t.insert(vec![Value::text("a"), Value::text("p")]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.lookup_pk(&[]).is_none());
+    }
+}

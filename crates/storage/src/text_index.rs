@@ -1,0 +1,237 @@
+//! Inverted keyword index: token → RIDs of tuples containing the token in
+//! some textual attribute.
+//!
+//! This plays the role of the paper's "disk resident indices on keywords"
+//! that map keywords to RIDs (§3); ours lives in memory. The index also
+//! records, per posting, *which* column matched — needed for the
+//! `attribute:keyword` query extension of §2.3/§7.
+
+use crate::catalog::Database;
+use crate::tokenizer::Tokenizer;
+use crate::tuple::Rid;
+use std::collections::HashMap;
+
+/// One posting: a tuple and the column in which the token occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posting {
+    /// The matching tuple.
+    pub rid: Rid,
+    /// Column index within the tuple's relation.
+    pub column: u32,
+}
+
+/// An inverted index over every text column of a database.
+#[derive(Debug, Clone, Default)]
+pub struct TextIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    tokens_indexed: usize,
+}
+
+impl TextIndex {
+    /// Build the index by scanning every relation of `db`.
+    pub fn build(db: &Database, tokenizer: &Tokenizer) -> TextIndex {
+        let mut index = TextIndex::default();
+        for table in db.relations() {
+            let text_cols: Vec<usize> = table
+                .schema()
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| matches!(c.ty, crate::schema::ColumnType::Text))
+                .map(|(i, _)| i)
+                .collect();
+            if text_cols.is_empty() {
+                continue;
+            }
+            for (rid, tuple) in table.scan() {
+                for &col in &text_cols {
+                    let Some(text) = tuple.values()[col].as_text() else {
+                        continue;
+                    };
+                    for token in tokenizer.tokenize(text) {
+                        index.insert(token, rid, col as u32);
+                    }
+                }
+            }
+        }
+        index.finish();
+        index
+    }
+
+    fn insert(&mut self, token: String, rid: Rid, column: u32) {
+        self.postings
+            .entry(token)
+            .or_default()
+            .push(Posting { rid, column });
+        self.tokens_indexed += 1;
+    }
+
+    /// Sort and deduplicate posting lists (a token may occur several times
+    /// in one attribute value; one posting per (rid, column) is enough).
+    fn finish(&mut self) {
+        for list in self.postings.values_mut() {
+            list.sort_by_key(|p| (p.rid, p.column));
+            list.dedup();
+            list.shrink_to_fit();
+        }
+    }
+
+    /// Postings for `token` (already lowercased by the tokenizer).
+    pub fn lookup(&self, token: &str) -> &[Posting] {
+        self.postings.get(token).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Distinct rids containing `token` in any column.
+    pub fn lookup_rids(&self, token: &str) -> Vec<Rid> {
+        let mut rids: Vec<Rid> = self.lookup(token).iter().map(|p| p.rid).collect();
+        rids.dedup();
+        rids
+    }
+
+    /// Rids containing `token` within a specific column of a specific
+    /// relation (the `attribute:keyword` form).
+    pub fn lookup_in_column(
+        &self,
+        token: &str,
+        relation: crate::tuple::RelationId,
+        column: u32,
+    ) -> Vec<Rid> {
+        self.lookup(token)
+            .iter()
+            .filter(|p| p.rid.relation == relation && p.column == column)
+            .map(|p| p.rid)
+            .collect()
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of postings across all tokens.
+    pub fn posting_count(&self) -> usize {
+        self.postings.values().map(|v| v.len()).sum()
+    }
+
+    /// Iterate over all distinct tokens (used by approximate matching).
+    pub fn tokens(&self) -> impl Iterator<Item = &str> + '_ {
+        self.postings.keys().map(|s| s.as_str())
+    }
+
+    /// Approximate memory footprint in bytes (keys + posting arrays),
+    /// supporting the paper's §5.2 space accounting.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for (k, v) in &self.postings {
+            bytes += k.len() + std::mem::size_of::<String>();
+            bytes += v.capacity() * std::mem::size_of::<Posting>();
+            bytes += std::mem::size_of::<Vec<Posting>>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, RelationSchema};
+    use crate::value::Value;
+
+    fn db_with_papers() -> (Database, Vec<Rid>) {
+        let mut db = Database::new("t");
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .column("Year", ColumnType::Int)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let rids = vec![
+            db.insert(
+                "Paper",
+                vec![
+                    Value::text("p1"),
+                    Value::text("Temporal Mining of Patterns"),
+                    Value::Int(1998),
+                ],
+            )
+            .unwrap(),
+            db.insert(
+                "Paper",
+                vec![
+                    Value::text("p2"),
+                    Value::text("Query Optimization Survey"),
+                    Value::Int(1996),
+                ],
+            )
+            .unwrap(),
+            db.insert(
+                "Paper",
+                vec![
+                    Value::text("p3"),
+                    Value::text("Mining mining MINING"),
+                    Value::Int(2000),
+                ],
+            )
+            .unwrap(),
+        ];
+        (db, rids)
+    }
+
+    #[test]
+    fn lookup_finds_matching_tuples() {
+        let (db, rids) = db_with_papers();
+        let idx = TextIndex::build(&db, &Tokenizer::new());
+        assert_eq!(idx.lookup_rids("mining"), vec![rids[0], rids[2]]);
+        assert_eq!(idx.lookup_rids("optimization"), vec![rids[1]]);
+        assert!(idx.lookup_rids("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn repeated_tokens_deduplicate() {
+        let (db, rids) = db_with_papers();
+        let idx = TextIndex::build(&db, &Tokenizer::new());
+        // "Mining mining MINING" contributes a single posting.
+        let postings = idx.lookup("mining");
+        let for_p3: Vec<_> = postings.iter().filter(|p| p.rid == rids[2]).collect();
+        assert_eq!(for_p3.len(), 1);
+    }
+
+    #[test]
+    fn pk_text_columns_are_indexed_too() {
+        let (db, rids) = db_with_papers();
+        let idx = TextIndex::build(&db, &Tokenizer::new());
+        assert_eq!(idx.lookup_rids("p1"), vec![rids[0]]);
+    }
+
+    #[test]
+    fn column_restricted_lookup() {
+        let (db, rids) = db_with_papers();
+        let idx = TextIndex::build(&db, &Tokenizer::new());
+        let rel = db.relation_id("Paper").unwrap();
+        // "mining" appears in PaperName (column 1), not PaperId (column 0).
+        assert_eq!(idx.lookup_in_column("mining", rel, 1), vec![rids[0], rids[2]]);
+        assert!(idx.lookup_in_column("mining", rel, 0).is_empty());
+    }
+
+    #[test]
+    fn stats_and_memory_reporting() {
+        let (db, _) = db_with_papers();
+        let idx = TextIndex::build(&db, &Tokenizer::new());
+        assert!(idx.distinct_tokens() > 5);
+        assert!(idx.posting_count() >= idx.distinct_tokens());
+        assert!(idx.memory_bytes() > 0);
+        assert!(idx.tokens().any(|t| t == "temporal"));
+    }
+
+    #[test]
+    fn int_columns_not_text_indexed() {
+        let (db, _) = db_with_papers();
+        let idx = TextIndex::build(&db, &Tokenizer::new());
+        // Years live in an Int column; the text index does not cover them.
+        assert!(idx.lookup_rids("1998").is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Ablations of the design choices DESIGN.md calls out: indegree-scaled
+//! backward edges (the §2.1 hub argument), prestige node weights, and
+//! duplicate elimination.
+
+use banks_core::{Banks, BanksConfig, NodeWeightMode};
+use banks_datagen::thesis::{generate as gen_thesis, ThesisConfig};
+use banks_graph::{Dijkstra, Direction};
+use banks_storage::{ColumnType, Database, RelationSchema, Value};
+
+/// Two departments, one large (8 students) one small (2 students): the
+/// §2.1 hub scenario.
+fn university() -> (Database, Vec<Value>) {
+    let mut db = Database::new("uni");
+    db.create_relation(
+        RelationSchema::builder("Dept")
+            .column("Id", ColumnType::Text)
+            .primary_key(&["Id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_relation(
+        RelationSchema::builder("Student")
+            .column("Id", ColumnType::Text)
+            .column("Dept", ColumnType::Text)
+            .primary_key(&["Id"])
+            .foreign_key(&["Dept"], "Dept")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.insert("Dept", vec![Value::text("big")]).unwrap();
+    db.insert("Dept", vec![Value::text("small")]).unwrap();
+    let mut students = Vec::new();
+    for i in 0..8 {
+        let id = format!("b{i}");
+        db.insert("Student", vec![Value::text(&id), Value::text("big")])
+            .unwrap();
+        students.push(Value::text(id));
+    }
+    for i in 0..2 {
+        let id = format!("s{i}");
+        db.insert("Student", vec![Value::text(&id), Value::text("small")])
+            .unwrap();
+        students.push(Value::text(id));
+    }
+    (db, students)
+}
+
+/// Proximity between two co-department students, as the shortest forward
+/// path distance student→dept→student.
+fn pair_distance(db: &Database, config: &banks_core::GraphConfig, a: &str, b: &str) -> f64 {
+    let tg = banks_core::TupleGraph::build(db, config).unwrap();
+    let student = db.relation("Student").unwrap();
+    let na = tg
+        .node(student.lookup_pk(&[Value::text(a)]).unwrap())
+        .unwrap();
+    let nb = tg
+        .node(student.lookup_pk(&[Value::text(b)]).unwrap())
+        .unwrap();
+    let mut dij = Dijkstra::new(tg.graph(), na, Direction::Forward);
+    dij.by_ref().for_each(drop);
+    dij.distance(nb).expect("connected")
+}
+
+#[test]
+fn abl_backward_weights_dampen_hubs() {
+    let (db, _) = university();
+    // With eq. (1): the big department's backward edges weigh 8, the small
+    // one's 2, so small-department students are "closer" to each other.
+    let weighted = banks_core::GraphConfig::default();
+    let big_pair = pair_distance(&db, &weighted, "b0", "b1");
+    let small_pair = pair_distance(&db, &weighted, "s0", "s1");
+    assert!(
+        small_pair < big_pair,
+        "hub damping: small {small_pair} vs big {big_pair}"
+    );
+    // Ablated (symmetric) graph: both pairs look equally close — the
+    // failure mode the paper argues against.
+    let symmetric = banks_core::GraphConfig {
+        indegree_backward_weights: false,
+        ..banks_core::GraphConfig::default()
+    };
+    let big_sym = pair_distance(&db, &symmetric, "b0", "b1");
+    let small_sym = pair_distance(&db, &symmetric, "s0", "s1");
+    assert_eq!(big_sym, small_sym, "symmetric graph loses the distinction");
+}
+
+#[test]
+fn abl_uniform_node_weights_break_prestige_ranking() {
+    // On the thesis database, "computer engineering" ranks the CSE
+    // department first *because of* prestige; with uniform node weights
+    // the department is just another single keyword-pair answer.
+    let dataset = gen_thesis(ThesisConfig::tiny(1)).unwrap();
+    let cse_key = Value::text(&dataset.planted.cse_dept);
+
+    let with_prestige = Banks::new(dataset.db.clone()).unwrap();
+    let answers = with_prestige.search("computer engineering").unwrap();
+    let cse_rid = dataset
+        .db
+        .relation("Department")
+        .unwrap()
+        .lookup_pk(std::slice::from_ref(&cse_key))
+        .unwrap();
+    let cse_node = with_prestige.tuple_graph().node(cse_rid).unwrap();
+    assert_eq!(answers[0].tree.root, cse_node, "prestige puts CSE first");
+    let prestige_relevance = answers[0].relevance;
+
+    let mut config = BanksConfig::default();
+    config.graph.node_weight = NodeWeightMode::Uniform;
+    let uniform = Banks::with_config(dataset.db.clone(), config).unwrap();
+    let answers = uniform.search("computer engineering").unwrap();
+    let cse_node = uniform
+        .tuple_graph()
+        .node(cse_rid)
+        .expect("same insertion order");
+    let cse_rank = answers.iter().position(|a| a.tree.root == cse_node);
+    // CSE still matches both words (single-node answer, edge score 1), but
+    // its relevance no longer towers over the others.
+    if let Some(rank) = cse_rank {
+        assert!(
+            answers[rank].relevance <= prestige_relevance + 1e-9,
+            "uniform weights must not increase CSE's relevance"
+        );
+    }
+    let spread: Vec<f64> = answers.iter().map(|a| a.relevance).collect();
+    assert!(
+        spread.windows(2).all(|w| w[0] >= w[1] - 1e-9),
+        "still ranked descending"
+    );
+}
+
+#[test]
+fn abl_duplicate_elimination_removes_rerooted_twins() {
+    let dataset = banks_datagen::dblp::generate(banks_datagen::DblpConfig::tiny(1)).unwrap();
+    let mut config = BanksConfig::default();
+    config.search.deduplicate = false;
+    let without = Banks::with_config(dataset.db.clone(), config).unwrap();
+    let raw = without.search("soumen sunita").unwrap();
+    let mut sigs: Vec<_> = raw.iter().map(|a| a.tree.signature()).collect();
+    let before = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert!(
+        sigs.len() < before,
+        "without dedup, rerooted duplicates appear ({before} answers, {} unique)",
+        sigs.len()
+    );
+
+    let with = Banks::new(dataset.db.clone()).unwrap();
+    let deduped = with.search("soumen sunita").unwrap();
+    let mut sigs: Vec<_> = deduped.iter().map(|a| a.tree.signature()).collect();
+    let before = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(sigs.len(), before, "dedup removes every twin");
+}
+
+#[test]
+fn abl_authority_transfer_lifts_referenced_papers() {
+    // §7 extension: with authority transfer, a paper cited by heavily
+    // cited papers gains prestige relative to raw indegree.
+    let dataset = banks_datagen::dblp::generate(banks_datagen::DblpConfig::tiny(2)).unwrap();
+    let mut config = BanksConfig::default();
+    config.graph.node_weight = NodeWeightMode::AuthorityTransfer {
+        iterations: 4,
+        damping: 0.5,
+    };
+    let banks = Banks::with_config(dataset.db.clone(), config).unwrap();
+    // Graph builds and queries still work; transferred weights are finite.
+    let answers = banks.search("transaction").unwrap();
+    assert!(!answers.is_empty());
+    for node in banks.tuple_graph().graph().nodes() {
+        let w = banks.tuple_graph().graph().node_weight(node);
+        assert!(w.is_finite() && w >= 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! EXP-A1…A6: every §5.1 anecdote must reproduce across seeds — the
+//! planted entities guarantee the structure, so seed changes only the
+//! synthetic noise around them.
+
+use banks_eval::run_anecdotes;
+
+#[test]
+fn anecdotes_reproduce_across_seeds() {
+    for seed in [1u64, 2, 3, 13] {
+        let outcomes = run_anecdotes(seed);
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            assert!(
+                o.passed,
+                "seed {seed}: anecdote {} (\"{}\") failed; top answers:\n{}",
+                o.id,
+                o.query,
+                o.top.join("---\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn anecdote_outputs_render_figure2_style() {
+    let outcomes = run_anecdotes(1);
+    // A5 is the Figure 2 query: its rendering must show the paper root
+    // with indented Writes and starred Author leaves.
+    let a5 = outcomes.iter().find(|o| o.id == "A5").expect("A5 present");
+    let rendering = &a5.top[0];
+    assert!(rendering.contains("Paper(ChakrabartiSD98"));
+    assert!(rendering.contains("*Author(S"));
+    assert!(rendering.lines().count() >= 5);
+}

@@ -1,0 +1,95 @@
+//! Search → browse hand-off: find an answer with keyword search, then
+//! explore its information node with the §4 browsing layer (the paper's
+//! combined "browsing and keyword searching" experience).
+
+use banks_browse::{html, Hyperlink, Session};
+use banks_core::Banks;
+use banks_datagen::dblp::{generate, DblpConfig};
+use banks_datagen::thesis::{generate as thesis_generate, ThesisConfig};
+use banks_eval::workload::dblp_eval_config;
+use banks_storage::Predicate;
+
+#[test]
+fn search_then_browse_the_information_node() {
+    let dataset = generate(DblpConfig::tiny(1)).unwrap();
+    let banks = Banks::with_config(dataset.db.clone(), dblp_eval_config()).unwrap();
+
+    // 1. Keyword search.
+    let answers = banks.search("soumen sunita").unwrap();
+    let root_rid = banks.tuple_graph().rid(answers[0].tree.root);
+    assert_eq!(
+        banks.db().table(root_rid.relation).schema().name,
+        "Paper",
+        "information node is the co-authored paper"
+    );
+
+    // 2. Browse from the information node: who references this paper?
+    let session = Session::open(&dataset.db, "Paper").unwrap();
+    let menu = session.backref_menu(root_rid);
+    let writes_entry = menu
+        .iter()
+        .find(|e| e.relation_name == "Writes")
+        .expect("papers are referenced by Writes");
+    assert!(writes_entry.count >= 2, "both authors' Writes tuples");
+
+    // 3. Follow the backward link: the filtered Writes view lists exactly
+    //    the referencing tuples.
+    let mut session = Session::open(&dataset.db, "Paper").unwrap();
+    session
+        .view_backrefs(root_rid, writes_entry.relation, writes_entry.fk_index)
+        .unwrap();
+    let view = session.render().unwrap();
+    assert_eq!(view.total_rows, writes_entry.count);
+
+    // 4. Every AuthorId cell in that view links onward to an Author tuple.
+    for row in &view.rows {
+        match &row[0].link {
+            Some(Hyperlink::Tuple(rid)) => {
+                assert_eq!(dataset.db.table(rid.relation).schema().name, "Author");
+            }
+            other => panic!("expected author link, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn browse_controls_compose_with_selections() {
+    let dataset = thesis_generate(ThesisConfig::tiny(2)).unwrap();
+    let mut session = Session::open(&dataset.db, "Thesis").unwrap();
+    // Select theses mentioning "computer", join the student, sort by title.
+    session.select(1, Predicate::Contains("computer".into()));
+    session.join(0);
+    session.sort(1, true);
+    let view = session.render().unwrap();
+    assert!(view.total_rows > 0);
+    assert!(view.columns.contains(&"Student.StudentName".to_string()));
+    let titles: Vec<&str> = view.rows.iter().map(|r| r[1].text.as_str()).collect();
+    let mut sorted = titles.clone();
+    sorted.sort();
+    assert_eq!(titles, sorted);
+    for row in &view.rows {
+        assert!(row[1].text.to_lowercase().contains("computer"));
+    }
+    // The whole view renders to HTML with links intact.
+    let page = html::render_view(&view);
+    assert!(page.contains("banks://"));
+}
+
+#[test]
+fn history_survives_a_full_navigation_loop() {
+    let dataset = thesis_generate(ThesisConfig::tiny(3)).unwrap();
+    let mut session = Session::open(&dataset.db, "Student").unwrap();
+    session.group_by(2);
+    let grouped = session.render().unwrap();
+    let link = grouped.rows[0][0].link.clone().unwrap();
+    session.follow(&link).unwrap();
+    session.drop_column(3);
+    // back through: drop → drill → group → start
+    assert!(session.back());
+    assert!(session.back());
+    assert!(session.back());
+    assert!(!session.back());
+    let start = session.render().unwrap();
+    assert_eq!(start.title, "Student");
+    assert_eq!(start.columns.len(), 4);
+}

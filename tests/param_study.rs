@@ -1,0 +1,94 @@
+//! EXP-F5 shape assertions: the qualitative conclusions of §5.3 must hold
+//! on the synthetic corpus across seeds.
+
+use banks_datagen::dblp::{generate, DblpConfig};
+use banks_eval::fig5::{cell, run_fig5, run_heap_sweep, LAMBDAS};
+
+#[test]
+fn lambda_02_with_log_edges_is_best_and_lambda_1_is_worst() {
+    for seed in [1u64, 5] {
+        let dataset = generate(DblpConfig::tiny(seed)).unwrap();
+        let report = run_fig5(&dataset, false);
+        let best = cell(&report, 0.2, true).unwrap().avg_scaled_error;
+        let worst = LAMBDAS
+            .iter()
+            .flat_map(|&l| [cell(&report, l, false), cell(&report, l, true)])
+            .flatten()
+            .map(|c| c.avg_scaled_error)
+            .fold(0.0f64, f64::max);
+        // λ=0.2 + log is never beaten…
+        for c in &report.cells {
+            assert!(
+                best <= c.avg_scaled_error + 1e-9,
+                "seed {seed}: λ=0.2+log ({best:.2}) beaten by λ={} log={} ({:.2})",
+                c.lambda,
+                c.edge_log,
+                c.avg_scaled_error
+            );
+        }
+        // …and ignoring edge weights (λ=1) is the worst setting.
+        let lambda1 = cell(&report, 1.0, true).unwrap().avg_scaled_error;
+        assert!(
+            (lambda1 - worst).abs() < 1e-9,
+            "seed {seed}: λ=1 ({lambda1:.2}) is not the maximum ({worst:.2})"
+        );
+        assert!(
+            lambda1 > best + 5.0,
+            "seed {seed}: λ=1 must be clearly worse than the best setting"
+        );
+    }
+}
+
+#[test]
+fn side_claims_mode_and_node_log_have_small_impact_at_good_lambdas() {
+    let dataset = generate(DblpConfig::tiny(1)).unwrap();
+    let report = run_fig5(&dataset, true);
+    // At the operating range (λ ≤ 0.5) the combination mode and node-log
+    // deltas stay small; the paper reports "almost no impact".
+    for c in &report.cells {
+        if c.lambda <= 0.5 && c.multiplicative {
+            let additive = report
+                .cells
+                .iter()
+                .find(|o| {
+                    o.lambda == c.lambda && !o.multiplicative && !o.node_log && !o.edge_log
+                })
+                .unwrap();
+            assert!(
+                (c.avg_scaled_error - additive.avg_scaled_error).abs() <= 5.0,
+                "λ={}: mode delta too large ({:.2} vs {:.2})",
+                c.lambda,
+                c.avg_scaled_error,
+                additive.avg_scaled_error
+            );
+        }
+    }
+}
+
+#[test]
+fn heap_sweep_small_buffers_suffice() {
+    // §3: "we have found it works well even with a reasonably small heap
+    // size" — at the paper-best parameters the default heap (30) must be
+    // error-free on the workload and tiny buffers must not be worse than
+    // ~a swap or two.
+    let dataset = generate(DblpConfig::tiny(1)).unwrap();
+    let rows = run_heap_sweep(&dataset, &[1, 5, 30, 100]);
+    let at = |size: usize| {
+        rows.iter()
+            .find(|r| r.heap_size == size)
+            .unwrap()
+            .avg_scaled_error
+    };
+    assert_eq!(at(30), 0.0, "default heap must reproduce ideal rankings");
+    assert!(at(100) <= at(1) + 1e-9, "bigger buffers never hurt");
+    assert!(at(1) <= 25.0, "even heap=1 stays far from worst-case error");
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let dataset = generate(DblpConfig::tiny(2)).unwrap();
+    let report = run_fig5(&dataset, false);
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("avg_scaled_error"));
+    assert!(json.contains("per_query"));
+}

@@ -1,0 +1,72 @@
+//! Backward vs forward search (§3 vs §7): the approximation must agree
+//! with the exhaustive algorithm on clear-cut queries and must be cheaper
+//! on metadata-heavy ones.
+
+use banks_core::{Banks, SearchStrategy};
+use banks_datagen::dblp::{generate, DblpConfig};
+use banks_eval::workload::dblp_eval_config;
+
+fn banks(seed: u64) -> Banks {
+    let dataset = generate(DblpConfig::tiny(seed)).unwrap();
+    Banks::with_config(dataset.db, dblp_eval_config()).unwrap()
+}
+
+#[test]
+fn strategies_agree_on_top_answer_for_selective_queries() {
+    let banks = banks(1);
+    for query in ["soumen sunita", "seltzer sunita", "gray transaction"] {
+        let bwd = banks
+            .search_with(query, SearchStrategy::Backward, banks.config())
+            .unwrap();
+        let fwd = banks
+            .search_with(query, SearchStrategy::Forward, banks.config())
+            .unwrap();
+        assert!(!bwd.answers.is_empty(), "{query}: backward empty");
+        assert!(!fwd.answers.is_empty(), "{query}: forward empty");
+        assert_eq!(
+            bwd.answers[0].tree.signature(),
+            fwd.answers[0].tree.signature(),
+            "{query}: top answers disagree"
+        );
+    }
+}
+
+#[test]
+fn forward_search_spawns_fewer_iterators_on_metadata_queries() {
+    let banks = banks(2);
+    // "author" matches every Author tuple plus the AuthorId columns.
+    let bwd = banks
+        .search_with("author sunita", SearchStrategy::Backward, banks.config())
+        .unwrap();
+    let fwd = banks
+        .search_with("author sunita", SearchStrategy::Forward, banks.config())
+        .unwrap();
+    assert!(
+        fwd.stats.iterators * 10 < bwd.stats.iterators,
+        "forward {} vs backward {} iterators",
+        fwd.stats.iterators,
+        bwd.stats.iterators
+    );
+    assert!(!fwd.answers.is_empty());
+    // Both find the intuitive answer: the Sunita tuple itself.
+    let top_is_single = |answers: &[banks_core::Answer]| {
+        answers
+            .first()
+            .is_some_and(|a| a.tree.edges.is_empty())
+    };
+    assert!(top_is_single(&bwd.answers));
+    assert!(top_is_single(&fwd.answers));
+}
+
+#[test]
+fn forward_respects_excluded_roots_too() {
+    let banks = banks(3);
+    let outcome = banks
+        .search_with("soumen sunita", SearchStrategy::Forward, banks.config())
+        .unwrap();
+    for a in &outcome.answers {
+        let rid = banks.tuple_graph().rid(a.tree.root);
+        let name = banks.db().table(rid.relation).schema().name.clone();
+        assert!(name != "Writes" && name != "Cites");
+    }
+}
