@@ -31,19 +31,18 @@ fn bench_ablation(c: &mut Criterion) {
     // ABL-FWD: strategy comparison.
     let mut group = c.benchmark_group("ablation_strategy");
     group.sample_size(20);
-    for (label, query) in [("metadata_heavy", "author sunita"), ("selective", "seltzer sunita")] {
-        group.bench_with_input(
-            BenchmarkId::new("backward", label),
-            &query,
-            |b, query| {
-                b.iter(|| {
-                    let outcome = banks
-                        .search_with(query, SearchStrategy::Backward, banks.config())
-                        .unwrap();
-                    black_box(outcome.stats.pops)
-                });
-            },
-        );
+    for (label, query) in [
+        ("metadata_heavy", "author sunita"),
+        ("selective", "seltzer sunita"),
+    ] {
+        group.bench_with_input(BenchmarkId::new("backward", label), &query, |b, query| {
+            b.iter(|| {
+                let outcome = banks
+                    .search_with(query, SearchStrategy::Backward, banks.config())
+                    .unwrap();
+                black_box(outcome.stats.pops)
+            });
+        });
         group.bench_with_input(BenchmarkId::new("forward", label), &query, |b, query| {
             b.iter(|| {
                 let outcome = banks

@@ -34,8 +34,8 @@ fn bench_dijkstra(c: &mut Criterion) {
             &budget,
             |b, &budget| {
                 b.iter(|| {
-                    let it = Dijkstra::new(graph, start, Direction::Reverse)
-                        .with_max_settled(budget);
+                    let it =
+                        Dijkstra::new(graph, start, Direction::Reverse).with_max_settled(budget);
                     black_box(it.count())
                 });
             },

@@ -12,13 +12,9 @@ fn bench_query_latency(c: &mut Criterion) {
     let dataset = corpus("tiny");
     let banks = banks_for(&dataset);
     for query in dblp_workload(&dataset.planted) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(query.id),
-            &query,
-            |b, query| {
-                b.iter(|| black_box(banks.search(query.text).unwrap().len()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(query.id), &query, |b, query| {
+            b.iter(|| black_box(banks.search(query.text).unwrap().len()));
+        });
     }
     group.finish();
 
@@ -33,13 +29,9 @@ fn bench_query_latency(c: &mut Criterion) {
         if query.id == "Q6-metadata" {
             continue;
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(query.id),
-            &query,
-            |b, query| {
-                b.iter(|| black_box(banks.search(query.text).unwrap().len()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(query.id), &query, |b, query| {
+            b.iter(|| black_box(banks.search(query.text).unwrap().len()));
+        });
     }
     group.finish();
 }

@@ -28,7 +28,11 @@ pub fn escape(text: &str) -> String {
 /// Render a table view as an HTML `<table>` with pagination footer.
 pub fn render_view(view: &RenderedView) -> String {
     let mut html = String::new();
-    let _ = write!(html, "<h2>{}</h2>\n<table border=\"1\">\n<tr>", escape(&view.title));
+    let _ = write!(
+        html,
+        "<h2>{}</h2>\n<table border=\"1\">\n<tr>",
+        escape(&view.title)
+    );
     for col in &view.columns {
         let _ = write!(html, "<th>{}</th>", escape(col));
     }
@@ -92,12 +96,7 @@ pub fn render_folder(node: &FolderNode) -> String {
 }
 
 fn render_folder_into(node: &FolderNode, html: &mut String) {
-    let _ = write!(
-        html,
-        "<li>📁 {} ({})",
-        escape(&node.label),
-        node.count
-    );
+    let _ = write!(html, "<li>📁 {} ({})", escape(&node.label), node.count);
     if !node.children.is_empty() {
         html.push_str("<ul>");
         for child in &node.children {
@@ -144,7 +143,9 @@ pub fn render_chart(chart: &ChartData) -> String {
             }
         }
         ChartKind::Line | ChartKind::Pie => {
-            html.push_str("<table border=\"1\"><tr><th>label</th><th>value</th><th>share</th></tr>\n");
+            html.push_str(
+                "<table border=\"1\"><tr><th>label</th><th>value</th><th>share</th></tr>\n",
+            );
             for p in &chart.points {
                 let _ = writeln!(
                     html,

@@ -116,7 +116,10 @@ mod tests {
             .href(),
             "banks://backrefs/R1:5/R2/0"
         );
-        assert_eq!(Hyperlink::Relation(RelationId(3)).href(), "banks://relation/R3");
+        assert_eq!(
+            Hyperlink::Relation(RelationId(3)).href(),
+            "banks://relation/R3"
+        );
         assert_eq!(
             Hyperlink::Template("by-dept".into()).href(),
             "banks://template/by-dept"

@@ -133,13 +133,12 @@ mod tests {
         .unwrap();
         assert!(ct.total > 0.0);
         // Grand total equals the sum over all line items.
-        let expected: f64 = d
-            .db
-            .relation("LineItem")
-            .unwrap()
-            .scan()
-            .map(|(_, t)| t.values()[4].as_f64().unwrap())
-            .sum();
+        let expected: f64 =
+            d.db.relation("LineItem")
+                .unwrap()
+                .scan()
+                .map(|(_, t)| t.values()[4].as_f64().unwrap())
+                .sum();
         assert_eq!(ct.total, expected);
     }
 

@@ -41,7 +41,11 @@ impl FolderNode {
 
     /// Total folders in the subtree (including self).
     pub fn folder_count(&self) -> usize {
-        1 + self.children.iter().map(|c| c.folder_count()).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.folder_count())
+            .sum::<usize>()
     }
 }
 
@@ -57,13 +61,7 @@ pub fn evaluate(db: &Database, spec: &FolderSpec) -> StorageResult<FolderNode> {
         }
     }
     let all: Vec<Rid> = table.scan().map(|(rid, _)| rid).collect();
-    build(
-        db,
-        spec,
-        table.schema().name.clone(),
-        &all,
-        0,
-    )
+    build(db, spec, table.schema().name.clone(), &all, 0)
 }
 
 fn build(

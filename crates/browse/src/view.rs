@@ -7,9 +7,7 @@
 //! database into a [`RenderedView`] whose cells carry [`Hyperlink`]s.
 
 use crate::hyperlink::Hyperlink;
-use banks_storage::{
-    Database, Predicate, RelationId, Rid, StorageError, StorageResult, Value,
-};
+use banks_storage::{Database, Predicate, RelationId, Rid, StorageError, StorageResult, Value};
 
 /// A forward join: pull in the relation referenced by the base relation's
 /// foreign key `fk_index` ("clicking on 'join' results in the referenced
@@ -305,13 +303,7 @@ fn render_grouped(
 /// Build the cell for column `col` of a tuple, attaching the hyperlink the
 /// schema implies: FK columns link to the referenced tuple, PK columns
 /// link backwards.
-fn cell_for(
-    db: &Database,
-    relation: RelationId,
-    rid: Rid,
-    values: &[Value],
-    col: usize,
-) -> Cell {
+fn cell_for(db: &Database, relation: RelationId, rid: Rid, values: &[Value], col: usize) -> Cell {
     let schema = db.table(relation).schema();
     let value = &values[col];
     let text = value.to_string();
@@ -409,10 +401,7 @@ mod tests {
         let d = fixture();
         let student_rel = d.db.relation_id("Student").unwrap();
         let mut spec = ViewSpec::relation(student_rel);
-        spec.selections = vec![(
-            2,
-            Predicate::Eq(Value::text(&d.planted.cse_dept)),
-        )];
+        spec.selections = vec![(2, Predicate::Eq(Value::text(&d.planted.cse_dept)))];
         let view = render(&d.db, &spec).unwrap();
         assert!(view.total_rows > 0);
         assert!(view.total_rows < 80);

@@ -1,0 +1,35 @@
+//! Shared corpus loading for the shell's `open` command and `banks
+//! serve`, so the two front ends can never drift on which corpora they
+//! accept or how they're configured.
+
+use banks_datagen::{dblp, thesis, tpcd, DblpConfig, ThesisConfig, TpcdConfig};
+use banks_storage::Database;
+
+/// The accepted corpus names, for error messages and help text.
+pub const CORPORA: &str = "dblp|dblp-small|thesis|tpcd";
+
+/// Generate the named synthetic corpus at the given seed.
+pub fn open(name: &str, seed: u64) -> Result<Database, String> {
+    let dataset = match name {
+        "dblp" => dblp::generate(DblpConfig::tiny(seed)).map(|d| d.db),
+        "dblp-small" => dblp::generate(DblpConfig::small(seed)).map(|d| d.db),
+        "thesis" => thesis::generate(ThesisConfig::tiny(seed)).map(|d| d.db),
+        "tpcd" => tpcd::generate(TpcdConfig::tiny(seed)).map(|d| d.db),
+        other => return Err(format!("unknown corpus `{other}` ({CORPORA})")),
+    };
+    dataset.map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_advertised_corpora_open() {
+        for name in CORPORA.split('|') {
+            let db = open(name, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(db.total_tuples() > 0, "{name} is non-empty");
+        }
+        assert!(open("wat", 1).unwrap_err().contains(CORPORA));
+    }
+}

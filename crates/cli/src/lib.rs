@@ -13,7 +13,10 @@
 //! assert!(out.contains("ChakrabartiSD98"));
 //! ```
 
+pub mod corpus;
+pub mod serve;
 pub mod shell;
 pub mod table;
 
+pub use serve::ServeArgs;
 pub use shell::Shell;

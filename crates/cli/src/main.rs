@@ -7,13 +7,24 @@
 //! banks> show 1
 //! ```
 //!
-//! Also supports one-shot execution: `banks -c "open dblp; search mohan"`.
+//! Also supports one-shot execution: `banks -c "open dblp; search mohan"`
+//! and the HTTP server mode: `banks serve --corpus dblp --addr 127.0.0.1:7331`.
 
 use banks_cli::Shell;
 use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Server mode: `banks serve [flags…]` (see banks_cli::serve).
+    if args.first().map(String::as_str) == Some("serve") {
+        if let Err(err) = banks_cli::serve::run(&args[1..]) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let mut shell = Shell::new();
 
     // One-shot mode: -c "cmd; cmd; …"

@@ -1,0 +1,275 @@
+//! The `banks serve` subcommand: build (or restore) a snapshot, wrap it
+//! in a [`QueryService`], and serve HTTP until killed.
+//!
+//! ```text
+//! banks serve --corpus dblp --seed 1 --addr 127.0.0.1:7331 --workers 8
+//! banks serve --corpus dblp-small --graph-snapshot /tmp/dblp.graph
+//! ```
+//!
+//! With `--graph-snapshot`, the CSR graph is restored from the file when
+//! it exists (skipping edge derivation — the §5.2 "graph load" phase)
+//! and written there after a fresh build otherwise, so the second start
+//! of the same corpus is fast.
+
+use banks_core::{Banks, BanksConfig, TupleGraph};
+use banks_server::{BanksServer, QueryService, ServerConfig, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Parsed `serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Synthetic corpus name (`dblp`, `dblp-small`, `thesis`, `tpcd`).
+    pub corpus: String,
+    /// Generation seed.
+    pub seed: u64,
+    /// Bind address.
+    pub addr: String,
+    /// HTTP worker threads (0 = one per core).
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Optional CSR graph snapshot path (load if present, else save).
+    pub graph_snapshot: Option<PathBuf>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            corpus: "dblp".to_string(),
+            seed: 1,
+            addr: "127.0.0.1:7331".to_string(),
+            workers: 0,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            graph_snapshot: None,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Parse `--flag value` pairs (everything after `banks serve`).
+    pub fn parse(args: &[String]) -> Result<ServeArgs, String> {
+        let mut parsed = ServeArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--corpus" => parsed.corpus = value("--corpus")?,
+                "--seed" => {
+                    parsed.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer".to_string())?
+                }
+                "--addr" => parsed.addr = value("--addr")?,
+                "--workers" => {
+                    parsed.workers = value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers must be an integer".to_string())?
+                }
+                "--cache-capacity" => {
+                    parsed.cache_capacity = value("--cache-capacity")?
+                        .parse()
+                        .map_err(|_| "--cache-capacity must be an integer".to_string())?
+                }
+                "--cache-shards" => {
+                    parsed.cache_shards = value("--cache-shards")?
+                        .parse()
+                        .map_err(|_| "--cache-shards must be an integer".to_string())?
+                }
+                "--graph-snapshot" => {
+                    parsed.graph_snapshot = Some(PathBuf::from(value("--graph-snapshot")?))
+                }
+                other => return Err(format!("unknown serve flag `{other}` — see `banks help`")),
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+/// Build the shared snapshot + service per the arguments. Returns the
+/// service and a human-readable startup summary.
+pub fn build_service(args: &ServeArgs) -> Result<(Arc<QueryService>, String), String> {
+    let db = crate::corpus::open(&args.corpus, args.seed)?;
+
+    let config = BanksConfig::default();
+    let mut graph_source = "built from database";
+    let banks = match &args.graph_snapshot {
+        Some(path) if path.exists() => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("open snapshot {}: {e}", path.display()))?;
+            let graph = banks_graph::snapshot::read_snapshot(std::io::BufReader::new(file))
+                .map_err(|e| format!("read snapshot {}: {e}", path.display()))?;
+            let tuple_graph = TupleGraph::rebind(&db, graph).map_err(|e| e.to_string())?;
+            graph_source = "restored from snapshot";
+            Banks::with_graph(db, config, tuple_graph).map_err(|e| e.to_string())?
+        }
+        maybe_path => {
+            let banks = Banks::with_config(db, config).map_err(|e| e.to_string())?;
+            if let Some(path) = maybe_path {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("create snapshot {}: {e}", path.display()))?;
+                banks_graph::snapshot::write_snapshot(
+                    banks.tuple_graph().graph(),
+                    std::io::BufWriter::new(file),
+                )
+                .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
+                graph_source = "built from database (snapshot saved)";
+            }
+            banks
+        }
+    };
+
+    let summary = format!(
+        "corpus {} (seed {}): {} nodes, {} edges, {:.1} MiB — graph {}",
+        args.corpus,
+        args.seed,
+        banks.tuple_graph().node_count(),
+        banks.tuple_graph().graph().edge_count(),
+        banks.memory_bytes() as f64 / (1024.0 * 1024.0),
+        graph_source,
+    );
+    let service = Arc::new(QueryService::new(
+        Arc::new(banks),
+        ServiceConfig {
+            cache_capacity: args.cache_capacity,
+            cache_shards: args.cache_shards,
+        },
+    ));
+    Ok((service, summary))
+}
+
+/// Start the HTTP server for the given arguments. Returns the running
+/// server so callers (tests, embedding processes) control its lifetime.
+pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), String> {
+    let (service, summary) = build_service(args)?;
+    let workers = if args.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        args.workers
+    };
+    let server = BanksServer::bind(
+        Arc::clone(&service),
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    eprintln!("{summary}");
+    eprintln!(
+        "serving on http://{} ({} workers, cache {} entries × {} shards)",
+        server.local_addr(),
+        workers,
+        service.cache().capacity(),
+        service.cache().shard_count(),
+    );
+    eprintln!("endpoints: /search?q=…  /node?id=…  /stats  /health");
+    Ok((service, server))
+}
+
+/// Foreground entry point for `banks serve`: serve until the process is
+/// killed.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let args = ServeArgs::parse(args)?;
+    let (_service, server) = start(&args)?;
+    server.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_overrides() {
+        assert_eq!(ServeArgs::parse(&[]).unwrap(), ServeArgs::default());
+        let args = ServeArgs::parse(&strings(&[
+            "--corpus",
+            "thesis",
+            "--seed",
+            "7",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--cache-capacity",
+            "128",
+            "--cache-shards",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(args.corpus, "thesis");
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.addr, "127.0.0.1:0");
+        assert_eq!(args.workers, 3);
+        assert_eq!(args.cache_capacity, 128);
+        assert_eq!(args.cache_shards, 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(ServeArgs::parse(&strings(&["--seed"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--seed", "x"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--wat"])).is_err());
+        assert!(build_service(&ServeArgs {
+            corpus: "wat".into(),
+            ..ServeArgs::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn snapshot_restart_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("banks_serve_snapshot_{}.graph", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let args = ServeArgs {
+            corpus: "dblp".into(),
+            graph_snapshot: Some(path.clone()),
+            ..ServeArgs::default()
+        };
+        // Cold start: builds the graph and saves the snapshot.
+        let (service, summary) = build_service(&args).unwrap();
+        assert!(summary.contains("snapshot saved"), "{summary}");
+        assert!(path.exists());
+        let cold = service
+            .search("mohan", Default::default())
+            .expect("planted author");
+        // Warm start: restores the snapshot; answers are identical.
+        let (service2, summary2) = build_service(&args).unwrap();
+        assert!(summary2.contains("restored from snapshot"), "{summary2}");
+        let warm = service2.search("mohan", Default::default()).unwrap();
+        assert_eq!(cold.result.answers.len(), warm.result.answers.len());
+        for (a, b) in cold.result.answers.iter().zip(&warm.result.answers) {
+            assert_eq!(a.tree.signature(), b.tree.signature());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn start_binds_ephemeral_port() {
+        let args = ServeArgs {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeArgs::default()
+        };
+        let (service, server) = start(&args).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(service.stats().queries, 0);
+        server.shutdown();
+    }
+}

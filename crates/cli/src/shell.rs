@@ -3,7 +3,6 @@
 use crate::table::render_text_table;
 use banks_browse::{render, JoinSpec, ReverseJoinSpec, ViewSpec};
 use banks_core::{Answer, Banks, BanksConfig, EdgeScoreMode, SearchStrategy};
-use banks_datagen::{dblp, thesis, tpcd, DblpConfig, ThesisConfig, TpcdConfig};
 use banks_storage::{Predicate, Value};
 
 /// Interactive state: a loaded database plus the last search and the
@@ -99,19 +98,7 @@ impl Shell {
         let mut parts = rest.split_whitespace();
         let what = parts.next().unwrap_or("");
         let seed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
-        let db = match what {
-            "dblp" => dblp::generate(DblpConfig::tiny(seed)).map_err(|e| e.to_string())?.db,
-            "dblp-small" => dblp::generate(DblpConfig::small(seed))
-                .map_err(|e| e.to_string())?
-                .db,
-            "thesis" => thesis::generate(ThesisConfig::tiny(seed))
-                .map_err(|e| e.to_string())?
-                .db,
-            "tpcd" => tpcd::generate(TpcdConfig::tiny(seed))
-                .map_err(|e| e.to_string())?
-                .db,
-            other => return Err(format!("unknown dataset `{other}` (dblp|dblp-small|thesis|tpcd)")),
-        };
+        let db = crate::corpus::open(what, seed)?;
         let tuples = db.total_tuples();
         let links = db.link_count();
         self.banks = Some(Banks::with_config(db, self.config.clone()).map_err(|e| e.to_string())?);
@@ -284,9 +271,7 @@ impl Shell {
                 self.config.search.output_heap_size = parse(v)?;
                 Ok(format!("heap = {v}"))
             }
-            (Some(other), _) => Err(format!(
-                "unknown config `{other}` (lambda|edge-log|k|heap)"
-            )),
+            (Some(other), _) => Err(format!("unknown config `{other}` (lambda|edge-log|k|heap)")),
         }
     }
 
@@ -418,6 +403,12 @@ commands:
   group <col#> | sort <col#> [asc|desc]       grouping / sorting
   page <n> | back                             pagination / history
   quit
+
+server mode (not a shell command):
+  banks serve [--corpus dblp|dblp-small|thesis|tpcd] [--seed N]
+              [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+              [--cache-shards N] [--graph-snapshot PATH]
+    serves /search, /node, /stats, /health as HTTP/1.1 + JSON
 ";
 
 #[cfg(test)]
@@ -499,7 +490,10 @@ mod tests {
     #[test]
     fn errors_are_friendly() {
         let mut shell = loaded();
-        assert!(shell.exec("frobnicate").unwrap_err().contains("unknown command"));
+        assert!(shell
+            .exec("frobnicate")
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(shell.exec("show 99").is_err());
         assert!(shell.exec("browse Nonexistent").is_err());
         assert!(shell.exec("select 0 ?? x").is_err());

@@ -1,0 +1,232 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness, so `cargo bench` works in fully offline environments.
+//!
+//! It implements the API subset the workspace's benches use — benchmark
+//! groups, `sample_size`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — and reports median / min / max
+//! nanoseconds-per-iteration on stdout. There is no statistical
+//! analysis, outlier detection, or HTML report.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per sample batch.
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The harness entry point, one per process.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().id, DEFAULT_SAMPLES, f);
+        self
+    }
+}
+
+/// A named benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records one sample per [`Bencher::iter`]
+/// call.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it enough times to fill the target batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: how many calls fit the batch target?
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let calls = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let t0 = Instant::now();
+        for _ in 0..calls {
+            std::hint::black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+        self.iters += calls;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            per_iter.push(bencher.ns_per_iter());
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<50} median {} (min {}, max {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        per_iter.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:7.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:7.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:7.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("dedup", true).id, "dedup/true");
+        assert_eq!(BenchmarkId::from_parameter(30).id, "30");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! `any::<T>()` — default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix of boundary and uniform values: edge cases are
+                    // where integer handling breaks.
+                    match rng.below(8) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(6) {
+            0 => 0.0,
+            1 => -1.0,
+            2 => f64::MAX,
+            _ => rng.next_f64() * 1e6 - 5e5,
+        }
+    }
+}
+
+/// Characters arbitrary strings draw from — deliberately adversarial for
+/// text processing: CSV metacharacters, whitespace (including newlines),
+/// and multibyte code points.
+const STRING_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'm', 'z', 'A', 'Z', '0', '7', ' ', ' ', ',', '"', '\'', '\n', '\r', '\t',
+    ';', '|', '\\', '/', '{', '}', 'é', 'ü', '北', '京', '🦀', '\u{0}',
+];
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        STRING_CHARS[rng.below(STRING_CHARS.len() as u64) as usize]
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(20) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(12) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}

@@ -146,7 +146,15 @@ impl ConnectionTree {
         }
         let mut out = String::new();
         let mut visited: Vec<u32> = Vec::new();
-        self.render_node(self.root, &children, db, tuple_graph, 0, &mut visited, &mut out);
+        self.render_node(
+            self.root,
+            &children,
+            db,
+            tuple_graph,
+            0,
+            &mut visited,
+            &mut out,
+        );
         out
     }
 
@@ -232,20 +240,23 @@ mod tests {
 
     #[test]
     fn signature_ignores_direction_and_root() {
-        let a = ConnectionTree::new(n(0), vec![n(1), n(2)], vec![
-            (n(0), n(1), 1.0),
-            (n(0), n(2), 1.0),
-        ]);
+        let a = ConnectionTree::new(
+            n(0),
+            vec![n(1), n(2)],
+            vec![(n(0), n(1), 1.0), (n(0), n(2), 1.0)],
+        );
         // Same undirected structure rooted elsewhere with flipped edges.
-        let b = ConnectionTree::new(n(1), vec![n(1), n(2)], vec![
-            (n(1), n(0), 3.0),
-            (n(0), n(2), 1.0),
-        ]);
+        let b = ConnectionTree::new(
+            n(1),
+            vec![n(1), n(2)],
+            vec![(n(1), n(0), 3.0), (n(0), n(2), 1.0)],
+        );
         assert_eq!(a.signature(), b.signature());
-        let c = ConnectionTree::new(n(0), vec![n(1), n(3)], vec![
-            (n(0), n(1), 1.0),
-            (n(0), n(3), 1.0),
-        ]);
+        let c = ConnectionTree::new(
+            n(0),
+            vec![n(1), n(3)],
+            vec![(n(0), n(1), 1.0), (n(0), n(3), 1.0)],
+        );
         assert_ne!(a.signature(), c.signature());
     }
 
@@ -263,10 +274,11 @@ mod tests {
 
     #[test]
     fn root_children_counted_distinctly() {
-        let t = ConnectionTree::new(n(0), vec![n(1), n(2)], vec![
-            (n(0), n(1), 1.0),
-            (n(0), n(2), 1.0),
-        ]);
+        let t = ConnectionTree::new(
+            n(0),
+            vec![n(1), n(2)],
+            vec![(n(0), n(1), 1.0), (n(0), n(2), 1.0)],
+        );
         assert_eq!(t.root_child_count(), 2);
     }
 }

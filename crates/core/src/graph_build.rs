@@ -30,32 +30,44 @@ pub struct TupleGraph {
 }
 
 impl TupleGraph {
-    /// Build the data graph for `db` under `config`.
-    pub fn build(db: &Database, config: &GraphConfig) -> StorageResult<TupleGraph> {
+    /// One node per tuple, in deterministic relations-scan order. This
+    /// ordering is the contract that lets [`TupleGraph::rebind`] attach
+    /// a snapshot graph to a freshly loaded database: both paths derive
+    /// their maps from this single function.
+    fn rid_maps(db: &Database) -> (Vec<Rid>, FxHashMap<Rid, NodeId>, Vec<u32>) {
         let n = db.total_tuples();
-        let mut builder = GraphBuilder::with_capacity(n, db.link_count() * 2);
         let mut node_rids = Vec::with_capacity(n);
         let mut rid_nodes = FxHashMap::default();
         rid_nodes.reserve(n);
         let mut relation_of = Vec::with_capacity(n);
-
-        // Pass 1: nodes, with indegree prestige.
         for table in db.relations() {
             for (rid, _) in table.scan() {
-                let weight = match config.node_weight {
-                    NodeWeightMode::Uniform => 1.0,
-                    // Authority transfer starts from indegree too; the
-                    // post-pass below refines it.
-                    NodeWeightMode::Indegree | NodeWeightMode::AuthorityTransfer { .. } => {
-                        db.indegree(rid) as f64
-                    }
-                };
-                let node = builder.add_node(weight);
-                debug_assert_eq!(node.index(), node_rids.len());
+                let node = NodeId(node_rids.len() as u32);
                 node_rids.push(rid);
                 rid_nodes.insert(rid, node);
                 relation_of.push(rid.relation.0);
             }
+        }
+        (node_rids, rid_nodes, relation_of)
+    }
+
+    /// Build the data graph for `db` under `config`.
+    pub fn build(db: &Database, config: &GraphConfig) -> StorageResult<TupleGraph> {
+        let (node_rids, rid_nodes, relation_of) = Self::rid_maps(db);
+        let mut builder = GraphBuilder::with_capacity(node_rids.len(), db.link_count() * 2);
+
+        // Pass 1: nodes, with indegree prestige.
+        for &rid in &node_rids {
+            let weight = match config.node_weight {
+                NodeWeightMode::Uniform => 1.0,
+                // Authority transfer starts from indegree too; the
+                // post-pass below refines it.
+                NodeWeightMode::Indegree | NodeWeightMode::AuthorityTransfer { .. } => {
+                    db.indegree(rid) as f64
+                }
+            };
+            let node = builder.add_node(weight);
+            debug_assert_eq!(Some(&node), rid_nodes.get(&rid));
         }
 
         // Pass 2: edges.
@@ -87,7 +99,11 @@ impl TupleGraph {
             }
         }
 
-        if let NodeWeightMode::AuthorityTransfer { iterations, damping } = config.node_weight {
+        if let NodeWeightMode::AuthorityTransfer {
+            iterations,
+            damping,
+        } = config.node_weight
+        {
             let weights = prestige::authority_transfer(db, &rid_nodes, iterations, damping);
             for (node_idx, w) in weights.into_iter().enumerate() {
                 builder.set_node_weight(NodeId(node_idx as u32), w);
@@ -96,6 +112,34 @@ impl TupleGraph {
 
         Ok(TupleGraph {
             graph: builder.build(),
+            node_rids,
+            rid_nodes,
+            relation_of,
+        })
+    }
+
+    /// Re-attach a pre-materialized graph (e.g. restored from a
+    /// `banks_graph::snapshot` file) to its database.
+    ///
+    /// Node order is the deterministic scan order `build` uses, so only
+    /// the rid maps need rebuilding — the expensive part of `build`
+    /// (foreign-key edge derivation and weighting) is skipped entirely.
+    /// Fails if the graph's node count doesn't match the tuple count;
+    /// finer-grained mismatches (an edited database with equal
+    /// cardinality) are the caller's responsibility, exactly as with any
+    /// stale cache file.
+    pub fn rebind(db: &Database, graph: Graph) -> StorageResult<TupleGraph> {
+        let n = db.total_tuples();
+        if graph.node_count() != n {
+            return Err(banks_storage::StorageError::InvalidSchema(format!(
+                "graph snapshot has {} nodes but the database has {} tuples",
+                graph.node_count(),
+                n
+            )));
+        }
+        let (node_rids, rid_nodes, relation_of) = Self::rid_maps(db);
+        Ok(TupleGraph {
+            graph,
             node_rids,
             rid_nodes,
             relation_of,
@@ -169,8 +213,11 @@ mod tests {
         .unwrap();
         db.insert("Dept", vec![Value::text("big"), Value::text("Big Dept")])
             .unwrap();
-        db.insert("Dept", vec![Value::text("small"), Value::text("Small Dept")])
-            .unwrap();
+        db.insert(
+            "Dept",
+            vec![Value::text("small"), Value::text("Small Dept")],
+        )
+        .unwrap();
         for i in 0..big {
             db.insert(
                 "Student",
@@ -215,7 +262,11 @@ mod tests {
         let db = university(5, 2);
         let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
         let g = tg.graph();
-        let big = db.relation("Dept").unwrap().lookup_pk(&[Value::text("big")]).unwrap();
+        let big = db
+            .relation("Dept")
+            .unwrap()
+            .lookup_pk(&[Value::text("big")])
+            .unwrap();
         let small = db
             .relation("Dept")
             .unwrap()
@@ -244,7 +295,11 @@ mod tests {
     fn node_prestige_is_indegree() {
         let db = university(5, 2);
         let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
-        let big = db.relation("Dept").unwrap().lookup_pk(&[Value::text("big")]).unwrap();
+        let big = db
+            .relation("Dept")
+            .unwrap()
+            .lookup_pk(&[Value::text("big")])
+            .unwrap();
         let b0 = db
             .relation("Student")
             .unwrap()
@@ -275,7 +330,11 @@ mod tests {
             ..GraphConfig::default()
         };
         let tg = TupleGraph::build(&db, &cfg).unwrap();
-        let big = db.relation("Dept").unwrap().lookup_pk(&[Value::text("big")]).unwrap();
+        let big = db
+            .relation("Dept")
+            .unwrap()
+            .lookup_pk(&[Value::text("big")])
+            .unwrap();
         let b0 = db
             .relation("Student")
             .unwrap()
@@ -317,7 +376,11 @@ mod tests {
             .insert("Cites", vec![Value::text("a"), Value::text("b")])
             .unwrap();
         let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
-        let a = db.relation("Paper").unwrap().lookup_pk(&[Value::text("a")]).unwrap();
+        let a = db
+            .relation("Paper")
+            .unwrap()
+            .lookup_pk(&[Value::text("a")])
+            .unwrap();
         let g = tg.graph();
         assert_eq!(
             g.edge_weight(tg.node(c).unwrap(), tg.node(a).unwrap()),

@@ -27,6 +27,31 @@
 //! | [`prestige`] | §7 | authority-transfer node weights |
 //! | [`system`] | — | the [`Banks`] facade tying it together |
 //!
+//! ## Workspace map
+//!
+//! This crate is the engine; the rest of the workspace layers serving,
+//! data, and evaluation on top of it:
+//!
+//! | crate | role |
+//! |---|---|
+//! | `banks-graph` | CSR graph, lazy Dijkstra iterators, binary snapshots |
+//! | `banks-storage` | in-memory relational engine + text/metadata indexes |
+//! | `banks-server` | concurrent query service: `Arc`-shared [`Banks`] snapshot, sharded LRU result cache, std-only HTTP/1.1 JSON endpoint |
+//! | `banks-cli` | interactive shell and the `banks serve` entry point |
+//! | `banks-browse` | §4 browsing interface |
+//! | `banks-datagen` | deterministic synthetic corpora |
+//! | `banks-eval` | §5 evaluation harness |
+//! | `banks-bench` | micro-benches + closed-loop server throughput bench |
+//! | `banks-util` | dependency-free JSON/HTTP helpers |
+//!
+//! A built [`Banks`] is immutable and `Send + Sync`: construction
+//! tokenizes, indexes, and materializes the graph once, after which any
+//! number of threads may call [`Banks::search`] concurrently (this is
+//! what `banks-server` relies on). For fast restarts the CSR graph can
+//! be dumped via `banks_graph::snapshot` and re-attached with
+//! [`TupleGraph::rebind`] + [`Banks::with_graph`], skipping edge
+//! derivation.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -296,11 +296,19 @@ fn add_numeric_matches(
 fn within_edit_distance_one(a: &str, b: &str) -> bool {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     match long.len() - short.len() {
         0 => {
             // substitution
-            let diffs = short.iter().zip(long.iter()).filter(|(x, y)| x != y).count();
+            let diffs = short
+                .iter()
+                .zip(long.iter())
+                .filter(|(x, y)| x != y)
+                .count();
             diffs <= 1
         }
         1 => {
@@ -359,11 +367,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert(
-            "Author",
-            vec![Value::text("a1"), Value::text("Alon Levy")],
-        )
-        .unwrap();
+        db.insert("Author", vec![Value::text("a1"), Value::text("Alon Levy")])
+            .unwrap();
         db.insert(
             "Author",
             vec![Value::text("a2"), Value::text("Levy Morrison")],
@@ -437,7 +442,11 @@ mod tests {
     fn qualified_term_restricts_column() {
         let f = fixture();
         let m = run(&f, "AuthorName:levy", &MatchConfig::default());
-        assert_eq!(m[0].nodes.len(), 2, "only author-name matches, not the paper");
+        assert_eq!(
+            m[0].nodes.len(),
+            2,
+            "only author-name matches, not the paper"
+        );
         let m = run(&f, "Paper.PaperName:levy", &MatchConfig::default());
         assert_eq!(m[0].nodes.len(), 1);
     }
@@ -539,18 +548,16 @@ mod tests {
         let m = run(&f, "approx(1988)", &MatchConfig::default());
         // p2 carries the exact token "1988" (distance 0 → relevance 1);
         // p1's Year column holds 1987 (distance 1 → 1 − 1/3).
-        let p1 = f
-            .tg
-            .node(
+        let p1 =
+            f.tg.node(
                 f.db.relation("Paper")
                     .unwrap()
                     .lookup_pk(&[banks_storage::Value::text("p1")])
                     .unwrap(),
             )
             .unwrap();
-        let p2 = f
-            .tg
-            .node(
+        let p2 =
+            f.tg.node(
                 f.db.relation("Paper")
                     .unwrap()
                     .lookup_pk(&[banks_storage::Value::text("p2")])

@@ -197,7 +197,10 @@ mod tests {
             Query::parse("attr:", &t),
             Err(BanksError::BadTerm { .. })
         ));
-        assert!(matches!(Query::parse("  ", &t), Err(BanksError::EmptyQuery)));
+        assert!(matches!(
+            Query::parse("  ", &t),
+            Err(BanksError::EmptyQuery)
+        ));
         assert!(matches!(
             Query::parse("!!! ...", &t),
             Err(BanksError::EmptyQuery)

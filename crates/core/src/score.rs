@@ -141,16 +141,22 @@ mod tests {
     #[test]
     fn edge_score_linear_and_log() {
         let g = star();
-        let lin = Scorer::new(&g, ScoreParams {
-            edge_score: EdgeScoreMode::Linear,
-            ..ScoreParams::default()
-        });
+        let lin = Scorer::new(
+            &g,
+            ScoreParams {
+                edge_score: EdgeScoreMode::Linear,
+                ..ScoreParams::default()
+            },
+        );
         assert_eq!(lin.edge_score(1.0), 1.0, "w_min is 1");
         assert_eq!(lin.edge_score(4.0), 4.0);
-        let log = Scorer::new(&g, ScoreParams {
-            edge_score: EdgeScoreMode::Log,
-            ..ScoreParams::default()
-        });
+        let log = Scorer::new(
+            &g,
+            ScoreParams {
+                edge_score: EdgeScoreMode::Log,
+                ..ScoreParams::default()
+            },
+        );
         assert_eq!(log.edge_score(1.0), 1.0, "log2(1+1) = 1");
         assert!(log.edge_score(4.0) < lin.edge_score(4.0), "log compresses");
     }
@@ -159,11 +165,11 @@ mod tests {
     fn tree_edge_score_decreases_with_size() {
         let g = star();
         let s = Scorer::new(&g, ScoreParams::default());
-        let small = ConnectionTree::new(NodeId(0), vec![NodeId(1)], vec![(
+        let small = ConnectionTree::new(
             NodeId(0),
-            NodeId(1),
-            1.0,
-        )]);
+            vec![NodeId(1)],
+            vec![(NodeId(0), NodeId(1), 1.0)],
+        );
         let big = tree_two_leaves();
         assert!(s.tree_edge_score(&small) > s.tree_edge_score(&big));
         let single = ConnectionTree::new(NodeId(1), vec![NodeId(1)], vec![]);
@@ -173,17 +179,23 @@ mod tests {
     #[test]
     fn node_score_normalized_to_max() {
         let g = star();
-        let s = Scorer::new(&g, ScoreParams {
-            node_score: NodeScoreMode::Linear,
-            ..ScoreParams::default()
-        });
+        let s = Scorer::new(
+            &g,
+            ScoreParams {
+                node_score: NodeScoreMode::Linear,
+                ..ScoreParams::default()
+            },
+        );
         assert_eq!(s.node_score(NodeId(0)), 1.0);
         assert_eq!(s.node_score(NodeId(1)), 0.0);
         assert_eq!(s.node_score(NodeId(2)), 0.5);
-        let slog = Scorer::new(&g, ScoreParams {
-            node_score: NodeScoreMode::Log,
-            ..ScoreParams::default()
-        });
+        let slog = Scorer::new(
+            &g,
+            ScoreParams {
+                node_score: NodeScoreMode::Log,
+                ..ScoreParams::default()
+            },
+        );
         assert_eq!(slog.node_score(NodeId(0)), 1.0);
         assert!(slog.node_score(NodeId(2)) > 0.5, "log lifts mid weights");
     }
@@ -191,10 +203,13 @@ mod tests {
     #[test]
     fn tree_node_score_averages_root_and_leaves() {
         let g = star();
-        let s = Scorer::new(&g, ScoreParams {
-            node_score: NodeScoreMode::Linear,
-            ..ScoreParams::default()
-        });
+        let s = Scorer::new(
+            &g,
+            ScoreParams {
+                node_score: NodeScoreMode::Linear,
+                ..ScoreParams::default()
+            },
+        );
         // leaves 1 (0.0) and 2 (0.5) + root 0 (1.0) → avg 0.5
         let t = tree_two_leaves();
         assert!((s.tree_node_score(&t) - 0.5).abs() < 1e-12);
@@ -215,19 +230,25 @@ mod tests {
     fn lambda_extremes() {
         let g = star();
         let t = tree_two_leaves();
-        let edge_only = Scorer::new(&g, ScoreParams {
-            lambda: 0.0,
-            combine: CombineMode::Additive,
-            edge_score: EdgeScoreMode::Linear,
-            node_score: NodeScoreMode::Linear,
-        });
+        let edge_only = Scorer::new(
+            &g,
+            ScoreParams {
+                lambda: 0.0,
+                combine: CombineMode::Additive,
+                edge_score: EdgeScoreMode::Linear,
+                node_score: NodeScoreMode::Linear,
+            },
+        );
         assert!((edge_only.relevance(&t) - edge_only.tree_edge_score(&t)).abs() < 1e-12);
-        let node_only = Scorer::new(&g, ScoreParams {
-            lambda: 1.0,
-            combine: CombineMode::Additive,
-            edge_score: EdgeScoreMode::Linear,
-            node_score: NodeScoreMode::Linear,
-        });
+        let node_only = Scorer::new(
+            &g,
+            ScoreParams {
+                lambda: 1.0,
+                combine: CombineMode::Additive,
+                edge_score: EdgeScoreMode::Linear,
+                node_score: NodeScoreMode::Linear,
+            },
+        );
         assert!((node_only.relevance(&t) - node_only.tree_node_score(&t)).abs() < 1e-12);
     }
 
@@ -235,12 +256,15 @@ mod tests {
     fn multiplicative_combination() {
         let g = star();
         let t = tree_two_leaves();
-        let s = Scorer::new(&g, ScoreParams {
-            lambda: 0.5,
-            combine: CombineMode::Multiplicative,
-            edge_score: EdgeScoreMode::Linear,
-            node_score: NodeScoreMode::Linear,
-        });
+        let s = Scorer::new(
+            &g,
+            ScoreParams {
+                lambda: 0.5,
+                combine: CombineMode::Multiplicative,
+                edge_score: EdgeScoreMode::Linear,
+                node_score: NodeScoreMode::Linear,
+            },
+        );
         let expect = s.tree_edge_score(&t).powf(0.5) * s.tree_node_score(&t).powf(0.5);
         assert!((s.relevance(&t) - expect).abs() < 1e-12);
     }

@@ -73,7 +73,13 @@ pub fn backward_search(
         };
     }
     if keyword_sets.len() == 1 {
-        return single_term_search(tuple_graph, scorer, &keyword_sets[0], config, excluded_roots);
+        return single_term_search(
+            tuple_graph,
+            scorer,
+            &keyword_sets[0],
+            config,
+            excluded_roots,
+        );
     }
 
     let graph = tuple_graph.graph();
@@ -87,8 +93,8 @@ pub fn backward_search(
     for (term, set) in keyword_sets.iter().enumerate() {
         for &origin in set {
             let idx = iterators.len();
-            let mut iterator = Dijkstra::new(graph, origin, Direction::Reverse)
-                .with_max_dist(config.max_distance);
+            let mut iterator =
+                Dijkstra::new(graph, origin, Direction::Reverse).with_max_dist(config.max_distance);
             if config.node_weight_in_distance {
                 // §3: fold keyword-node prestige into the distance —
                 // low-prestige origins start behind by up to one w_min.
@@ -400,22 +406,20 @@ mod tests {
     }
 
     fn author_node(f: &Fixture, id: &str) -> NodeId {
-        let rid = f
-            .db
-            .relation("Author")
-            .unwrap()
-            .lookup_pk(&[Value::text(id)])
-            .unwrap();
+        let rid =
+            f.db.relation("Author")
+                .unwrap()
+                .lookup_pk(&[Value::text(id)])
+                .unwrap();
         f.tg.node(rid).unwrap()
     }
 
     fn paper_node(f: &Fixture, id: &str) -> NodeId {
-        let rid = f
-            .db
-            .relation("Paper")
-            .unwrap()
-            .lookup_pk(&[Value::text(id)])
-            .unwrap();
+        let rid =
+            f.db.relation("Paper")
+                .unwrap()
+                .lookup_pk(&[Value::text(id)])
+                .unwrap();
         f.tg.node(rid).unwrap()
     }
 
@@ -429,7 +433,11 @@ mod tests {
         let f = fixture();
         let soumen = author_node(&f, "SoumenC");
         let sunita = author_node(&f, "SunitaS");
-        let outcome = run(&f, vec![vec![soumen], vec![sunita]], &SearchConfig::default());
+        let outcome = run(
+            &f,
+            vec![vec![soumen], vec![sunita]],
+            &SearchConfig::default(),
+        );
         assert_eq!(outcome.answers.len(), 1, "exactly one connection tree");
         let tree = &outcome.answers[0].tree;
         assert_eq!(tree.root, paper_node(&f, "ChakrabartiSD98"));
@@ -467,7 +475,10 @@ mod tests {
         ];
         let outcome = run(&f, vec![set], &SearchConfig::default());
         assert_eq!(outcome.answers.len(), 3);
-        assert_eq!(outcome.answers[0].tree.root, paper_node(&f, "ChakrabartiSD98"));
+        assert_eq!(
+            outcome.answers[0].tree.root,
+            paper_node(&f, "ChakrabartiSD98")
+        );
         assert!(outcome.answers[0].relevance >= outcome.answers[1].relevance);
         assert!(outcome.stats.pops == 0, "fast path does not expand");
     }
@@ -605,10 +616,7 @@ mod tests {
             vec![vec![soumen], vec![sunita]],
             &SearchConfig::default(),
         );
-        assert_eq!(
-            outcome.answers[0].tree.weight,
-            plain.answers[0].tree.weight
-        );
+        assert_eq!(outcome.answers[0].tree.weight, plain.answers[0].tree.weight);
     }
 
     #[test]
@@ -623,11 +631,7 @@ mod tests {
             vec![vec![soumen, sunita], vec![soumen, sunita]],
             &SearchConfig::default(),
         );
-        let mut sigs: Vec<_> = outcome
-            .answers
-            .iter()
-            .map(|a| a.tree.signature())
-            .collect();
+        let mut sigs: Vec<_> = outcome.answers.iter().map(|a| a.tree.signature()).collect();
         let before = sigs.len();
         sigs.sort();
         sigs.dedup();

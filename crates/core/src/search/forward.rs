@@ -74,7 +74,13 @@ pub fn forward_search(
     }
     if keyword_sets.len() == 1 {
         // Degenerates to the same fast path as backward search.
-        return backward::backward_search(tuple_graph, scorer, keyword_sets, config, excluded_roots);
+        return backward::backward_search(
+            tuple_graph,
+            scorer,
+            keyword_sets,
+            config,
+            excluded_roots,
+        );
     }
 
     let graph = tuple_graph.graph();
@@ -333,7 +339,13 @@ mod tests {
         let b = node(&db, &tg, "Author", "B");
         let c = node(&db, &tg, "Author", "C");
         let cfg = SearchConfig::default();
-        let fwd = forward_search(&tg, &scorer, &[vec![b], vec![c]], &cfg, &FxHashSet::default());
+        let fwd = forward_search(
+            &tg,
+            &scorer,
+            &[vec![b], vec![c]],
+            &cfg,
+            &FxHashSet::default(),
+        );
         let bwd = backward::backward_search(
             &tg,
             &scorer,
@@ -388,7 +400,13 @@ mod tests {
             forward_probe_budget: 1,
             ..SearchConfig::default()
         };
-        let outcome = forward_search(&tg, &scorer, &[vec![b], vec![c]], &cfg, &FxHashSet::default());
+        let outcome = forward_search(
+            &tg,
+            &scorer,
+            &[vec![b], vec![c]],
+            &cfg,
+            &FxHashSet::default(),
+        );
         // A 1-node probe can only "find" the other keyword when the
         // candidate root *is* that keyword, so every surviving answer is a
         // keyword-rooted chain; the branching Alice-paper trees of the
@@ -406,6 +424,9 @@ mod tests {
             &SearchConfig::default(),
             &FxHashSet::default(),
         );
-        assert!(full.answers[0].relevance >= outcome.answers.first().map(|a| a.relevance).unwrap_or(0.0));
+        assert!(
+            full.answers[0].relevance
+                >= outcome.answers.first().map(|a| a.relevance).unwrap_or(0.0)
+        );
     }
 }

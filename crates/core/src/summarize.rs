@@ -43,7 +43,10 @@ pub fn summarize(db: &Database, tuple_graph: &TupleGraph, answers: &[Answer]) ->
         group.best_relevance = group.best_relevance.max(answer.relevance);
         group.answers.push(answer.clone());
     }
-    let mut out: Vec<AnswerGroup> = order.into_iter().map(|s| groups.remove(&s).unwrap()).collect();
+    let mut out: Vec<AnswerGroup> = order
+        .into_iter()
+        .map(|s| groups.remove(&s).unwrap())
+        .collect();
     out.sort_by(|a, b| b.best_relevance.total_cmp(&a.best_relevance));
     out
 }
@@ -125,7 +128,12 @@ mod tests {
 
     fn paper_tree(db: &Database, tg: &TupleGraph, p: &str, rel: f64) -> Answer {
         let paper = tg
-            .node(db.relation("Paper").unwrap().lookup_pk(&[Value::text(p)]).unwrap())
+            .node(
+                db.relation("Paper")
+                    .unwrap()
+                    .lookup_pk(&[Value::text(p)])
+                    .unwrap(),
+            )
             .unwrap();
         let w1 = tg
             .node(
@@ -144,10 +152,20 @@ mod tests {
             )
             .unwrap();
         let a1 = tg
-            .node(db.relation("Author").unwrap().lookup_pk(&[Value::text("a1")]).unwrap())
+            .node(
+                db.relation("Author")
+                    .unwrap()
+                    .lookup_pk(&[Value::text("a1")])
+                    .unwrap(),
+            )
             .unwrap();
         let a2 = tg
-            .node(db.relation("Author").unwrap().lookup_pk(&[Value::text("a2")]).unwrap())
+            .node(
+                db.relation("Author")
+                    .unwrap()
+                    .lookup_pk(&[Value::text("a2")])
+                    .unwrap(),
+            )
             .unwrap();
         let tree = ConnectionTree::new(
             paper,

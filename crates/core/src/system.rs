@@ -38,7 +38,9 @@ fn apply_node_relevances(matches: &[crate::matching::TermMatch], outcome: &mut S
 }
 
 /// Which search algorithm executes queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Hash` so serving layers can key result caches on the strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SearchStrategy {
     /// Backward expanding search (§3) — the paper's algorithm.
     #[default]
@@ -93,11 +95,36 @@ impl Banks {
 
     /// Build with an explicit configuration.
     pub fn with_config(db: Database, config: BanksConfig) -> BanksResult<Banks> {
+        // Validate before the (expensive) graph build; `with_graph`
+        // validates again but that repeat is cheap.
         config.validate()?;
+        let tuple_graph = TupleGraph::build(&db, &config.graph)?;
+        Banks::with_graph(db, config, tuple_graph)
+    }
+
+    /// Build around a pre-materialized data graph — the snapshot-restore
+    /// path: a CSR graph read back via `banks_graph::snapshot` (see
+    /// [`TupleGraph::rebind`]) skips the §5.2 "graph load" phase of edge
+    /// derivation, so a server restart only pays for index builds.
+    ///
+    /// The graph must describe exactly this database (one node per tuple
+    /// in scan order); [`TupleGraph::rebind`] validates the node count.
+    pub fn with_graph(
+        db: Database,
+        config: BanksConfig,
+        tuple_graph: TupleGraph,
+    ) -> BanksResult<Banks> {
+        config.validate()?;
+        if tuple_graph.node_count() != db.total_tuples() {
+            return Err(crate::error::BanksError::BadConfig(format!(
+                "graph has {} nodes but the database has {} tuples",
+                tuple_graph.node_count(),
+                db.total_tuples()
+            )));
+        }
         let tokenizer = Tokenizer::new();
         let text_index = TextIndex::build(&db, &tokenizer);
         let metadata_index = MetadataIndex::build(&db, &tokenizer);
-        let tuple_graph = TupleGraph::build(&db, &config.graph)?;
         let mut excluded_roots = FxHashSet::default();
         for name in &config.search.excluded_root_relations {
             if let Ok(id) = db.relation_id(name) {
@@ -117,8 +144,7 @@ impl Banks {
 
     /// Answer a keyword query with the configured `max_results`.
     pub fn search(&self, query_text: &str) -> BanksResult<Vec<Answer>> {
-        Ok(self.search_outcome(query_text)?.answers
-    )
+        Ok(self.search_outcome(query_text)?.answers)
     }
 
     /// Answer a keyword query, also returning execution counters.
@@ -141,7 +167,20 @@ impl Banks {
         config: &BanksConfig,
     ) -> BanksResult<SearchOutcome> {
         let query = Query::parse(query_text, &self.tokenizer)?;
-        let matches = self.match_terms(&query, config)?;
+        self.search_parsed(&query, strategy, config)
+    }
+
+    /// As [`Banks::search_with`], for an already-parsed [`Query`].
+    /// Serving layers parse once — to validate before touching their
+    /// result cache — and reuse the parse here instead of paying for a
+    /// second tokenization per cold query.
+    pub fn search_parsed(
+        &self,
+        query: &Query,
+        strategy: SearchStrategy,
+        config: &BanksConfig,
+    ) -> BanksResult<SearchOutcome> {
+        let matches = self.match_terms(query, config)?;
         let keyword_sets: Vec<Vec<NodeId>> = matches.iter().map(|m| m.nodes.clone()).collect();
         let scorer = Scorer::new(self.tuple_graph.graph(), config.score);
         let mut outcome = match strategy {
@@ -244,6 +283,16 @@ impl Banks {
         self.tuple_graph.memory_bytes() + self.text_index.memory_bytes()
     }
 }
+
+// A built `Banks` is immutable and interior-mutability-free, so one
+// instance can be shared across any number of query threads (the
+// multi-user serving scenario of the original web deployment). The
+// serving layer (`banks-server`) relies on this; break it and this
+// assertion fails to compile.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Banks>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -461,6 +510,44 @@ mod tests {
         for pair in answers.windows(2) {
             assert!(pair[0].relevance >= pair[1].relevance - 1e-12);
         }
+    }
+
+    #[test]
+    fn snapshot_rebind_reproduces_search_results() {
+        // Serving-layer restart path: dump the CSR graph, restore it,
+        // rebind to the database, and get identical ranked answers
+        // without re-deriving edges.
+        let fresh = Banks::new(dblp()).unwrap();
+        let mut bytes = Vec::new();
+        banks_graph::snapshot::write_snapshot(fresh.tuple_graph().graph(), &mut bytes).unwrap();
+        let graph = banks_graph::snapshot::read_snapshot(&bytes[..]).unwrap();
+        let tuple_graph = TupleGraph::rebind(fresh.db(), graph).unwrap();
+        let restored = Banks::with_graph(dblp(), BanksConfig::default(), tuple_graph).unwrap();
+        let a = fresh.search("soumen sunita").unwrap();
+        let b = restored.search("soumen sunita").unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tree.signature(), y.tree.signature());
+            assert!((x.relevance - y.relevance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn with_graph_rejects_mismatched_snapshot() {
+        let fresh = Banks::new(dblp()).unwrap();
+        let mut small = dblp();
+        let victim = small
+            .relation("Writes")
+            .unwrap()
+            .scan()
+            .next()
+            .map(|(rid, _)| rid)
+            .unwrap();
+        small.delete(victim).unwrap();
+        // One tuple fewer than the snapshot's node count — rebind must
+        // refuse rather than mis-map rids.
+        let err = TupleGraph::rebind(&small, fresh.tuple_graph().graph().clone());
+        assert!(err.is_err(), "node-count mismatch must be rejected");
     }
 
     #[test]

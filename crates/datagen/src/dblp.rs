@@ -325,10 +325,7 @@ fn plant(
             "ChakrabartiSD98",
             "Mining Surprising Patterns Using Temporal Description Length",
         ),
-        (
-            "SarawagiC00",
-            "Scalable Mining of Surprising Sequences",
-        ),
+        ("SarawagiC00", "Scalable Mining of Surprising Sequences"),
         (
             "StonebrakerSeltzer93",
             "Transaction Support in Read Optimized File Systems",

@@ -7,49 +7,214 @@
 
 /// First names for synthetic authors/students/faculty.
 pub const FIRST_NAMES: &[&str] = &[
-    "Alice", "Benjamin", "Carla", "Daniel", "Elena", "Felix", "Grace", "Hector", "Irene",
-    "Jorge", "Katrin", "Liam", "Mona", "Nikhil", "Olga", "Pavel", "Qing", "Rachel", "Stefan",
-    "Tara", "Umberto", "Vera", "Walter", "Ximena", "Yusuf", "Zelda", "Anders", "Bridget",
-    "Cesar", "Delia", "Edwin", "Farah", "Gunnar", "Hilda", "Ivan", "Jasmine", "Kenji",
-    "Lucia", "Marcus", "Nadia", "Oscar", "Priya", "Quentin", "Rosa", "Sergei", "Tomas",
-    "Ursula", "Viktor", "Wanda", "Xavier", "Yvonne", "Zachary", "Amara", "Boris", "Celine",
-    "Dmitri", "Esther", "Fabio", "Greta", "Hassan",
+    "Alice", "Benjamin", "Carla", "Daniel", "Elena", "Felix", "Grace", "Hector", "Irene", "Jorge",
+    "Katrin", "Liam", "Mona", "Nikhil", "Olga", "Pavel", "Qing", "Rachel", "Stefan", "Tara",
+    "Umberto", "Vera", "Walter", "Ximena", "Yusuf", "Zelda", "Anders", "Bridget", "Cesar", "Delia",
+    "Edwin", "Farah", "Gunnar", "Hilda", "Ivan", "Jasmine", "Kenji", "Lucia", "Marcus", "Nadia",
+    "Oscar", "Priya", "Quentin", "Rosa", "Sergei", "Tomas", "Ursula", "Viktor", "Wanda", "Xavier",
+    "Yvonne", "Zachary", "Amara", "Boris", "Celine", "Dmitri", "Esther", "Fabio", "Greta",
+    "Hassan",
 ];
 
 /// Last names for synthetic authors/students/faculty.
 pub const LAST_NAMES: &[&str] = &[
-    "Abramov", "Bennett", "Castillo", "Dubois", "Eriksen", "Fischer", "Gallagher", "Hoffman",
-    "Ibrahim", "Jankovic", "Kowalski", "Lindqvist", "Marchetti", "Novak", "Oliveira",
-    "Petrov", "Quirke", "Rossi", "Schneider", "Takahashi", "Ulrich", "Vasquez", "Weber",
-    "Xanthos", "Yamamoto", "Zimmerman", "Almeida", "Bergstrom", "Chandra", "Delgado",
-    "Engel", "Fontaine", "Guerrero", "Haugen", "Iyer", "Jensen", "Kaplan", "Larsson",
-    "Moreau", "Nielsen", "Okafor", "Pellegrini", "Quist", "Rahman", "Santos", "Tanaka",
-    "Urbina", "Villanueva", "Wagner", "Xiang", "Young", "Zhukov", "Acosta", "Bianchi",
-    "Cervantes", "Dietrich", "Espinoza", "Fjeld", "Gruber", "Horvath", "Ishikawa", "Joshi",
-    "Klein", "Lombardi", "Mathur", "Nakamura", "Ostrowski", "Pires", "Quinn", "Rivera",
-    "Sorensen", "Thorne", "Udell", "Varga", "Winter", "Xylander", "Yilmaz", "Zapata",
+    "Abramov",
+    "Bennett",
+    "Castillo",
+    "Dubois",
+    "Eriksen",
+    "Fischer",
+    "Gallagher",
+    "Hoffman",
+    "Ibrahim",
+    "Jankovic",
+    "Kowalski",
+    "Lindqvist",
+    "Marchetti",
+    "Novak",
+    "Oliveira",
+    "Petrov",
+    "Quirke",
+    "Rossi",
+    "Schneider",
+    "Takahashi",
+    "Ulrich",
+    "Vasquez",
+    "Weber",
+    "Xanthos",
+    "Yamamoto",
+    "Zimmerman",
+    "Almeida",
+    "Bergstrom",
+    "Chandra",
+    "Delgado",
+    "Engel",
+    "Fontaine",
+    "Guerrero",
+    "Haugen",
+    "Iyer",
+    "Jensen",
+    "Kaplan",
+    "Larsson",
+    "Moreau",
+    "Nielsen",
+    "Okafor",
+    "Pellegrini",
+    "Quist",
+    "Rahman",
+    "Santos",
+    "Tanaka",
+    "Urbina",
+    "Villanueva",
+    "Wagner",
+    "Xiang",
+    "Young",
+    "Zhukov",
+    "Acosta",
+    "Bianchi",
+    "Cervantes",
+    "Dietrich",
+    "Espinoza",
+    "Fjeld",
+    "Gruber",
+    "Horvath",
+    "Ishikawa",
+    "Joshi",
+    "Klein",
+    "Lombardi",
+    "Mathur",
+    "Nakamura",
+    "Ostrowski",
+    "Pires",
+    "Quinn",
+    "Rivera",
+    "Sorensen",
+    "Thorne",
+    "Udell",
+    "Varga",
+    "Winter",
+    "Xylander",
+    "Yilmaz",
+    "Zapata",
 ];
 
 /// Topic words for synthetic paper/thesis titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "adaptive", "aggregation", "algebra", "algorithms", "analysis", "approximate",
-    "architecture", "association", "benchmarking", "buffering", "caching", "classification",
-    "clustering", "compression", "concurrency", "consistency", "constraints", "cost",
-    "cube", "data", "database", "decision", "declarative", "deductive", "dependencies",
-    "design", "detection", "discovery", "distributed", "dynamic", "efficient", "estimation",
-    "evaluation", "execution", "extraction", "federated", "filtering", "framework",
-    "frequent", "functional", "graphs", "heterogeneous", "hierarchical", "incremental",
-    "indexing", "inference", "integration", "interactive", "itemsets", "joins", "knowledge",
-    "language", "learning", "locking", "logging", "maintenance", "materialized",
-    "measurement", "mediators", "memory", "mining", "model", "monitoring", "multimedia",
-    "networks", "normalization", "object", "online", "optimization", "parallel",
-    "partitioning", "patterns", "performance", "persistent", "planning", "prediction",
-    "processing", "protocols", "quality", "queries", "query", "ranking", "recovery",
-    "relational", "replication", "retrieval", "rules", "sampling", "scalable", "scheduling",
-    "schema", "search", "semantics", "semistructured", "sequences", "serializability",
-    "similarity", "spatial", "statistics", "storage", "streams", "structures",
-    "summarization", "systems", "techniques", "temporal", "transaction", "transformation",
-    "trees", "tuning", "verification", "views", "visualization", "warehousing", "workflow",
+    "adaptive",
+    "aggregation",
+    "algebra",
+    "algorithms",
+    "analysis",
+    "approximate",
+    "architecture",
+    "association",
+    "benchmarking",
+    "buffering",
+    "caching",
+    "classification",
+    "clustering",
+    "compression",
+    "concurrency",
+    "consistency",
+    "constraints",
+    "cost",
+    "cube",
+    "data",
+    "database",
+    "decision",
+    "declarative",
+    "deductive",
+    "dependencies",
+    "design",
+    "detection",
+    "discovery",
+    "distributed",
+    "dynamic",
+    "efficient",
+    "estimation",
+    "evaluation",
+    "execution",
+    "extraction",
+    "federated",
+    "filtering",
+    "framework",
+    "frequent",
+    "functional",
+    "graphs",
+    "heterogeneous",
+    "hierarchical",
+    "incremental",
+    "indexing",
+    "inference",
+    "integration",
+    "interactive",
+    "itemsets",
+    "joins",
+    "knowledge",
+    "language",
+    "learning",
+    "locking",
+    "logging",
+    "maintenance",
+    "materialized",
+    "measurement",
+    "mediators",
+    "memory",
+    "mining",
+    "model",
+    "monitoring",
+    "multimedia",
+    "networks",
+    "normalization",
+    "object",
+    "online",
+    "optimization",
+    "parallel",
+    "partitioning",
+    "patterns",
+    "performance",
+    "persistent",
+    "planning",
+    "prediction",
+    "processing",
+    "protocols",
+    "quality",
+    "queries",
+    "query",
+    "ranking",
+    "recovery",
+    "relational",
+    "replication",
+    "retrieval",
+    "rules",
+    "sampling",
+    "scalable",
+    "scheduling",
+    "schema",
+    "search",
+    "semantics",
+    "semistructured",
+    "sequences",
+    "serializability",
+    "similarity",
+    "spatial",
+    "statistics",
+    "storage",
+    "streams",
+    "structures",
+    "summarization",
+    "systems",
+    "techniques",
+    "temporal",
+    "transaction",
+    "transformation",
+    "trees",
+    "tuning",
+    "verification",
+    "views",
+    "visualization",
+    "warehousing",
+    "workflow",
     "workloads",
 ];
 
@@ -73,16 +238,30 @@ pub const PROGRAMS: &[&str] = &["MTech", "PhD", "Dual Degree", "MS by Research"]
 
 /// Part-name words for the TPC-D-style catalog.
 pub const PART_WORDS: &[&str] = &[
-    "anodized", "brushed", "burnished", "chocolate", "cornflower", "forest", "frosted",
-    "lavender", "metallic", "midnight", "navajo", "polished", "powder", "rosy", "spring",
-    "steel", "thistle", "turquoise",
+    "anodized",
+    "brushed",
+    "burnished",
+    "chocolate",
+    "cornflower",
+    "forest",
+    "frosted",
+    "lavender",
+    "metallic",
+    "midnight",
+    "navajo",
+    "polished",
+    "powder",
+    "rosy",
+    "spring",
+    "steel",
+    "thistle",
+    "turquoise",
 ];
 
 /// Part-kind words for the TPC-D-style catalog.
 pub const PART_KINDS: &[&str] = &[
-    "bearing", "bolt", "bracket", "casing", "coupling", "flange", "gasket", "gear",
-    "housing", "pin", "pulley", "rivet", "rotor", "shaft", "spring", "valve", "washer",
-    "widget",
+    "bearing", "bolt", "bracket", "casing", "coupling", "flange", "gasket", "gear", "housing",
+    "pin", "pulley", "rivet", "rotor", "shaft", "spring", "valve", "washer", "widget",
 ];
 
 #[cfg(test)]
@@ -94,8 +273,20 @@ mod tests {
     #[test]
     fn pools_avoid_planted_tokens() {
         let reserved = [
-            "mohan", "ahuja", "kamat", "gray", "reuter", "soumen", "sunita", "byron",
-            "chakrabarti", "sarawagi", "stonebraker", "seltzer", "sudarshan", "aditya",
+            "mohan",
+            "ahuja",
+            "kamat",
+            "gray",
+            "reuter",
+            "soumen",
+            "sunita",
+            "byron",
+            "chakrabarti",
+            "sarawagi",
+            "stonebraker",
+            "seltzer",
+            "sudarshan",
+            "aditya",
             "surprising",
         ];
         let pools: Vec<&str> = FIRST_NAMES

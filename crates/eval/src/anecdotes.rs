@@ -8,10 +8,9 @@ use banks_core::{Answer, Banks};
 use banks_datagen::dblp::{self, DblpConfig};
 use banks_datagen::thesis::{self, ThesisConfig};
 use banks_storage::Value;
-use serde::Serialize;
 
 /// One anecdote's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnecdoteOutcome {
     /// Anecdote id (A1…A6).
     pub id: String,
@@ -34,7 +33,10 @@ fn node_of(banks: &Banks, relation: &str, key: &str) -> banks_graph::NodeId {
         .expect("relation exists")
         .lookup_pk(&[Value::text(key)])
         .expect("planted tuple exists");
-    banks.tuple_graph().node(rid).expect("tuple is in the graph")
+    banks
+        .tuple_graph()
+        .node(rid)
+        .expect("tuple is in the graph")
 }
 
 fn contains_all(banks: &Banks, answer: &Answer, tuples: &[(&str, &str)]) -> bool {
@@ -89,9 +91,8 @@ pub fn run_anecdotes(seed: u64) -> Vec<AnecdoteOutcome> {
         let answers = dblp_banks.search("transaction").expect("query runs");
         let paper = node_of(&dblp_banks, "Paper", &p.transaction_paper);
         let book = node_of(&dblp_banks, "Paper", &p.transaction_book);
-        let passed = answers.len() >= 2
-            && answers[0].tree.root == paper
-            && answers[1].tree.root == book;
+        let passed =
+            answers.len() >= 2 && answers[0].tree.root == paper && answers[1].tree.root == book;
         out.push(AnecdoteOutcome {
             id: "A2".into(),
             dataset: "dblp".into(),
@@ -105,7 +106,9 @@ pub fn run_anecdotes(seed: u64) -> Vec<AnecdoteOutcome> {
     // A3 — "computer engineering": the CSE department beats theses whose
     // titles contain the words, thanks to its node weight.
     {
-        let answers = thesis_banks.search("computer engineering").expect("query runs");
+        let answers = thesis_banks
+            .search("computer engineering")
+            .expect("query runs");
         let cse = node_of(&thesis_banks, "Department", &tp.cse_dept);
         let passed = answers.first().is_some_and(|a| a.tree.root == cse);
         out.push(AnecdoteOutcome {
@@ -215,6 +218,15 @@ pub fn format_outcomes(outcomes: &[AnecdoteOutcome]) -> String {
     }
     out
 }
+
+banks_util::json_struct!(AnecdoteOutcome {
+    id,
+    dataset,
+    query,
+    expectation,
+    passed,
+    top
+});
 
 #[cfg(test)]
 mod tests {

@@ -38,7 +38,7 @@ fn main() {
         outcomes.len()
     );
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&outcomes).expect("serialize");
+        let json = banks_util::json::to_string_pretty(&outcomes);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

@@ -91,7 +91,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let json = banks_util::json::to_string_pretty(&report);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

@@ -43,7 +43,7 @@ fn main() {
     let points = run_scale_sweep(seed, factors);
     print!("{}", format_sweep(&points));
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&points).expect("serialize");
+        let json = banks_util::json::to_string_pretty(&points);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

@@ -52,7 +52,7 @@ fn main() {
     let report = run_spacetime(config);
     print!("{}", format_report(&report));
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let json = banks_util::json::to_string_pretty(&report);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

@@ -58,7 +58,11 @@ pub fn score_query(banks: &Banks, query: &WorkloadQuery, answers: &[Answer]) -> 
         raw += (actual as f64 - ideal_rank as f64).abs();
         worst += (MISSING_RANK - ideal_rank) as f64;
     }
-    let scaled = if worst > 0.0 { 100.0 * raw / worst } else { 0.0 };
+    let scaled = if worst > 0.0 {
+        100.0 * raw / worst
+    } else {
+        0.0
+    };
     QueryError {
         query: query.id.to_string(),
         raw,

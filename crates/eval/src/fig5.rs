@@ -4,17 +4,14 @@
 
 use crate::error_score::{average_scaled_error, score_query, QueryError};
 use crate::workload::{dblp_eval_config, dblp_workload, WorkloadQuery};
-use banks_core::{
-    Banks, CombineMode, EdgeScoreMode, NodeScoreMode, ScoreParams, SearchStrategy,
-};
+use banks_core::{Banks, CombineMode, EdgeScoreMode, NodeScoreMode, ScoreParams, SearchStrategy};
 use banks_datagen::dblp::DblpDataset;
-use serde::Serialize;
 
 /// The λ values swept in Figure 5.
 pub const LAMBDAS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
 
 /// Per-query result inside a cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PerQuery {
     /// Query id.
     pub id: String,
@@ -25,7 +22,7 @@ pub struct PerQuery {
 }
 
 /// One parameter setting's measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Cell {
     /// λ (node-weight factor).
     pub lambda: f64,
@@ -42,7 +39,7 @@ pub struct Fig5Cell {
 }
 
 /// The whole report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Report {
     /// Swept cells (the Figure 5 surface; all retained combinations under
     /// `--full`).
@@ -172,7 +169,7 @@ pub fn run_fig5(dataset: &DblpDataset, full: bool) -> Fig5Report {
 /// at the paper-best score parameters. Validates the §3 claim that the
 /// fixed-size-heap heuristic "works well even with a reasonably small
 /// heap size".
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HeapSweepRow {
     /// Output-heap capacity.
     pub heap_size: usize,
@@ -223,10 +220,30 @@ pub fn format_table(report: &Fig5Report) -> String {
 
 /// Locate a main-axis cell.
 pub fn cell(report: &Fig5Report, lambda: f64, edge_log: bool) -> Option<&Fig5Cell> {
-    report.cells.iter().find(|c| {
-        c.lambda == lambda && c.edge_log == edge_log && !c.node_log && !c.multiplicative
-    })
+    report
+        .cells
+        .iter()
+        .find(|c| c.lambda == lambda && c.edge_log == edge_log && !c.node_log && !c.multiplicative)
 }
+
+banks_util::json_struct!(PerQuery { id, scaled, ranks });
+banks_util::json_struct!(Fig5Cell {
+    lambda,
+    edge_log,
+    node_log,
+    multiplicative,
+    avg_scaled_error,
+    per_query,
+});
+banks_util::json_struct!(Fig5Report {
+    cells,
+    combination_mode_max_delta,
+    node_log_max_delta,
+});
+banks_util::json_struct!(HeapSweepRow {
+    heap_size,
+    avg_scaled_error
+});
 
 #[cfg(test)]
 mod tests {

@@ -5,11 +5,10 @@
 use crate::workload::{dblp_eval_config, dblp_workload};
 use banks_core::Banks;
 use banks_datagen::dblp::{generate, DblpConfig};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One corpus size's measurements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalePoint {
     /// Scale factor relative to the paper's 100K-node corpus.
     pub factor: f64,
@@ -85,6 +84,16 @@ pub fn format_sweep(points: &[ScalePoint]) -> String {
     }
     out
 }
+
+banks_util::json_struct!(ScalePoint {
+    factor,
+    nodes,
+    edges,
+    load_ms,
+    memory_bytes,
+    median_query_ms,
+    metadata_query_ms,
+});
 
 #[cfg(test)]
 mod tests {

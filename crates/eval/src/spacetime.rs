@@ -10,11 +10,10 @@ use crate::workload::{dblp_eval_config, dblp_workload};
 use banks_core::{Banks, TupleGraph};
 use banks_datagen::dblp::{generate, DblpConfig};
 use banks_storage::{MetadataIndex, TextIndex, Tokenizer};
-use serde::Serialize;
 use std::time::Instant;
 
 /// Timing of one workload query.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QueryTiming {
     /// Query id.
     pub id: String,
@@ -31,7 +30,7 @@ pub struct QueryTiming {
 }
 
 /// The full §5.2 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpaceTimeReport {
     /// Graph node count (tuples).
     pub nodes: usize,
@@ -119,10 +118,7 @@ pub fn run_spacetime(config: DblpConfig) -> SpaceTimeReport {
 /// Pretty-print a report.
 pub fn format_report(r: &SpaceTimeReport) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "graph: {} nodes, {} edges\n",
-        r.nodes, r.edges
-    ));
+    out.push_str(&format!("graph: {} nodes, {} edges\n", r.nodes, r.edges));
     out.push_str(&format!(
         "memory: graph {:.2} MB (paper: ~120 MB for 100K/300K), text index {:.2} MB\n",
         r.graph_bytes as f64 / 1e6,
@@ -142,6 +138,25 @@ pub fn format_report(r: &SpaceTimeReport) -> String {
     out.push_str(&format!("median query: {:.2} ms\n", r.median_query_ms()));
     out
 }
+
+banks_util::json_struct!(QueryTiming {
+    id,
+    text,
+    millis,
+    answers,
+    pops,
+    iterators
+});
+banks_util::json_struct!(SpaceTimeReport {
+    nodes,
+    edges,
+    datagen_ms,
+    graph_build_ms,
+    index_build_ms,
+    graph_bytes,
+    text_index_bytes,
+    queries,
+});
 
 #[cfg(test)]
 mod tests {

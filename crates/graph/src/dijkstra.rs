@@ -391,10 +391,22 @@ mod tests {
         assert_eq!(
             visits,
             vec![
-                Visit { node: a, dist: 10.0 },
-                Visit { node: b, dist: 11.0 },
-                Visit { node: c, dist: 12.0 },
-                Visit { node: d, dist: 13.0 },
+                Visit {
+                    node: a,
+                    dist: 10.0
+                },
+                Visit {
+                    node: b,
+                    dist: 11.0
+                },
+                Visit {
+                    node: c,
+                    dist: 12.0
+                },
+                Visit {
+                    node: d,
+                    dist: 13.0
+                },
             ]
         );
         // Paths are unaffected by the offset.

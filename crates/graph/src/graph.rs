@@ -131,11 +131,7 @@ impl GraphBuilder {
             .copied()
             .filter(|w| *w > 0.0)
             .fold(f64::INFINITY, f64::min);
-        let max_node_weight = self
-            .node_weights
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max_node_weight = self.node_weights.iter().copied().fold(0.0f64, f64::max);
 
         Graph {
             node_weights: self.node_weights.into_boxed_slice(),

@@ -162,7 +162,9 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<Graph, SnapshotError> {
     let edge_count = r.read_u64()? as usize;
     // Arbitrary sanity cap: a snapshot cannot legitimately exceed u32 ids.
     if node_count > u32::MAX as usize || edge_count > u32::MAX as usize {
-        return Err(SnapshotError::Malformed("counts exceed u32 id space".into()));
+        return Err(SnapshotError::Malformed(
+            "counts exceed u32 id space".into(),
+        ));
     }
 
     let mut node_weights = Vec::with_capacity(node_count);
@@ -206,11 +208,7 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<Graph, SnapshotError> {
         let lo = offsets[node] as usize;
         let hi = offsets[node + 1] as usize;
         for e in lo..hi {
-            builder.add_edge(
-                NodeId(node as u32),
-                NodeId(targets[e]),
-                weights[e],
-            );
+            builder.add_edge(NodeId(node as u32), NodeId(targets[e]), weights[e]);
         }
     }
     Ok(builder.build())

@@ -1,0 +1,460 @@
+//! The std-only HTTP/1.1 JSON front end.
+//!
+//! No async runtime and no HTTP library: a `TcpListener` acceptor thread
+//! feeds connections through an `mpsc` channel to a fixed pool of worker
+//! threads, each of which parses one `GET` request, runs it against the
+//! shared [`QueryService`], and writes a JSON response. One request per
+//! connection (`Connection: close`) keeps the protocol surface tiny
+//! while still exercising true multi-client concurrency.
+//!
+//! | route | parameters | response |
+//! |---|---|---|
+//! | `GET /search` | `q` (required), `limit`, `strategy` = `backward`\|`forward` | ranked connection trees |
+//! | `GET /node` | `id` (graph node id) | the tuple behind one graph node |
+//! | `GET /stats` | — | cache + service + graph counters |
+//! | `GET /health` | — | liveness probe |
+
+use crate::service::{QueryOptions, QueryService};
+use banks_core::SearchStrategy;
+use banks_graph::NodeId;
+use banks_util::http::{parse_query_string, query_param};
+use banks_util::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// HTTP server options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the default, for tests).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Pending-connection queue depth before accepts block.
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            backlog: 256,
+        }
+    }
+}
+
+/// A running HTTP server; dropping it shuts the server down.
+pub struct BanksServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BanksServer {
+    /// Bind and start serving on background threads.
+    pub fn bind(service: Arc<QueryService>, config: ServerConfig) -> std::io::Result<BanksServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(config.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("banks-http-{i}"))
+                    .spawn(move || worker_loop(rx, service))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("banks-http-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                // Transient accept errors (EMFILE under
+                                // fd exhaustion, ECONNABORTED) would
+                                // otherwise busy-spin this thread at
+                                // 100% CPU; back off briefly so workers
+                                // can drain and free descriptors.
+                                std::thread::sleep(Duration::from_millis(10));
+                                continue;
+                            }
+                        };
+                        // If all workers are gone the send fails; stop.
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // tx drops here; workers drain the queue and exit.
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(BanksServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and wait for all threads to finish.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the server is shut down from another thread (the CLI
+    /// foreground mode).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the listener so the blocking accept wakes up and observes
+        // the flag. A wildcard bind (0.0.0.0 / ::) is not connectable on
+        // every platform, so the poke targets loopback on the bound port.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(if poke.is_ipv4() {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            } else {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            });
+        }
+        let poked = TcpStream::connect_timeout(&poke, Duration::from_secs(1)).is_ok();
+        if !poked {
+            // Could not reach our own listener (e.g. firewalled
+            // interface-only bind): detach rather than deadlock the
+            // caller — the threads exit with the process.
+            self.acceptor.take();
+            self.workers.drain(..);
+            return;
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for BanksServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, service: Arc<QueryService>) {
+    loop {
+        let stream = match rx.lock().expect("worker queue lock").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // acceptor gone and queue drained
+        };
+        // Contain per-request panics: a worker that dies is never
+        // respawned, so an adversarial request that panicked the handler
+        // would otherwise shrink the pool until the server is dead. The
+        // service is immutable-plus-atomics, hence panic-safe to reuse.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = handle_connection(stream, &service);
+        }));
+    }
+}
+
+/// Hard cap on request-line + header bytes. A worker never reads more
+/// than this per connection, bounding both memory and the time a slow
+/// (or malicious) client can pin it.
+const MAX_REQUEST_BYTES: u64 = 16 * 1024;
+
+fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; the body of a GET is ignored. `take` above makes
+    // this loop terminate even for a client that streams bytes forever.
+    let mut complete = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        if header == "\r\n" || header == "\n" {
+            complete = true;
+            break;
+        }
+    }
+
+    let mut stream = stream;
+    // Only an *unterminated* head at the cap is oversized — a request
+    // whose headers end exactly at the limit is complete and valid.
+    let (status, body) = if !complete && reader.limit() == 0 {
+        error_response("431 Request Header Fields Too Large", "request too large")
+    } else {
+        route(&request_line, service)
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn route(request_line: &str, service: &QueryService) -> (&'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return error_response("400 Bad Request", "malformed request line"),
+    };
+    if method != "GET" {
+        return error_response("405 Method Not Allowed", "only GET is supported");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = parse_query_string(query);
+    match path {
+        "/search" => handle_search(&params, service),
+        "/node" => handle_node(&params, service),
+        "/stats" => ("200 OK", stats_json(service).compact()),
+        "/health" => (
+            "200 OK",
+            Json::obj([("status", Json::Str("ok".into()))]).compact(),
+        ),
+        _ => error_response("404 Not Found", "unknown path"),
+    }
+}
+
+fn error_response(status: &'static str, message: &str) -> (&'static str, String) {
+    (
+        status,
+        Json::obj([("error", Json::Str(message.to_string()))]).compact(),
+    )
+}
+
+fn handle_search(params: &[(String, String)], service: &QueryService) -> (&'static str, String) {
+    let Some(q) = query_param(params, "q") else {
+        return error_response("400 Bad Request", "missing required parameter `q`");
+    };
+    let strategy = match query_param(params, "strategy") {
+        None | Some("") | Some("backward") => SearchStrategy::Backward,
+        Some("forward") => SearchStrategy::Forward,
+        Some(other) => {
+            return error_response(
+                "400 Bad Request",
+                &format!("unknown strategy `{other}` (backward|forward)"),
+            )
+        }
+    };
+    let limit = match query_param(params, "limit") {
+        None | Some("") => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => return error_response("400 Bad Request", "limit must be a positive integer"),
+        },
+    };
+
+    let response = match service.search(q, QueryOptions { strategy, limit }) {
+        Ok(response) => response,
+        Err(e) => return error_response("400 Bad Request", &e.to_string()),
+    };
+
+    // The heavy part of the body — rendered trees and search counters —
+    // is identical for every request hitting this cache entry, so it is
+    // serialized once and memoized on the entry; repeat hits only build
+    // the small volatile envelope around it.
+    let fragment = response
+        .result
+        .http_fragment
+        .get_or_init(|| answers_fragment(service, &response.result));
+
+    let volatile = Json::obj([
+        ("query", Json::Str(q.to_string())),
+        (
+            "normalized",
+            Json::Arr(
+                response
+                    .key
+                    .terms
+                    .iter()
+                    .map(|t| Json::Str(t.clone()))
+                    .collect(),
+            ),
+        ),
+        ("cached", Json::Bool(response.cached)),
+        (
+            "elapsed_us",
+            Json::Uint(response.elapsed.as_micros() as u64),
+        ),
+        (
+            "cold_elapsed_us",
+            Json::Uint(response.result.cold_elapsed.as_micros() as u64),
+        ),
+    ])
+    .compact();
+    // Splice: `{volatile…,fragment…}`.
+    let body = format!("{},{fragment}}}", &volatile[..volatile.len() - 1]);
+    ("200 OK", body)
+}
+
+/// Serialize the cacheable part of a search response:
+/// `"count":…,"answers":[…],"search_stats":{…}` (no braces).
+fn answers_fragment(service: &QueryService, result: &crate::service::CachedResult) -> String {
+    let answers: Vec<Json> = result
+        .answers
+        .iter()
+        .enumerate()
+        .map(|(rank, answer)| {
+            let tree = &answer.tree;
+            Json::obj([
+                ("rank", Json::Uint(rank as u64 + 1)),
+                ("relevance", Json::Num(answer.relevance)),
+                ("root", node_json(service, tree.root)),
+                ("weight", Json::Num(tree.weight)),
+                (
+                    "keyword_nodes",
+                    Json::Arr(
+                        tree.keyword_nodes
+                            .iter()
+                            .map(|n| Json::Uint(n.0 as u64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "edges",
+                    Json::Arr(
+                        tree.edges
+                            .iter()
+                            .map(|&(f, t, w)| {
+                                Json::Arr(vec![
+                                    Json::Uint(f.0 as u64),
+                                    Json::Uint(t.0 as u64),
+                                    Json::Num(w),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("rendered", Json::Str(service.render_answer(answer))),
+            ])
+        })
+        .collect();
+    let stats = &result.stats;
+    format!(
+        r#""count":{},"answers":{},"search_stats":{}"#,
+        answers.len(),
+        Json::Arr(answers).compact(),
+        Json::obj([
+            ("iterators", Json::Uint(stats.iterators as u64)),
+            ("pops", Json::Uint(stats.pops as u64)),
+            ("trees_generated", Json::Uint(stats.trees_generated as u64)),
+            ("trees_emitted", Json::Uint(stats.trees_emitted as u64)),
+        ])
+        .compact(),
+    )
+}
+
+fn handle_node(params: &[(String, String)], service: &QueryService) -> (&'static str, String) {
+    let Some(raw) = query_param(params, "id") else {
+        return error_response("400 Bad Request", "missing required parameter `id`");
+    };
+    let Ok(id) = raw.parse::<u32>() else {
+        return error_response("400 Bad Request", "id must be a graph node id (u32)");
+    };
+    if (id as usize) >= service.banks().tuple_graph().node_count() {
+        return error_response("404 Not Found", "no such node");
+    }
+    ("200 OK", node_json(service, NodeId(id)).compact())
+}
+
+/// JSON description of one graph node: its tuple, relation, prestige,
+/// and connectivity — enough for a client to browse the neighbourhood.
+fn node_json(service: &QueryService, node: NodeId) -> Json {
+    let banks = service.banks();
+    let tg = banks.tuple_graph();
+    let graph = tg.graph();
+    let rid = tg.rid(node);
+    let table = banks.db().table(rid.relation);
+    let values: Vec<Json> = match banks.db().tuple(rid) {
+        Ok(tuple) => tuple
+            .values()
+            .iter()
+            .map(|v| Json::Str(v.to_string()))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    Json::obj([
+        ("id", Json::Uint(node.0 as u64)),
+        ("relation", Json::Str(table.schema().name.clone())),
+        ("slot", Json::Uint(rid.slot as u64)),
+        ("values", Json::Arr(values)),
+        ("prestige", Json::Num(graph.node_weight(node))),
+        ("in_degree", Json::Uint(graph.in_degree(node) as u64)),
+        ("out_degree", Json::Uint(graph.out_degree(node) as u64)),
+    ])
+}
+
+fn stats_json(service: &QueryService) -> Json {
+    let stats = service.stats();
+    Json::obj([
+        ("queries", Json::Uint(stats.queries)),
+        ("errors", Json::Uint(stats.errors)),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Uint(stats.cache.hits)),
+                ("misses", Json::Uint(stats.cache.misses)),
+                ("insertions", Json::Uint(stats.cache.insertions)),
+                ("evictions", Json::Uint(stats.cache.evictions)),
+                ("entries", Json::Uint(stats.cache.entries as u64)),
+                ("capacity", Json::Uint(stats.cache.capacity as u64)),
+                ("hit_ratio", Json::Num(stats.cache.hit_ratio())),
+            ]),
+        ),
+        (
+            "graph",
+            Json::obj([
+                ("nodes", Json::Uint(stats.graph_nodes as u64)),
+                ("edges", Json::Uint(stats.graph_edges as u64)),
+                ("memory_bytes", Json::Uint(stats.memory_bytes as u64)),
+            ]),
+        ),
+        ("uptime_secs", Json::Num(stats.uptime_secs)),
+    ])
+}

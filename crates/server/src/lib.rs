@@ -1,0 +1,45 @@
+//! # banks-server
+//!
+//! A concurrent query service over a BANKS instance — the serving layer
+//! the original system ran as a web application (§1: "BANKS … can be
+//! invoked from a browser"), rebuilt for multi-user traffic:
+//!
+//! * **Shared snapshot** — one immutable [`banks_core::Banks`] system
+//!   (database + text index + data graph) behind an `Arc`, queried from
+//!   any number of threads without synchronization. Queries never block
+//!   each other; the graph is built (or restored from a
+//!   `banks_graph::snapshot`) once at startup.
+//! * **Sharded result cache** — [`cache::ShardedLruCache`] keyed on the
+//!   normalized query ([`service::QueryKey`]: sorted lowercase keywords +
+//!   strategy + limit + a ranking-parameter fingerprint), so `mohan
+//!   sudarshan` and `Sudarshan  Mohan` share one entry. Per-instance
+//!   hit/miss/insert/evict counters feed the `/stats` endpoint.
+//! * **Two front ends** — the in-process [`service::QueryService`] API
+//!   (used by `banks-cli serve` and the `banks-bench` throughput bench),
+//!   and a std-only HTTP/1.1 JSON endpoint ([`http::BanksServer`]) with
+//!   `GET /search`, `/node`, `/stats`, and `/health`, served by a fixed
+//!   worker pool over `std::net::TcpListener` — no async runtime, no
+//!   external dependencies.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use banks_core::Banks;
+//! use banks_server::{BanksServer, QueryService, ServerConfig, ServiceConfig};
+//! # fn db() -> banks_storage::Database { unimplemented!() }
+//!
+//! let banks = Arc::new(Banks::new(db()).unwrap());
+//! let service = Arc::new(QueryService::new(banks, ServiceConfig::default()));
+//! let server = BanksServer::bind(service, ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.local_addr());
+//! server.join(); // serve until shutdown
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod service;
+
+pub use cache::{CacheStats, ShardedLruCache};
+pub use http::{BanksServer, ServerConfig};
+pub use service::{
+    CachedResult, QueryKey, QueryOptions, QueryService, SearchResponse, ServiceConfig, ServiceStats,
+};

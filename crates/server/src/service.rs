@@ -1,0 +1,517 @@
+//! The in-process query service: an `Arc`-shared BANKS snapshot fronted
+//! by the sharded result cache.
+//!
+//! Every front end — the HTTP endpoint, `banks-cli serve`, the
+//! throughput bench — goes through [`QueryService::search`], so cache
+//! semantics and counters are identical everywhere.
+
+use crate::cache::{CacheStats, ShardedLruCache};
+use banks_core::{
+    Answer, Banks, BanksResult, CombineMode, EdgeScoreMode, NodeScoreMode, SearchStats,
+    SearchStrategy,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service construction options.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum cached results (entries, not bytes).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Search algorithm (§3 backward by default).
+    pub strategy: SearchStrategy,
+    /// Override of `search.max_results`, capped by the server to the
+    /// configured maximum.
+    pub limit: Option<usize>,
+}
+
+/// The normalized cache key: order- and case-insensitive keywords plus
+/// everything that changes the ranked result — strategy, result limit,
+/// and a fingerprint of the ranking parameters.
+///
+/// `mohan sudarshan` and `Sudarshan  Mohan` produce equal keys; a
+/// repeated keyword is kept (term multiplicity changes the answer trees).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Sorted whitespace-separated terms; plain keywords are lowercased,
+    /// qualified `Attr:keyword` terms keep their case (attribute
+    /// resolution in the matcher is case-sensitive, so two spellings can
+    /// legitimately produce different answers).
+    pub terms: Vec<String>,
+    /// Search strategy tag.
+    pub strategy: SearchStrategy,
+    /// Effective result limit.
+    pub limit: usize,
+    /// Fingerprint of the active [`banks_core::ScoreParams`].
+    pub params_fingerprint: u64,
+}
+
+impl QueryKey {
+    /// Normalize raw query text under the given options and parameter
+    /// fingerprint.
+    pub fn normalize(
+        query_text: &str,
+        options: QueryOptions,
+        limit: usize,
+        params: u64,
+    ) -> QueryKey {
+        let mut terms: Vec<String> = query_text
+            .split_whitespace()
+            .map(|t| {
+                // Only plain keywords are case-folded: they go through
+                // the lowercasing tokenizer anyway. Qualified terms
+                // (`Relation.Column:keyword`) resolve their attribute
+                // case-sensitively, so folding them would alias queries
+                // with different results onto one cache entry.
+                if t.contains(':') {
+                    t.to_string()
+                } else {
+                    t.to_lowercase()
+                }
+            })
+            .collect();
+        terms.sort_unstable();
+        QueryKey {
+            terms,
+            strategy: options.strategy,
+            limit,
+            params_fingerprint: params,
+        }
+    }
+}
+
+/// An immutable, shareable search result (what the cache stores).
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Ranked answers.
+    pub answers: Vec<Answer>,
+    /// Execution counters of the original (uncached) run.
+    pub stats: SearchStats,
+    /// Wall-clock time of the original search.
+    pub cold_elapsed: Duration,
+    /// Serialized `"count":…,"answers":[…],"search_stats":{…}` JSON
+    /// fragment, memoized by the HTTP layer on first serve: it is
+    /// identical for every alias of the cache key, so repeat hits skip
+    /// re-rendering and re-serializing every connection tree.
+    pub http_fragment: std::sync::OnceLock<String>,
+}
+
+/// What [`QueryService::search`] returns.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The result (shared with the cache — cloning is pointer-cheap).
+    pub result: Arc<CachedResult>,
+    /// Whether this response came from the cache.
+    pub cached: bool,
+    /// Time to produce this response (lookup time on a hit, search time
+    /// on a miss).
+    pub elapsed: Duration,
+    /// The normalized key the lookup used.
+    pub key: QueryKey,
+}
+
+/// Aggregated service counters for `/stats`.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Queries answered (hits + misses), excluding errors.
+    pub queries: u64,
+    /// Queries that failed to parse or execute.
+    pub errors: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Graph node count.
+    pub graph_nodes: usize,
+    /// Graph edge count.
+    pub graph_edges: usize,
+    /// Index + graph memory footprint in bytes.
+    pub memory_bytes: usize,
+    /// Seconds since the service was built.
+    pub uptime_secs: f64,
+}
+
+/// A thread-safe query service over one immutable BANKS snapshot.
+///
+/// The system is `Send + Sync` (verified by compile-time assertion
+/// below), so one `Arc<QueryService>` serves any number of worker
+/// threads; results are `Arc`-shared between the cache and responses.
+pub struct QueryService {
+    banks: Arc<Banks>,
+    cache: ShardedLruCache<QueryKey, Arc<CachedResult>>,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    params_fingerprint: u64,
+    started: Instant,
+}
+
+impl QueryService {
+    /// Wrap a built BANKS snapshot.
+    pub fn new(banks: Arc<Banks>, config: ServiceConfig) -> QueryService {
+        let params_fingerprint = fingerprint_params(&banks);
+        QueryService {
+            banks,
+            cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            params_fingerprint,
+            started: Instant::now(),
+        }
+    }
+
+    /// The shared snapshot.
+    pub fn banks(&self) -> &Banks {
+        &self.banks
+    }
+
+    /// Answer a keyword query through the cache.
+    pub fn search(&self, query_text: &str, options: QueryOptions) -> BanksResult<SearchResponse> {
+        // Reject unparseable queries before touching the cache, so the
+        // hit/miss counters only ever count answerable queries and
+        // `queries == hits + computed` stays an invariant of `/stats`.
+        // The parse is kept and reused on the miss path below.
+        let query = match self.banks.parse(query_text) {
+            Ok(query) => query,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let configured_max = self.banks.config().search.max_results;
+        let limit = options
+            .limit
+            .unwrap_or(configured_max)
+            .min(configured_max)
+            .max(1);
+        let key = QueryKey::normalize(query_text, options, limit, self.params_fingerprint);
+
+        let t0 = Instant::now();
+        if let Some(result) = self.cache.get(&key) {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            return Ok(SearchResponse {
+                result,
+                cached: true,
+                elapsed: t0.elapsed(),
+                key,
+            });
+        }
+
+        let t0 = Instant::now();
+        let mut config = self.banks.config().clone();
+        config.search.max_results = limit;
+        let outcome = self
+            .banks
+            .search_parsed(&query, options.strategy, &config)
+            .inspect_err(|_| {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                // The lookup above counted a miss for a query that turns
+                // out to be unanswerable (e.g. every term unmatched under
+                // `allow_missing_terms`); retract it so `/stats` keeps
+                // `hits + misses == queries`.
+                self.cache.forget_miss();
+            })?;
+        let elapsed = t0.elapsed();
+        let result = Arc::new(CachedResult {
+            answers: outcome.answers,
+            stats: outcome.stats,
+            cold_elapsed: elapsed,
+            http_fragment: std::sync::OnceLock::new(),
+        });
+        self.cache.insert(key.clone(), Arc::clone(&result));
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(SearchResponse {
+            result,
+            cached: false,
+            elapsed,
+            key,
+        })
+    }
+
+    /// Render an answer Figure-2 style (delegates to the snapshot).
+    pub fn render_answer(&self, answer: &Answer) -> String {
+        self.banks.render_answer(answer)
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            graph_nodes: self.banks.tuple_graph().node_count(),
+            graph_edges: self.banks.tuple_graph().graph().edge_count(),
+            memory_bytes: self.banks.memory_bytes(),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Direct cache access (benchmarks and tests).
+    pub fn cache(&self) -> &ShardedLruCache<QueryKey, Arc<CachedResult>> {
+        &self.cache
+    }
+}
+
+/// Fingerprint the ranking parameters that affect result order, so a
+/// service built with different scoring never shares cache keys (e.g.
+/// across snapshot reloads with a new config).
+fn fingerprint_params(banks: &Banks) -> u64 {
+    let p = banks.config().score;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(p.lambda.to_bits());
+    mix(match p.edge_score {
+        EdgeScoreMode::Linear => 1,
+        EdgeScoreMode::Log => 2,
+    });
+    mix(match p.node_score {
+        NodeScoreMode::Linear => 1,
+        NodeScoreMode::Log => 2,
+    });
+    mix(match p.combine {
+        CombineMode::Additive => 1,
+        CombineMode::Multiplicative => 2,
+    });
+    h
+}
+
+// Compile-time proof that the whole service can be shared across
+// threads; this is what lets every worker borrow one snapshot.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<Banks>();
+    assert_send_sync::<SearchResponse>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_storage::{ColumnType, Database, RelationSchema, Value};
+
+    fn dblp() -> Database {
+        let mut db = Database::new("dblp");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("AuthorId", ColumnType::Text)
+                .column("AuthorName", ColumnType::Text)
+                .primary_key(&["AuthorId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("AuthorId", ColumnType::Text)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["AuthorId", "PaperId"])
+                .foreign_key(&["AuthorId"], "Author")
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (id, name) in [
+            ("MohanC", "C. Mohan"),
+            ("SudarshanS", "S. Sudarshan"),
+            ("SoumenC", "Soumen Chakrabarti"),
+        ] {
+            db.insert("Author", vec![Value::text(id), Value::text(name)])
+                .unwrap();
+        }
+        db.insert(
+            "Paper",
+            vec![
+                Value::text("P1"),
+                Value::text("Transaction Recovery Methods"),
+            ],
+        )
+        .unwrap();
+        for a in ["MohanC", "SudarshanS"] {
+            db.insert("Writes", vec![Value::text(a), Value::text("P1")])
+                .unwrap();
+        }
+        db
+    }
+
+    fn service() -> QueryService {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        QueryService::new(banks, ServiceConfig::default())
+    }
+
+    #[test]
+    fn normalization_merges_order_case_and_spacing() {
+        let a = QueryKey::normalize("mohan sudarshan", QueryOptions::default(), 10, 7);
+        let b = QueryKey::normalize("Sudarshan  Mohan", QueryOptions::default(), 10, 7);
+        assert_eq!(a, b);
+        // Term multiplicity is preserved.
+        let c = QueryKey::normalize("mohan mohan", QueryOptions::default(), 10, 7);
+        assert_ne!(a.terms, c.terms);
+        // Qualified terms stay case-sensitive: attribute lookup is exact,
+        // so different spellings may return different answers and must
+        // not share a cache entry.
+        assert_ne!(
+            QueryKey::normalize("PaperName:levy", QueryOptions::default(), 10, 7),
+            QueryKey::normalize("papername:levy", QueryOptions::default(), 10, 7)
+        );
+        // Strategy and limit are part of the key.
+        let fwd = QueryOptions {
+            strategy: SearchStrategy::Forward,
+            ..QueryOptions::default()
+        };
+        assert_ne!(
+            QueryKey::normalize("mohan", fwd, 10, 7),
+            QueryKey::normalize("mohan", QueryOptions::default(), 10, 7)
+        );
+        assert_ne!(
+            QueryKey::normalize("mohan", QueryOptions::default(), 5, 7),
+            QueryKey::normalize("mohan", QueryOptions::default(), 10, 7)
+        );
+    }
+
+    #[test]
+    fn equivalent_queries_share_one_cache_entry() {
+        let service = service();
+        let first = service
+            .search("mohan sudarshan", QueryOptions::default())
+            .unwrap();
+        assert!(!first.cached);
+        let second = service
+            .search("Sudarshan  Mohan", QueryOptions::default())
+            .unwrap();
+        assert!(second.cached, "normalized repeat must hit");
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn cached_answers_match_direct_search() {
+        let service = service();
+        let direct = service.banks().search("mohan sudarshan").unwrap();
+        let via_cache = service
+            .search("mohan sudarshan", QueryOptions::default())
+            .unwrap();
+        let repeat = service
+            .search("mohan sudarshan", QueryOptions::default())
+            .unwrap();
+        for resp in [&via_cache, &repeat] {
+            assert_eq!(resp.result.answers.len(), direct.len());
+            for (a, b) in direct.iter().zip(&resp.result.answers) {
+                assert_eq!(a.tree.signature(), b.tree.signature());
+                assert!((a.relevance - b.relevance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_counted_not_cached() {
+        let service = service();
+        assert!(service.search("", QueryOptions::default()).is_err());
+        assert!(service.search("", QueryOptions::default()).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.cache.entries, 0);
+        // Unparseable queries are rejected before the cache, so they
+        // don't skew the hit/miss accounting.
+        assert_eq!(stats.cache.misses, 0);
+    }
+
+    #[test]
+    fn post_lookup_search_failure_retracts_the_miss() {
+        // Under `allow_missing_terms`, a parseable query whose terms all
+        // match nothing fails *after* the cache lookup; the counted miss
+        // must be retracted so `hits + misses == queries` holds.
+        let mut config = banks_core::BanksConfig::default();
+        config.matching.allow_missing_terms = true;
+        let banks = Arc::new(Banks::with_config(dblp(), config).unwrap());
+        let service = QueryService::new(banks, ServiceConfig::default());
+        assert!(service
+            .search("xyzzyplugh", QueryOptions::default())
+            .is_err());
+        let stats = service.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.cache.misses, 0, "failed query's miss is retracted");
+        assert_eq!(stats.cache.hits, 0);
+    }
+
+    #[test]
+    fn limit_is_capped_and_distinguished() {
+        let service = service();
+        let r1 = service
+            .search(
+                "mohan",
+                QueryOptions {
+                    limit: Some(1),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(r1.result.answers.len() <= 1);
+        // Huge limits collapse to the configured maximum.
+        let big = service
+            .search(
+                "mohan",
+                QueryOptions {
+                    limit: Some(10_000),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(big.key.limit, service.banks().config().search.max_results);
+    }
+
+    #[test]
+    fn concurrent_searches_share_the_snapshot() {
+        let service = Arc::new(service());
+        let queries = ["mohan", "sudarshan", "mohan sudarshan", "transaction"];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    for q in queries {
+                        for _ in 0..8 {
+                            let resp = service.search(q, QueryOptions::default()).unwrap();
+                            assert!(!resp.result.answers.is_empty() || q == "transaction");
+                        }
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.queries, 4 * 4 * 8);
+        // Every distinct query computed at least once, repeats hit.
+        assert!(stats.cache.hits >= stats.queries - 4 * 4);
+        assert_eq!(stats.cache.entries, 4);
+    }
+}

@@ -58,7 +58,11 @@ pub fn schema_to_text(db: &Database) -> String {
                 .iter()
                 .map(|&c| schema.columns[c].name.as_str())
                 .collect();
-            out.push_str(&format!("foreign_key {} -> {}", cols.join(" "), fk.ref_relation));
+            out.push_str(&format!(
+                "foreign_key {} -> {}",
+                cols.join(" "),
+                fk.ref_relation
+            ));
             if let Some(s) = fk.similarity {
                 out.push_str(&format!(" similarity {s}"));
             }
@@ -227,10 +231,7 @@ pub fn load_bundle(dir: &Path) -> StorageResult<Database> {
     };
     let schema_text = std::fs::read_to_string(dir.join("schema.banks")).map_err(io)?;
     let mut db = schema_from_text(&schema_text)?;
-    let names: Vec<String> = db
-        .relations()
-        .map(|t| t.schema().name.clone())
-        .collect();
+    let names: Vec<String> = db.relations().map(|t| t.schema().name.clone()).collect();
     for name in names {
         let path = dir.join(format!("{name}.csv"));
         let csv = std::fs::read_to_string(&path).map_err(io)?;
@@ -277,8 +278,11 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("Author", vec![Value::text("a1"), Value::text("Grace, \"the\" Author")])
-            .unwrap();
+        db.insert(
+            "Author",
+            vec![Value::text("a1"), Value::text("Grace, \"the\" Author")],
+        )
+        .unwrap();
         db.insert("Author", vec![Value::text("a2"), Value::Null])
             .unwrap();
         db.insert(
@@ -304,7 +308,12 @@ mod tests {
         assert_eq!(parsed.name(), "bundle-test");
         assert_eq!(parsed.relation_count(), 3);
         for (a, b) in db.relations().zip(parsed.relations()) {
-            assert_eq!(a.schema(), b.schema(), "schema drift for {}", a.schema().name);
+            assert_eq!(
+                a.schema(),
+                b.schema(),
+                "schema drift for {}",
+                a.schema().name
+            );
         }
     }
 
@@ -338,9 +347,18 @@ mod tests {
             ("relation R\ncolumn A text\nend\n", "before `database`"),
             ("database x\ncolumn A text\n", "outside relation"),
             ("database x\nrelation R\ncolumn A text\n", "unterminated"),
-            ("database x\nrelation R\ncolumn A varchar\nend\n", "unknown type"),
-            ("database x\nrelation R\ncolumn A text\nprimary_key B\nend\n", "unknown column"),
-            ("database x\nrelation R\ncolumn A text\nforeign_key A Author\nend\n", "->"),
+            (
+                "database x\nrelation R\ncolumn A varchar\nend\n",
+                "unknown type",
+            ),
+            (
+                "database x\nrelation R\ncolumn A text\nprimary_key B\nend\n",
+                "unknown column",
+            ),
+            (
+                "database x\nrelation R\ncolumn A text\nforeign_key A Author\nend\n",
+                "->",
+            ),
             ("database x\nfrobnicate\n", "unknown keyword"),
         ] {
             let result = schema_from_text(text);

@@ -180,10 +180,10 @@ impl Database {
         }
         let rid = self.tables[id.index()].insert(values)?;
         for (fk_index, target) in resolved {
-            self.back_refs
-                .entry(target)
-                .or_default()
-                .push(BackRef { from: rid, fk_index });
+            self.back_refs.entry(target).or_default().push(BackRef {
+                from: rid,
+                fk_index,
+            });
             self.link_count += 1;
         }
         Ok(rid)
@@ -247,7 +247,10 @@ impl Database {
     /// All tuples referencing `rid` (the backward direction of §4 browsing
     /// and the indegree of §2.2).
     pub fn referencing(&self, rid: Rid) -> &[BackRef] {
-        self.back_refs.get(&rid).map(|v| v.as_slice()).unwrap_or(&[])
+        self.back_refs
+            .get(&rid)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Indegree of a tuple: number of references to it (the paper's node
@@ -414,10 +417,7 @@ mod tests {
     fn fk_violation_rejected_and_db_unchanged() {
         let mut db = bib_db();
         let err = db
-            .insert(
-                "Writes",
-                vec![Value::text("ghost"), Value::text("nopaper")],
-            )
+            .insert("Writes", vec![Value::text("ghost"), Value::text("nopaper")])
             .unwrap_err();
         assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
         assert_eq!(db.total_tuples(), 0);

@@ -235,13 +235,20 @@ mod tests {
         let mut db = make_db();
         db.insert(
             "Paper",
-            vec![Value::text("p1"), Value::text("Title, with \"quotes\""), Value::Int(1998)],
+            vec![
+                Value::text("p1"),
+                Value::text("Title, with \"quotes\""),
+                Value::Int(1998),
+            ],
         )
         .unwrap();
         db.insert("Paper", vec![Value::text("p2"), Value::Null, Value::Null])
             .unwrap();
-        db.insert("Paper", vec![Value::text("p3"), Value::text(""), Value::Int(0)])
-            .unwrap();
+        db.insert(
+            "Paper",
+            vec![Value::text("p3"), Value::text(""), Value::Int(0)],
+        )
+        .unwrap();
         let csv = table_to_csv(db.relation("Paper").unwrap());
 
         let mut db2 = make_db();
@@ -276,7 +283,11 @@ mod tests {
         let mut db = make_db();
         db.insert(
             "Paper",
-            vec![Value::text("p1"), Value::text("line one\nline two"), Value::Null],
+            vec![
+                Value::text("p1"),
+                Value::text("line one\nline two"),
+                Value::Null,
+            ],
         )
         .unwrap();
         let csv = table_to_csv(db.relation("Paper").unwrap());

@@ -172,7 +172,10 @@ mod tests {
             idx.resolve_attribute(&db, "Author.AuthorName"),
             vec![(author_rel, 1)]
         );
-        assert_eq!(idx.resolve_attribute(&db, "AuthorName"), vec![(author_rel, 1)]);
+        assert_eq!(
+            idx.resolve_attribute(&db, "AuthorName"),
+            vec![(author_rel, 1)]
+        );
         assert!(idx.resolve_attribute(&db, "Author.Nope").is_empty());
         assert!(idx.resolve_attribute(&db, "Nope.AuthorName").is_empty());
     }

@@ -384,8 +384,14 @@ mod tests {
     fn column_type_accepts() {
         assert!(ColumnType::Int.accepts(&Value::Int(1)));
         assert!(!ColumnType::Int.accepts(&Value::text("x")));
-        assert!(ColumnType::Float.accepts(&Value::Int(1)), "int widens to float");
-        assert!(ColumnType::Text.accepts(&Value::Null), "null always accepted");
+        assert!(
+            ColumnType::Float.accepts(&Value::Int(1)),
+            "int widens to float"
+        );
+        assert!(
+            ColumnType::Text.accepts(&Value::Null),
+            "null always accepted"
+        );
         assert!(ColumnType::Bool.accepts(&Value::Bool(false)));
     }
 
@@ -412,7 +418,9 @@ mod tests {
 
     #[test]
     fn empty_name_rejected() {
-        let err = RelationSchema::builder("").column("a", ColumnType::Int).build();
+        let err = RelationSchema::builder("")
+            .column("a", ColumnType::Int)
+            .build();
         assert!(err.is_err());
     }
 }

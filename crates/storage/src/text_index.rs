@@ -78,7 +78,10 @@ impl TextIndex {
 
     /// Postings for `token` (already lowercased by the tokenizer).
     pub fn lookup(&self, token: &str) -> &[Posting] {
-        self.postings.get(token).map(|v| v.as_slice()).unwrap_or(&[])
+        self.postings
+            .get(token)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Distinct rids containing `token` in any column.
@@ -213,7 +216,10 @@ mod tests {
         let idx = TextIndex::build(&db, &Tokenizer::new());
         let rel = db.relation_id("Paper").unwrap();
         // "mining" appears in PaperName (column 1), not PaperId (column 0).
-        assert_eq!(idx.lookup_in_column("mining", rel, 1), vec![rids[0], rids[2]]);
+        assert_eq!(
+            idx.lookup_in_column("mining", rel, 1),
+            vec![rids[0], rids[2]]
+        );
         assert!(idx.lookup_in_column("mining", rel, 0).is_empty());
     }
 

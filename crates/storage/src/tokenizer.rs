@@ -122,20 +122,22 @@ mod tests {
             t.tokenize("Mining Surprising Patterns"),
             vec!["mining", "surprising", "patterns"]
         );
-        assert_eq!(t.tokenize("query-optimization, 1998!"), vec![
-            "query",
-            "optimization",
-            "1998"
-        ]);
+        assert_eq!(
+            t.tokenize("query-optimization, 1998!"),
+            vec!["query", "optimization", "1998"]
+        );
         assert!(t.tokenize("  \t ").is_empty());
     }
 
     #[test]
     fn stopwords_and_min_len() {
-        let t = Tokenizer::new().with_stopwords(&["the", "of"]).with_min_len(2);
-        assert_eq!(t.tokenize("The anatomy of a search engine"), vec![
-            "anatomy", "search", "engine"
-        ]);
+        let t = Tokenizer::new()
+            .with_stopwords(&["the", "of"])
+            .with_min_len(2);
+        assert_eq!(
+            t.tokenize("The anatomy of a search engine"),
+            vec!["anatomy", "search", "engine"]
+        );
     }
 
     #[test]
@@ -170,6 +172,9 @@ mod tests {
     #[test]
     fn numbers_are_tokens() {
         let t = Tokenizer::new();
-        assert_eq!(t.tokenize("published in 1988"), vec!["published", "in", "1988"]);
+        assert_eq!(
+            t.tokenize("published in 1988"),
+            vec!["published", "in", "1988"]
+        );
     }
 }

@@ -1,0 +1,86 @@
+//! Minimal HTTP building blocks: percent-decoding and query-string
+//! parsing, shared by the server and its tests.
+
+/// Decode `%XX` escapes and `+`-as-space in a URL component.
+///
+/// Invalid escapes are passed through literally rather than erroring —
+/// the server treats a malformed query as a search for the literal text.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        c @ b'0'..=b'9' => Some(c - b'0'),
+        c @ b'a'..=b'f' => Some(c - b'a' + 10),
+        c @ b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Split a `k1=v1&k2=v2` query string into decoded pairs. Keys without a
+/// value decode to an empty string.
+pub fn parse_query_string(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// First value for `key` in a parsed query string.
+pub fn query_param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_escapes_plus_and_utf8() {
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("%C3%A9"), "é");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%ZZ"), "%ZZ");
+    }
+
+    #[test]
+    fn parses_query_strings() {
+        let params = parse_query_string("q=soumen+sunita&limit=5&flag");
+        assert_eq!(query_param(&params, "q"), Some("soumen sunita"));
+        assert_eq!(query_param(&params, "limit"), Some("5"));
+        assert_eq!(query_param(&params, "flag"), Some(""));
+        assert_eq!(query_param(&params, "missing"), None);
+    }
+}

@@ -1,0 +1,301 @@
+//! JSON values and emission.
+//!
+//! The evaluation binaries and the query server both emit JSON. Instead
+//! of depending on `serde`, reports build a [`Json`] tree — via manual
+//! construction or the [`crate::json_struct!`] macro — and render it
+//! with [`Json::pretty`] or [`Json::compact`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (emitted without a decimal point).
+    Int(i64),
+    /// Unsigned integer (counters can exceed `i64`).
+    Uint(u64),
+    /// Floating-point number; non-finite values emit as `null`.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    /// Render without whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, level: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, level, '[', ']', items.len(), |out, i, level| {
+                items[i].write(out, level)
+            }),
+            Json::Obj(pairs) => write_seq(out, level, '{', '}', pairs.len(), |out, i, level| {
+                write_escaped(out, &pairs[i].0);
+                out.push(':');
+                if level.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, level)
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    level: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = level.map(|l| l + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(l) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(l));
+        }
+        item(out, i, inner);
+    }
+    if let Some(l) = level {
+        out.push('\n');
+        out.push_str(&"  ".repeat(l));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Render any [`ToJson`] value with indentation — the drop-in equivalent
+/// of `serde_json::to_string_pretty` for this workspace.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+macro_rules! int_to_json {
+    (signed: $($s:ty),* ; unsigned: $($u:ty),*) => {
+        $(impl ToJson for $s {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        })*
+        $(impl ToJson for $u {
+            fn to_json(&self) -> Json { Json::Uint(*self as u64) }
+        })*
+    };
+}
+
+int_to_json!(signed: i8, i16, i32, i64, isize ; unsigned: u8, u16, u32, u64, usize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// Implement [`ToJson`] for a struct by listing its fields:
+///
+/// ```
+/// use banks_util::json_struct;
+///
+/// struct Point { x: f64, y: f64 }
+/// json_struct!(Point { x, y });
+///
+/// let json = banks_util::json::to_string_pretty(&Point { x: 1.0, y: 2.0 });
+/// assert!(json.contains("\"x\": 1"));
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field)) ),+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(Json::Bool(true).compact(), "true");
+        assert_eq!(Json::Int(-3).compact(), "-3");
+        assert_eq!(Json::Uint(u64::MAX).compact(), u64::MAX.to_string());
+        assert_eq!(Json::Num(1.5).compact(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(s.compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = Json::obj([
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("e", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"e\": []\n}\n"
+        );
+        assert_eq!(v.compact(), r#"{"xs":[1,2],"e":[]}"#);
+    }
+
+    #[test]
+    fn json_struct_macro_lists_fields() {
+        struct R {
+            id: String,
+            n: usize,
+            xs: Vec<f64>,
+        }
+        json_struct!(R { id, n, xs });
+        let r = R {
+            id: "q1".into(),
+            n: 2,
+            xs: vec![0.5],
+        };
+        assert_eq!(r.to_json().compact(), r#"{"id":"q1","n":2,"xs":[0.5]}"#);
+    }
+}

@@ -1,0 +1,15 @@
+//! # banks-util
+//!
+//! Small dependency-free utilities shared across the BANKS workspace:
+//!
+//! * [`json`] — a JSON value tree with pretty/compact emission and a
+//!   [`json::ToJson`] trait + [`json_struct!`] macro, standing in for
+//!   `serde`/`serde_json` (the workspace builds with no network access,
+//!   so crates.io dependencies are off the table);
+//! * [`http`] — percent-decoding and query-string parsing for the
+//!   `banks-server` std-only HTTP endpoint.
+
+pub mod http;
+pub mod json;
+
+pub use json::{Json, ToJson};

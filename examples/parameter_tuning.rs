@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\noutput-heap size vs rank quality (§3 heuristic):");
     for row in run_heap_sweep(&dataset, &[1, 5, 10, 30, 100]) {
-        println!("  heap {:>4} → error {:>6.2}", row.heap_size, row.avg_scaled_error);
+        println!(
+            "  heap {:>4} → error {:>6.2}",
+            row.heap_size, row.avg_scaled_error
+        );
     }
 
     let best = cell(&report, 0.2, true).unwrap();

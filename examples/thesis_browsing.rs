@@ -7,8 +7,8 @@
 //! ```
 
 use banks_browse::{
-    html, ChartKind, ChartSpec, CrosstabSpec, FolderSpec, GroupBySpec, Hyperlink, Measure,
-    Session, TemplateRegistry, TemplateSpec,
+    html, ChartKind, ChartSpec, CrosstabSpec, FolderSpec, GroupBySpec, Hyperlink, Measure, Session,
+    TemplateRegistry, TemplateSpec,
 };
 use banks_datagen::thesis::{generate, ThesisConfig};
 use banks_storage::Value;
@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .relation("Department")?
         .lookup_pk(&[Value::text(&dataset.planted.cse_dept)])
         .expect("planted department");
-    println!("== backward browsing menu for {} ==", db.describe_tuple(cse)?);
+    println!(
+        "== backward browsing menu for {} ==",
+        db.describe_tuple(cse)?
+    );
     for entry in session.backref_menu(cse) {
         println!(
             "  {} via fk#{} — {} tuples",

@@ -50,9 +50,7 @@ fn side_claims_mode_and_node_log_have_small_impact_at_good_lambdas() {
             let additive = report
                 .cells
                 .iter()
-                .find(|o| {
-                    o.lambda == c.lambda && !o.multiplicative && !o.node_log && !o.edge_log
-                })
+                .find(|o| o.lambda == c.lambda && !o.multiplicative && !o.node_log && !o.edge_log)
                 .unwrap();
             assert!(
                 (c.avg_scaled_error - additive.avg_scaled_error).abs() <= 5.0,
@@ -88,7 +86,7 @@ fn heap_sweep_small_buffers_suffice() {
 fn report_serializes_to_json() {
     let dataset = generate(DblpConfig::tiny(2)).unwrap();
     let report = run_fig5(&dataset, false);
-    let json = serde_json::to_string(&report).unwrap();
+    let json = banks_util::json::to_string_pretty(&report);
     assert!(json.contains("avg_scaled_error"));
     assert!(json.contains("per_query"));
 }

@@ -1,0 +1,249 @@
+//! Loopback integration tests for `banks-server`: start the HTTP server
+//! on an ephemeral port, issue real TCP requests — including ≥ 8
+//! concurrent clients — and check that ranked answers match the
+//! single-threaded search path and that `/stats` accounts every
+//! hit and miss exactly.
+
+use banks_core::Banks;
+use banks_datagen::dblp::{generate, DblpConfig};
+use banks_eval::workload::{dblp_eval_config, dblp_workload};
+use banks_server::{BanksServer, QueryService, ServerConfig, ServiceConfig};
+use banks_util::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One tiny corpus + server shared per test (each test builds its own so
+/// `/stats` counters start from zero).
+struct Fixture {
+    banks: Arc<Banks>,
+    service: Arc<QueryService>,
+    server: BanksServer,
+}
+
+fn fixture() -> Fixture {
+    let dataset = generate(DblpConfig::tiny(1)).expect("datagen");
+    let banks =
+        Arc::new(Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("banks builds"));
+    let service = Arc::new(QueryService::new(
+        Arc::clone(&banks),
+        ServiceConfig::default(),
+    ));
+    let server = BanksServer::bind(
+        Arc::clone(&service),
+        ServerConfig {
+            workers: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    Fixture {
+        banks,
+        service,
+        server,
+    }
+}
+
+/// Minimal HTTP/1.1 client: one GET, returns (status_code, body).
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// URL-encode just enough for query text (spaces).
+fn encode(q: &str) -> String {
+    q.replace(' ', "+")
+}
+
+#[test]
+fn health_node_and_error_routes() {
+    let fx = fixture();
+    let addr = fx.server.local_addr();
+
+    let (status, body) = http_get(addr, "/health");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"ok"}"#);
+
+    let (status, body) = http_get(addr, "/node?id=0");
+    assert_eq!(status, 200);
+    assert!(body.contains(r#""id":0"#));
+    assert!(body.contains(r#""relation":"#));
+    assert!(body.contains(r#""prestige":"#));
+
+    let node_count = fx.banks.tuple_graph().node_count();
+    let (status, _) = http_get(addr, &format!("/node?id={node_count}"));
+    assert_eq!(status, 404);
+
+    assert_eq!(http_get(addr, "/node?id=xyz").0, 400);
+    assert_eq!(http_get(addr, "/search").0, 400, "missing q");
+    assert_eq!(http_get(addr, "/search?q=mohan&strategy=sideways").0, 400);
+    assert_eq!(http_get(addr, "/search?q=mohan&limit=0").0, 400);
+    assert_eq!(http_get(addr, "/nope").0, 404);
+
+    // Non-GET is rejected.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /search HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+}
+
+#[test]
+fn search_results_match_single_threaded_path() {
+    let fx = fixture();
+    let addr = fx.server.local_addr();
+    let dataset = generate(DblpConfig::tiny(1)).expect("datagen");
+
+    for query in dblp_workload(&dataset.planted) {
+        let direct = fx.banks.search(query.text).expect("direct search");
+        let (status, body) = http_get(addr, &format!("/search?q={}", encode(query.text)));
+        assert_eq!(status, 200, "query {}", query.id);
+        assert!(
+            body.contains(&format!(r#""count":{}"#, direct.len())),
+            "{}: answer count must match the single-threaded path",
+            query.id
+        );
+        // The top-ranked rendered tree must be byte-identical. Rendering
+        // the expected tree through the JSON escaper makes the comparison
+        // robust to escaping.
+        if let Some(top) = direct.first() {
+            let expected = Json::Str(fx.banks.render_answer(top)).compact();
+            assert!(
+                body.contains(&expected),
+                "{}: top answer differs\nexpected fragment: {expected}\nbody: {body}",
+                query.id
+            );
+            let expected_relevance = Json::Num(top.relevance).compact();
+            assert!(
+                body.contains(&format!(r#""relevance":{expected_relevance}"#)),
+                "{}: top relevance differs",
+                query.id
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers_and_exact_stats() {
+    let fx = fixture();
+    let addr = fx.server.local_addr();
+    let dataset = generate(DblpConfig::tiny(1)).expect("datagen");
+    let workload = dblp_workload(&dataset.planted);
+    // 8 queries × 8 clients; every client issues every query.
+    let queries: Vec<&str> = workload.iter().map(|q| q.text).take(8).collect();
+    let clients = 8usize;
+
+    let bodies: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let queries = queries.clone();
+                scope.spawn(move || {
+                    queries
+                        .iter()
+                        // Stagger start order so clients race different keys.
+                        .cycle()
+                        .skip(c)
+                        .take(queries.len())
+                        .map(|q| {
+                            let (status, body) =
+                                http_get(addr, &format!("/search?q={}", encode(q)));
+                            assert_eq!(status, 200);
+                            (q.to_string(), body)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut per_query: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+        for h in handles {
+            for (q, body) in h.join().expect("client thread") {
+                per_query.entry(q).or_default().push(body);
+            }
+        }
+        per_query.into_values().collect()
+    });
+
+    // Every client saw the same ranked answers for the same query
+    // (ignoring the volatile cached/elapsed fields).
+    for versions in &bodies {
+        let answers = |body: &str| {
+            body.split_once(r#""answers":"#)
+                .map(|(_, a)| a.to_string())
+                .expect("answers field")
+        };
+        let first = answers(&versions[0]);
+        for other in &versions[1..] {
+            assert_eq!(
+                first,
+                answers(other),
+                "clients must agree on ranked answers"
+            );
+        }
+    }
+
+    // The service executed each distinct query once; every other request
+    // was a cache hit. /stats must account for all of them exactly.
+    let total = (clients * queries.len()) as u64;
+    let distinct = queries.len() as u64;
+    let stats = fx.service.stats();
+    assert_eq!(stats.queries, total);
+    assert_eq!(stats.cache.hits + stats.cache.misses, total);
+    assert_eq!(stats.cache.entries as u64, distinct);
+    assert!(
+        stats.cache.misses >= distinct,
+        "each distinct query misses at least once"
+    );
+    // Racing clients may compute the same cold query concurrently, but
+    // never more often than once per client.
+    assert!(stats.cache.misses <= distinct * clients as u64);
+    assert!(stats.cache.hits >= total - distinct * clients as u64);
+
+    // And the HTTP view agrees with the in-process counters.
+    let (status, body) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats_after = fx.service.stats();
+    assert!(body.contains(&format!(r#""misses":{}"#, stats_after.cache.misses)));
+    assert!(body.contains(&format!(r#""queries":{}"#, stats_after.queries)));
+    assert!(body.contains(&format!(r#""entries":{}"#, stats_after.cache.entries)));
+}
+
+#[test]
+fn repeated_query_is_served_from_cache() {
+    let fx = fixture();
+    let addr = fx.server.local_addr();
+
+    let (_, cold) = http_get(addr, "/search?q=mohan");
+    assert!(cold.contains(r#""cached":false"#));
+    let (_, warm) = http_get(addr, "/search?q=mohan");
+    assert!(warm.contains(r#""cached":true"#));
+    // Normalization: different spacing/case/order, same cache entry.
+    let (_, also_warm) = http_get(addr, "/search?q=++MOHAN++");
+    assert!(also_warm.contains(r#""cached":true"#));
+
+    let stats = fx.service.stats();
+    assert_eq!(stats.cache.hits, 2);
+    assert_eq!(stats.cache.misses, 1);
+
+    // Graceful shutdown releases the port and joins all threads.
+    fx.server.shutdown();
+}

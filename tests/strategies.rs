@@ -49,11 +49,8 @@ fn forward_search_spawns_fewer_iterators_on_metadata_queries() {
     );
     assert!(!fwd.answers.is_empty());
     // Both find the intuitive answer: the Sunita tuple itself.
-    let top_is_single = |answers: &[banks_core::Answer]| {
-        answers
-            .first()
-            .is_some_and(|a| a.tree.edges.is_empty())
-    };
+    let top_is_single =
+        |answers: &[banks_core::Answer]| answers.first().is_some_and(|a| a.tree.edges.is_empty());
     assert!(top_is_single(&bwd.answers));
     assert!(top_is_single(&fwd.answers));
 }
