@@ -1,0 +1,315 @@
+//! The `banks ingest` subcommand: apply a JSON/CSV delta file against a
+//! running server or a local corpus.
+//!
+//! ```text
+//! # against a running `banks serve` instance (POST /ingest):
+//! banks ingest --file deltas.json --server 127.0.0.1:7331
+//!
+//! # against a local corpus (offline dry run / experimentation):
+//! banks ingest --file deltas.csv --corpus dblp --seed 1
+//! ```
+//!
+//! The format is inferred from the file extension (`.json` / `.csv`)
+//! and can be forced with `--format`. Batches are validated by parsing
+//! before anything is sent, and applied atomically — a rejected op
+//! leaves the target snapshot unchanged.
+
+use banks_core::Banks;
+use banks_ingest::DeltaBatch;
+use banks_server::{IngestEndpoint, QueryService, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Parsed `ingest` arguments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngestArgs {
+    /// Delta file path.
+    pub file: String,
+    /// `json` or `csv`; inferred from the extension when empty.
+    pub format: String,
+    /// Remote mode: `HOST:PORT` of a running `banks serve`.
+    pub server: Option<String>,
+    /// Local mode: corpus name.
+    pub corpus: Option<String>,
+    /// Local mode: generation seed.
+    pub seed: u64,
+    /// Caller-supplied publication timestamp (`--ts`); defaults to the
+    /// current unix time in seconds.
+    pub ts: Option<String>,
+}
+
+impl IngestArgs {
+    /// Parse `--flag value` pairs (everything after `banks ingest`).
+    pub fn parse(args: &[String]) -> Result<IngestArgs, String> {
+        let mut parsed = IngestArgs {
+            seed: 1,
+            ..IngestArgs::default()
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--file" => parsed.file = value("--file")?,
+                "--format" => parsed.format = value("--format")?,
+                "--server" => parsed.server = Some(value("--server")?),
+                "--corpus" => parsed.corpus = Some(value("--corpus")?),
+                "--seed" => {
+                    parsed.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer".to_string())?
+                }
+                "--ts" => parsed.ts = Some(value("--ts")?),
+                other => return Err(format!("unknown ingest flag `{other}` — see `banks help`")),
+            }
+        }
+        if parsed.file.is_empty() {
+            return Err("--file is required".into());
+        }
+        if parsed.server.is_some() == parsed.corpus.is_some() {
+            return Err("exactly one of --server or --corpus is required".into());
+        }
+        if parsed.format.is_empty() {
+            parsed.format = if parsed.file.ends_with(".csv") {
+                "csv".into()
+            } else {
+                "json".into()
+            };
+        }
+        if parsed.format != "json" && parsed.format != "csv" {
+            return Err(format!("unknown format `{}` (json|csv)", parsed.format));
+        }
+        Ok(parsed)
+    }
+}
+
+/// Load and parse the delta file per the arguments.
+pub fn load_batch(args: &IngestArgs) -> Result<DeltaBatch, String> {
+    let text =
+        std::fs::read_to_string(&args.file).map_err(|e| format!("read {}: {e}", args.file))?;
+    let batch = match args.format.as_str() {
+        "csv" => DeltaBatch::from_csv(&text),
+        _ => DeltaBatch::from_json(&text),
+    }
+    .map_err(|e| e.to_string())?;
+    if batch.is_empty() {
+        return Err(format!("{}: no operations", args.file));
+    }
+    Ok(batch)
+}
+
+fn default_ts() -> String {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_default()
+}
+
+/// Percent-encode a query-string value (RFC 3986 unreserved characters
+/// pass through) so a caller-supplied timestamp with spaces or `&`
+/// cannot mangle the request line.
+fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// POST a batch to a running server's `/ingest`. Returns the response
+/// body on success.
+pub fn post_to_server(addr: &str, batch: &DeltaBatch, ts: &str) -> Result<String, String> {
+    let ts = url_encode(ts);
+    let body = batch.to_json().compact();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(60))))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "POST /ingest?ts={ts} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {response:.120}"))?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    if status != 200 {
+        return Err(format!("server rejected the batch ({status}): {payload}"));
+    }
+    Ok(payload)
+}
+
+/// Apply a batch against a locally generated corpus and report what the
+/// equivalent publication would do.
+pub fn apply_locally(args: &IngestArgs, batch: &DeltaBatch, ts: &str) -> Result<String, String> {
+    let corpus = args.corpus.as_deref().expect("local mode");
+    let db = crate::corpus::open(corpus, args.seed)?;
+    let banks = Arc::new(Banks::new(db).map_err(|e| e.to_string())?);
+    let before_nodes = banks.tuple_graph().node_count();
+    let before_edges = banks.tuple_graph().graph().edge_count();
+
+    // Through the same endpoint type the server uses, so local apply and
+    // POST /ingest can never drift semantically.
+    let service = Arc::new(QueryService::new(banks, ServiceConfig::default()));
+    let endpoint = IngestEndpoint::new(Arc::clone(&service));
+    let info = endpoint
+        .ingest(batch, Some(ts.to_string()))
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "corpus {corpus} (seed {}): epoch {} published — {} ops (+{} / ~{} / -{}), graph {} → {} nodes, {} → {} edges ({})",
+        args.seed,
+        info.epoch,
+        info.ops,
+        info.counts.inserted,
+        info.counts.updated,
+        info.counts.deleted,
+        before_nodes,
+        info.nodes,
+        before_edges,
+        info.edges,
+        if info.incremental { "incremental" } else { "rebuilt" },
+    ))
+}
+
+/// Entry point for `banks ingest`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let args = IngestArgs::parse(args)?;
+    let batch = load_batch(&args)?;
+    let ts = args.ts.clone().unwrap_or_else(default_ts);
+    eprintln!(
+        "{}: {} operations ({})",
+        args.file,
+        batch.len(),
+        args.format
+    );
+    let report = match &args.server {
+        Some(addr) => post_to_server(addr, &batch, &ts)?,
+        None => apply_locally(&args, &batch, &ts)?,
+    };
+    println!("{report}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_modes_and_format_inference() {
+        let remote = IngestArgs::parse(&strings(&[
+            "--file",
+            "d.json",
+            "--server",
+            "127.0.0.1:7331",
+        ]))
+        .unwrap();
+        assert_eq!(remote.format, "json");
+        assert_eq!(remote.server.as_deref(), Some("127.0.0.1:7331"));
+
+        let local = IngestArgs::parse(&strings(&[
+            "--file", "d.csv", "--corpus", "dblp", "--seed", "7", "--ts", "t0",
+        ]))
+        .unwrap();
+        assert_eq!(local.format, "csv");
+        assert_eq!(local.corpus.as_deref(), Some("dblp"));
+        assert_eq!(local.seed, 7);
+        assert_eq!(local.ts.as_deref(), Some("t0"));
+
+        // Explicit format overrides the extension.
+        let forced = IngestArgs::parse(&strings(&[
+            "--file", "d.txt", "--format", "csv", "--corpus", "dblp",
+        ]))
+        .unwrap();
+        assert_eq!(forced.format, "csv");
+    }
+
+    #[test]
+    fn parse_rejects_bad_combinations() {
+        assert!(IngestArgs::parse(&strings(&["--file", "d.json"])).is_err());
+        assert!(IngestArgs::parse(&strings(&[
+            "--file", "d.json", "--server", "x", "--corpus", "dblp"
+        ]))
+        .is_err());
+        assert!(IngestArgs::parse(&strings(&["--server", "x"])).is_err());
+        assert!(IngestArgs::parse(&strings(&[
+            "--file", "d.json", "--corpus", "dblp", "--format", "xml"
+        ]))
+        .is_err());
+        assert!(IngestArgs::parse(&strings(&["--file"])).is_err());
+        assert!(IngestArgs::parse(&strings(&["--wat"])).is_err());
+    }
+
+    #[test]
+    fn local_apply_publishes_an_epoch() {
+        let path =
+            std::env::temp_dir().join(format!("banks_ingest_cli_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{"ops":[
+                {"op":"insert","relation":"Author",
+                 "values":["CliAuthor","Cli Test Author"]}
+            ]}"#,
+        )
+        .unwrap();
+        let args = IngestArgs::parse(&strings(&[
+            "--file",
+            path.to_str().unwrap(),
+            "--corpus",
+            "dblp",
+        ]))
+        .unwrap();
+        let batch = load_batch(&args).unwrap();
+        let report = apply_locally(&args, &batch, "t-test").unwrap();
+        assert!(report.contains("epoch 1"), "{report}");
+        assert!(report.contains("incremental"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ts_is_url_encoded() {
+        assert_eq!(url_encode("1753880000"), "1753880000");
+        assert_eq!(
+            url_encode("2026-07-30 12:00&x=1"),
+            "2026-07-30%2012%3A00%26x%3D1"
+        );
+        assert_eq!(url_encode("t~0_a.b-c"), "t~0_a.b-c");
+    }
+
+    #[test]
+    fn load_batch_reports_errors() {
+        let args = IngestArgs::parse(&strings(&[
+            "--file",
+            "/nonexistent/deltas.json",
+            "--corpus",
+            "dblp",
+        ]))
+        .unwrap();
+        assert!(load_batch(&args).is_err());
+    }
+}

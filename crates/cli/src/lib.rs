@@ -14,9 +14,11 @@
 //! ```
 
 pub mod corpus;
+pub mod ingest;
 pub mod serve;
 pub mod shell;
 pub mod table;
 
+pub use ingest::IngestArgs;
 pub use serve::ServeArgs;
 pub use shell::Shell;

@@ -7,8 +7,9 @@
 //! banks> show 1
 //! ```
 //!
-//! Also supports one-shot execution: `banks -c "open dblp; search mohan"`
-//! and the HTTP server mode: `banks serve --corpus dblp --addr 127.0.0.1:7331`.
+//! Also supports one-shot execution: `banks -c "open dblp; search mohan"`,
+//! the HTTP server mode: `banks serve --corpus dblp --addr 127.0.0.1:7331`,
+//! and delta ingestion: `banks ingest --file deltas.json --server 127.0.0.1:7331`.
 
 use banks_cli::Shell;
 use std::io::{BufRead, Write};
@@ -19,6 +20,15 @@ fn main() {
     // Server mode: `banks serve [flags…]` (see banks_cli::serve).
     if args.first().map(String::as_str) == Some("serve") {
         if let Err(err) = banks_cli::serve::run(&args[1..]) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Ingestion: `banks ingest [flags…]` (see banks_cli::ingest).
+    if args.first().map(String::as_str) == Some("ingest") {
+        if let Err(err) = banks_cli::ingest::run(&args[1..]) {
             eprintln!("error: {err}");
             std::process::exit(1);
         }

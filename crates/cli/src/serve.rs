@@ -12,7 +12,7 @@
 //! of the same corpus is fast.
 
 use banks_core::{Banks, BanksConfig, TupleGraph};
-use banks_server::{BanksServer, QueryService, ServerConfig, ServiceConfig};
+use banks_server::{BanksServer, IngestEndpoint, QueryService, ServerConfig, ServiceConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -33,6 +33,8 @@ pub struct ServeArgs {
     pub cache_shards: usize,
     /// Optional CSR graph snapshot path (load if present, else save).
     pub graph_snapshot: Option<PathBuf>,
+    /// Disable the write path (`POST /ingest` answers 503).
+    pub no_ingest: bool,
 }
 
 impl Default for ServeArgs {
@@ -45,6 +47,7 @@ impl Default for ServeArgs {
             cache_capacity: 4096,
             cache_shards: 8,
             graph_snapshot: None,
+            no_ingest: false,
         }
     }
 }
@@ -86,6 +89,7 @@ impl ServeArgs {
                 "--graph-snapshot" => {
                     parsed.graph_snapshot = Some(PathBuf::from(value("--graph-snapshot")?))
                 }
+                "--no-ingest" => parsed.no_ingest = true,
                 other => return Err(format!("unknown serve flag `{other}` — see `banks help`")),
             }
         }
@@ -156,8 +160,10 @@ pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), Strin
     } else {
         args.workers
     };
-    let server = BanksServer::bind(
+    let ingest = (!args.no_ingest).then(|| IngestEndpoint::new(Arc::clone(&service)));
+    let server = BanksServer::bind_with_ingest(
         Arc::clone(&service),
+        ingest,
         ServerConfig {
             addr: args.addr.clone(),
             workers,
@@ -173,7 +179,13 @@ pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), Strin
         service.cache().capacity(),
         service.cache().shard_count(),
     );
-    eprintln!("endpoints: /search?q=…  /node?id=…  /stats  /health");
+    if args.no_ingest {
+        eprintln!("endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health (ingest disabled)");
+    } else {
+        eprintln!(
+            "endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health  POST /ingest (live writes on)"
+        );
+    }
     Ok((service, server))
 }
 
@@ -218,6 +230,12 @@ mod tests {
         assert_eq!(args.workers, 3);
         assert_eq!(args.cache_capacity, 128);
         assert_eq!(args.cache_shards, 2);
+        assert!(!args.no_ingest);
+        assert!(
+            ServeArgs::parse(&strings(&["--no-ingest"]))
+                .unwrap()
+                .no_ingest
+        );
     }
 
     #[test]

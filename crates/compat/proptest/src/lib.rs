@@ -4,8 +4,9 @@
 //! tests cannot pull the real `proptest` from crates.io. This crate
 //! implements exactly the API subset the workspace uses:
 //!
-//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
-//! * integer/float range strategies, tuple strategies, [`Just`],
+//! * [`Strategy`](strategy::Strategy) with `prop_map` / `prop_flat_map`,
+//! * integer/float range strategies, tuple strategies,
+//!   [`Just`](strategy::Just),
 //! * [`collection::vec`], [`bool::ANY`], `any::<T>()` for a few types,
 //!   and `&'static str` patterns of the `.{lo,hi}` form,
 //! * the [`proptest!`] macro with optional `#![proptest_config(..)]`,

@@ -22,6 +22,14 @@ pub enum BanksError {
     },
     /// A configuration value was out of range.
     BadConfig(String),
+    /// A pre-materialized graph (snapshot restore or incremental patch)
+    /// does not describe the database it was attached to.
+    SnapshotMismatch {
+        /// What the graph claims.
+        expected: String,
+        /// What the database holds.
+        actual: String,
+    },
 }
 
 impl fmt::Display for BanksError {
@@ -33,6 +41,10 @@ impl fmt::Display for BanksError {
                 write!(f, "bad query term `{term}`: {message}")
             }
             BanksError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            BanksError::SnapshotMismatch { expected, actual } => write!(
+                f,
+                "graph does not match the database: graph has {expected}, database has {actual}"
+            ),
         }
     }
 }
@@ -48,7 +60,14 @@ impl std::error::Error for BanksError {
 
 impl From<StorageError> for BanksError {
     fn from(e: StorageError) -> Self {
-        BanksError::Storage(e)
+        match e {
+            // Promote to the dedicated variant so callers can match on
+            // "stale snapshot" without unwrapping the storage layer.
+            StorageError::SnapshotMismatch { expected, actual } => {
+                BanksError::SnapshotMismatch { expected, actual }
+            }
+            e => BanksError::Storage(e),
+        }
     }
 }
 
@@ -68,5 +87,16 @@ mod tests {
             message: "missing number".into(),
         };
         assert!(e.to_string().contains("approx()"));
+    }
+
+    #[test]
+    fn snapshot_mismatch_promotes_from_storage() {
+        let e: BanksError = StorageError::SnapshotMismatch {
+            expected: "7 nodes".into(),
+            actual: "6 tuples".into(),
+        }
+        .into();
+        assert!(matches!(e, BanksError::SnapshotMismatch { .. }));
+        assert!(e.to_string().contains("7 nodes"));
     }
 }

@@ -124,18 +124,21 @@ impl TupleGraph {
     /// Node order is the deterministic scan order `build` uses, so only
     /// the rid maps need rebuilding — the expensive part of `build`
     /// (foreign-key edge derivation and weighting) is skipped entirely.
-    /// Fails if the graph's node count doesn't match the tuple count;
-    /// finer-grained mismatches (an edited database with equal
-    /// cardinality) are the caller's responsibility, exactly as with any
-    /// stale cache file.
+    /// Fails with the typed [`StorageError::SnapshotMismatch`] if the
+    /// graph's node count doesn't match the tuple count; a mismatch the
+    /// count can't see (an edited database with equal cardinality but a
+    /// different per-relation layout) is caught by
+    /// [`TupleGraph::verify_catalog`], which [`crate::Banks::with_graph`]
+    /// runs on every attach.
+    ///
+    /// [`StorageError::SnapshotMismatch`]: banks_storage::StorageError::SnapshotMismatch
     pub fn rebind(db: &Database, graph: Graph) -> StorageResult<TupleGraph> {
         let n = db.total_tuples();
         if graph.node_count() != n {
-            return Err(banks_storage::StorageError::InvalidSchema(format!(
-                "graph snapshot has {} nodes but the database has {} tuples",
-                graph.node_count(),
-                n
-            )));
+            return Err(banks_storage::StorageError::SnapshotMismatch {
+                expected: format!("{} nodes", graph.node_count()),
+                actual: format!("{n} tuples"),
+            });
         }
         let (node_rids, rid_nodes, relation_of) = Self::rid_maps(db);
         Ok(TupleGraph {
@@ -144,6 +147,49 @@ impl TupleGraph {
             rid_nodes,
             relation_of,
         })
+    }
+
+    /// Verify that this tuple graph actually describes `db`: same total
+    /// node count, same relation catalog width, same per-relation tuple
+    /// counts, and every node's rid resolving to a live tuple of the
+    /// expected relation. O(n) — cheap next to an index build, and the
+    /// check that stops a same-cardinality-but-different-database
+    /// snapshot from being silently accepted.
+    pub fn verify_catalog(&self, db: &Database) -> StorageResult<()> {
+        use banks_storage::StorageError;
+        if self.node_count() != db.total_tuples() {
+            return Err(StorageError::SnapshotMismatch {
+                expected: format!("{} nodes", self.node_count()),
+                actual: format!("{} tuples", db.total_tuples()),
+            });
+        }
+        let relations = db.relation_count();
+        let mut per_relation = vec![0usize; relations];
+        for &rid in &self.node_rids {
+            if rid.relation.index() >= relations {
+                return Err(StorageError::SnapshotMismatch {
+                    expected: format!("a relation #{}", rid.relation.0),
+                    actual: format!("{relations} relations"),
+                });
+            }
+            per_relation[rid.relation.index()] += 1;
+            if db.tuple(rid).is_err() {
+                return Err(StorageError::SnapshotMismatch {
+                    expected: format!("live tuple {rid}"),
+                    actual: "no such tuple".to_string(),
+                });
+            }
+        }
+        for table in db.relations() {
+            let counted = per_relation[table.id().index()];
+            if counted != table.len() {
+                return Err(StorageError::SnapshotMismatch {
+                    expected: format!("{} `{}` tuples", counted, table.schema().name),
+                    actual: format!("{}", table.len()),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The underlying graph.

@@ -34,14 +34,15 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | `banks-graph` | CSR graph, lazy Dijkstra iterators, binary snapshots |
+//! | `banks-graph` | CSR graph, lazy Dijkstra iterators, incremental `GraphPatch`, binary snapshots |
 //! | `banks-storage` | in-memory relational engine + text/metadata indexes |
-//! | `banks-server` | concurrent query service: `Arc`-shared [`Banks`] snapshot, sharded LRU result cache, std-only HTTP/1.1 JSON endpoint |
-//! | `banks-cli` | interactive shell and the `banks serve` entry point |
+//! | `banks-ingest` | live tuple ingestion: delta log, incremental graph/index appliers, epoch-versioned snapshot publisher |
+//! | `banks-server` | concurrent query service: epoch-versioned `Arc`-shared [`Banks`] snapshot, sharded LRU result cache, std-only HTTP/1.1 JSON endpoint (incl. `POST /ingest`) |
+//! | `banks-cli` | interactive shell and the `banks serve` / `banks ingest` entry points |
 //! | `banks-browse` | §4 browsing interface |
 //! | `banks-datagen` | deterministic synthetic corpora |
 //! | `banks-eval` | §5 evaluation harness |
-//! | `banks-bench` | micro-benches + closed-loop server throughput bench |
+//! | `banks-bench` | micro-benches + server throughput and ingest-vs-rebuild benches |
 //! | `banks-util` | dependency-free JSON/HTTP helpers |
 //!
 //! A built [`Banks`] is immutable and `Send + Sync`: construction
@@ -50,7 +51,13 @@
 //! what `banks-server` relies on). For fast restarts the CSR graph can
 //! be dumped via `banks_graph::snapshot` and re-attached with
 //! [`TupleGraph::rebind`] + [`Banks::with_graph`], skipping edge
-//! derivation.
+//! derivation. Mutation happens by *replacement*: `banks-ingest`
+//! patches the database, graph, and text index incrementally and
+//! re-assembles a successor instance via [`Banks::from_parts`], which
+//! serving layers swap in atomically ([`Banks::with_graph`] and
+//! [`Banks::from_parts`] both verify the graph against the database's
+//! catalog and reject mismatches with the typed
+//! [`BanksError::SnapshotMismatch`]).
 //!
 //! ## Quick start
 //!

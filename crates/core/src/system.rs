@@ -108,22 +108,46 @@ impl Banks {
     /// derivation, so a server restart only pays for index builds.
     ///
     /// The graph must describe exactly this database (one node per tuple
-    /// in scan order); [`TupleGraph::rebind`] validates the node count.
+    /// in scan order); node count **and** per-relation catalog layout are
+    /// verified via [`TupleGraph::verify_catalog`], and a mismatched
+    /// snapshot is rejected with the typed
+    /// [`BanksError::SnapshotMismatch`](crate::BanksError::SnapshotMismatch).
     pub fn with_graph(
         db: Database,
         config: BanksConfig,
         tuple_graph: TupleGraph,
     ) -> BanksResult<Banks> {
+        // Reject a bad config or an obviously mismatched snapshot before
+        // paying for the text index — the most expensive derived build.
+        // `from_parts` repeats these checks; the repeat is cheap.
         config.validate()?;
-        if tuple_graph.node_count() != db.total_tuples() {
-            return Err(crate::error::BanksError::BadConfig(format!(
-                "graph has {} nodes but the database has {} tuples",
-                tuple_graph.node_count(),
-                db.total_tuples()
-            )));
-        }
+        tuple_graph.verify_catalog(&db)?;
         let tokenizer = Tokenizer::new();
         let text_index = TextIndex::build(&db, &tokenizer);
+        Banks::from_parts(db, config, tuple_graph, text_index)
+    }
+
+    /// Re-snapshot hook: assemble a `Banks` from independently maintained
+    /// parts — the publication path of live ingestion, where the data
+    /// graph was patched incrementally (`banks-graph`'s `GraphPatch`) and
+    /// the text index updated posting-by-posting instead of either being
+    /// re-derived from scratch.
+    ///
+    /// The graph is validated against the database exactly as in
+    /// [`Banks::with_graph`]; the text index is trusted (it has no
+    /// derivable summary to check cheaply), which is the same contract a
+    /// bulk [`TextIndex::build`] caller gets. The cheap derived
+    /// structures — metadata index, excluded-root set — are rebuilt here,
+    /// so callers never hand over internally inconsistent pieces.
+    pub fn from_parts(
+        db: Database,
+        config: BanksConfig,
+        tuple_graph: TupleGraph,
+        text_index: TextIndex,
+    ) -> BanksResult<Banks> {
+        config.validate()?;
+        tuple_graph.verify_catalog(&db)?;
+        let tokenizer = Tokenizer::new();
         let metadata_index = MetadataIndex::build(&db, &tokenizer);
         let mut excluded_roots = FxHashSet::default();
         for name in &config.search.excluded_root_relations {
@@ -545,9 +569,60 @@ mod tests {
             .unwrap();
         small.delete(victim).unwrap();
         // One tuple fewer than the snapshot's node count — rebind must
-        // refuse rather than mis-map rids.
-        let err = TupleGraph::rebind(&small, fresh.tuple_graph().graph().clone());
-        assert!(err.is_err(), "node-count mismatch must be rejected");
+        // refuse with the typed error rather than mis-map rids.
+        let err = TupleGraph::rebind(&small, fresh.tuple_graph().graph().clone()).unwrap_err();
+        assert!(
+            matches!(err, banks_storage::StorageError::SnapshotMismatch { .. }),
+            "node-count mismatch must be the typed error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn with_graph_rejects_same_cardinality_catalog_drift() {
+        // Same *total* tuple count, different per-relation layout: delete
+        // a Writes row, add an Author. The node count alone can't tell
+        // the snapshots apart — the catalog check must.
+        let fresh = Banks::new(dblp()).unwrap();
+        let mut drifted = dblp();
+        let victim = drifted
+            .relation("Writes")
+            .unwrap()
+            .scan()
+            .next()
+            .map(|(rid, _)| rid)
+            .unwrap();
+        drifted.delete(victim).unwrap();
+        drifted
+            .insert(
+                "Author",
+                vec![Value::text("NewA"), Value::text("New Author")],
+            )
+            .unwrap();
+        assert_eq!(drifted.total_tuples(), fresh.db().total_tuples());
+
+        let stale = TupleGraph::build(fresh.db(), &BanksConfig::default().graph).unwrap();
+        let err = Banks::with_graph(drifted, BanksConfig::default(), stale).unwrap_err();
+        assert!(
+            matches!(err, crate::BanksError::SnapshotMismatch { .. }),
+            "catalog drift must be the typed error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn from_parts_reuses_supplied_text_index() {
+        let reference = Banks::new(dblp()).unwrap();
+        let db = dblp();
+        let tokenizer = banks_storage::Tokenizer::new();
+        let text_index = banks_storage::TextIndex::build(&db, &tokenizer);
+        let tuple_graph = TupleGraph::build(&db, &BanksConfig::default().graph).unwrap();
+        let assembled =
+            Banks::from_parts(db, BanksConfig::default(), tuple_graph, text_index).unwrap();
+        let a = reference.search("soumen sunita").unwrap();
+        let b = assembled.search("soumen sunita").unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tree.signature(), y.tree.signature());
+        }
     }
 
     #[test]

@@ -76,7 +76,6 @@ impl GraphBuilder {
 
     /// Freeze into an immutable CSR graph.
     pub fn build(mut self) -> Graph {
-        let n = self.node_weights.len();
         // Coalesce parallel edges, keeping the minimum weight.
         self.edges
             .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
@@ -84,66 +83,7 @@ impl GraphBuilder {
             // `prev` is kept; because of the sort it carries the min weight.
             next.0 == prev.0 && next.1 == prev.1
         });
-        let m = self.edges.len();
-
-        let mut fwd_offsets = vec![0u32; n + 1];
-        for &(from, _, _) in &self.edges {
-            fwd_offsets[from as usize + 1] += 1;
-        }
-        for i in 0..n {
-            fwd_offsets[i + 1] += fwd_offsets[i];
-        }
-        let mut fwd_targets = vec![0u32; m];
-        let mut fwd_weights = vec![0f64; m];
-        {
-            let mut cursor = fwd_offsets.clone();
-            for &(from, to, w) in &self.edges {
-                let slot = cursor[from as usize] as usize;
-                fwd_targets[slot] = to;
-                fwd_weights[slot] = w;
-                cursor[from as usize] += 1;
-            }
-        }
-
-        let mut rev_offsets = vec![0u32; n + 1];
-        for &(_, to, _) in &self.edges {
-            rev_offsets[to as usize + 1] += 1;
-        }
-        for i in 0..n {
-            rev_offsets[i + 1] += rev_offsets[i];
-        }
-        let mut rev_sources = vec![0u32; m];
-        let mut rev_weights = vec![0f64; m];
-        {
-            let mut cursor = rev_offsets.clone();
-            // edges are sorted by (from, to), so each reverse adjacency list
-            // ends up sorted by source — good for binary search and cache use.
-            for &(from, to, w) in &self.edges {
-                let slot = cursor[to as usize] as usize;
-                rev_sources[slot] = from;
-                rev_weights[slot] = w;
-                cursor[to as usize] += 1;
-            }
-        }
-
-        let min_edge_weight = fwd_weights
-            .iter()
-            .copied()
-            .filter(|w| *w > 0.0)
-            .fold(f64::INFINITY, f64::min);
-        let max_node_weight = self.node_weights.iter().copied().fold(0.0f64, f64::max);
-
-        Graph {
-            node_weights: self.node_weights.into_boxed_slice(),
-            fwd_offsets: fwd_offsets.into_boxed_slice(),
-            fwd_targets: fwd_targets.into_boxed_slice(),
-            fwd_weights: fwd_weights.into_boxed_slice(),
-            rev_offsets: rev_offsets.into_boxed_slice(),
-            rev_sources: rev_sources.into_boxed_slice(),
-            rev_weights: rev_weights.into_boxed_slice(),
-            min_edge_weight,
-            max_node_weight,
-        }
+        Graph::from_sorted_edges(self.node_weights, self.edges)
     }
 }
 
@@ -164,6 +104,81 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Assemble the CSR arrays from edges that are **already sorted by
+    /// `(from, to)` with no duplicate pairs** — the shared final step of
+    /// [`GraphBuilder::build`] and the O(m) fast path of
+    /// [`crate::patch::GraphPatch::apply`], which produces its merged
+    /// edge stream in sorted order and must not pay a global re-sort.
+    pub fn from_sorted_edges(node_weights: Vec<f64>, edges: Vec<(u32, u32, f64)>) -> Graph {
+        let n = node_weights.len();
+        let m = edges.len();
+        debug_assert!(
+            edges
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "edges must be sorted by (from, to) and duplicate-free"
+        );
+        debug_assert!(edges
+            .iter()
+            .all(|&(f, t, _)| (f as usize) < n && (t as usize) < n));
+
+        let mut fwd_offsets = vec![0u32; n + 1];
+        for &(from, _, _) in &edges {
+            fwd_offsets[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            fwd_offsets[i + 1] += fwd_offsets[i];
+        }
+        // Edges are sorted by `from`, so the forward arrays are a direct
+        // column extraction.
+        let mut fwd_targets = Vec::with_capacity(m);
+        let mut fwd_weights = Vec::with_capacity(m);
+        for &(_, to, w) in &edges {
+            fwd_targets.push(to);
+            fwd_weights.push(w);
+        }
+
+        let mut rev_offsets = vec![0u32; n + 1];
+        for &(_, to, _) in &edges {
+            rev_offsets[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        let mut rev_sources = vec![0u32; m];
+        let mut rev_weights = vec![0f64; m];
+        {
+            let mut cursor = rev_offsets.clone();
+            // edges are sorted by (from, to), so each reverse adjacency list
+            // ends up sorted by source — good for binary search and cache use.
+            for &(from, to, w) in &edges {
+                let slot = cursor[to as usize] as usize;
+                rev_sources[slot] = from;
+                rev_weights[slot] = w;
+                cursor[to as usize] += 1;
+            }
+        }
+
+        let min_edge_weight = fwd_weights
+            .iter()
+            .copied()
+            .filter(|w| *w > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let max_node_weight = node_weights.iter().copied().fold(0.0f64, f64::max);
+
+        Graph {
+            node_weights: node_weights.into_boxed_slice(),
+            fwd_offsets: fwd_offsets.into_boxed_slice(),
+            fwd_targets: fwd_targets.into_boxed_slice(),
+            fwd_weights: fwd_weights.into_boxed_slice(),
+            rev_offsets: rev_offsets.into_boxed_slice(),
+            rev_sources: rev_sources.into_boxed_slice(),
+            rev_weights: rev_weights.into_boxed_slice(),
+            min_edge_weight,
+            max_node_weight,
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.node_weights.len()

@@ -44,9 +44,11 @@ pub mod analysis;
 pub mod dijkstra;
 pub mod fxhash;
 pub mod graph;
+pub mod patch;
 pub mod snapshot;
 
 pub use dijkstra::{Dijkstra, Direction, Visit};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use patch::GraphPatch;
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotError};

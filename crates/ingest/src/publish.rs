@@ -1,0 +1,379 @@
+//! Epoch-versioned snapshot publication.
+//!
+//! A [`SnapshotPublisher`] owns the write side of the system: it holds
+//! the current immutable [`Banks`] snapshot, batches staged delta
+//! operations, and on publish derives the successor snapshot —
+//! incrementally where the configuration allows, by full rebuild
+//! otherwise — stamped with a monotonically increasing **epoch**.
+//!
+//! Publication is atomic and non-blocking for readers: the new snapshot
+//! is a fresh `Arc<Banks>`; serving layers swap the pointer (see
+//! `banks-server`'s `QueryService::install_snapshot`) while in-flight
+//! queries finish on whatever epoch they started with. A failed publish
+//! leaves the current snapshot untouched — ops are applied to a scratch
+//! clone that is only promoted on success.
+
+use crate::apply::{apply_batch, apply_to_database, OpCounts};
+use crate::delta::{DeltaBatch, TupleOp};
+use crate::error::{IngestError, IngestResult};
+use banks_core::{Banks, NodeWeightMode};
+use banks_storage::Tokenizer;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How many published epochs the history ring keeps (for `/epochs`).
+pub const HISTORY_CAP: usize = 64;
+
+/// Summary of one published epoch.
+#[derive(Debug, Clone)]
+pub struct EpochInfo {
+    /// The epoch this publication produced.
+    pub epoch: u64,
+    /// Number of delta operations in the batch.
+    pub ops: usize,
+    /// Per-kind operation counts.
+    pub counts: OpCounts,
+    /// Graph node count after publication.
+    pub nodes: usize,
+    /// Graph edge count after publication.
+    pub edges: usize,
+    /// Whether the snapshot was derived incrementally (vs full rebuild).
+    pub incremental: bool,
+    /// Caller-supplied publication timestamp (the publisher keeps no
+    /// clock of its own; servers pass wall-clock time through).
+    pub published_at: Option<String>,
+}
+
+/// What a successful publication returns.
+#[derive(Debug, Clone)]
+pub struct Published {
+    /// The new snapshot (also installed as the publisher's current one).
+    pub banks: Arc<Banks>,
+    /// Its summary.
+    pub info: EpochInfo,
+}
+
+/// The write side of a BANKS deployment: batches deltas and publishes
+/// epoch-stamped successor snapshots. See the module docs.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    current: Arc<Banks>,
+    epoch: u64,
+    history: VecDeque<EpochInfo>,
+    pending: DeltaBatch,
+}
+
+impl SnapshotPublisher {
+    /// Wrap the initial snapshot as epoch 0.
+    pub fn new(banks: Arc<Banks>) -> SnapshotPublisher {
+        SnapshotPublisher {
+            current: banks,
+            epoch: 0,
+            history: VecDeque::new(),
+            pending: DeltaBatch::new(),
+        }
+    }
+
+    /// The current snapshot.
+    pub fn current(&self) -> Arc<Banks> {
+        Arc::clone(&self.current)
+    }
+
+    /// The current epoch (0 until the first publication).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Recently published epochs, oldest first (capped at
+    /// [`HISTORY_CAP`]).
+    pub fn history(&self) -> impl Iterator<Item = &EpochInfo> + '_ {
+        self.history.iter()
+    }
+
+    /// Stage operations for the next [`publish_pending`] call without
+    /// deriving anything yet; returns the pending count. This is the
+    /// batching knob: many small writers can stage, one timer or
+    /// size-threshold trigger publishes.
+    ///
+    /// [`publish_pending`]: SnapshotPublisher::publish_pending
+    pub fn stage(&mut self, ops: impl IntoIterator<Item = TupleOp>) -> usize {
+        self.pending.ops.extend(ops);
+        self.pending.len()
+    }
+
+    /// Number of staged-but-unpublished operations.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Publish everything staged via [`SnapshotPublisher::stage`] as one
+    /// batch. On failure the staged ops are discarded (they were
+    /// rejected; retrying identically would fail identically) and the
+    /// current snapshot is unchanged.
+    pub fn publish_pending(&mut self, published_at: Option<String>) -> IngestResult<Published> {
+        let batch = std::mem::take(&mut self.pending);
+        self.publish(&batch, published_at)
+    }
+
+    /// Derive, stamp, and install the successor snapshot for `batch`.
+    ///
+    /// The whole batch is atomic: ops apply in order to a scratch clone
+    /// of the current database, and only a fully successful batch is
+    /// promoted. Readers keep resolving against the previous snapshot
+    /// for as long as they hold its `Arc`.
+    pub fn publish(
+        &mut self,
+        batch: &DeltaBatch,
+        published_at: Option<String>,
+    ) -> IngestResult<Published> {
+        if batch.is_empty() {
+            return Err(IngestError::Parse("empty delta batch".into()));
+        }
+        let config = self.current.config().clone();
+        let mut db = self.current.db().clone();
+        let tokenizer = Tokenizer::new();
+        let incremental = !matches!(
+            config.graph.node_weight,
+            NodeWeightMode::AuthorityTransfer { .. }
+        );
+        let (banks, counts) = if incremental {
+            let mut text_index = self.current.text_index().clone();
+            let (tuple_graph, stats) = apply_batch(
+                &mut db,
+                self.current.tuple_graph(),
+                &mut text_index,
+                batch,
+                &config.graph,
+                &tokenizer,
+            )?;
+            (
+                Banks::from_parts(db, config, tuple_graph, text_index)?,
+                stats.counts,
+            )
+        } else {
+            // Global prestige iteration: mutate the clone, rebuild all
+            // derived structures from scratch.
+            let changes = apply_to_database(&mut db, batch, None)?;
+            (Banks::with_config(db, config)?, changes.counts)
+        };
+
+        self.epoch += 1;
+        let info = EpochInfo {
+            epoch: self.epoch,
+            ops: batch.len(),
+            counts,
+            nodes: banks.tuple_graph().node_count(),
+            edges: banks.tuple_graph().graph().edge_count(),
+            incremental,
+            published_at,
+        };
+        self.current = Arc::new(banks);
+        if self.history.len() == HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.history.push_back(info.clone());
+        Ok(Published {
+            banks: Arc::clone(&self.current),
+            info,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_storage::{ColumnType, Database, RelationSchema, Value};
+
+    fn dblp() -> Database {
+        let mut db = Database::new("dblp");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("AuthorId", ColumnType::Text)
+                .column("AuthorName", ColumnType::Text)
+                .primary_key(&["AuthorId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("AuthorId", ColumnType::Text)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["AuthorId", "PaperId"])
+                .foreign_key(&["AuthorId"], "Author")
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert(
+            "Author",
+            vec![Value::text("MohanC"), Value::text("C. Mohan")],
+        )
+        .unwrap();
+        db.insert(
+            "Paper",
+            vec![Value::text("P1"), Value::text("Transaction Recovery")],
+        )
+        .unwrap();
+        db.insert("Writes", vec![Value::text("MohanC"), Value::text("P1")])
+            .unwrap();
+        db
+    }
+
+    fn author_batch(id: &str, name: &str, paper: &str) -> DeltaBatch {
+        DeltaBatch {
+            ops: vec![
+                TupleOp::Insert {
+                    relation: "Author".into(),
+                    values: vec![Value::text(id), Value::text(name)],
+                },
+                TupleOp::Insert {
+                    relation: "Writes".into(),
+                    values: vec![Value::text(id), Value::text(paper)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn publish_advances_epoch_and_serves_new_tuples() {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let mut publisher = SnapshotPublisher::new(Arc::clone(&banks));
+        assert_eq!(publisher.epoch(), 0);
+
+        let old = publisher.current();
+        let published = publisher
+            .publish(
+                &author_batch("SudarshanS", "S. Sudarshan", "P1"),
+                Some("2026-07-30T12:00:00Z".into()),
+            )
+            .unwrap();
+        assert_eq!(published.info.epoch, 1);
+        assert!(published.info.incremental);
+        assert_eq!(published.info.counts.inserted, 2);
+        assert_eq!(
+            published.info.published_at.as_deref(),
+            Some("2026-07-30T12:00:00Z")
+        );
+
+        // The old snapshot is untouched; the new one answers the query.
+        assert!(old.search("sudarshan").unwrap().is_empty());
+        let answers = published.banks.search("mohan sudarshan").unwrap();
+        assert!(!answers.is_empty(), "new author connects through P1");
+
+        // And it matches a from-scratch build of the same database.
+        let fresh = Banks::new(published.banks.db().clone()).unwrap();
+        let expect = fresh.search("mohan sudarshan").unwrap();
+        assert_eq!(answers.len(), expect.len());
+        for (a, b) in answers.iter().zip(&expect) {
+            assert_eq!(a.tree.signature(), b.tree.signature());
+            assert!((a.relevance - b.relevance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn failed_publish_leaves_snapshot_and_epoch_untouched() {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let mut publisher = SnapshotPublisher::new(banks);
+        let before = publisher.current();
+        let bad = DeltaBatch {
+            ops: vec![
+                TupleOp::Insert {
+                    relation: "Author".into(),
+                    values: vec![Value::text("A9"), Value::text("Fine")],
+                },
+                // Second op dangles — the whole batch must be discarded.
+                TupleOp::Insert {
+                    relation: "Writes".into(),
+                    values: vec![Value::text("A9"), Value::text("no-such-paper")],
+                },
+            ],
+        };
+        assert!(publisher.publish(&bad, None).is_err());
+        assert_eq!(publisher.epoch(), 0);
+        assert!(Arc::ptr_eq(&before, &publisher.current()));
+        assert_eq!(publisher.current().db().total_tuples(), 3);
+        assert!(
+            publisher.publish(&DeltaBatch::new(), None).is_err(),
+            "empty batch"
+        );
+    }
+
+    #[test]
+    fn staging_batches_deltas_until_published() {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let mut publisher = SnapshotPublisher::new(banks);
+        assert_eq!(
+            publisher.stage(author_batch("A", "Alice Writer", "P1").ops),
+            2
+        );
+        assert_eq!(
+            publisher.stage(author_batch("B", "Bob Writer", "P1").ops),
+            4
+        );
+        assert_eq!(publisher.pending_ops(), 4);
+        // Staging derives nothing.
+        assert_eq!(publisher.epoch(), 0);
+
+        let published = publisher.publish_pending(None).unwrap();
+        assert_eq!(published.info.ops, 4);
+        assert_eq!(publisher.pending_ops(), 0);
+        assert_eq!(publisher.epoch(), 1);
+        assert_eq!(published.banks.search("alice").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn history_records_epochs_in_order() {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let mut publisher = SnapshotPublisher::new(banks);
+        for i in 0..3 {
+            publisher
+                .publish(
+                    &author_batch(&format!("A{i}"), "Серіал Writer", "P1"),
+                    Some(format!("t{i}")),
+                )
+                .unwrap();
+        }
+        let epochs: Vec<u64> = publisher.history().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+        assert_eq!(publisher.epoch(), 3);
+        let last = publisher.history().last().unwrap();
+        assert_eq!(last.published_at.as_deref(), Some("t2"));
+        assert!(last.nodes > 0 && last.edges > 0);
+    }
+
+    #[test]
+    fn authority_transfer_falls_back_to_full_rebuild() {
+        let mut config = banks_core::BanksConfig::default();
+        config.graph.node_weight = NodeWeightMode::AuthorityTransfer {
+            iterations: 5,
+            damping: 0.85,
+        };
+        let banks = Arc::new(Banks::with_config(dblp(), config).unwrap());
+        let mut publisher = SnapshotPublisher::new(banks);
+        let published = publisher
+            .publish(&author_batch("SudarshanS", "S. Sudarshan", "P1"), None)
+            .unwrap();
+        assert!(!published.info.incremental, "rebuild path taken");
+        assert_eq!(published.info.epoch, 1);
+        // The rebuilt snapshot matches a from-scratch build.
+        let fresh = Banks::with_config(
+            published.banks.db().clone(),
+            published.banks.config().clone(),
+        )
+        .unwrap();
+        let a = published.banks.search("mohan sudarshan").unwrap();
+        let b = fresh.search("mohan sudarshan").unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -30,6 +30,10 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Entries dropped because a [`ShardedLruCache::get_validate`]
+    /// predicate rejected them (e.g. stamped with a superseded snapshot
+    /// epoch). Each invalidation also counts as a miss.
+    pub invalidations: u64,
     /// Live entries right now.
     pub entries: usize,
     /// Maximum live entries across all shards.
@@ -112,6 +116,19 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         Some(self.slots[idx].value.clone())
     }
 
+    /// Borrow the entry for `key` without touching its recency.
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slots[idx].value)
+    }
+
+    /// Drop the entry for `key`, if present.
+    fn remove(&mut self, key: &K) {
+        if let Some(idx) = self.map.remove(key) {
+            self.unlink(idx);
+            self.free.push(idx);
+        }
+    }
+
     /// Insert or overwrite; returns whether an entry was evicted.
     fn insert(&mut self, key: K, value: V) -> bool {
         if let Some(&idx) = self.map.get(&key) {
@@ -166,6 +183,35 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
     }
 }
 
+/// Verdict a [`ShardedLruCache::get_validate`] predicate passes on an
+/// entry it found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validity {
+    /// Serve the entry.
+    Valid,
+    /// The entry is superseded: drop it and count an invalidation.
+    Stale,
+    /// The entry is *ahead of* the caller (e.g. a reader still pinned
+    /// on an older snapshot finds a newer-epoch result): leave it for
+    /// the callers it is valid for and treat this lookup as a miss.
+    Newer,
+}
+
+/// Outcome of a validated lookup ([`ShardedLruCache::get_validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup<V> {
+    /// A live entry passed the predicate (counted as a hit).
+    Hit(V),
+    /// An entry existed but was superseded; it was removed and counted
+    /// as a miss plus an invalidation.
+    Stale,
+    /// An entry exists but is newer than the caller can use; it was
+    /// left in place and the lookup counted as a plain miss.
+    Newer,
+    /// No entry (counted as a miss).
+    Miss,
+}
+
 /// A concurrent LRU cache split into independently locked shards.
 pub struct ShardedLruCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
@@ -175,6 +221,7 @@ pub struct ShardedLruCache<K, V> {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
@@ -196,6 +243,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -216,6 +264,45 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         found
     }
 
+    /// Look up a key, letting `judge` decide what to do with a found
+    /// entry (see [`Validity`]).
+    ///
+    /// A [`Validity::Stale`] entry is removed under the same shard lock
+    /// — no other thread can hit it in between — and counted as a miss
+    /// plus an invalidation; the caller is expected to recompute and
+    /// re-insert. This is the epoch check of the serving layer: entries
+    /// are stamped with the snapshot epoch they were computed on, and a
+    /// publish makes older stamps invalidate lazily, entry by entry,
+    /// instead of flushing the whole cache at once. [`Validity::Newer`]
+    /// protects the reverse race — a reader still pinned on an older
+    /// snapshot must not destroy an entry that is perfectly valid for
+    /// current readers.
+    pub fn get_validate(&self, key: &K, judge: impl FnOnce(&V) -> Validity) -> CacheLookup<V> {
+        let outcome = {
+            let mut shard = self.shard_of(key).lock().expect("cache lock");
+            match shard.get(key) {
+                Some(v) => match judge(&v) {
+                    Validity::Valid => CacheLookup::Hit(v),
+                    Validity::Stale => {
+                        shard.remove(key);
+                        CacheLookup::Stale
+                    }
+                    Validity::Newer => CacheLookup::Newer,
+                },
+                None => CacheLookup::Miss,
+            }
+        };
+        match &outcome {
+            CacheLookup::Hit(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            CacheLookup::Stale => {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
+            CacheLookup::Newer | CacheLookup::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        outcome
+    }
+
     /// Retract one previously counted miss. For callers whose lookup
     /// missed but whose query then failed to execute: the entry was
     /// never computable, so keeping the miss would leave the counters
@@ -232,6 +319,28 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             .lock()
             .expect("cache lock")
             .insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Insert unless an existing entry for the key makes `may_replace`
+    /// return `false` — checked and written under one shard lock, so a
+    /// racing writer cannot slip a fresher entry in between.
+    ///
+    /// This closes the laggard-writer race of epoch caching: a reader
+    /// that pinned an old snapshot, missed, and computed slowly must not
+    /// clobber the newer-epoch result another reader cached meanwhile.
+    pub fn insert_if(&self, key: K, value: V, may_replace: impl FnOnce(&V) -> bool) {
+        let mut shard = self.shard_of(&key).lock().expect("cache lock");
+        if let Some(existing) = shard.peek(&key) {
+            if !may_replace(existing) {
+                return;
+            }
+        }
+        let evicted = shard.insert(key, value);
+        drop(shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -268,6 +377,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.len(),
             capacity: self.capacity,
         }
@@ -346,6 +456,101 @@ mod tests {
         assert_eq!(stats.hits, threads * lookups_per_thread / 2);
         assert_eq!(stats.misses, threads * lookups_per_thread / 2);
         assert_eq!(stats.hit_ratio(), 0.5);
+    }
+
+    /// Epoch-style judge: serve matching stamps, drop older, skip newer.
+    fn against(current: u64) -> impl Fn(&(u64, u32)) -> Validity {
+        move |&(e, _)| match e.cmp(&current) {
+            std::cmp::Ordering::Equal => Validity::Valid,
+            std::cmp::Ordering::Less => Validity::Stale,
+            std::cmp::Ordering::Greater => Validity::Newer,
+        }
+    }
+
+    #[test]
+    fn get_validate_invalidates_stale_entries() {
+        let cache: ShardedLruCache<u32, (u64, u32)> = ShardedLruCache::new(8, 1);
+        cache.insert(1, (0, 10)); // stamped epoch 0
+        cache.insert(2, (0, 20));
+
+        // Epoch 0 current: both hit.
+        assert_eq!(
+            cache.get_validate(&1, against(0)),
+            CacheLookup::Hit((0, 10))
+        );
+        // Epoch bumps to 1: the entry is dropped, not served.
+        assert_eq!(cache.get_validate(&1, against(1)), CacheLookup::Stale);
+        // And it is really gone — the next lookup is a plain miss.
+        assert_eq!(cache.get_validate(&1, against(1)), CacheLookup::Miss);
+        // Re-inserted at the new epoch, it hits again.
+        cache.insert(1, (1, 11));
+        assert_eq!(
+            cache.get_validate(&1, against(1)),
+            CacheLookup::Hit((1, 11))
+        );
+        // Untouched entry 2 stays resident until looked up.
+        assert_eq!(cache.len(), 2);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2, "stale + plain miss");
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.hits + stats.misses, 4, "every lookup accounted");
+    }
+
+    #[test]
+    fn newer_entries_survive_laggard_lookups() {
+        let cache: ShardedLruCache<u32, (u64, u32)> = ShardedLruCache::new(8, 1);
+        cache.insert(1, (1, 11)); // computed at epoch 1
+                                  // A reader still pinned on epoch 0 can't use it, but must not
+                                  // destroy it either.
+        assert_eq!(cache.get_validate(&1, against(0)), CacheLookup::Newer);
+        assert_eq!(
+            cache.get_validate(&1, against(1)),
+            CacheLookup::Hit((1, 11))
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 0, "a newer entry is not stale");
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn insert_if_refuses_to_clobber_newer_entries() {
+        let cache: ShardedLruCache<u32, (u64, u32)> = ShardedLruCache::new(8, 1);
+        // Laggard (epoch 0) computed after a fresher entry landed.
+        cache.insert(1, (1, 11));
+        cache.insert_if(1, (0, 10), |&(e, _)| e == 0);
+        assert_eq!(
+            cache.get_validate(&1, against(1)),
+            CacheLookup::Hit((1, 11))
+        );
+        // Same-or-newer epoch may replace.
+        cache.insert_if(1, (1, 12), |&(e, _)| e <= 1);
+        assert_eq!(
+            cache.get_validate(&1, against(1)),
+            CacheLookup::Hit((1, 12))
+        );
+        // Absent keys insert unconditionally.
+        cache.insert_if(2, (0, 20), |_| false);
+        assert_eq!(
+            cache.get_validate(&2, against(0)),
+            CacheLookup::Hit((0, 20))
+        );
+        assert_eq!(cache.stats().insertions, 3, "skipped insert not counted");
+    }
+
+    #[test]
+    fn remove_recycles_slots() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(
+            cache.get_validate(&1, |_| Validity::Stale),
+            CacheLookup::Stale
+        );
+        cache.insert(3, 30);
+        assert_eq!(cache.stats().evictions, 0, "freed slot reused, no eviction");
+        assert_eq!(cache.lru_order_of_shard(0), vec![3, 2]);
     }
 
     #[test]

@@ -2,21 +2,26 @@
 //!
 //! No async runtime and no HTTP library: a `TcpListener` acceptor thread
 //! feeds connections through an `mpsc` channel to a fixed pool of worker
-//! threads, each of which parses one `GET` request, runs it against the
-//! shared [`QueryService`], and writes a JSON response. One request per
-//! connection (`Connection: close`) keeps the protocol surface tiny
-//! while still exercising true multi-client concurrency.
+//! threads, each of which parses one request, runs it against the
+//! shared [`QueryService`] (or the [`IngestEndpoint`] write path), and
+//! writes a JSON response. One request per connection
+//! (`Connection: close`) keeps the protocol surface tiny while still
+//! exercising true multi-client concurrency.
 //!
 //! | route | parameters | response |
 //! |---|---|---|
-//! | `GET /search` | `q` (required), `limit`, `strategy` = `backward`\|`forward` | ranked connection trees |
+//! | `GET /search` | `q` (required), `limit`, `strategy` = `backward`\|`forward` | ranked connection trees + serving epoch |
 //! | `GET /node` | `id` (graph node id) | the tuple behind one graph node |
-//! | `GET /stats` | — | cache + service + graph counters |
+//! | `GET /stats` | — | cache + service + graph counters, snapshot epoch |
+//! | `GET /epochs` | — | current epoch + recent publication history |
+//! | `POST /ingest` | `ts` (caller timestamp); body = delta JSON | publishes a new epoch |
 //! | `GET /health` | — | liveness probe |
 
+use crate::ingest::{epoch_info_json, IngestEndpoint};
 use crate::service::{QueryOptions, QueryService};
 use banks_core::SearchStrategy;
 use banks_graph::NodeId;
+use banks_ingest::DeltaBatch;
 use banks_util::http::{parse_query_string, query_param};
 use banks_util::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -59,8 +64,20 @@ pub struct BanksServer {
 }
 
 impl BanksServer {
-    /// Bind and start serving on background threads.
+    /// Bind and start serving on background threads (read-only: no
+    /// ingest endpoint, `POST /ingest` answers 503).
     pub fn bind(service: Arc<QueryService>, config: ServerConfig) -> std::io::Result<BanksServer> {
+        BanksServer::bind_with_ingest(service, None, config)
+    }
+
+    /// Bind with an optional write path: when `ingest` is provided,
+    /// `POST /ingest` publishes delta batches and `GET /epochs` reports
+    /// the publication history.
+    pub fn bind_with_ingest(
+        service: Arc<QueryService>,
+        ingest: Option<Arc<IngestEndpoint>>,
+        config: ServerConfig,
+    ) -> std::io::Result<BanksServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -71,9 +88,10 @@ impl BanksServer {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&service);
+                let ingest = ingest.clone();
                 std::thread::Builder::new()
                     .name(format!("banks-http-{i}"))
-                    .spawn(move || worker_loop(rx, service))
+                    .spawn(move || worker_loop(rx, service, ingest))
                     .expect("spawn worker")
             })
             .collect();
@@ -177,7 +195,11 @@ impl Drop for BanksServer {
     }
 }
 
-fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, service: Arc<QueryService>) {
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    service: Arc<QueryService>,
+    ingest: Option<Arc<IngestEndpoint>>,
+) {
     loop {
         let stream = match rx.lock().expect("worker queue lock").recv() {
             Ok(stream) => stream,
@@ -188,7 +210,7 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, service: Arc<QueryService>) 
         // would otherwise shrink the pool until the server is dead. The
         // service is immutable-plus-atomics, hence panic-safe to reuse.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = handle_connection(stream, &service);
+            let _ = handle_connection(stream, &service, ingest.as_deref());
         }));
     }
 }
@@ -198,16 +220,26 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, service: Arc<QueryService>) 
 /// (or malicious) client can pin it.
 const MAX_REQUEST_BYTES: u64 = 16 * 1024;
 
-fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Result<()> {
+/// Hard cap on a `POST /ingest` body.
+const MAX_INGEST_BODY_BYTES: u64 = 8 * 1024 * 1024;
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &QueryService,
+    ingest: Option<&IngestEndpoint>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
 
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
-    // Drain headers; the body of a GET is ignored. `take` above makes
-    // this loop terminate even for a client that streams bytes forever.
+    // Drain headers, remembering Content-Length for the write path.
+    // `take` above makes this loop terminate even for a client that
+    // streams bytes forever.
     let mut complete = false;
+    let mut content_length: u64 = 0;
+    let mut bad_content_length = false;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -217,15 +249,59 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
             complete = true;
             break;
         }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                // An unparseable (or overflowing) length must be an
+                // error, not a silent 0 that skips the size cap and
+                // drops the body.
+                match value.trim().parse() {
+                    Ok(n) => content_length = n,
+                    Err(_) => bad_content_length = true,
+                }
+            }
+        }
     }
 
     let mut stream = stream;
     // Only an *unterminated* head at the cap is oversized — a request
     // whose headers end exactly at the limit is complete and valid.
+    // Only `POST /ingest` carries a meaningful body; draining (and
+    // UTF-8 validating) up to 8 MiB for routes that will never look at
+    // it would let any client pin a worker with useless work. The
+    // connection is one-request (`Connection: close`), so an unread
+    // body needs no draining for protocol correctness.
+    let wants_body = {
+        let mut parts = request_line.split_whitespace();
+        parts.next() == Some("POST")
+            && parts
+                .next()
+                .is_some_and(|t| t.split_once('?').map_or(t, |(p, _)| p) == "/ingest")
+    };
+
     let (status, body) = if !complete && reader.limit() == 0 {
         error_response("431 Request Header Fields Too Large", "request too large")
+    } else if bad_content_length {
+        error_response("400 Bad Request", "bad Content-Length header")
+    } else if wants_body && content_length > MAX_INGEST_BODY_BYTES {
+        error_response("413 Payload Too Large", "request body too large")
     } else {
-        route(&request_line, service)
+        // The head reader's byte budget does not constrain the body. A
+        // client closing early leaves a short body that fails JSON
+        // parsing with a useful error; invalid UTF-8 is rejected rather
+        // than silently replaced (the delta would otherwise publish
+        // corrupted text).
+        let request_body = if wants_body && content_length > 0 {
+            reader.set_limit(content_length);
+            let mut raw = Vec::with_capacity(content_length.min(64 * 1024) as usize);
+            reader.read_to_end(&mut raw)?;
+            String::from_utf8(raw).ok()
+        } else {
+            Some(String::new())
+        };
+        match request_body {
+            Some(request_body) => route(&request_line, &request_body, service, ingest),
+            None => error_response("400 Bad Request", "request body is not valid UTF-8"),
+        }
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -235,30 +311,78 @@ fn handle_connection(stream: TcpStream, service: &QueryService) -> std::io::Resu
     stream.flush()
 }
 
-fn route(request_line: &str, service: &QueryService) -> (&'static str, String) {
+fn route(
+    request_line: &str,
+    request_body: &str,
+    service: &QueryService,
+    ingest: Option<&IngestEndpoint>,
+) -> (&'static str, String) {
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m, t),
         _ => return error_response("400 Bad Request", "malformed request line"),
     };
-    if method != "GET" {
-        return error_response("405 Method Not Allowed", "only GET is supported");
-    }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
     let params = parse_query_string(query);
-    match path {
-        "/search" => handle_search(&params, service),
-        "/node" => handle_node(&params, service),
-        "/stats" => ("200 OK", stats_json(service).compact()),
-        "/health" => (
-            "200 OK",
-            Json::obj([("status", Json::Str("ok".into()))]).compact(),
-        ),
-        _ => error_response("404 Not Found", "unknown path"),
+    match (method, path) {
+        ("POST", "/ingest") => handle_ingest(&params, request_body, ingest),
+        (_, "/ingest") => error_response("405 Method Not Allowed", "/ingest requires POST"),
+        ("GET", _) => match path {
+            "/search" => handle_search(&params, service),
+            "/node" => handle_node(&params, service),
+            "/stats" => ("200 OK", stats_json(service).compact()),
+            "/epochs" => handle_epochs(service, ingest),
+            "/health" => (
+                "200 OK",
+                Json::obj([("status", Json::Str("ok".into()))]).compact(),
+            ),
+            _ => error_response("404 Not Found", "unknown path"),
+        },
+        _ => error_response("405 Method Not Allowed", "only GET is supported"),
     }
+}
+
+fn handle_ingest(
+    params: &[(String, String)],
+    request_body: &str,
+    ingest: Option<&IngestEndpoint>,
+) -> (&'static str, String) {
+    let Some(endpoint) = ingest else {
+        return error_response("503 Service Unavailable", "ingestion is disabled");
+    };
+    let batch = match DeltaBatch::from_json(request_body) {
+        Ok(batch) => batch,
+        Err(e) => return error_response("400 Bad Request", &e.to_string()),
+    };
+    if batch.is_empty() {
+        // Malformed request, not a data conflict: 409 is reserved for
+        // batches the current database rejects.
+        return error_response("400 Bad Request", "empty delta batch");
+    }
+    let published_at = query_param(params, "ts")
+        .filter(|ts| !ts.is_empty())
+        .map(str::to_string);
+    match endpoint.ingest(&batch, published_at) {
+        Ok(info) => ("200 OK", epoch_info_json(&info).compact()),
+        Err(e) => error_response("409 Conflict", &e.to_string()),
+    }
+}
+
+fn handle_epochs(
+    service: &QueryService,
+    ingest: Option<&IngestEndpoint>,
+) -> (&'static str, String) {
+    let doc = match ingest {
+        Some(endpoint) => endpoint.epochs_json(),
+        None => Json::obj([
+            ("epoch", Json::Uint(service.epoch())),
+            ("history", Json::Arr(Vec::new())),
+        ]),
+    };
+    ("200 OK", doc.compact())
 }
 
 fn error_response(status: &'static str, message: &str) -> (&'static str, String) {
@@ -298,11 +422,14 @@ fn handle_search(params: &[(String, String)], service: &QueryService) -> (&'stat
     // The heavy part of the body — rendered trees and search counters —
     // is identical for every request hitting this cache entry, so it is
     // serialized once and memoized on the entry; repeat hits only build
-    // the small volatile envelope around it.
+    // the small volatile envelope around it. Rendering goes through the
+    // snapshot that produced the result (`response.banks`): node ids are
+    // snapshot-relative, and the current snapshot may already be a newer
+    // epoch by the time this executes.
     let fragment = response
         .result
         .http_fragment
-        .get_or_init(|| answers_fragment(service, &response.result));
+        .get_or_init(|| answers_fragment(&response.banks, &response.result));
 
     let volatile = Json::obj([
         ("query", Json::Str(q.to_string())),
@@ -318,6 +445,7 @@ fn handle_search(params: &[(String, String)], service: &QueryService) -> (&'stat
             ),
         ),
         ("cached", Json::Bool(response.cached)),
+        ("epoch", Json::Uint(response.epoch)),
         (
             "elapsed_us",
             Json::Uint(response.elapsed.as_micros() as u64),
@@ -334,8 +462,9 @@ fn handle_search(params: &[(String, String)], service: &QueryService) -> (&'stat
 }
 
 /// Serialize the cacheable part of a search response:
-/// `"count":…,"answers":[…],"search_stats":{…}` (no braces).
-fn answers_fragment(service: &QueryService, result: &crate::service::CachedResult) -> String {
+/// `"count":…,"answers":[…],"search_stats":{…}` (no braces), against
+/// the snapshot that computed it.
+fn answers_fragment(banks: &banks_core::Banks, result: &crate::service::CachedResult) -> String {
     let answers: Vec<Json> = result
         .answers
         .iter()
@@ -345,7 +474,7 @@ fn answers_fragment(service: &QueryService, result: &crate::service::CachedResul
             Json::obj([
                 ("rank", Json::Uint(rank as u64 + 1)),
                 ("relevance", Json::Num(answer.relevance)),
-                ("root", node_json(service, tree.root)),
+                ("root", node_json(banks, tree.root)),
                 ("weight", Json::Num(tree.weight)),
                 (
                     "keyword_nodes",
@@ -371,7 +500,7 @@ fn answers_fragment(service: &QueryService, result: &crate::service::CachedResul
                             .collect(),
                     ),
                 ),
-                ("rendered", Json::Str(service.render_answer(answer))),
+                ("rendered", Json::Str(banks.render_answer(answer))),
             ])
         })
         .collect();
@@ -397,16 +526,17 @@ fn handle_node(params: &[(String, String)], service: &QueryService) -> (&'static
     let Ok(id) = raw.parse::<u32>() else {
         return error_response("400 Bad Request", "id must be a graph node id (u32)");
     };
-    if (id as usize) >= service.banks().tuple_graph().node_count() {
+    // Pin one snapshot for both the bounds check and the rendering.
+    let banks = service.banks();
+    if (id as usize) >= banks.tuple_graph().node_count() {
         return error_response("404 Not Found", "no such node");
     }
-    ("200 OK", node_json(service, NodeId(id)).compact())
+    ("200 OK", node_json(&banks, NodeId(id)).compact())
 }
 
 /// JSON description of one graph node: its tuple, relation, prestige,
 /// and connectivity — enough for a client to browse the neighbourhood.
-fn node_json(service: &QueryService, node: NodeId) -> Json {
-    let banks = service.banks();
+fn node_json(banks: &banks_core::Banks, node: NodeId) -> Json {
     let tg = banks.tuple_graph();
     let graph = tg.graph();
     let rid = tg.rid(node);
@@ -435,6 +565,14 @@ fn stats_json(service: &QueryService) -> Json {
     Json::obj([
         ("queries", Json::Uint(stats.queries)),
         ("errors", Json::Uint(stats.errors)),
+        ("epoch", Json::Uint(stats.epoch)),
+        (
+            "last_publish",
+            match &stats.last_publish {
+                Some(ts) => Json::Str(ts.clone()),
+                None => Json::Null,
+            },
+        ),
         (
             "cache",
             Json::obj([
@@ -442,9 +580,20 @@ fn stats_json(service: &QueryService) -> Json {
                 ("misses", Json::Uint(stats.cache.misses)),
                 ("insertions", Json::Uint(stats.cache.insertions)),
                 ("evictions", Json::Uint(stats.cache.evictions)),
+                ("invalidations", Json::Uint(stats.cache.invalidations)),
                 ("entries", Json::Uint(stats.cache.entries as u64)),
                 ("capacity", Json::Uint(stats.cache.capacity as u64)),
                 ("hit_ratio", Json::Num(stats.cache.hit_ratio())),
+                (
+                    "invalidations_by_epoch",
+                    Json::Obj(
+                        stats
+                            .invalidations_by_epoch
+                            .iter()
+                            .map(|&(e, n)| (e.to_string(), Json::Uint(n)))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         (

@@ -4,22 +4,28 @@
 //! the original system ran as a web application (§1: "BANKS … can be
 //! invoked from a browser"), rebuilt for multi-user traffic:
 //!
-//! * **Shared snapshot** — one immutable [`banks_core::Banks`] system
-//!   (database + text index + data graph) behind an `Arc`, queried from
-//!   any number of threads without synchronization. Queries never block
-//!   each other; the graph is built (or restored from a
-//!   `banks_graph::snapshot`) once at startup.
+//! * **Epoch-versioned shared snapshot** — one immutable
+//!   [`banks_core::Banks`] system (database + text index + data graph)
+//!   behind an `Arc`, queried from any number of threads without
+//!   synchronization. Queries never block each other; the graph is
+//!   built (or restored from a `banks_graph::snapshot`) once at
+//!   startup, and live writes publish *successor* snapshots through
+//!   `banks-ingest` — [`service::QueryService::install_snapshot`] swaps
+//!   the pointer while in-flight queries finish on their old epoch.
 //! * **Sharded result cache** — [`cache::ShardedLruCache`] keyed on the
 //!   normalized query ([`service::QueryKey`]: sorted lowercase keywords +
 //!   strategy + limit + a ranking-parameter fingerprint), so `mohan
-//!   sudarshan` and `Sudarshan  Mohan` share one entry. Per-instance
-//!   hit/miss/insert/evict counters feed the `/stats` endpoint.
+//!   sudarshan` and `Sudarshan  Mohan` share one entry. Entries are
+//!   stamped with their snapshot's epoch and invalidated lazily after a
+//!   publish. Per-instance hit/miss/insert/evict/invalidation counters
+//!   feed the `/stats` endpoint.
 //! * **Two front ends** — the in-process [`service::QueryService`] API
-//!   (used by `banks-cli serve` and the `banks-bench` throughput bench),
-//!   and a std-only HTTP/1.1 JSON endpoint ([`http::BanksServer`]) with
-//!   `GET /search`, `/node`, `/stats`, and `/health`, served by a fixed
-//!   worker pool over `std::net::TcpListener` — no async runtime, no
-//!   external dependencies.
+//!   (used by `banks-cli serve` and the `banks-bench` benches), and a
+//!   std-only HTTP/1.1 JSON endpoint ([`http::BanksServer`]) with
+//!   `GET /search`, `/node`, `/stats`, `/epochs`, `/health`, and
+//!   `POST /ingest` (when wired with an [`ingest::IngestEndpoint`]),
+//!   served by a fixed worker pool over `std::net::TcpListener` — no
+//!   async runtime, no external dependencies.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -36,10 +42,12 @@
 
 pub mod cache;
 pub mod http;
+pub mod ingest;
 pub mod service;
 
-pub use cache::{CacheStats, ShardedLruCache};
+pub use cache::{CacheLookup, CacheStats, ShardedLruCache};
 pub use http::{BanksServer, ServerConfig};
+pub use ingest::IngestEndpoint;
 pub use service::{
     CachedResult, QueryKey, QueryOptions, QueryService, SearchResponse, ServiceConfig, ServiceStats,
 };

@@ -4,14 +4,24 @@
 //! Every front end — the HTTP endpoint, `banks-cli serve`, the
 //! throughput bench — goes through [`QueryService::search`], so cache
 //! semantics and counters are identical everywhere.
+//!
+//! Since live ingestion (`banks-ingest`), the snapshot is **epoch
+//! versioned**: [`QueryService::install_snapshot`] atomically swaps in a
+//! newly published `Arc<Banks>`. Readers never block — each query
+//! clones the current snapshot pointer under a read lock held for
+//! nanoseconds and finishes on whatever epoch it started with. Cache
+//! entries are stamped with their snapshot's epoch and invalidated
+//! lazily on lookup after a publish, entry by entry, instead of being
+//! flushed wholesale.
 
-use crate::cache::{CacheStats, ShardedLruCache};
+use crate::cache::{CacheLookup, CacheStats, ShardedLruCache};
 use banks_core::{
     Answer, Banks, BanksResult, CombineMode, EdgeScoreMode, NodeScoreMode, SearchStats,
     SearchStrategy,
 };
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Service construction options.
@@ -106,6 +116,10 @@ pub struct CachedResult {
     pub stats: SearchStats,
     /// Wall-clock time of the original search.
     pub cold_elapsed: Duration,
+    /// Epoch of the snapshot this result was computed on. Lookups
+    /// validate it against the current epoch, so a publish invalidates
+    /// stale entries lazily instead of flushing the cache.
+    pub epoch: u64,
     /// Serialized `"count":…,"answers":[…],"search_stats":{…}` JSON
     /// fragment, memoized by the HTTP layer on first serve: it is
     /// identical for every alias of the cache key, so repeat hits skip
@@ -125,6 +139,12 @@ pub struct SearchResponse {
     pub elapsed: Duration,
     /// The normalized key the lookup used.
     pub key: QueryKey,
+    /// Epoch of the snapshot that answered (== `result.epoch`).
+    pub epoch: u64,
+    /// The snapshot that answered — rendering an answer's node ids must
+    /// use exactly this instance, not whatever is current by the time
+    /// the response is serialized.
+    pub banks: Arc<Banks>,
 }
 
 /// Aggregated service counters for `/stats`.
@@ -144,78 +164,157 @@ pub struct ServiceStats {
     pub memory_bytes: usize,
     /// Seconds since the service was built.
     pub uptime_secs: f64,
+    /// Current snapshot epoch (0 until the first publication).
+    pub epoch: u64,
+    /// Caller-supplied timestamp of the last snapshot publication.
+    pub last_publish: Option<String>,
+    /// Cache invalidations observed per epoch: `(epoch, count)` pairs,
+    /// ascending — entry `(e, n)` means `n` stale results were dropped
+    /// while epoch `e` was current.
+    pub invalidations_by_epoch: Vec<(u64, u64)>,
 }
 
-/// A thread-safe query service over one immutable BANKS snapshot.
+/// The current snapshot plus everything derived from it that a query
+/// needs — swapped atomically as one `Arc` on publication.
+struct Snapshot {
+    banks: Arc<Banks>,
+    epoch: u64,
+    params_fingerprint: u64,
+}
+
+/// A thread-safe query service over an epoch-versioned BANKS snapshot.
 ///
 /// The system is `Send + Sync` (verified by compile-time assertion
 /// below), so one `Arc<QueryService>` serves any number of worker
 /// threads; results are `Arc`-shared between the cache and responses.
+/// Writers publish through [`QueryService::install_snapshot`]; the read
+/// lock is held only long enough to clone an `Arc`.
 pub struct QueryService {
-    banks: Arc<Banks>,
+    snapshot: RwLock<Arc<Snapshot>>,
     cache: ShardedLruCache<QueryKey, Arc<CachedResult>>,
     queries: AtomicU64,
     errors: AtomicU64,
-    params_fingerprint: u64,
     started: Instant,
+    last_publish: Mutex<Option<String>>,
+    /// epoch → stale entries dropped while that epoch was current.
+    invalidations_by_epoch: Mutex<BTreeMap<u64, u64>>,
 }
 
+/// How many epochs of invalidation counts `/stats` retains.
+const INVALIDATION_EPOCHS_KEPT: usize = 64;
+
 impl QueryService {
-    /// Wrap a built BANKS snapshot.
+    /// Wrap a built BANKS snapshot (epoch 0).
     pub fn new(banks: Arc<Banks>, config: ServiceConfig) -> QueryService {
         let params_fingerprint = fingerprint_params(&banks);
         QueryService {
-            banks,
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                banks,
+                epoch: 0,
+                params_fingerprint,
+            })),
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            params_fingerprint,
             started: Instant::now(),
+            last_publish: Mutex::new(None),
+            invalidations_by_epoch: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// The shared snapshot.
-    pub fn banks(&self) -> &Banks {
-        &self.banks
+    fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock"))
+    }
+
+    /// The current snapshot. In-flight queries hold their own clone, so
+    /// a concurrent [`QueryService::install_snapshot`] never invalidates
+    /// what a reader is using.
+    pub fn banks(&self) -> Arc<Banks> {
+        Arc::clone(&self.current().banks)
+    }
+
+    /// The current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch
+    }
+
+    /// Atomically swap in a newly published snapshot. `epoch` must be
+    /// greater than the current epoch (the publisher's counter is
+    /// monotone; install order is serialized by the publisher's lock).
+    /// Cached results stamped with older epochs are *not* flushed here —
+    /// they fail epoch validation on their next lookup and are dropped
+    /// one by one, keeping publication O(1) regardless of cache size.
+    pub fn install_snapshot(&self, banks: Arc<Banks>, epoch: u64, published_at: Option<String>) {
+        let params_fingerprint = fingerprint_params(&banks);
+        let mut slot = self.snapshot.write().expect("snapshot lock");
+        debug_assert!(epoch > slot.epoch, "epochs must advance monotonically");
+        *slot = Arc::new(Snapshot {
+            banks,
+            epoch,
+            params_fingerprint,
+        });
+        drop(slot);
+        *self.last_publish.lock().expect("publish lock") = published_at;
     }
 
     /// Answer a keyword query through the cache.
     pub fn search(&self, query_text: &str, options: QueryOptions) -> BanksResult<SearchResponse> {
+        // Pin this query's snapshot: everything below — parse, cache
+        // key, search, epoch stamp — uses it, even if a publish lands
+        // mid-query.
+        let snapshot = self.current();
+        let banks = &snapshot.banks;
+
         // Reject unparseable queries before touching the cache, so the
         // hit/miss counters only ever count answerable queries and
         // `queries == hits + computed` stays an invariant of `/stats`.
         // The parse is kept and reused on the miss path below.
-        let query = match self.banks.parse(query_text) {
+        let query = match banks.parse(query_text) {
             Ok(query) => query,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
         };
-        let configured_max = self.banks.config().search.max_results;
+        let configured_max = banks.config().search.max_results;
         let limit = options
             .limit
             .unwrap_or(configured_max)
             .min(configured_max)
             .max(1);
-        let key = QueryKey::normalize(query_text, options, limit, self.params_fingerprint);
+        let key = QueryKey::normalize(query_text, options, limit, snapshot.params_fingerprint);
 
         let t0 = Instant::now();
-        if let Some(result) = self.cache.get(&key) {
-            self.queries.fetch_add(1, Ordering::Relaxed);
-            return Ok(SearchResponse {
-                result,
-                cached: true,
-                elapsed: t0.elapsed(),
-                key,
-            });
+        // Three-way epoch check: equal stamps are served, older stamps
+        // were superseded by a publish and are dropped, and a *newer*
+        // stamp (this reader pinned an older snapshot mid-publish) is
+        // left alone for the readers it is valid for.
+        match self
+            .cache
+            .get_validate(&key, |r| match r.epoch.cmp(&snapshot.epoch) {
+                std::cmp::Ordering::Equal => crate::cache::Validity::Valid,
+                std::cmp::Ordering::Less => crate::cache::Validity::Stale,
+                std::cmp::Ordering::Greater => crate::cache::Validity::Newer,
+            }) {
+            CacheLookup::Hit(result) => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                return Ok(SearchResponse {
+                    cached: true,
+                    elapsed: t0.elapsed(),
+                    key,
+                    epoch: result.epoch,
+                    banks: Arc::clone(banks),
+                    result,
+                });
+            }
+            CacheLookup::Stale => self.note_invalidation(snapshot.epoch),
+            CacheLookup::Newer | CacheLookup::Miss => {}
         }
 
         let t0 = Instant::now();
-        let mut config = self.banks.config().clone();
+        let mut config = banks.config().clone();
         config.search.max_results = limit;
-        let outcome = self
-            .banks
+        let outcome = banks
             .search_parsed(&query, options.strategy, &config)
             .inspect_err(|_| {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -230,33 +329,66 @@ impl QueryService {
             answers: outcome.answers,
             stats: outcome.stats,
             cold_elapsed: elapsed,
+            epoch: snapshot.epoch,
             http_fragment: std::sync::OnceLock::new(),
         });
-        self.cache.insert(key.clone(), Arc::clone(&result));
+        // Conditional insert under the shard lock: a fresher-epoch entry
+        // (cached by a racing reader after a publish we missed, whether
+        // it was visible at lookup time or landed while we searched)
+        // must not be clobbered by this result.
+        self.cache
+            .insert_if(key.clone(), Arc::clone(&result), |existing| {
+                existing.epoch <= snapshot.epoch
+            });
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(SearchResponse {
-            result,
             cached: false,
             elapsed,
             key,
+            epoch: snapshot.epoch,
+            banks: Arc::clone(banks),
+            result,
         })
     }
 
-    /// Render an answer Figure-2 style (delegates to the snapshot).
+    fn note_invalidation(&self, current_epoch: u64) {
+        let mut by_epoch = self
+            .invalidations_by_epoch
+            .lock()
+            .expect("invalidation lock");
+        *by_epoch.entry(current_epoch).or_insert(0) += 1;
+        while by_epoch.len() > INVALIDATION_EPOCHS_KEPT {
+            by_epoch.pop_first();
+        }
+    }
+
+    /// Render an answer Figure-2 style against the **current** snapshot.
+    /// For answers out of a [`SearchResponse`], prefer rendering through
+    /// its own `banks` handle (node ids are snapshot-relative).
     pub fn render_answer(&self, answer: &Answer) -> String {
-        self.banks.render_answer(answer)
+        self.current().banks.render_answer(answer)
     }
 
     /// Service counters.
     pub fn stats(&self) -> ServiceStats {
+        let snapshot = self.current();
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             cache: self.cache.stats(),
-            graph_nodes: self.banks.tuple_graph().node_count(),
-            graph_edges: self.banks.tuple_graph().graph().edge_count(),
-            memory_bytes: self.banks.memory_bytes(),
+            graph_nodes: snapshot.banks.tuple_graph().node_count(),
+            graph_edges: snapshot.banks.tuple_graph().graph().edge_count(),
+            memory_bytes: snapshot.banks.memory_bytes(),
             uptime_secs: self.started.elapsed().as_secs_f64(),
+            epoch: snapshot.epoch,
+            last_publish: self.last_publish.lock().expect("publish lock").clone(),
+            invalidations_by_epoch: self
+                .invalidations_by_epoch
+                .lock()
+                .expect("invalidation lock")
+                .iter()
+                .map(|(&e, &n)| (e, n))
+                .collect(),
         }
     }
 
@@ -489,6 +621,107 @@ mod tests {
             )
             .unwrap();
         assert_eq!(big.key.limit, service.banks().config().search.max_results);
+    }
+
+    #[test]
+    fn install_snapshot_invalidates_stale_entries_lazily() {
+        use banks_ingest::{DeltaBatch, SnapshotPublisher, TupleOp};
+        use banks_storage::Value;
+
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let service = QueryService::new(Arc::clone(&banks), ServiceConfig::default());
+        let mut publisher = SnapshotPublisher::new(banks);
+
+        // Warm two entries at epoch 0.
+        let r0 = service.search("mohan", QueryOptions::default()).unwrap();
+        assert_eq!(r0.epoch, 0);
+        service
+            .search("sudarshan", QueryOptions::default())
+            .unwrap();
+        assert!(
+            service
+                .search("mohan", QueryOptions::default())
+                .unwrap()
+                .cached
+        );
+
+        // Publish a new author co-writing P1 and install epoch 1.
+        let batch = DeltaBatch {
+            ops: vec![
+                TupleOp::Insert {
+                    relation: "Author".into(),
+                    values: vec![Value::text("GrayJ"), Value::text("Jim Gray")],
+                },
+                TupleOp::Insert {
+                    relation: "Writes".into(),
+                    values: vec![Value::text("GrayJ"), Value::text("P1")],
+                },
+            ],
+        };
+        let published = publisher.publish(&batch, Some("t1".into())).unwrap();
+        service.install_snapshot(published.banks, published.info.epoch, Some("t1".into()));
+        assert_eq!(service.epoch(), 1);
+
+        // The stale entry is dropped on its next lookup — recomputed on
+        // the new snapshot, stamped with the new epoch.
+        let r1 = service.search("mohan", QueryOptions::default()).unwrap();
+        assert!(!r1.cached, "stale epoch-0 entry must not be served");
+        assert_eq!(r1.epoch, 1);
+        // And the new tuples are searchable.
+        assert_eq!(
+            service
+                .search("gray", QueryOptions::default())
+                .unwrap()
+                .result
+                .answers
+                .len(),
+            1
+        );
+
+        let stats = service.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.last_publish.as_deref(), Some("t1"));
+        assert_eq!(stats.cache.invalidations, 1);
+        assert_eq!(stats.invalidations_by_epoch, vec![(1, 1)]);
+        assert_eq!(
+            stats.cache.hits + stats.cache.misses,
+            stats.queries,
+            "lookup accounting survives invalidation"
+        );
+        // The untouched "sudarshan" entry invalidates on its own lookup.
+        assert!(
+            !service
+                .search("sudarshan", QueryOptions::default())
+                .unwrap()
+                .cached
+        );
+        assert_eq!(service.stats().cache.invalidations, 2);
+    }
+
+    #[test]
+    fn in_flight_snapshot_handles_survive_publication() {
+        use banks_ingest::{DeltaBatch, SnapshotPublisher, TupleOp};
+        use banks_storage::Value;
+
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let service = QueryService::new(Arc::clone(&banks), ServiceConfig::default());
+        let mut publisher = SnapshotPublisher::new(banks);
+
+        // A "reader" pins the epoch-0 snapshot (as a worker thread would
+        // mid-query).
+        let pinned = service.banks();
+        let batch = DeltaBatch {
+            ops: vec![TupleOp::Insert {
+                relation: "Author".into(),
+                values: vec![Value::text("NewA"), Value::text("Newcomer")],
+            }],
+        };
+        let published = publisher.publish(&batch, None).unwrap();
+        service.install_snapshot(published.banks, 1, None);
+
+        // The pinned snapshot still answers on the old database.
+        assert!(pinned.search("newcomer").unwrap().is_empty());
+        assert_eq!(service.banks().search("newcomer").unwrap().len(), 1);
     }
 
     #[test]

@@ -221,6 +221,139 @@ impl Database {
         self.tables[rid.relation.index()].delete(rid.slot)
     }
 
+    /// Update one column of the tuple at `rid` to `value`, maintaining
+    /// the reverse-reference index when the column participates in a
+    /// foreign key. Returns the previous value.
+    ///
+    /// Primary-key columns cannot be updated (delete + insert instead),
+    /// and a new foreign-key value must resolve, exactly as on insert —
+    /// the tuple-level write path of live ingestion.
+    pub fn update(&mut self, rid: Rid, column: usize, value: Value) -> StorageResult<Value> {
+        let old = self.update_columns(rid, &[(column, value)])?;
+        Ok(old
+            .into_iter()
+            .next()
+            .expect("one assignment, one old value"))
+    }
+
+    /// Update several columns of the tuple at `rid` **as one unit**:
+    /// every constraint — including foreign keys spanning multiple
+    /// updated columns — is validated against the *final* state before
+    /// anything mutates, so a composite-key repoint `(a1,b1) → (a2,b2)`
+    /// succeeds even when the intermediate `(a2,b1)` would dangle.
+    /// Returns the previous values in assignment order. On error the
+    /// database is untouched.
+    pub fn update_columns(
+        &mut self,
+        rid: Rid,
+        assignments: &[(usize, Value)],
+    ) -> StorageResult<Vec<Value>> {
+        let schema = self.table(rid.relation).schema().clone();
+        let old_values: Vec<Value> = self.tuple(rid)?.values().to_vec();
+
+        // Column-level validation of every assignment against the
+        // schema (range, pk guard, nullability, type), before any write.
+        let mut new_values = old_values.clone();
+        let mut touched = Vec::with_capacity(assignments.len());
+        for &(column, ref value) in assignments {
+            let Some(col) = schema.columns.get(column) else {
+                return Err(StorageError::UnknownColumn {
+                    relation: schema.name.clone(),
+                    column: format!("#{column}"),
+                });
+            };
+            if schema.primary_key.contains(&column) {
+                return Err(StorageError::InvalidSchema(format!(
+                    "cannot update primary-key column {column} of `{}`",
+                    schema.name
+                )));
+            }
+            if value.is_null() && !col.nullable {
+                return Err(StorageError::NullViolation {
+                    relation: schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+            if !value.is_null() && !col.ty.accepts(value) {
+                return Err(StorageError::TypeMismatch {
+                    relation: schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.ty.name().to_string(),
+                    actual: value.to_string(),
+                });
+            }
+            new_values[column] = value.clone();
+            touched.push(column);
+        }
+
+        // Validate and resolve every foreign key touching any updated
+        // column against the final values.
+        let mut relink: Vec<(usize, Option<Rid>, Option<Rid>)> = Vec::new();
+        for (fk_index, fk) in schema.foreign_keys.iter().enumerate() {
+            if !fk.columns.iter().any(|c| touched.contains(c)) {
+                continue;
+            }
+            let old_target = match Self::fk_key(&schema, fk_index, &old_values) {
+                Some(key) => self.relation(&fk.ref_relation)?.lookup_pk(&key),
+                None => None,
+            };
+            let new_target = match Self::fk_key(&schema, fk_index, &new_values) {
+                Some(key) => match self.relation(&fk.ref_relation)?.lookup_pk(&key) {
+                    Some(target) => Some(target),
+                    None => {
+                        return Err(StorageError::ForeignKeyViolation {
+                            relation: schema.name.clone(),
+                            referenced: fk.ref_relation.clone(),
+                            key: format!("{key:?}"),
+                        })
+                    }
+                },
+                None => {
+                    if !fk.nullable {
+                        return Err(StorageError::NullViolation {
+                            relation: schema.name.clone(),
+                            column: schema.columns[fk.columns[0]].name.clone(),
+                        });
+                    }
+                    None
+                }
+            };
+            if old_target != new_target {
+                relink.push((fk_index, old_target, new_target));
+            }
+        }
+
+        // All checks passed: write the columns (the table re-checks each
+        // one, which now cannot fail) and swap the reverse references.
+        for &(column, ref value) in assignments {
+            self.tables[rid.relation.index()].update(rid.slot, column, value.clone())?;
+        }
+        for (fk_index, old_target, new_target) in relink {
+            if let Some(target) = old_target {
+                if let Some(refs) = self.back_refs.get_mut(&target) {
+                    if let Some(pos) = refs
+                        .iter()
+                        .position(|b| b.from == rid && b.fk_index == fk_index)
+                    {
+                        refs.swap_remove(pos);
+                        self.link_count -= 1;
+                    }
+                }
+            }
+            if let Some(target) = new_target {
+                self.back_refs.entry(target).or_default().push(BackRef {
+                    from: rid,
+                    fk_index,
+                });
+                self.link_count += 1;
+            }
+        }
+        Ok(assignments
+            .iter()
+            .map(|&(column, _)| old_values[column].clone())
+            .collect())
+    }
+
     /// Resolve foreign key `fk_index` of the tuple at `rid`.
     ///
     /// Returns `Ok(None)` when the key is NULL (no link).
@@ -437,6 +570,160 @@ mod tests {
         assert_eq!(db.indegree(paper), 0);
         db.delete(paper).unwrap();
         assert_eq!(db.link_count(), 0);
+    }
+
+    #[test]
+    fn update_fk_column_relinks_backrefs() {
+        let mut db = bib_db();
+        let (paper, authors, writes) = seed_fig1(&mut db);
+        let second = db
+            .insert(
+                "Paper",
+                vec![Value::text("SarawagiC00"), Value::text("Scalable Mining")],
+            )
+            .unwrap();
+        assert_eq!(db.indegree(paper), 3);
+        assert_eq!(db.indegree(second), 0);
+        // Writes has pk (AuthorId, PaperId) so PaperId is not updatable
+        // there; use Cites (pk = both cols) — also not updatable. Use a
+        // fresh link relation without the fk columns in its pk.
+        db.create_relation(
+            RelationSchema::builder("Likes")
+                .column("Id", ColumnType::Int)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["Id"])
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let like = db
+            .insert("Likes", vec![Value::Int(1), Value::text("ChakrabartiSD98")])
+            .unwrap();
+        assert_eq!(db.indegree(paper), 4);
+        let links_before = db.link_count();
+
+        // Repoint the like at the second paper.
+        let old = db.update(like, 1, Value::text("SarawagiC00")).unwrap();
+        assert_eq!(old, Value::text("ChakrabartiSD98"));
+        assert_eq!(db.indegree(paper), 3);
+        assert_eq!(db.indegree(second), 1);
+        assert_eq!(db.link_count(), links_before);
+        assert_eq!(db.resolve_fk(like, 0).unwrap(), Some(second));
+
+        // Dangling update rejected, nothing relinked.
+        assert!(matches!(
+            db.update(like, 1, Value::text("nope")).unwrap_err(),
+            StorageError::ForeignKeyViolation { .. }
+        ));
+        assert_eq!(db.indegree(second), 1);
+        assert_eq!(db.link_count(), links_before);
+
+        // Non-FK column update leaves links alone.
+        db.update(authors[0], 1, Value::text("S. Chakrabarti"))
+            .unwrap();
+        assert_eq!(db.link_count(), links_before);
+
+        // PK column update rejected at the table layer.
+        assert!(db.update(writes[0], 0, Value::text("X")).is_err());
+        // Out-of-range column is a typed error.
+        assert!(matches!(
+            db.update(authors[0], 9, Value::Null).unwrap_err(),
+            StorageError::UnknownColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn composite_fk_updates_validate_as_a_unit() {
+        // A relation with a composite primary key, referenced by a
+        // two-column foreign key.
+        let mut db = Database::new("t");
+        db.create_relation(
+            RelationSchema::builder("Slot")
+                .column("Room", ColumnType::Text)
+                .column("Hour", ColumnType::Text)
+                .primary_key(&["Room", "Hour"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Booking")
+                .column("Id", ColumnType::Text)
+                .column("Room", ColumnType::Text)
+                .column("Hour", ColumnType::Text)
+                .primary_key(&["Id"])
+                .foreign_key(&["Room", "Hour"], "Slot")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let s1 = db
+            .insert("Slot", vec![Value::text("r1"), Value::text("h1")])
+            .unwrap();
+        let s2 = db
+            .insert("Slot", vec![Value::text("r2"), Value::text("h2")])
+            .unwrap();
+        let booking = db
+            .insert(
+                "Booking",
+                vec![Value::text("b"), Value::text("r1"), Value::text("h1")],
+            )
+            .unwrap();
+        assert_eq!(db.indegree(s1), 1);
+
+        // (r1,h1) → (r2,h2): neither intermediate state — (r2,h1) nor
+        // (r1,h2) — exists, but the final state does. Must succeed.
+        let old = db
+            .update_columns(booking, &[(1, Value::text("r2")), (2, Value::text("h2"))])
+            .unwrap();
+        assert_eq!(old, vec![Value::text("r1"), Value::text("h1")]);
+        assert_eq!(db.resolve_fk(booking, 0).unwrap(), Some(s2));
+        assert_eq!(db.indegree(s1), 0);
+        assert_eq!(db.indegree(s2), 1);
+        assert_eq!(db.link_count(), 1);
+
+        // A final state that dangles is rejected with nothing applied.
+        assert!(db
+            .update_columns(booking, &[(1, Value::text("r1")), (2, Value::text("h9"))])
+            .is_err());
+        assert_eq!(db.resolve_fk(booking, 0).unwrap(), Some(s2));
+        assert_eq!(db.indegree(s2), 1);
+
+        // Per-column validation still fires before any write: a later
+        // bad assignment voids an earlier good one.
+        assert!(db
+            .update_columns(booking, &[(1, Value::text("r1")), (9, Value::Null)])
+            .is_err());
+        assert_eq!(db.resolve_fk(booking, 0).unwrap(), Some(s2), "untouched");
+    }
+
+    #[test]
+    fn update_fk_to_null_and_back() {
+        let mut db = Database::new("org");
+        db.create_relation(
+            RelationSchema::builder("Person")
+                .column("Id", ColumnType::Text)
+                .nullable_column("Manager", ColumnType::Text)
+                .primary_key(&["Id"])
+                .nullable_foreign_key(&["Manager"], "Person")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let boss = db
+            .insert("Person", vec![Value::text("boss"), Value::Null])
+            .unwrap();
+        let emp = db
+            .insert("Person", vec![Value::text("emp"), Value::text("boss")])
+            .unwrap();
+        assert_eq!(db.indegree(boss), 1);
+        db.update(emp, 1, Value::Null).unwrap();
+        assert_eq!(db.indegree(boss), 0);
+        assert_eq!(db.link_count(), 0);
+        db.update(emp, 1, Value::text("boss")).unwrap();
+        assert_eq!(db.indegree(boss), 1);
+        assert_eq!(db.link_count(), 1);
     }
 
     #[test]

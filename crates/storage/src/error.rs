@@ -67,6 +67,16 @@ pub enum StorageError {
     },
     /// A schema declaration was internally inconsistent.
     InvalidSchema(String),
+    /// A pre-materialized graph snapshot does not describe this database
+    /// (node count or per-relation catalog mismatch). Distinct from
+    /// [`StorageError::InvalidSchema`] so callers can offer "rebuild the
+    /// snapshot" recovery instead of treating it as a schema bug.
+    SnapshotMismatch {
+        /// What the snapshot claims (e.g. node or per-relation counts).
+        expected: String,
+        /// What the database actually holds.
+        actual: String,
+    },
     /// A row identifier pointed at a missing (deleted or out-of-range) tuple.
     InvalidRid(String),
     /// CSV parsing failed.
@@ -120,6 +130,10 @@ impl fmt::Display for StorageError {
                 "foreign key from `{relation}` to `{referenced}` dangles: no tuple with key {key}"
             ),
             StorageError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            StorageError::SnapshotMismatch { expected, actual } => write!(
+                f,
+                "graph snapshot does not match the database: snapshot has {expected}, database has {actual}"
+            ),
             StorageError::InvalidRid(msg) => write!(f, "invalid rid: {msg}"),
             StorageError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
@@ -154,6 +168,13 @@ mod tests {
             message: "unterminated quote".into(),
         };
         assert!(e.to_string().contains("line 7"));
+
+        let e = StorageError::SnapshotMismatch {
+            expected: "10 nodes".into(),
+            actual: "9 tuples".into(),
+        };
+        assert!(e.to_string().contains("10 nodes"));
+        assert!(e.to_string().contains("9 tuples"));
     }
 
     #[test]

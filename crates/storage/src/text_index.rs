@@ -24,7 +24,6 @@ pub struct Posting {
 #[derive(Debug, Clone, Default)]
 pub struct TextIndex {
     postings: HashMap<String, Vec<Posting>>,
-    tokens_indexed: usize,
 }
 
 impl TextIndex {
@@ -63,7 +62,6 @@ impl TextIndex {
             .entry(token)
             .or_default()
             .push(Posting { rid, column });
-        self.tokens_indexed += 1;
     }
 
     /// Sort and deduplicate posting lists (a token may occur several times
@@ -74,6 +72,48 @@ impl TextIndex {
             list.dedup();
             list.shrink_to_fit();
         }
+    }
+
+    /// Incrementally index one attribute value: add a posting for every
+    /// distinct token of `text` under `(rid, column)`, preserving the
+    /// sorted posting order [`TextIndex::build`] establishes. Already
+    /// present postings are left alone, so re-adding is idempotent.
+    pub fn add_value(&mut self, rid: Rid, column: u32, text: &str, tokenizer: &Tokenizer) {
+        for token in Self::distinct_tokens_of(text, tokenizer) {
+            let list = self.postings.entry(token).or_default();
+            let posting = Posting { rid, column };
+            if let Err(pos) = list.binary_search_by_key(&(rid, column), |p| (p.rid, p.column)) {
+                list.insert(pos, posting);
+            }
+        }
+    }
+
+    /// Incrementally un-index one attribute value: tombstone the posting
+    /// `(rid, column)` under every distinct token of `text`. The posting
+    /// is removed eagerly (the list is already sorted, so removal is a
+    /// binary search + shift); token entries whose last posting dies are
+    /// dropped entirely so lookups and memory accounting stay exact.
+    pub fn remove_value(&mut self, rid: Rid, column: u32, text: &str, tokenizer: &Tokenizer) {
+        for token in Self::distinct_tokens_of(text, tokenizer) {
+            let Some(list) = self.postings.get_mut(&token) else {
+                continue;
+            };
+            if let Ok(pos) = list.binary_search_by_key(&(rid, column), |p| (p.rid, p.column)) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.postings.remove(&token);
+            }
+        }
+    }
+
+    /// Tokenize `text` and deduplicate (a value's repeated token carries
+    /// one posting — the invariant `finish` enforces for bulk builds).
+    fn distinct_tokens_of(text: &str, tokenizer: &Tokenizer) -> Vec<String> {
+        let mut tokens = tokenizer.tokenize(text);
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
     }
 
     /// Postings for `token` (already lowercased by the tokenizer).
@@ -231,6 +271,52 @@ mod tests {
         assert!(idx.posting_count() >= idx.distinct_tokens());
         assert!(idx.memory_bytes() > 0);
         assert!(idx.tokens().any(|t| t == "temporal"));
+    }
+
+    #[test]
+    fn incremental_add_remove_matches_bulk_build() {
+        let tokenizer = Tokenizer::new();
+        let (mut db, rids) = db_with_papers();
+        let mut idx = TextIndex::build(&db, &tokenizer);
+
+        // Add a fourth paper incrementally; the index must equal a bulk
+        // rebuild over the mutated database.
+        let r4 = db
+            .insert(
+                "Paper",
+                vec![
+                    Value::text("p4"),
+                    Value::text("Mining the Query Stream"),
+                    Value::Int(2002),
+                ],
+            )
+            .unwrap();
+        idx.add_value(r4, 0, "p4", &tokenizer);
+        idx.add_value(r4, 1, "Mining the Query Stream", &tokenizer);
+        let rebuilt = TextIndex::build(&db, &tokenizer);
+        for token in rebuilt.tokens() {
+            assert_eq!(idx.lookup(token), rebuilt.lookup(token), "token {token}");
+        }
+        assert_eq!(idx.distinct_tokens(), rebuilt.distinct_tokens());
+        assert_eq!(idx.posting_count(), rebuilt.posting_count());
+        assert_eq!(idx.lookup_rids("mining"), vec![rids[0], rids[2], r4]);
+
+        // Re-adding is idempotent.
+        idx.add_value(r4, 1, "Mining the Query Stream", &tokenizer);
+        assert_eq!(idx.posting_count(), rebuilt.posting_count());
+
+        // Remove it again: back to the original index, and tokens whose
+        // last posting died ("stream") disappear entirely.
+        idx.remove_value(r4, 0, "p4", &tokenizer);
+        idx.remove_value(r4, 1, "Mining the Query Stream", &tokenizer);
+        db.delete(r4).unwrap();
+        let original = TextIndex::build(&db, &tokenizer);
+        assert_eq!(idx.distinct_tokens(), original.distinct_tokens());
+        assert_eq!(idx.posting_count(), original.posting_count());
+        assert!(idx.lookup("stream").is_empty());
+        // Removing something never indexed is a no-op.
+        idx.remove_value(r4, 1, "totally absent tokens", &tokenizer);
+        assert_eq!(idx.posting_count(), original.posting_count());
     }
 
     #[test]
