@@ -1,0 +1,189 @@
+//! Durability benchmarks: restore-vs-rebuild and the WAL's ingest cost.
+//!
+//! **Phase 1 — restore vs rebuild.** The full-system bundle's reason to
+//! exist is restart latency: loading catalog + tuples + postings + CSR
+//! graph from one sequential file must beat re-deriving everything.
+//! Compared per iteration:
+//!
+//! * *restore* — `banks_persist::load_bundle`: one pass over the bundle,
+//!   `Banks::from_parts` re-deriving only the cheap metadata index;
+//! * *rebuild* — the pre-persist restart story: regenerate the corpus
+//!   (`banks-datagen`), then `Banks::new` (graph derivation + text-index
+//!   tokenization from scratch).
+//!
+//! The acceptance bar is restore ≥ 5× faster on the small corpus; the
+//! bench prints the measured speedup and warns loudly when it regresses.
+//!
+//! **Phase 2 — WAL-on vs WAL-off publish latency.** The price of
+//! durability on the write path: `SnapshotPublisher::publish` timed
+//! bare, with a WAL hook (fsync off), and with a WAL hook (fsync on).
+//!
+//! Run with `cargo bench -p banks-bench --bench persist`. Knobs:
+//! `BANKS_BENCH_SCALE` (`tiny`|`small`|`paper`, default `small`),
+//! `BANKS_BENCH_ITERS` (timing repetitions, default 5).
+
+use banks_bench::corpus;
+use banks_core::{Banks, BanksConfig};
+use banks_ingest::{DeltaBatch, SnapshotPublisher, TupleOp};
+use banks_persist::{load_bundle, save_bundle, PersistOptions, PersistentStore};
+use banks_storage::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn growth_batch(banks: &Banks, authors: usize, tag: &str) -> DeltaBatch {
+    let paper_ids: Vec<String> = banks
+        .db()
+        .relation("Paper")
+        .expect("dblp corpus has Paper")
+        .scan()
+        .map(|(_, t)| t.values()[0].as_text().expect("text pk").to_string())
+        .collect();
+    let mut ops = Vec::with_capacity(authors * 2);
+    for i in 0..authors {
+        let id = format!("wal-{tag}-{i}");
+        ops.push(TupleOp::Insert {
+            relation: "Author".into(),
+            values: vec![
+                Value::text(&id),
+                Value::text(format!("Durable Author {tag} {i}")),
+            ],
+        });
+        ops.push(TupleOp::Insert {
+            relation: "Writes".into(),
+            values: vec![
+                Value::text(&id),
+                Value::text(&paper_ids[i % paper_ids.len()]),
+            ],
+        });
+    }
+    DeltaBatch { ops }
+}
+
+fn restore_vs_rebuild(scale: &str, banks: &Banks, iters: usize) -> (Duration, Duration) {
+    let dir = std::env::temp_dir().join(format!("banks_bench_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.banks");
+
+    let t0 = Instant::now();
+    save_bundle(banks, 0, &path).expect("save bundle");
+    let save_elapsed = t0.elapsed();
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "bundle: {:.2} MiB written in {:.1} ms",
+        bytes as f64 / (1024.0 * 1024.0),
+        save_elapsed.as_secs_f64() * 1e3,
+    );
+
+    let config = BanksConfig::default();
+    let mut restore = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let (restored, meta) = load_bundle(&path, &config).expect("load bundle");
+        restore.push(t0.elapsed());
+        assert_eq!(meta.epoch, 0);
+        assert_eq!(restored.db().total_tuples(), banks.db().total_tuples());
+    }
+
+    let mut rebuild = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let dataset = corpus(scale);
+        let rebuilt = Banks::new(dataset.db).expect("banks builds");
+        rebuild.push(t0.elapsed());
+        assert_eq!(rebuilt.db().total_tuples(), banks.db().total_tuples());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    (median(restore), median(rebuild))
+}
+
+fn publish_latency(banks: &Arc<Banks>, iters: usize) {
+    // Each mode publishes the same shaped batch from the same base
+    // snapshot; the WAL cost is the only difference.
+    let authors = 8;
+    let time_mode = |label: &str, fsync: Option<bool>| {
+        let dir =
+            std::env::temp_dir().join(format!("banks_bench_wal_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = fsync.map(|fsync| {
+            let options = PersistOptions {
+                fsync,
+                ..PersistOptions::default()
+            };
+            let (store, _) =
+                PersistentStore::open(&dir, &BanksConfig::default(), options).expect("open store");
+            store.save_snapshot(banks, 0).expect("initial snapshot");
+            store
+        });
+        let mut samples = Vec::with_capacity(iters * 4);
+        for round in 0..iters.max(2) * 2 {
+            let mut publisher = SnapshotPublisher::new(Arc::clone(banks));
+            if let Some(store) = &store {
+                publisher.set_durability_hook(store.wal_hook());
+            }
+            let batch = growth_batch(banks, authors, &format!("{label}{round}"));
+            let t0 = Instant::now();
+            publisher.publish(&batch, None).expect("publish");
+            samples.push(t0.elapsed());
+        }
+        let med = median(samples);
+        println!(
+            "publish ({label:<22}) {:>10.3} ms per {}-op batch",
+            med.as_secs_f64() * 1e3,
+            authors * 2,
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        med
+    };
+
+    let bare = time_mode("no WAL", None);
+    let nosync = time_mode("WAL, fsync off", Some(false));
+    let fsync = time_mode("WAL, fsync on", Some(true));
+    println!(
+        "WAL overhead: {:+.3} ms buffered, {:+.3} ms fsync'd (the durability price per ack)",
+        (nosync.as_secs_f64() - bare.as_secs_f64()) * 1e3,
+        (fsync.as_secs_f64() - bare.as_secs_f64()) * 1e3,
+    );
+}
+
+fn main() {
+    let scale = std::env::var("BANKS_BENCH_SCALE").unwrap_or_else(|_| "small".to_string());
+    let iters = env_usize("BANKS_BENCH_ITERS", 5).max(1);
+
+    let dataset = corpus(&scale);
+    let banks = Arc::new(Banks::new(dataset.db.clone()).expect("banks builds"));
+    println!(
+        "corpus {scale}: {} tuples, {} nodes, {} edges, {} postings",
+        banks.db().total_tuples(),
+        banks.tuple_graph().node_count(),
+        banks.tuple_graph().graph().edge_count(),
+        banks.text_index().posting_count(),
+    );
+
+    let (restore, rebuild) = restore_vs_rebuild(&scale, &banks, iters);
+    let speedup = rebuild.as_secs_f64() / restore.as_secs_f64().max(1e-12);
+    println!(
+        "restore {:>10.3} ms | rebuild-from-corpus {:>10.3} ms | speedup {:>6.1}×",
+        restore.as_secs_f64() * 1e3,
+        rebuild.as_secs_f64() * 1e3,
+        speedup,
+    );
+    if speedup < 5.0 {
+        println!("WARNING: bundle restore less than 5× faster than rebuild — regression?");
+    }
+
+    publish_latency(&banks, iters);
+}

@@ -17,8 +17,10 @@ pub mod corpus;
 pub mod ingest;
 pub mod serve;
 pub mod shell;
+pub mod snapshot;
 pub mod table;
 
 pub use ingest::IngestArgs;
 pub use serve::ServeArgs;
 pub use shell::Shell;
+pub use snapshot::SnapshotArgs;

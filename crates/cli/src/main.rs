@@ -8,8 +8,10 @@
 //! ```
 //!
 //! Also supports one-shot execution: `banks -c "open dblp; search mohan"`,
-//! the HTTP server mode: `banks serve --corpus dblp --addr 127.0.0.1:7331`,
-//! and delta ingestion: `banks ingest --file deltas.json --server 127.0.0.1:7331`.
+//! the HTTP server mode: `banks serve --corpus dblp --addr 127.0.0.1:7331`
+//! (add `--data-dir DIR` for durable, crash-recoverable serving),
+//! delta ingestion: `banks ingest --file deltas.json --server 127.0.0.1:7331`,
+//! and snapshot bundles: `banks snapshot save|load|inspect …`.
 
 use banks_cli::Shell;
 use std::io::{BufRead, Write};
@@ -29,6 +31,16 @@ fn main() {
     // Ingestion: `banks ingest [flags…]` (see banks_cli::ingest).
     if args.first().map(String::as_str) == Some("ingest") {
         if let Err(err) = banks_cli::ingest::run(&args[1..]) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Snapshot bundles: `banks snapshot save|load|inspect …`
+    // (see banks_cli::snapshot).
+    if args.first().map(String::as_str) == Some("snapshot") {
+        if let Err(err) = banks_cli::snapshot::run(&args[1..]) {
             eprintln!("error: {err}");
             std::process::exit(1);
         }

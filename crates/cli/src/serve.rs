@@ -3,15 +3,27 @@
 //!
 //! ```text
 //! banks serve --corpus dblp --seed 1 --addr 127.0.0.1:7331 --workers 8
-//! banks serve --corpus dblp-small --graph-snapshot /tmp/dblp.graph
+//! banks serve --corpus dblp --data-dir /var/lib/banks
 //! ```
 //!
-//! With `--graph-snapshot`, the CSR graph is restored from the file when
-//! it exists (skipping edge derivation — the §5.2 "graph load" phase)
-//! and written there after a fresh build otherwise, so the second start
-//! of the same corpus is fast.
+//! With `--data-dir`, the directory becomes the server's durable home
+//! (`banks-persist`): on a fresh directory the corpus is built once and
+//! a full-system snapshot bundle (epoch 0) is written; every acked
+//! `POST /ingest` is appended to a write-ahead log *before* it
+//! publishes; and on restart the newest snapshot is loaded, the WAL
+//! replayed past its epoch, and the exact pre-crash state — epoch
+//! included — is served again in milliseconds. `--no-fsync` trades the
+//! power-loss guarantee for ingest latency; `--compact-wal-batches`
+//! tunes how often the background compactor rolls a fresh snapshot.
+//!
+//! `--graph-snapshot` (graph-only fast restart, no durability for
+//! writes) is **deprecated** in favor of `--data-dir`; it still works,
+//! and a corrupt snapshot file now falls back to a rebuild with a
+//! warning instead of refusing to start.
 
 use banks_core::{Banks, BanksConfig, TupleGraph};
+use banks_ingest::SnapshotPublisher;
+use banks_persist::{PersistOptions, PersistentStore};
 use banks_server::{BanksServer, IngestEndpoint, QueryService, ServerConfig, ServiceConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,7 +43,15 @@ pub struct ServeArgs {
     pub cache_capacity: usize,
     /// Result-cache shard count.
     pub cache_shards: usize,
-    /// Optional CSR graph snapshot path (load if present, else save).
+    /// Durable data directory (snapshot bundles + WAL; `banks-persist`).
+    pub data_dir: Option<PathBuf>,
+    /// Skip the per-append WAL fsync (survives process death, not power
+    /// loss).
+    pub no_fsync: bool,
+    /// Roll a snapshot once this many batches sit in the WAL.
+    pub compact_wal_batches: u64,
+    /// Deprecated: CSR-graph-only snapshot path (load if present, else
+    /// save). Subsumed by `--data-dir`, which persists the whole system.
     pub graph_snapshot: Option<PathBuf>,
     /// Disable the write path (`POST /ingest` answers 503).
     pub no_ingest: bool,
@@ -46,6 +66,9 @@ impl Default for ServeArgs {
             workers: 0,
             cache_capacity: 4096,
             cache_shards: 8,
+            data_dir: None,
+            no_fsync: false,
+            compact_wal_batches: PersistOptions::default().compact_wal_batches,
             graph_snapshot: None,
             no_ingest: false,
         }
@@ -86,6 +109,13 @@ impl ServeArgs {
                         .parse()
                         .map_err(|_| "--cache-shards must be an integer".to_string())?
                 }
+                "--data-dir" => parsed.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+                "--no-fsync" => parsed.no_fsync = true,
+                "--compact-wal-batches" => {
+                    parsed.compact_wal_batches = value("--compact-wal-batches")?
+                        .parse()
+                        .map_err(|_| "--compact-wal-batches must be an integer".to_string())?
+                }
                 "--graph-snapshot" => {
                     parsed.graph_snapshot = Some(PathBuf::from(value("--graph-snapshot")?))
                 }
@@ -97,62 +127,168 @@ impl ServeArgs {
     }
 }
 
-/// Build the shared snapshot + service per the arguments. Returns the
-/// service and a human-readable startup summary.
-pub fn build_service(args: &ServeArgs) -> Result<(Arc<QueryService>, String), String> {
-    let db = crate::corpus::open(&args.corpus, args.seed)?;
+/// The durable half of a built service: the publisher (seeded at the
+/// recovered epoch, WAL hook installed) and the store it writes to.
+pub struct DurableParts {
+    /// Ready-to-use publisher for the ingest endpoint.
+    pub publisher: SnapshotPublisher,
+    /// The open data directory.
+    pub store: Arc<PersistentStore>,
+}
 
+/// Build the shared snapshot + service per the arguments. Returns the
+/// service, a human-readable startup summary, and — when `--data-dir`
+/// is active — the durable parts for the ingest endpoint.
+pub fn build_service(
+    args: &ServeArgs,
+) -> Result<(Arc<QueryService>, String, Option<DurableParts>), String> {
     let config = BanksConfig::default();
-    let mut graph_source = "built from database";
-    let banks = match &args.graph_snapshot {
-        Some(path) if path.exists() => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| format!("open snapshot {}: {e}", path.display()))?;
-            let graph = banks_graph::snapshot::read_snapshot(std::io::BufReader::new(file))
-                .map_err(|e| format!("read snapshot {}: {e}", path.display()))?;
-            let tuple_graph = TupleGraph::rebind(&db, graph).map_err(|e| e.to_string())?;
-            graph_source = "restored from snapshot";
-            Banks::with_graph(db, config, tuple_graph).map_err(|e| e.to_string())?
-        }
-        maybe_path => {
-            let banks = Banks::with_config(db, config).map_err(|e| e.to_string())?;
-            if let Some(path) = maybe_path {
-                let file = std::fs::File::create(path)
-                    .map_err(|e| format!("create snapshot {}: {e}", path.display()))?;
-                banks_graph::snapshot::write_snapshot(
-                    banks.tuple_graph().graph(),
-                    std::io::BufWriter::new(file),
-                )
-                .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
-                graph_source = "built from database (snapshot saved)";
-            }
-            banks
-        }
+    let service_config = ServiceConfig {
+        cache_capacity: args.cache_capacity,
+        cache_shards: args.cache_shards,
     };
 
-    let summary = format!(
+    // Durable mode subsumes (and ignores) --graph-snapshot.
+    if let Some(dir) = &args.data_dir {
+        if args.graph_snapshot.is_some() {
+            eprintln!(
+                "warning: --graph-snapshot is ignored when --data-dir is set \
+                 (the bundle already embeds the graph)"
+            );
+        }
+        let options = PersistOptions {
+            fsync: !args.no_fsync,
+            compact_wal_batches: args.compact_wal_batches,
+            ..PersistOptions::default()
+        };
+        let (store, recovery) = PersistentStore::open(dir, &config, options)
+            .map_err(|e| format!("open data dir {}: {e}", dir.display()))?;
+        for warning in &recovery.warnings {
+            eprintln!("warning: {warning}");
+        }
+        let (banks, epoch, source) = match recovery.banks {
+            Some(banks) => {
+                let source = format!(
+                    "recovered from {} (epoch {}, {} WAL batch(es) replayed{})",
+                    dir.display(),
+                    recovery.epoch,
+                    recovery.replayed_batches,
+                    if recovery.truncated_wal_bytes > 0 {
+                        format!(", {} torn byte(s) truncated", recovery.truncated_wal_bytes)
+                    } else {
+                        String::new()
+                    }
+                );
+                (banks, recovery.epoch, source)
+            }
+            None => {
+                let db = crate::corpus::open(&args.corpus, args.seed)?;
+                let banks =
+                    Arc::new(Banks::with_config(db, config.clone()).map_err(|e| e.to_string())?);
+                store
+                    .save_snapshot(&banks, 0)
+                    .map_err(|e| format!("initial snapshot: {e}"))?;
+                (
+                    banks,
+                    0,
+                    format!(
+                        "built from database (initial bundle saved to {})",
+                        dir.display()
+                    ),
+                )
+            }
+        };
+        let summary = summary_line(args, &banks, &source);
+        let service = Arc::new(QueryService::with_epoch(
+            Arc::clone(&banks),
+            epoch,
+            service_config,
+        ));
+        let mut publisher = SnapshotPublisher::with_epoch(banks, epoch);
+        publisher.set_durability_hook(store.wal_hook());
+        return Ok((service, summary, Some(DurableParts { publisher, store })));
+    }
+
+    // Volatile mode, optionally with the deprecated graph-only snapshot.
+    let db = crate::corpus::open(&args.corpus, args.seed)?;
+    let mut graph_source = "built from database".to_string();
+    let banks = match &args.graph_snapshot {
+        Some(path) => {
+            eprintln!(
+                "warning: --graph-snapshot is deprecated; use --data-dir for full-system \
+                 durability (snapshot bundle + WAL + crash recovery)"
+            );
+            let restored_graph = if path.exists() {
+                match load_graph_snapshot(path, &db) {
+                    Ok(graph) => Some(graph),
+                    Err(e) => {
+                        // Satellite fix: a corrupt/mismatched snapshot is
+                        // a warning + rebuild, not a refusal to start.
+                        eprintln!(
+                            "warning: graph snapshot {} unusable ({e}); rebuilding from the \
+                             database and replacing it",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            match restored_graph {
+                // `db` moves into the restored instance — no clone on the
+                // warm-start path whose whole point is load speed.
+                Some(tuple_graph) => {
+                    graph_source = "restored from snapshot".to_string();
+                    Banks::with_graph(db, config.clone(), tuple_graph).map_err(|e| e.to_string())?
+                }
+                None => {
+                    let banks =
+                        Banks::with_config(db, config.clone()).map_err(|e| e.to_string())?;
+                    banks_graph::snapshot::save_snapshot(banks.tuple_graph().graph(), path)
+                        .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
+                    graph_source = "built from database (snapshot saved)".to_string();
+                    banks
+                }
+            }
+        }
+        None => Banks::with_config(db, config).map_err(|e| e.to_string())?,
+    };
+
+    let summary = summary_line(args, &banks, &graph_source);
+    let service = Arc::new(QueryService::new(Arc::new(banks), service_config));
+    Ok((service, summary, None))
+}
+
+/// Load the CSR graph at `path` and rebind it to `db`. Every failure —
+/// unreadable file, bad magic/version, checksum mismatch, catalog drift
+/// — is returned as a typed-error description for the caller to log.
+fn load_graph_snapshot(
+    path: &std::path::Path,
+    db: &banks_storage::Database,
+) -> Result<TupleGraph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open: {e}"))?;
+    let graph = banks_graph::snapshot::read_snapshot(std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
+    TupleGraph::rebind(db, graph).map_err(|e| e.to_string())
+}
+
+fn summary_line(args: &ServeArgs, banks: &Banks, source: &str) -> String {
+    format!(
         "corpus {} (seed {}): {} nodes, {} edges, {:.1} MiB — graph {}",
         args.corpus,
         args.seed,
         banks.tuple_graph().node_count(),
         banks.tuple_graph().graph().edge_count(),
         banks.memory_bytes() as f64 / (1024.0 * 1024.0),
-        graph_source,
-    );
-    let service = Arc::new(QueryService::new(
-        Arc::new(banks),
-        ServiceConfig {
-            cache_capacity: args.cache_capacity,
-            cache_shards: args.cache_shards,
-        },
-    ));
-    Ok((service, summary))
+        source,
+    )
 }
 
 /// Start the HTTP server for the given arguments. Returns the running
 /// server so callers (tests, embedding processes) control its lifetime.
 pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), String> {
-    let (service, summary) = build_service(args)?;
+    let (service, summary, durable) = build_service(args)?;
     let workers = if args.workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -160,10 +296,29 @@ pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), Strin
     } else {
         args.workers
     };
-    let ingest = (!args.no_ingest).then(|| IngestEndpoint::new(Arc::clone(&service)));
-    let server = BanksServer::bind_with_ingest(
+    let durable_on = durable.is_some();
+    // The store outlives the ingest decision: a durable *read-only*
+    // server (`--data-dir --no-ingest`) still surfaces its recovery
+    // counters under `/stats`, it just drops the write path.
+    let (ingest, store) = match (args.no_ingest, durable) {
+        (true, parts) => (None, parts.map(|p| p.store)),
+        (false, Some(parts)) => {
+            let store = Arc::clone(&parts.store);
+            (
+                Some(IngestEndpoint::with_publisher(
+                    Arc::clone(&service),
+                    parts.publisher,
+                    Some(parts.store),
+                )),
+                Some(store),
+            )
+        }
+        (false, None) => (Some(IngestEndpoint::new(Arc::clone(&service))), None),
+    };
+    let server = BanksServer::bind_full(
         Arc::clone(&service),
         ingest,
+        store,
         ServerConfig {
             addr: args.addr.clone(),
             workers,
@@ -181,6 +336,11 @@ pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), Strin
     );
     if args.no_ingest {
         eprintln!("endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health (ingest disabled)");
+    } else if durable_on {
+        eprintln!(
+            "endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health  POST /ingest \
+             (live writes on, WAL'd to disk)"
+        );
     } else {
         eprintln!(
             "endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health  POST /ingest (live writes on)"
@@ -206,6 +366,12 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("banks_serve_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn parse_defaults_and_overrides() {
         assert_eq!(ServeArgs::parse(&[]).unwrap(), ServeArgs::default());
@@ -222,6 +388,11 @@ mod tests {
             "128",
             "--cache-shards",
             "2",
+            "--data-dir",
+            "/tmp/banks-data",
+            "--no-fsync",
+            "--compact-wal-batches",
+            "32",
         ]))
         .unwrap();
         assert_eq!(args.corpus, "thesis");
@@ -230,6 +401,12 @@ mod tests {
         assert_eq!(args.workers, 3);
         assert_eq!(args.cache_capacity, 128);
         assert_eq!(args.cache_shards, 2);
+        assert_eq!(
+            args.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/banks-data"))
+        );
+        assert!(args.no_fsync);
+        assert_eq!(args.compact_wal_batches, 32);
         assert!(!args.no_ingest);
         assert!(
             ServeArgs::parse(&strings(&["--no-ingest"]))
@@ -242,6 +419,7 @@ mod tests {
     fn parse_rejects_bad_input() {
         assert!(ServeArgs::parse(&strings(&["--seed"])).is_err());
         assert!(ServeArgs::parse(&strings(&["--seed", "x"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--compact-wal-batches", "x"])).is_err());
         assert!(ServeArgs::parse(&strings(&["--wat"])).is_err());
         assert!(build_service(&ServeArgs {
             corpus: "wat".into(),
@@ -261,14 +439,15 @@ mod tests {
             ..ServeArgs::default()
         };
         // Cold start: builds the graph and saves the snapshot.
-        let (service, summary) = build_service(&args).unwrap();
+        let (service, summary, durable) = build_service(&args).unwrap();
         assert!(summary.contains("snapshot saved"), "{summary}");
+        assert!(durable.is_none());
         assert!(path.exists());
         let cold = service
             .search("mohan", Default::default())
             .expect("planted author");
         // Warm start: restores the snapshot; answers are identical.
-        let (service2, summary2) = build_service(&args).unwrap();
+        let (service2, summary2, _) = build_service(&args).unwrap();
         assert!(summary2.contains("restored from snapshot"), "{summary2}");
         let warm = service2.search("mohan", Default::default()).unwrap();
         assert_eq!(cold.result.answers.len(), warm.result.answers.len());
@@ -276,6 +455,94 @@ mod tests {
             assert_eq!(a.tree.signature(), b.tree.signature());
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_graph_snapshot_falls_back_to_rebuild() {
+        let path =
+            std::env::temp_dir().join(format!("banks_serve_corrupt_{}.graph", std::process::id()));
+        std::fs::write(&path, b"BNKSGRPH then total garbage").unwrap();
+        let args = ServeArgs {
+            corpus: "dblp".into(),
+            graph_snapshot: Some(path.clone()),
+            ..ServeArgs::default()
+        };
+        // Must not error out: warn, rebuild, and replace the bad file.
+        let (service, summary, _) = build_service(&args).unwrap();
+        assert!(summary.contains("snapshot saved"), "{summary}");
+        assert!(service.search("mohan", Default::default()).is_ok());
+        // The replaced file now restores cleanly.
+        let (_, summary2, _) = build_service(&args).unwrap();
+        assert!(summary2.contains("restored from snapshot"), "{summary2}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn data_dir_cold_start_then_recovery() {
+        let dir = tmp_dir("datadir");
+        let args = ServeArgs {
+            corpus: "dblp".into(),
+            data_dir: Some(dir.clone()),
+            ..ServeArgs::default()
+        };
+        // Cold start: builds and writes the initial bundle.
+        let (service, summary, durable) = build_service(&args).unwrap();
+        assert!(summary.contains("initial bundle saved"), "{summary}");
+        let parts = durable.expect("durable parts");
+        assert_eq!(parts.publisher.epoch(), 0);
+        assert_eq!(service.epoch(), 0);
+        let cold = service.search("mohan", Default::default()).unwrap();
+        drop(parts);
+        drop(service);
+
+        // Restart: recovered from the bundle, identical answers.
+        let (service2, summary2, durable2) = build_service(&args).unwrap();
+        assert!(summary2.contains("recovered from"), "{summary2}");
+        assert!(durable2.is_some());
+        let warm = service2.search("mohan", Default::default()).unwrap();
+        assert_eq!(cold.result.answers.len(), warm.result.answers.len());
+        for (a, b) in cold.result.answers.iter().zip(&warm.result.answers) {
+            assert_eq!(a.tree.signature(), b.tree.signature());
+        }
+        drop(durable2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_read_only_server_reports_persistence_stats() {
+        use std::io::{Read, Write};
+
+        let dir = tmp_dir("ro_stats");
+        // Seed the directory with a recoverable state.
+        {
+            let args = ServeArgs {
+                corpus: "dblp".into(),
+                data_dir: Some(dir.clone()),
+                ..ServeArgs::default()
+            };
+            build_service(&args).unwrap();
+        }
+        // Durable read-only: no ingest endpoint, but /stats must still
+        // carry the recovery counters.
+        let args = ServeArgs {
+            corpus: "dblp".into(),
+            data_dir: Some(dir.clone()),
+            no_ingest: true,
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeArgs::default()
+        };
+        let (_service, server) = start(&args).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains(r#""persistence""#), "{body}");
+        assert!(body.contains(r#""recovered_epoch":0"#), "{body}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

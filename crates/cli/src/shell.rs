@@ -407,8 +407,18 @@ commands:
 server mode (not a shell command):
   banks serve [--corpus dblp|dblp-small|thesis|tpcd] [--seed N]
               [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-              [--cache-shards N] [--graph-snapshot PATH]
-    serves /search, /node, /stats, /health as HTTP/1.1 + JSON
+              [--cache-shards N] [--data-dir DIR] [--no-fsync]
+              [--compact-wal-batches N] [--no-ingest]
+    serves /search, /node, /stats, /epochs, /health, POST /ingest
+    --data-dir enables durability: full-system snapshot bundle + WAL'd
+    ingestion + crash recovery (banks-persist)
+    --graph-snapshot PATH is DEPRECATED (graph-only restart, writes not
+    durable) — use --data-dir instead
+
+snapshot bundles (not a shell command):
+  banks snapshot save --corpus NAME [--seed N] [--epoch N] --out PATH
+  banks snapshot load PATH [--query \"keywords…\"]
+  banks snapshot inspect PATH
 ";
 
 #[cfg(test)]

@@ -104,6 +104,19 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// The cached normalization bounds both constructors derive: the
+    /// smallest positive edge weight (the `w_min` of the paper's edge
+    /// score) and the largest node weight (`w_max` of the node score).
+    fn weight_bounds(node_weights: &[f64], fwd_weights: &[f64]) -> (f64, f64) {
+        let min_edge_weight = fwd_weights
+            .iter()
+            .copied()
+            .filter(|w| *w > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let max_node_weight = node_weights.iter().copied().fold(0.0f64, f64::max);
+        (min_edge_weight, max_node_weight)
+    }
+
     /// Assemble the CSR arrays from edges that are **already sorted by
     /// `(from, to)` with no duplicate pairs** — the shared final step of
     /// [`GraphBuilder::build`] and the O(m) fast path of
@@ -159,12 +172,71 @@ impl Graph {
             }
         }
 
-        let min_edge_weight = fwd_weights
-            .iter()
-            .copied()
-            .filter(|w| *w > 0.0)
-            .fold(f64::INFINITY, f64::min);
-        let max_node_weight = node_weights.iter().copied().fold(0.0f64, f64::max);
+        let (min_edge_weight, max_node_weight) = Graph::weight_bounds(&node_weights, &fwd_weights);
+
+        Graph {
+            node_weights: node_weights.into_boxed_slice(),
+            fwd_offsets: fwd_offsets.into_boxed_slice(),
+            fwd_targets: fwd_targets.into_boxed_slice(),
+            fwd_weights: fwd_weights.into_boxed_slice(),
+            rev_offsets: rev_offsets.into_boxed_slice(),
+            rev_sources: rev_sources.into_boxed_slice(),
+            rev_weights: rev_weights.into_boxed_slice(),
+            min_edge_weight,
+            max_node_weight,
+        }
+    }
+
+    /// Assemble a graph directly from forward CSR arrays — the snapshot
+    /// restore path, where `fwd_offsets`/`fwd_targets`/`fwd_weights`
+    /// were deserialized verbatim and re-expanding them into an edge
+    /// triple list (as [`Graph::from_sorted_edges`] consumes) would just
+    /// copy ~24 bytes per edge to immediately shred them back into
+    /// columns. Only the reverse CSR is derived here.
+    ///
+    /// The caller guarantees what the builder normally establishes:
+    /// offsets monotone with the right endpoints, targets in range, and
+    /// each node's adjacency sorted by target with no duplicates (the
+    /// snapshot reader validates all of this before calling).
+    pub fn from_csr(
+        node_weights: Vec<f64>,
+        fwd_offsets: Vec<u32>,
+        fwd_targets: Vec<u32>,
+        fwd_weights: Vec<f64>,
+    ) -> Graph {
+        let n = node_weights.len();
+        let m = fwd_targets.len();
+        debug_assert_eq!(fwd_offsets.len(), n + 1);
+        debug_assert_eq!(fwd_weights.len(), m);
+        debug_assert!(fwd_offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(fwd_targets.iter().all(|&t| (t as usize) < n));
+
+        let mut rev_offsets = vec![0u32; n + 1];
+        for &to in &fwd_targets {
+            rev_offsets[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        let mut rev_sources = vec![0u32; m];
+        let mut rev_weights = vec![0f64; m];
+        {
+            let mut cursor = rev_offsets.clone();
+            // Walking nodes in id order keeps each reverse adjacency
+            // list sorted by source, matching `from_sorted_edges`.
+            for from in 0..n {
+                let (lo, hi) = (fwd_offsets[from] as usize, fwd_offsets[from + 1] as usize);
+                for e in lo..hi {
+                    let to = fwd_targets[e] as usize;
+                    let slot = cursor[to] as usize;
+                    rev_sources[slot] = from as u32;
+                    rev_weights[slot] = fwd_weights[e];
+                    cursor[to] += 1;
+                }
+            }
+        }
+
+        let (min_edge_weight, max_node_weight) = Graph::weight_bounds(&node_weights, &fwd_weights);
 
         Graph {
             node_weights: node_weights.into_boxed_slice(),

@@ -51,4 +51,4 @@ pub use dijkstra::{Dijkstra, Direction, Visit};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use patch::GraphPatch;
-pub use snapshot::{read_snapshot, write_snapshot, SnapshotError};
+pub use snapshot::{read_snapshot, save_snapshot, write_snapshot, SnapshotError};

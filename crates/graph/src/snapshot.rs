@@ -23,7 +23,9 @@
 //! snapshots at ~60% of the in-memory footprint.
 
 use crate::fxhash::FxHasher;
-use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::graph::Graph;
+#[cfg(test)]
+use crate::graph::GraphBuilder;
 use std::hash::Hasher;
 use std::io::{self, Read, Write};
 
@@ -112,6 +114,21 @@ pub fn write_snapshot<W: Write>(graph: &Graph, out: W) -> Result<(), SnapshotErr
     Ok(())
 }
 
+/// Serialize `graph` to the file at `path` **atomically**: the bytes go
+/// to a sibling temp file that is fsync'd and renamed over `path`, so a
+/// crash mid-save can never leave a truncated snapshot behind a
+/// valid-looking name. This is the only sanctioned way to put a snapshot
+/// on disk; [`write_snapshot`] remains for in-memory and streaming uses.
+pub fn save_snapshot(graph: &Graph, path: &std::path::Path) -> Result<(), SnapshotError> {
+    banks_util::fs::atomic_write(path, |w| {
+        write_snapshot(graph, w).map_err(|e| match e {
+            SnapshotError::Io(io) => io,
+            other => io::Error::other(other.to_string()),
+        })
+    })
+    .map_err(SnapshotError::Io)
+}
+
 struct ChecksumReader<R: Read> {
     inner: R,
     hasher: FxHasher,
@@ -136,10 +153,36 @@ impl<R: Read> ChecksumReader<R> {
         Ok(u64::from_le_bytes(b))
     }
 
-    fn read_f64(&mut self) -> io::Result<f64> {
-        let mut b = [0u8; 8];
-        self.read_exact(&mut b)?;
-        Ok(f64::from_le_bytes(b))
+    /// Bulk-read `count` little-endian f64s in one underlying read.
+    ///
+    /// Checksum-compatible with the field-at-a-time writer: hashing one
+    /// `count × 8`-byte slice folds the same 8-byte words in the same
+    /// order as `count` separate 8-byte writes (see
+    /// `FxHasher::write`'s `chunks_exact(8)` loop).
+    fn read_f64_array(&mut self, count: usize) -> io::Result<Vec<f64>> {
+        let mut bytes = vec![0u8; count * 8];
+        self.read_exact(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Bulk-read `count` little-endian u32s in one underlying read.
+    ///
+    /// u32 fields are hashed one-per-word by the writer (each 4-byte
+    /// write zero-pads to its own u64), so the bulk bytes are read
+    /// unhashed and then fed to the hasher in 4-byte chunks to
+    /// reproduce the writer's fold exactly.
+    fn read_u32_array(&mut self, count: usize) -> io::Result<Vec<u32>> {
+        let mut bytes = vec![0u8; count * 4];
+        self.inner.read_exact(&mut bytes)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(4) {
+            self.hasher.write(chunk);
+            out.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        Ok(out)
     }
 }
 
@@ -167,32 +210,19 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<Graph, SnapshotError> {
         ));
     }
 
-    let mut node_weights = Vec::with_capacity(node_count);
-    for _ in 0..node_count {
-        node_weights.push(r.read_f64()?);
-    }
-    let mut offsets = Vec::with_capacity(node_count + 1);
-    for _ in 0..=node_count {
-        offsets.push(r.read_u32()?);
-    }
+    let node_weights = r.read_f64_array(node_count)?;
+    let offsets = r.read_u32_array(node_count + 1)?;
     if offsets.first() != Some(&0) || offsets.last() != Some(&(edge_count as u32)) {
         return Err(SnapshotError::Malformed("offset endpoints".into()));
     }
     if offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(SnapshotError::Malformed("offsets not monotone".into()));
     }
-    let mut targets = Vec::with_capacity(edge_count);
-    for _ in 0..edge_count {
-        let t = r.read_u32()?;
-        if t as usize >= node_count {
-            return Err(SnapshotError::Malformed(format!("target {t} out of range")));
-        }
-        targets.push(t);
+    let targets = r.read_u32_array(edge_count)?;
+    if let Some(&t) = targets.iter().find(|&&t| t as usize >= node_count) {
+        return Err(SnapshotError::Malformed(format!("target {t} out of range")));
     }
-    let mut weights = Vec::with_capacity(edge_count);
-    for _ in 0..edge_count {
-        weights.push(r.read_f64()?);
-    }
+    let weights = r.read_f64_array(edge_count)?;
     let expected = r.hasher.finish();
     let mut checksum_bytes = [0u8; 8];
     r.inner.read_exact(&mut checksum_bytes)?;
@@ -200,18 +230,21 @@ pub fn read_snapshot<R: Read>(input: R) -> Result<Graph, SnapshotError> {
         return Err(SnapshotError::BadChecksum);
     }
 
-    let mut builder = GraphBuilder::with_capacity(node_count, edge_count);
-    for &w in &node_weights {
-        builder.add_node(w);
-    }
+    // A graph serialized from CSR form lists each node's adjacency in
+    // strictly increasing target order ([`crate::GraphBuilder::build`]
+    // sorts and coalesces); verify that cheaply, then hand the arrays
+    // straight to [`Graph::from_csr`] — no builder, no re-sort, no edge
+    // triple materialization.
     for node in 0..node_count {
         let lo = offsets[node] as usize;
         let hi = offsets[node + 1] as usize;
-        for e in lo..hi {
-            builder.add_edge(NodeId(node as u32), NodeId(targets[e]), weights[e]);
+        if targets[lo..hi].windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotError::Malformed(format!(
+                "adjacency of node {node} not strictly sorted"
+            )));
         }
     }
-    Ok(builder.build())
+    Ok(Graph::from_csr(node_weights, offsets, targets, weights))
 }
 
 #[cfg(test)]
@@ -301,6 +334,27 @@ mod tests {
         let err = read_snapshot(buf.as_slice()).unwrap_err();
         // Version check fires before the checksum is verified.
         assert!(matches!(err, SnapshotError::BadVersion(_)));
+    }
+
+    #[test]
+    fn save_snapshot_is_atomic_and_loadable() {
+        let g = sample();
+        let dir = std::env::temp_dir().join(format!("banks_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.graph");
+        save_snapshot(&g, &path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let h = read_snapshot(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(g.node_count(), h.node_count());
+        assert_eq!(g.edge_count(), h.edge_count());
+        // No temp files survive a successful save.
+        let temps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(temps.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

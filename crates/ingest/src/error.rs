@@ -20,6 +20,10 @@ pub enum IngestError {
     /// The active configuration cannot be maintained incrementally
     /// (e.g. authority-transfer prestige is a global iteration).
     Unsupported(String),
+    /// The durability hook refused the batch: the write-ahead log could
+    /// not be appended or fsync'd, so the publication was aborted —
+    /// an acked ingest must never be less durable than the log.
+    Durability(String),
 }
 
 impl fmt::Display for IngestError {
@@ -29,6 +33,7 @@ impl fmt::Display for IngestError {
             IngestError::Storage(e) => write!(f, "delta rejected: {e}"),
             IngestError::Banks(e) => write!(f, "snapshot publication failed: {e}"),
             IngestError::Unsupported(m) => write!(f, "unsupported for incremental apply: {m}"),
+            IngestError::Durability(m) => write!(f, "durability failure, publish aborted: {m}"),
         }
     }
 }

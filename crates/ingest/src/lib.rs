@@ -70,4 +70,4 @@ pub mod publish;
 pub use apply::{apply_batch, apply_to_database, ApplyStats, DbChanges, OpCounts};
 pub use delta::{DeltaBatch, TupleOp};
 pub use error::{IngestError, IngestResult};
-pub use publish::{EpochInfo, Published, SnapshotPublisher, HISTORY_CAP};
+pub use publish::{DurabilityHook, EpochInfo, Published, SnapshotPublisher, HISTORY_CAP};

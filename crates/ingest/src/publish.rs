@@ -53,25 +53,61 @@ pub struct Published {
     pub info: EpochInfo,
 }
 
+/// The persistence hook of the write path: called with the validated
+/// batch and the epoch it is about to become, **after** the successor
+/// snapshot has been derived but **before** it is promoted. An `Err`
+/// aborts the publication — the epoch does not advance and readers never
+/// see the new snapshot — so a successful publish implies the hook made
+/// the batch durable first (`banks-persist` appends a WAL frame and
+/// fsyncs here).
+pub trait DurabilityHook: Send {
+    /// Make `batch` durable as the write that produces `epoch`.
+    fn persist_batch(&mut self, epoch: u64, batch: &DeltaBatch) -> Result<(), String>;
+}
+
 /// The write side of a BANKS deployment: batches deltas and publishes
 /// epoch-stamped successor snapshots. See the module docs.
-#[derive(Debug)]
 pub struct SnapshotPublisher {
     current: Arc<Banks>,
     epoch: u64,
     history: VecDeque<EpochInfo>,
     pending: DeltaBatch,
+    durability: Option<Box<dyn DurabilityHook>>,
+}
+
+impl std::fmt::Debug for SnapshotPublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotPublisher")
+            .field("epoch", &self.epoch)
+            .field("pending", &self.pending.len())
+            .field("durable", &self.durability.is_some())
+            .finish()
+    }
 }
 
 impl SnapshotPublisher {
     /// Wrap the initial snapshot as epoch 0.
     pub fn new(banks: Arc<Banks>) -> SnapshotPublisher {
+        SnapshotPublisher::with_epoch(banks, 0)
+    }
+
+    /// Wrap a snapshot recovered at a known epoch — the crash-recovery
+    /// path, where the WAL replay reconstructed the state of epoch `N`
+    /// and the next publication must be `N + 1`.
+    pub fn with_epoch(banks: Arc<Banks>, epoch: u64) -> SnapshotPublisher {
         SnapshotPublisher {
             current: banks,
-            epoch: 0,
+            epoch,
             history: VecDeque::new(),
             pending: DeltaBatch::new(),
+            durability: None,
         }
+    }
+
+    /// Install the persistence hook (see [`DurabilityHook`]). At most one
+    /// hook is active; installing replaces the previous one.
+    pub fn set_durability_hook(&mut self, hook: Box<dyn DurabilityHook>) {
+        self.durability = Some(hook);
     }
 
     /// The current snapshot.
@@ -156,6 +192,16 @@ impl SnapshotPublisher {
             let changes = apply_to_database(&mut db, batch, None)?;
             (Banks::with_config(db, config)?, changes.counts)
         };
+
+        // Durable-then-publish: the batch survived validation and the
+        // successor snapshot exists, but readers cannot see it until the
+        // write-ahead hook has made the batch crash-safe. A hook failure
+        // aborts with the current snapshot and epoch untouched, so an
+        // *acked* ingest is always recoverable.
+        if let Some(hook) = self.durability.as_mut() {
+            hook.persist_batch(self.epoch + 1, batch)
+                .map_err(IngestError::Durability)?;
+        }
 
         self.epoch += 1;
         let info = EpochInfo {
@@ -350,6 +396,86 @@ mod tests {
         let last = publisher.history().last().unwrap();
         assert_eq!(last.published_at.as_deref(), Some("t2"));
         assert!(last.nodes > 0 && last.edges > 0);
+    }
+
+    #[test]
+    fn with_epoch_resumes_the_counter() {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let mut publisher = SnapshotPublisher::with_epoch(banks, 41);
+        assert_eq!(publisher.epoch(), 41);
+        let published = publisher
+            .publish(&author_batch("A", "Alice Writer", "P1"), None)
+            .unwrap();
+        assert_eq!(published.info.epoch, 42);
+    }
+
+    #[test]
+    fn durability_hook_runs_before_promotion_and_can_abort() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Recorder {
+            seen: Arc<std::sync::Mutex<Vec<(u64, usize)>>>,
+            fail_on: Option<u64>,
+        }
+        impl DurabilityHook for Recorder {
+            fn persist_batch(&mut self, epoch: u64, batch: &DeltaBatch) -> Result<(), String> {
+                if self.fail_on == Some(epoch) {
+                    return Err("disk full".into());
+                }
+                self.seen.lock().unwrap().push((epoch, batch.len()));
+                Ok(())
+            }
+        }
+
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let mut publisher = SnapshotPublisher::new(Arc::clone(&banks));
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        publisher.set_durability_hook(Box::new(Recorder {
+            seen: Arc::clone(&seen),
+            fail_on: Some(2),
+        }));
+
+        // Epoch 1 persists, then publishes.
+        publisher
+            .publish(&author_batch("A", "Alice Writer", "P1"), None)
+            .unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![(1, 2)]);
+
+        // The hook refuses epoch 2: the publish aborts, epoch and
+        // snapshot unchanged — the ack is never less durable than the log.
+        let before = publisher.current();
+        let err = publisher
+            .publish(&author_batch("B", "Bob Writer", "P1"), None)
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Durability(_)), "{err:?}");
+        assert!(err.to_string().contains("disk full"));
+        assert_eq!(publisher.epoch(), 1);
+        assert!(Arc::ptr_eq(&before, &publisher.current()));
+
+        // An *invalid* batch is rejected before the hook ever runs: the
+        // WAL must only ever contain validated batches.
+        let calls = Arc::new(AtomicU64::new(0));
+        struct Counter(Arc<AtomicU64>);
+        impl DurabilityHook for Counter {
+            fn persist_batch(&mut self, _: u64, _: &DeltaBatch) -> Result<(), String> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let mut scoped = SnapshotPublisher::new(banks);
+        scoped.set_durability_hook(Box::new(Counter(Arc::clone(&calls))));
+        let bad = DeltaBatch {
+            ops: vec![TupleOp::Insert {
+                relation: "Writes".into(),
+                values: vec![Value::text("ghost"), Value::text("nope")],
+            }],
+        };
+        assert!(scoped.publish(&bad, None).is_err());
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "invalid batch never logged"
+        );
     }
 
     #[test]

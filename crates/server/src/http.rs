@@ -78,6 +78,21 @@ impl BanksServer {
         ingest: Option<Arc<IngestEndpoint>>,
         config: ServerConfig,
     ) -> std::io::Result<BanksServer> {
+        BanksServer::bind_full(service, ingest, None, config)
+    }
+
+    /// Bind with an explicit durable store for `/stats` persistence
+    /// counters. Usually the store rides along inside the ingest
+    /// endpoint; this parameter covers the durable **read-only** shape
+    /// (`serve --data-dir --no-ingest`), where recovery counters must
+    /// still be observable even though no write path exists. When both
+    /// are given, the explicit store wins.
+    pub fn bind_full(
+        service: Arc<QueryService>,
+        ingest: Option<Arc<IngestEndpoint>>,
+        store: Option<Arc<banks_persist::PersistentStore>>,
+        config: ServerConfig,
+    ) -> std::io::Result<BanksServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -89,9 +104,10 @@ impl BanksServer {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&service);
                 let ingest = ingest.clone();
+                let store = store.clone();
                 std::thread::Builder::new()
                     .name(format!("banks-http-{i}"))
-                    .spawn(move || worker_loop(rx, service, ingest))
+                    .spawn(move || worker_loop(rx, service, ingest, store))
                     .expect("spawn worker")
             })
             .collect();
@@ -199,6 +215,7 @@ fn worker_loop(
     rx: Arc<Mutex<Receiver<TcpStream>>>,
     service: Arc<QueryService>,
     ingest: Option<Arc<IngestEndpoint>>,
+    store: Option<Arc<banks_persist::PersistentStore>>,
 ) {
     loop {
         let stream = match rx.lock().expect("worker queue lock").recv() {
@@ -210,7 +227,7 @@ fn worker_loop(
         // would otherwise shrink the pool until the server is dead. The
         // service is immutable-plus-atomics, hence panic-safe to reuse.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = handle_connection(stream, &service, ingest.as_deref());
+            let _ = handle_connection(stream, &service, ingest.as_deref(), store.as_deref());
         }));
     }
 }
@@ -227,6 +244,7 @@ fn handle_connection(
     stream: TcpStream,
     service: &QueryService,
     ingest: Option<&IngestEndpoint>,
+    store: Option<&banks_persist::PersistentStore>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
@@ -299,7 +317,7 @@ fn handle_connection(
             Some(String::new())
         };
         match request_body {
-            Some(request_body) => route(&request_line, &request_body, service, ingest),
+            Some(request_body) => route(&request_line, &request_body, service, ingest, store),
             None => error_response("400 Bad Request", "request body is not valid UTF-8"),
         }
     };
@@ -316,6 +334,7 @@ fn route(
     request_body: &str,
     service: &QueryService,
     ingest: Option<&IngestEndpoint>,
+    store: Option<&banks_persist::PersistentStore>,
 ) -> (&'static str, String) {
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
@@ -333,7 +352,7 @@ fn route(
         ("GET", _) => match path {
             "/search" => handle_search(&params, service),
             "/node" => handle_node(&params, service),
-            "/stats" => ("200 OK", stats_json(service).compact()),
+            "/stats" => ("200 OK", stats_json(service, ingest, store).compact()),
             "/epochs" => handle_epochs(service, ingest),
             "/health" => (
                 "200 OK",
@@ -560,9 +579,13 @@ fn node_json(banks: &banks_core::Banks, node: NodeId) -> Json {
     ])
 }
 
-fn stats_json(service: &QueryService) -> Json {
+fn stats_json(
+    service: &QueryService,
+    ingest: Option<&IngestEndpoint>,
+    store: Option<&banks_persist::PersistentStore>,
+) -> Json {
     let stats = service.stats();
-    Json::obj([
+    let mut doc = Json::obj([
         ("queries", Json::Uint(stats.queries)),
         ("errors", Json::Uint(stats.errors)),
         ("epoch", Json::Uint(stats.epoch)),
@@ -605,5 +628,37 @@ fn stats_json(service: &QueryService) -> Json {
             ]),
         ),
         ("uptime_secs", Json::Num(stats.uptime_secs)),
-    ])
+    ]);
+    // Persistence counters, when the server runs with a data directory
+    // — either via the write path's store or (durable read-only mode)
+    // the explicitly bound one.
+    if let Some(store) = store.or_else(|| ingest.and_then(|i| i.store().map(Arc::as_ref))) {
+        let p = store.stats();
+        let section = Json::obj([
+            ("wal_bytes", Json::Uint(p.wal_bytes)),
+            ("wal_batches", Json::Uint(p.wal_batches)),
+            ("compactions", Json::Uint(p.compactions)),
+            (
+                "last_compaction",
+                match p.last_compaction_epoch {
+                    Some(e) => Json::Uint(e),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "recovered_epoch",
+                match p.recovered_epoch {
+                    Some(e) => Json::Uint(e),
+                    None => Json::Null,
+                },
+            ),
+            ("replayed_batches", Json::Uint(p.replayed_batches)),
+            ("truncated_wal_bytes", Json::Uint(p.truncated_wal_bytes)),
+            ("fsync", Json::Bool(p.fsync)),
+        ]);
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("persistence".to_string(), section));
+        }
+    }
+    doc
 }

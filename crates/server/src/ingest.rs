@@ -8,6 +8,7 @@
 
 use crate::service::QueryService;
 use banks_ingest::{DeltaBatch, EpochInfo, IngestError, SnapshotPublisher};
+use banks_persist::PersistentStore;
 use banks_util::json::Json;
 use std::sync::{Arc, Mutex};
 
@@ -21,23 +22,54 @@ pub struct IngestEndpoint {
     /// an in-flight publish (which holds the publisher mutex for a
     /// whole database clone + derive).
     epochs: Mutex<(u64, Vec<EpochInfo>)>,
+    /// The durable store behind the publisher's WAL hook, when the
+    /// server runs with a data directory: consulted for `/stats`
+    /// persistence counters and poked for background compaction after
+    /// each publish.
+    store: Option<Arc<PersistentStore>>,
 }
 
 impl IngestEndpoint {
     /// Wire an ingest endpoint to a freshly built service (both start at
-    /// epoch 0, sharing the same snapshot).
+    /// epoch 0, sharing the same snapshot, no durability).
     pub fn new(service: Arc<QueryService>) -> Arc<IngestEndpoint> {
         let publisher = SnapshotPublisher::new(service.banks());
+        IngestEndpoint::with_publisher(service, publisher, None)
+    }
+
+    /// Wire an ingest endpoint around an explicitly constructed
+    /// publisher — the durable path: `banks-cli serve --data-dir` seeds
+    /// the publisher at the recovered epoch, installs the store's WAL
+    /// hook on it, and passes the store here so `/stats` can report
+    /// persistence counters and publications can trigger compaction.
+    ///
+    /// The publisher's current snapshot and epoch must match the query
+    /// service's (both sides are built from the same recovery result).
+    pub fn with_publisher(
+        service: Arc<QueryService>,
+        publisher: SnapshotPublisher,
+        store: Option<Arc<PersistentStore>>,
+    ) -> Arc<IngestEndpoint> {
+        let epoch = publisher.epoch();
+        debug_assert_eq!(epoch, service.epoch(), "publisher/service epoch drift");
         Arc::new(IngestEndpoint {
             service,
             publisher: Mutex::new(publisher),
-            epochs: Mutex::new((0, Vec::new())),
+            epochs: Mutex::new((epoch, Vec::new())),
+            store,
         })
     }
 
-    /// Apply a delta batch: publish a successor snapshot and install it.
-    /// `published_at` is the caller-supplied wall-clock timestamp
-    /// surfaced by `/stats` and `/epochs`.
+    /// The durable store, when this endpoint persists its writes.
+    pub fn store(&self) -> Option<&Arc<PersistentStore>> {
+        self.store.as_ref()
+    }
+
+    /// Apply a delta batch: make it durable (when a store is wired —
+    /// the publisher's hook appends to the WAL *before* promotion),
+    /// publish a successor snapshot, and install it. `published_at` is
+    /// the caller-supplied wall-clock timestamp surfaced by `/stats`
+    /// and `/epochs`.
     pub fn ingest(
         &self,
         batch: &DeltaBatch,
@@ -45,10 +77,19 @@ impl IngestEndpoint {
     ) -> Result<EpochInfo, IngestError> {
         let mut publisher = self.publisher.lock().expect("publisher lock");
         let published = publisher.publish(batch, published_at.clone())?;
-        self.service
-            .install_snapshot(published.banks, published.info.epoch, published_at);
+        self.service.install_snapshot(
+            Arc::clone(&published.banks),
+            published.info.epoch,
+            published_at,
+        );
         *self.epochs.lock().expect("epochs lock") =
             (publisher.epoch(), publisher.history().cloned().collect());
+        drop(publisher);
+        if let Some(store) = &self.store {
+            // Cheap threshold check; actual snapshot rolls happen on the
+            // store's background thread, off the ingest path.
+            store.maybe_compact(&published.banks, published.info.epoch);
+        }
         Ok(published.info)
     }
 

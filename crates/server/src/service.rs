@@ -206,11 +206,19 @@ const INVALIDATION_EPOCHS_KEPT: usize = 64;
 impl QueryService {
     /// Wrap a built BANKS snapshot (epoch 0).
     pub fn new(banks: Arc<Banks>, config: ServiceConfig) -> QueryService {
+        QueryService::with_epoch(banks, 0, config)
+    }
+
+    /// Wrap a snapshot recovered at a known epoch — the crash-recovery
+    /// path of `banks-persist`, where the restored state is already the
+    /// product of `epoch` publications and the next publish must stamp
+    /// `epoch + 1`.
+    pub fn with_epoch(banks: Arc<Banks>, epoch: u64, config: ServiceConfig) -> QueryService {
         let params_fingerprint = fingerprint_params(&banks);
         QueryService {
             snapshot: RwLock::new(Arc::new(Snapshot {
                 banks,
-                epoch: 0,
+                epoch,
                 params_fingerprint,
             })),
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),

@@ -1,0 +1,522 @@
+//! Binary (de)serialization for the storage layer: catalog + tuples
+//! ([`write_database`] / [`read_database`]) and the inverted keyword
+//! index ([`write_text_index`] / [`read_text_index`]).
+//!
+//! These are the storage sections of the `banks-persist` full-system
+//! snapshot bundle. Two properties drive the format:
+//!
+//! * **Slot preservation.** Rids are `(relation, slot)` pairs and every
+//!   derived structure — the CSR graph snapshot, text-index postings —
+//!   records rids. Serialization therefore dumps the raw slot vectors,
+//!   tombstones included, and restore puts every tuple back in its
+//!   original slot ([`crate::Table`]'s restore path) instead of
+//!   re-inserting (which would compact slots and shift every rid).
+//! * **Determinism.** The same database serializes to the same bytes:
+//!   relations in catalog order, slots in slot order, index tokens
+//!   sorted. Restore re-derives the reverse-reference index in that same
+//!   deterministic order, so a restored database is interchangeable with
+//!   the original for every downstream consumer.
+//!
+//! The catalog (relation schemas, keys, foreign keys) rides along as the
+//! existing line-based `schema.banks` text (see [`crate::bundle`]) — it
+//! is tiny, versioned by its keyword grammar, and already round-trip
+//! tested. Framing, checksums, and file headers are the caller's job
+//! (`banks-persist` wraps each section with magic + length + a
+//! whole-file checksum); this module is pure payload.
+
+use crate::bundle::{schema_from_text, schema_to_text};
+use crate::catalog::Database;
+use crate::error::{StorageError, StorageResult};
+use crate::text_index::{Posting, TextIndex};
+use crate::tuple::{RelationId, Rid, Tuple};
+use crate::value::Value;
+use std::io::Write;
+
+/// Refuse to allocate for a single string/list longer than this while
+/// decoding: corrupt length prefixes must fail fast, not abort on OOM.
+const MAX_DECODE_LEN: u64 = 1 << 32;
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Corrupt(format!("io: {e}"))
+}
+
+fn put(w: &mut impl Write, bytes: &[u8]) -> StorageResult<()> {
+    w.write_all(bytes).map_err(io_err)
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> StorageResult<()> {
+    put(w, &v.to_le_bytes())
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> StorageResult<()> {
+    put(w, &v.to_le_bytes())
+}
+
+fn put_bytes(w: &mut impl Write, bytes: &[u8]) -> StorageResult<()> {
+    put_u64(w, bytes.len() as u64)?;
+    put(w, bytes)
+}
+
+/// The decode cursor: a borrowed byte slice plus a position. Decoding
+/// straight off the slice means no intermediate zeroed buffers and no
+/// per-field `Read` calls — strings are built by one `to_owned` of a
+/// validated sub-slice, numeric arrays by `chunks_exact` walks.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Cur<'a> {
+        Cur { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> StorageResult<&'a [u8]> {
+        if self.bytes.len() - self.at < n {
+            return Err(StorageError::Corrupt(format!(
+                "{what}: stream ends {n} byte(s) early at offset {}",
+                self.at
+            )));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    /// Bytes left — used to cap pre-allocations so a corrupt count
+    /// fails on decode instead of attempting a giant reservation.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn u8(&mut self, what: &str) -> StorageResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> StorageResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> StorageResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn len(&mut self, what: &str) -> StorageResult<usize> {
+        let len = self.u64(what)?;
+        if len > MAX_DECODE_LEN {
+            return Err(StorageError::Corrupt(format!(
+                "{what} length {len} is implausible"
+            )));
+        }
+        Ok(len as usize)
+    }
+
+    fn string(&mut self, what: &str) -> StorageResult<String> {
+        let len = self.len(what)?;
+        let raw = self.take(len, what)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| StorageError::Corrupt(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Walk `count` `(u32, u32, u32)` triples — the shape of both
+    /// posting lists and back-reference lists — without copying.
+    fn triples(
+        &mut self,
+        count: usize,
+        what: &str,
+    ) -> StorageResult<impl Iterator<Item = (u32, u32, u32)> + 'a> {
+        let raw = self.take(
+            count
+                .checked_mul(12)
+                .ok_or_else(|| StorageError::Corrupt(format!("{what} count overflows")))?,
+            what,
+        )?;
+        Ok(raw.chunks_exact(12).map(|c| {
+            (
+                u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                u32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+            )
+        }))
+    }
+}
+
+// Value tags. Tag 1/2 fold the boolean into the tag byte.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_TEXT: u8 = 5;
+
+fn put_value(w: &mut impl Write, v: &Value) -> StorageResult<()> {
+    match v {
+        Value::Null => put(w, &[TAG_NULL]),
+        Value::Bool(false) => put(w, &[TAG_FALSE]),
+        Value::Bool(true) => put(w, &[TAG_TRUE]),
+        Value::Int(i) => {
+            put(w, &[TAG_INT])?;
+            put(w, &i.to_le_bytes())
+        }
+        Value::Float(x) => {
+            put(w, &[TAG_FLOAT])?;
+            put(w, &x.to_le_bytes())
+        }
+        Value::Text(s) => {
+            put(w, &[TAG_TEXT])?;
+            put_bytes(w, s.as_bytes())
+        }
+    }
+}
+
+fn take_value(cur: &mut Cur<'_>) -> StorageResult<Value> {
+    Ok(match cur.u8("value tag")? {
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(i64::from_le_bytes(
+            cur.take(8, "int value")?.try_into().expect("8 bytes"),
+        )),
+        TAG_FLOAT => Value::Float(f64::from_le_bytes(
+            cur.take(8, "float value")?.try_into().expect("8 bytes"),
+        )),
+        TAG_TEXT => Value::Text(cur.string("text value")?),
+        other => return Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Serialize the full database — catalog as `schema.banks` text, then
+/// every relation's raw slot vector (tombstones included) in catalog
+/// order, then the reverse-reference index. See the module docs for the
+/// format rationale; the index is serialized rather than re-derived on
+/// load because re-resolving every foreign key costs a `Vec<Value>`
+/// hash lookup per link — the dominant cost of a restore — and because
+/// dumping it verbatim preserves the live system's exact per-target
+/// reference order.
+pub fn write_database(db: &Database, w: &mut impl Write) -> StorageResult<()> {
+    put_bytes(w, schema_to_text(db).as_bytes())?;
+    put_u32(w, db.relation_count() as u32)?;
+    for table in db.relations() {
+        put_u64(w, table.slot_count() as u64)?;
+        for slot in table.slots() {
+            match slot {
+                None => put(w, &[0u8])?,
+                Some(tuple) => {
+                    put(w, &[1u8])?;
+                    for value in tuple.values() {
+                        put_value(w, value)?;
+                    }
+                }
+            }
+        }
+    }
+    // Back-reference index: targets in (relation, slot) order — a
+    // deterministic walk — each with its reference list verbatim. One
+    // pass collects the referenced targets (so the map lookup per tuple
+    // happens once, not once for counting and once for emitting), then
+    // the count prefix and the records are written.
+    let targets: Vec<(Rid, &[crate::catalog::BackRef])> = db
+        .relations()
+        .flat_map(|table| table.scan().map(|(rid, _)| (rid, db.referencing(rid))))
+        .filter(|(_, refs)| !refs.is_empty())
+        .collect();
+    put_u64(w, targets.len() as u64)?;
+    for (rid, refs) in targets {
+        put_u32(w, rid.relation.0)?;
+        put_u32(w, rid.slot)?;
+        put_u64(w, refs.len() as u64)?;
+        for r in refs {
+            put_u32(w, r.from.relation.0)?;
+            put_u32(w, r.from.slot)?;
+            put_u32(w, r.fk_index as u32)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a [`write_database`] stream: parse the catalog, restore
+/// each relation's slots in place, then install the serialized
+/// reverse-reference index (liveness-checked). Any inconsistency
+/// (duplicate key, type drift, dead rid in the index) is
+/// [`StorageError::Corrupt`].
+pub fn read_database(bytes: &[u8]) -> StorageResult<Database> {
+    let cur = &mut Cur::new(bytes);
+    let schema_text = cur.string("schema text")?;
+    let mut db = schema_from_text(&schema_text)?;
+    let relations = cur.u32("relation count")? as usize;
+    if relations != db.relation_count() {
+        return Err(StorageError::Corrupt(format!(
+            "schema declares {} relations but stream carries {relations}",
+            db.relation_count()
+        )));
+    }
+    let arities: Vec<(RelationId, usize)> = db
+        .relations()
+        .map(|t| (t.id(), t.schema().arity()))
+        .collect();
+    for (id, arity) in arities {
+        let slot_count = cur.len("slot vector")?;
+        let mut slots = Vec::with_capacity(slot_count.min(cur.remaining()));
+        for _ in 0..slot_count {
+            match cur.u8("slot presence")? {
+                0 => slots.push(None),
+                1 => {
+                    let mut values = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        values.push(take_value(cur)?);
+                    }
+                    slots.push(Some(Tuple::new(values)));
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "bad slot presence byte {other}"
+                    )))
+                }
+            }
+        }
+        db.restore_relation_slots(id, slots)?;
+    }
+    let targets = cur.len("back-reference index")?;
+    let mut links = Vec::with_capacity(targets.min(cur.remaining()));
+    for _ in 0..targets {
+        let relation = RelationId(cur.u32("back-reference target")?);
+        let slot = cur.u32("back-reference target slot")?;
+        let count = cur.len("back-reference list")?;
+        let refs = cur
+            .triples(count, "back-reference list")?
+            .map(|(rel, slot, fk_index)| crate::catalog::BackRef {
+                from: Rid::new(RelationId(rel), slot),
+                fk_index: fk_index as usize,
+            })
+            .collect();
+        links.push((Rid::new(relation, slot), refs));
+    }
+    db.install_links(links)?;
+    Ok(db)
+}
+
+/// Serialize the inverted index: tokens sorted lexicographically, each
+/// with its posting list in `(rid, column)` order.
+pub fn write_text_index(index: &TextIndex, w: &mut impl Write) -> StorageResult<()> {
+    let mut tokens: Vec<&str> = index.tokens().collect();
+    tokens.sort_unstable();
+    put_u64(w, tokens.len() as u64)?;
+    for token in tokens {
+        put_bytes(w, token.as_bytes())?;
+        let postings = index.lookup(token);
+        put_u64(w, postings.len() as u64)?;
+        for p in postings {
+            put_u32(w, p.rid.relation.0)?;
+            put_u32(w, p.rid.slot)?;
+            put_u32(w, p.column)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a [`write_text_index`] stream.
+pub fn read_text_index(bytes: &[u8]) -> StorageResult<TextIndex> {
+    let cur = &mut Cur::new(bytes);
+    let tokens = cur.len("token count")?;
+    let mut entries = Vec::with_capacity(tokens.min(cur.remaining()));
+    for _ in 0..tokens {
+        let token = cur.string("token")?;
+        let count = cur.len("posting list")?;
+        let list = cur
+            .triples(count, "posting list")?
+            .map(|(relation, slot, column)| Posting {
+                rid: Rid::new(RelationId(relation), slot),
+                column,
+            })
+            .collect();
+        entries.push((token, list));
+    }
+    Ok(TextIndex::from_postings(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, RelationSchema};
+    use crate::tokenizer::Tokenizer;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("binary-test");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("Id", ColumnType::Text)
+                .nullable_column("Name", ColumnType::Text)
+                .primary_key(&["Id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("Id", ColumnType::Text)
+                .column("Year", ColumnType::Int)
+                .nullable_column("Rating", ColumnType::Float)
+                .column("Published", ColumnType::Bool)
+                .primary_key(&["Id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("A", ColumnType::Text)
+                .column("P", ColumnType::Text)
+                .primary_key(&["A", "P"])
+                .foreign_key(&["A"], "Author")
+                .foreign_key_with_similarity(&["P"], "Paper", 2.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (id, name) in [
+            ("a1", Some("Grace, \"quoted\"")),
+            ("a2", None),
+            ("a3", Some("Ada")),
+        ] {
+            db.insert(
+                "Author",
+                vec![
+                    Value::text(id),
+                    name.map(Value::text).unwrap_or(Value::Null),
+                ],
+            )
+            .unwrap();
+        }
+        db.insert(
+            "Paper",
+            vec![
+                Value::text("p1"),
+                Value::Int(1998),
+                Value::Float(4.5),
+                Value::Bool(true),
+            ],
+        )
+        .unwrap();
+        db.insert("Writes", vec![Value::text("a1"), Value::text("p1")])
+            .unwrap();
+        db.insert("Writes", vec![Value::text("a3"), Value::text("p1")])
+            .unwrap();
+        // Punch a hole: delete a2 so a tombstoned slot must round-trip.
+        let victim = db
+            .relation("Author")
+            .unwrap()
+            .lookup_pk(&[Value::text("a2")])
+            .unwrap();
+        db.delete(victim).unwrap();
+        db
+    }
+
+    fn roundtrip(db: &Database) -> Database {
+        let mut buf = Vec::new();
+        write_database(db, &mut buf).unwrap();
+        read_database(&buf).unwrap()
+    }
+
+    #[test]
+    fn database_roundtrips_with_slot_holes() {
+        let db = sample_db();
+        let restored = roundtrip(&db);
+        assert_eq!(restored.name(), db.name());
+        assert_eq!(restored.total_tuples(), db.total_tuples());
+        assert_eq!(restored.link_count(), db.link_count());
+        for (a, b) in db.relations().zip(restored.relations()) {
+            assert_eq!(a.schema(), b.schema());
+            assert_eq!(a.slot_count(), b.slot_count(), "{}", a.schema().name);
+            let av: Vec<_> = a.scan().collect();
+            let bv: Vec<_> = b.scan().collect();
+            assert_eq!(av, bv, "rids and values identical for {}", a.schema().name);
+        }
+        // Back references are preserved verbatim, order included.
+        for table in db.relations() {
+            for (rid, _) in table.scan() {
+                assert_eq!(db.referencing(rid), restored.referencing(rid), "{rid}");
+            }
+        }
+        // Serialization is deterministic.
+        let (mut one, mut two) = (Vec::new(), Vec::new());
+        write_database(&db, &mut one).unwrap();
+        write_database(&restored, &mut two).unwrap();
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn text_index_roundtrips_bit_for_bit() {
+        let db = sample_db();
+        let index = TextIndex::build(&db, &Tokenizer::new());
+        let mut buf = Vec::new();
+        write_text_index(&index, &mut buf).unwrap();
+        let restored = read_text_index(&buf).unwrap();
+        assert_eq!(index.distinct_tokens(), restored.distinct_tokens());
+        assert_eq!(index.posting_count(), restored.posting_count());
+        for token in index.tokens() {
+            assert_eq!(index.lookup(token), restored.lookup(token), "{token}");
+        }
+        let mut again = Vec::new();
+        write_text_index(&restored, &mut again).unwrap();
+        assert_eq!(buf, again, "deterministic serialization");
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_database(&db, &mut buf).unwrap();
+        // Truncations at every prefix either decode-fail cleanly or (for
+        // the empty prefix) fail on the missing length.
+        for cut in 0..buf.len() {
+            assert!(
+                read_database(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // A wild value tag is a typed error.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] = 0xee;
+        // May fail anywhere depending on what the byte was; must not panic.
+        let _ = read_database(&bad);
+        // Implausible length prefixes must not attempt the allocation.
+        let mut huge = Vec::new();
+        put_u64(&mut huge, u64::MAX).unwrap();
+        assert!(matches!(
+            read_database(&huge),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn restored_database_rejects_inconsistent_link_index() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_database(&db, &mut buf).unwrap();
+        let end = buf.len();
+
+        // The stream ends with the last back-reference's
+        // (relation, slot, fk_index) triple. A fk_index beyond the
+        // relation's foreign keys must be rejected…
+        let mut bad = buf.clone();
+        bad[end - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_database(&bad) {
+            Err(StorageError::Corrupt(m)) => assert!(m.contains("foreign key"), "{m}"),
+            other => panic!("wild fk_index must be Corrupt, got {other:?}"),
+        }
+
+        // …and so must a reference from a slot that is not live.
+        let mut dead = buf.clone();
+        dead[end - 8..end - 4].copy_from_slice(&999u32.to_le_bytes());
+        match read_database(&dead) {
+            Err(StorageError::Corrupt(m)) => assert!(m.contains("live"), "{m}"),
+            other => panic!("dead source rid must be Corrupt, got {other:?}"),
+        }
+    }
+}

@@ -11,6 +11,7 @@ use crate::schema::RelationSchema;
 use crate::table::Table;
 use crate::tuple::{RelationId, Rid, Tuple};
 use crate::value::Value;
+use banks_util::fxhash::FxHashMap;
 use std::collections::HashMap;
 
 /// A recorded reverse reference: tuple `from` references the indexed tuple
@@ -29,8 +30,10 @@ pub struct Database {
     name: String,
     tables: Vec<Table>,
     by_name: HashMap<String, RelationId>,
-    /// rid → tuples referencing it. Maintained on insert/delete.
-    back_refs: HashMap<Rid, Vec<BackRef>>,
+    /// rid → tuples referencing it. Maintained on insert/delete;
+    /// Fx-hashed — touched on every insert/delete/update and rebuilt
+    /// wholesale on binary-snapshot restore.
+    back_refs: FxHashMap<Rid, Vec<BackRef>>,
     /// Total number of resolved foreign-key links.
     link_count: usize,
 }
@@ -352,6 +355,78 @@ impl Database {
             .iter()
             .map(|&(column, _)| old_values[column].clone())
             .collect())
+    }
+
+    /// Restore the deserialized slot vector of `relation` (see
+    /// [`Table::restore_slots`]) without touching the link bookkeeping —
+    /// callers restore every relation first, then run
+    /// [`Database::rebuild_links`] once.
+    pub(crate) fn restore_relation_slots(
+        &mut self,
+        relation: RelationId,
+        slots: Vec<Option<Tuple>>,
+    ) -> StorageResult<()> {
+        self.tables[relation.index()].restore_slots(slots)
+    }
+
+    /// Install a deserialized reverse-reference index wholesale —
+    /// the binary-snapshot load path, which serializes the index
+    /// instead of re-resolving every foreign key (15K `Vec<Value>`
+    /// hash lookups on the small corpus) and thereby preserves the
+    /// live system's exact per-target reference order.
+    ///
+    /// Every rid is bounds/liveness-checked (O(1) each); the tuples
+    /// themselves were validated by the slot restore. Each `(from,
+    /// fk_index)` must name a real foreign key of `from`'s relation.
+    pub(crate) fn install_links(&mut self, links: Vec<(Rid, Vec<BackRef>)>) -> StorageResult<()> {
+        let live = |rid: Rid| -> bool {
+            self.tables
+                .get(rid.relation.index())
+                .is_some_and(|t| t.get(rid.slot).is_some())
+        };
+        let mut total = 0usize;
+        for (target, refs) in &links {
+            if !live(*target) {
+                return Err(StorageError::Corrupt(format!(
+                    "restored back-reference target {target} is not a live tuple"
+                )));
+            }
+            for backref in refs {
+                if !live(backref.from) {
+                    return Err(StorageError::Corrupt(format!(
+                        "restored back-reference source {} is not a live tuple",
+                        backref.from
+                    )));
+                }
+                let fks = self.tables[backref.from.relation.index()]
+                    .schema()
+                    .foreign_keys
+                    .len();
+                if backref.fk_index >= fks {
+                    return Err(StorageError::Corrupt(format!(
+                        "restored back-reference names foreign key #{} of {}, which has {fks}",
+                        backref.fk_index, backref.from
+                    )));
+                }
+                total += 1;
+            }
+        }
+        let mut back_refs = FxHashMap::default();
+        back_refs.reserve(links.len());
+        for (target, refs) in links {
+            if back_refs.insert(target, refs).is_some() {
+                // A later duplicate entry would silently shadow the
+                // earlier one while `total` counted both — reject the
+                // stream instead of installing an index that disagrees
+                // with its own link count.
+                return Err(StorageError::Corrupt(format!(
+                    "restored back-reference target {target} listed twice"
+                )));
+            }
+        }
+        self.back_refs = back_refs;
+        self.link_count = total;
+        Ok(())
     }
 
     /// Resolve foreign key `fk_index` of the tuple at `rid`.

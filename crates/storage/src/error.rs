@@ -86,6 +86,12 @@ pub enum StorageError {
         /// Description of the problem.
         message: String,
     },
+    /// A binary artifact (snapshot section, serialized table or index)
+    /// failed to decode: truncated stream, impossible length, value tag
+    /// out of range, or postings out of order. Also used for the I/O
+    /// errors underneath those reads — the variant keeps `StorageError`
+    /// cloneable/comparable where `std::io::Error` is not.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -138,6 +144,7 @@ impl fmt::Display for StorageError {
             StorageError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }
+            StorageError::Corrupt(msg) => write!(f, "corrupt binary data: {msg}"),
         }
     }
 }

@@ -43,6 +43,7 @@
 //! assert_eq!(db.tuple(rid).unwrap().values()[1], Value::text("Soumen Chakrabarti"));
 //! ```
 
+pub mod binary;
 pub mod bundle;
 pub mod catalog;
 pub mod csv;

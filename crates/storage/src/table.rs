@@ -4,17 +4,45 @@ use crate::error::{StorageError, StorageResult};
 use crate::schema::RelationSchema;
 use crate::tuple::{RelationId, Rid, Tuple};
 use crate::value::Value;
-use std::collections::HashMap;
+use banks_util::fxhash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// Slots sharing one primary-key hash. 64-bit hashes over at most a few
+/// million keys make `Many` astronomically rare, so the common entry
+/// stays inline with no per-entry heap allocation.
+#[derive(Debug, Clone)]
+enum PkSlots {
+    /// The typical entry: exactly one slot has this key hash.
+    One(u32),
+    /// Hash collision between distinct keys (or transiently during a
+    /// collision-era delete): all candidate slots.
+    Many(Vec<u32>),
+}
+
+impl PkSlots {
+    fn candidates(&self) -> &[u32] {
+        match self {
+            PkSlots::One(slot) => std::slice::from_ref(slot),
+            PkSlots::Many(slots) => slots,
+        }
+    }
+}
 
 /// Storage for one relation: a slot vector of tuples (deleted slots become
 /// `None`, so rids stay stable) and a hash index on the primary key.
+///
+/// The index maps the Fx hash of a key to its slot(s) — the key values
+/// themselves are **not** duplicated out of the tuples. Lookups hash the
+/// probe key and confirm candidates against the stored tuple, so inserts
+/// and binary-snapshot restores never clone key values, and the index
+/// costs 12 bytes per tuple instead of a cloned `Vec<Value>`.
 #[derive(Debug, Clone)]
 pub struct Table {
     id: RelationId,
     schema: RelationSchema,
     slots: Vec<Option<Tuple>>,
     live: usize,
-    pk_index: HashMap<Vec<Value>, u32>,
+    pk_index: FxHashMap<u64, PkSlots>,
 }
 
 impl Table {
@@ -25,7 +53,78 @@ impl Table {
             schema,
             slots: Vec::new(),
             live: 0,
-            pk_index: HashMap::new(),
+            pk_index: FxHashMap::default(),
+        }
+    }
+
+    /// Fx hash of a primary-key value sequence.
+    fn pk_hash<'v>(key: impl Iterator<Item = &'v Value>) -> u64 {
+        let mut h = FxHasher::default();
+        for v in key {
+            v.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Hash of the primary key embedded in a full tuple's values.
+    fn pk_hash_of_row(&self, values: &[Value]) -> u64 {
+        Self::pk_hash(self.schema.primary_key.iter().map(|&c| &values[c]))
+    }
+
+    /// Does the live tuple at `slot` carry exactly this primary key?
+    fn slot_key_matches(&self, slot: u32, key: &[Value]) -> bool {
+        let Some(tuple) = self.slots.get(slot as usize).and_then(|t| t.as_ref()) else {
+            return false;
+        };
+        self.schema
+            .primary_key
+            .iter()
+            .zip(key)
+            .all(|(&c, k)| &tuple.values()[c] == k)
+    }
+
+    /// Find the slot holding `key` (hash → candidate confirmation).
+    fn pk_slot(&self, key: &[Value]) -> Option<u32> {
+        if key.len() != self.schema.primary_key.len() {
+            return None;
+        }
+        self.pk_index
+            .get(&Self::pk_hash(key.iter()))?
+            .candidates()
+            .iter()
+            .copied()
+            .find(|&slot| self.slot_key_matches(slot, key))
+    }
+
+    /// Register `slot` under `hash`.
+    fn pk_link(&mut self, hash: u64, slot: u32) {
+        match self.pk_index.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(PkSlots::One(slot));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                PkSlots::One(existing) => {
+                    let existing = *existing;
+                    e.insert(PkSlots::Many(vec![existing, slot]));
+                }
+                PkSlots::Many(slots) => slots.push(slot),
+            },
+        }
+    }
+
+    /// Unregister `slot` from `hash`.
+    fn pk_unlink(&mut self, hash: u64, slot: u32) {
+        match self.pk_index.get_mut(&hash) {
+            Some(PkSlots::One(s)) if *s == slot => {
+                self.pk_index.remove(&hash);
+            }
+            Some(PkSlots::Many(slots)) => {
+                slots.retain(|&s| s != slot);
+                if let [last] = slots[..] {
+                    self.pk_index.insert(hash, PkSlots::One(last));
+                }
+            }
+            _ => {}
         }
     }
 
@@ -91,22 +190,38 @@ impl Table {
     /// [`crate::Database::insert`], which can see the referenced tables.
     pub fn insert(&mut self, values: Vec<Value>) -> StorageResult<Rid> {
         self.check_values(&values)?;
-        let key: Vec<Value> = if self.schema.has_primary_key() {
-            self.schema.key_of(&values).into_iter().cloned().collect()
+        let hash = if self.schema.has_primary_key() {
+            let hash = self.pk_hash_of_row(&values);
+            let key: Vec<&Value> = self.schema.key_of(&values);
+            let duplicate = self
+                .pk_index
+                .get(&hash)
+                .into_iter()
+                .flat_map(|e| e.candidates())
+                .any(|&slot| {
+                    self.schema.primary_key.iter().zip(&key).all(|(&c, &k)| {
+                        &self.slots[slot as usize]
+                            .as_ref()
+                            .expect("indexed slots are live")
+                            .values()[c]
+                            == k
+                    })
+                });
+            if duplicate {
+                return Err(StorageError::DuplicateKey {
+                    relation: self.schema.name.clone(),
+                    key: format!("{key:?}"),
+                });
+            }
+            Some(hash)
         } else {
-            Vec::new()
+            None
         };
-        if self.schema.has_primary_key() && self.pk_index.contains_key(&key) {
-            return Err(StorageError::DuplicateKey {
-                relation: self.schema.name.clone(),
-                key: format!("{key:?}"),
-            });
-        }
         let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX tuples");
         self.slots.push(Some(Tuple::new(values)));
         self.live += 1;
-        if self.schema.has_primary_key() {
-            self.pk_index.insert(key, slot);
+        if let Some(hash) = hash {
+            self.pk_link(hash, slot);
         }
         Ok(Rid::new(self.id, slot))
     }
@@ -118,7 +233,7 @@ impl Table {
 
     /// Look up a tuple by its full primary-key value.
     pub fn lookup_pk(&self, key: &[Value]) -> Option<Rid> {
-        self.pk_index.get(key).map(|&slot| Rid::new(self.id, slot))
+        self.pk_slot(key).map(|slot| Rid::new(self.id, slot))
     }
 
     /// Delete the tuple at `slot`. Returns the removed tuple.
@@ -134,13 +249,8 @@ impl Table {
             .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} already deleted")))?;
         self.live -= 1;
         if self.schema.has_primary_key() {
-            let key: Vec<Value> = self
-                .schema
-                .key_of(tuple.values())
-                .into_iter()
-                .cloned()
-                .collect();
-            self.pk_index.remove(&key);
+            let hash = self.pk_hash_of_row(tuple.values());
+            self.pk_unlink(hash, slot);
         }
         Ok(tuple)
     }
@@ -186,6 +296,98 @@ impl Table {
             .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} not live")))?;
         *tuple.get_mut(column).expect("arity checked at insert") = value;
         Ok(())
+    }
+
+    /// Restore a deserialized slot vector wholesale, **preserving slot
+    /// numbers** (deleted slots stay `None`), and rebuild the live count
+    /// and primary-key index. This is the binary-snapshot load path: rids
+    /// recorded in a graph snapshot or text-index dump stay valid only if
+    /// every tuple lands in its original slot, so the normal
+    /// [`Table::insert`] (which compacts) cannot be used.
+    ///
+    /// Tuples are arity-checked (a short tuple would make later column
+    /// access panic) and the primary-key index must come out
+    /// collision-free; a violation means the serialized bytes were not
+    /// produced from a consistent table and is reported as
+    /// [`StorageError::Corrupt`]. Deep per-value type checks are skipped
+    /// on this path (debug builds still run them): the stream is
+    /// checksummed and written by [`crate::binary::write_database`] from
+    /// an already-validated table, and restore latency is the whole
+    /// point of binary snapshots.
+    pub(crate) fn restore_slots(&mut self, slots: Vec<Option<Tuple>>) -> StorageResult<()> {
+        debug_assert!(self.slots.is_empty(), "restore into a fresh table only");
+        let mut live = 0usize;
+        let mut pk_index = FxHashMap::default();
+        pk_index.reserve(if self.schema.has_primary_key() {
+            slots.len()
+        } else {
+            0
+        });
+        for (slot, tuple) in slots.iter().enumerate() {
+            let Some(tuple) = tuple else { continue };
+            if tuple.arity() != self.schema.arity() {
+                return Err(StorageError::Corrupt(format!(
+                    "restored tuple in `{}` has arity {}, schema says {}",
+                    self.schema.name,
+                    tuple.arity(),
+                    self.schema.arity()
+                )));
+            }
+            #[cfg(debug_assertions)]
+            self.check_values(tuple.values())
+                .map_err(|e| StorageError::Corrupt(format!("restored tuple invalid: {e}")))?;
+            live += 1;
+            if self.schema.has_primary_key() {
+                let hash =
+                    Self::pk_hash(self.schema.primary_key.iter().map(|&c| &tuple.values()[c]));
+                let clash = match pk_index.entry(hash) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(PkSlots::One(slot as u32));
+                        false
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        // Same hash: a true duplicate key is corruption;
+                        // a mere collision between distinct keys widens
+                        // the entry. Confirm against the earlier tuples.
+                        let duplicate = e.get().candidates().iter().any(|&earlier| {
+                            let other = slots[earlier as usize]
+                                .as_ref()
+                                .expect("indexed slots are live");
+                            self.schema
+                                .primary_key
+                                .iter()
+                                .all(|&c| other.values()[c] == tuple.values()[c])
+                        });
+                        if !duplicate {
+                            match e.get_mut() {
+                                PkSlots::One(existing) => {
+                                    let existing = *existing;
+                                    e.insert(PkSlots::Many(vec![existing, slot as u32]));
+                                }
+                                PkSlots::Many(list) => list.push(slot as u32),
+                            }
+                        }
+                        duplicate
+                    }
+                };
+                if clash {
+                    return Err(StorageError::Corrupt(format!(
+                        "duplicate primary key in restored relation `{}`",
+                        self.schema.name
+                    )));
+                }
+            }
+        }
+        self.slots = slots;
+        self.live = live;
+        self.pk_index = pk_index;
+        Ok(())
+    }
+
+    /// Iterate over every slot (live or tombstoned), in slot order — the
+    /// binary-snapshot save path, which must preserve slot layout.
+    pub fn slots(&self) -> impl Iterator<Item = Option<&Tuple>> + '_ {
+        self.slots.iter().map(|t| t.as_ref())
     }
 
     /// Iterate over live tuples as `(Rid, &Tuple)`.

@@ -9,7 +9,7 @@
 use crate::catalog::Database;
 use crate::tokenizer::Tokenizer;
 use crate::tuple::Rid;
-use std::collections::HashMap;
+use banks_util::fxhash::FxHashMap;
 
 /// One posting: a tuple and the column in which the token occurred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,7 +23,9 @@ pub struct Posting {
 /// An inverted index over every text column of a database.
 #[derive(Debug, Clone, Default)]
 pub struct TextIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    /// Fx-hashed: looked up per query term and rebuilt token-by-token
+    /// on binary-snapshot restore.
+    postings: FxHashMap<String, Vec<Posting>>,
 }
 
 impl TextIndex {
@@ -114,6 +116,34 @@ impl TextIndex {
         tokens.sort_unstable();
         tokens.dedup();
         tokens
+    }
+
+    /// Rebuild an index from deserialized posting lists — the binary
+    /// snapshot load path. Lists serialized by a well-formed index are
+    /// already sorted by `(rid, column)` and duplicate-free; that is
+    /// verified with one linear scan, and only a list that fails it
+    /// (hand-edited or foreign input) pays the sort + dedup
+    /// normalization every other entry point maintains.
+    pub fn from_postings<I>(entries: I) -> TextIndex
+    where
+        I: IntoIterator<Item = (String, Vec<Posting>)>,
+    {
+        TextIndex {
+            postings: entries
+                .into_iter()
+                .filter(|(_, list)| !list.is_empty())
+                .map(|(token, mut list)| {
+                    let sorted = list
+                        .windows(2)
+                        .all(|w| (w[0].rid, w[0].column) < (w[1].rid, w[1].column));
+                    if !sorted {
+                        list.sort_by_key(|p| (p.rid, p.column));
+                        list.dedup();
+                    }
+                    (token, list)
+                })
+                .collect(),
+        }
     }
 
     /// Postings for `token` (already lowercased by the tokenizer).

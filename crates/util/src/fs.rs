@@ -1,0 +1,104 @@
+//! Crash-safe file writing.
+//!
+//! Every durable artifact in the workspace — graph snapshots, the
+//! full-system snapshot bundles and write-ahead log of `banks-persist` —
+//! must never be observable half-written: a crash mid-write may leave
+//! garbage behind a *temporary* name, but a file at its final path is
+//! either the complete old version or the complete new one.
+//!
+//! [`atomic_write`] implements the standard recipe: write to a unique
+//! sibling temp file, `fsync` it, `rename` over the destination (atomic
+//! on POSIX), then `fsync` the parent directory so the rename itself
+//! survives a power cut. Directory syncing is best-effort on platforms
+//! where directories cannot be opened (Windows); the rename is still
+//! atomic there.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Atomically replace `path` with the bytes produced by `fill`.
+///
+/// `fill` receives a buffered writer for the temp file. If it errors —
+/// or any syscall along the way does — the temp file is removed and the
+/// destination is untouched.
+pub fn atomic_write<F>(path: &Path, fill: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{:x}",
+        std::process::id(),
+        // A per-call cookie so two threads writing the same path never
+        // share a temp file (the loser's rename still wins atomically).
+        &fill as *const F as usize
+    ));
+    let result = (|| {
+        let file = File::create(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        fill(&mut writer)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        drop(writer);
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = dir {
+            sync_dir(dir);
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Best-effort `fsync` of a directory (makes a completed rename durable).
+pub fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("banks_fs_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("data.bin");
+        atomic_write(&path, |w| w.write_all(b"first")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, |w| w.write_all(b"second version")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second version");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_fill_leaves_destination_and_no_temp() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("data.bin");
+        atomic_write(&path, |w| w.write_all(b"keep me")).unwrap();
+        let err = atomic_write(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("simulated failure"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("simulated"));
+        assert_eq!(fs::read(&path).unwrap(), b"keep me");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be cleaned up");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,9 +7,15 @@
 //!   `serde`/`serde_json` (the workspace builds with no network access,
 //!   so crates.io dependencies are off the table);
 //! * [`http`] — percent-decoding and query-string parsing for the
-//!   `banks-server` std-only HTTP endpoint.
+//!   `banks-server` std-only HTTP endpoint;
+//! * [`fs`] — crash-safe atomic file replacement (temp file + fsync +
+//!   rename), shared by graph snapshots and the `banks-persist`
+//!   durability layer.
 
+pub mod fs;
+pub mod fxhash;
 pub mod http;
 pub mod json;
 
+pub use fs::atomic_write;
 pub use json::{Json, ToJson};
