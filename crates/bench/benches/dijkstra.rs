@@ -1,10 +1,12 @@
 //! Microbenchmark of the lazy Dijkstra iterator underlying §3: full
 //! expansion, bounded expansion, and the peek/next interleave pattern the
-//! iterator heap exercises.
+//! iterator heap exercises — each in the one-shot form (fresh dense state
+//! per run) and the pooled form (one recycled arena block, the
+//! steady-state serving shape where "clearing" is an epoch bump).
 
 use banks_bench::corpus;
 use banks_core::{GraphConfig, TupleGraph};
-use banks_graph::{Dijkstra, Direction, NodeId};
+use banks_graph::{Dijkstra, Direction, NodeId, SearchArena};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -26,6 +28,36 @@ fn bench_dijkstra(c: &mut Criterion) {
         b.iter(|| {
             let it = Dijkstra::new(graph, start, Direction::Forward);
             black_box(it.count())
+        });
+    });
+    let mut arena = SearchArena::new();
+    group.bench_function("full_expansion_reverse_pooled", |b| {
+        b.iter(|| {
+            let it = Dijkstra::new_in(
+                graph,
+                start,
+                Direction::Reverse,
+                arena.checkout(graph.node_count()),
+            );
+            let mut it = black_box(it);
+            let n = it.by_ref().count();
+            arena.recycle(it.into_state());
+            black_box(n)
+        });
+    });
+    group.bench_function("bounded_expansion_pooled/1000", |b| {
+        b.iter(|| {
+            let it = Dijkstra::new_in(
+                graph,
+                start,
+                Direction::Reverse,
+                arena.checkout(graph.node_count()),
+            )
+            .with_max_settled(1000);
+            let mut it = black_box(it);
+            let n = it.by_ref().count();
+            arena.recycle(it.into_state());
+            black_box(n)
         });
     });
     for budget in [100usize, 1000, 10000] {

@@ -12,6 +12,8 @@
 use banks_core::Banks;
 use banks_datagen::dblp::{generate, DblpConfig, DblpDataset};
 use banks_eval::workload::dblp_eval_config;
+use banks_util::json::Json;
+use std::io::Write;
 
 /// Generate the benchmark corpus at a named scale.
 pub fn corpus(scale: &str) -> DblpDataset {
@@ -27,4 +29,58 @@ pub fn corpus(scale: &str) -> DblpDataset {
 /// Build a query-ready BANKS instance with the evaluation configuration.
 pub fn banks_for(dataset: &DblpDataset) -> Banks {
     Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("banks builds")
+}
+
+/// One query's measurements for the machine-readable search report.
+#[derive(Debug, Clone)]
+pub struct SearchBenchEntry {
+    /// Workload query id (e.g. `Q7-three-keywords`).
+    pub id: String,
+    /// Corpus scale the measurement ran on.
+    pub corpus: String,
+    /// Result limit (`max_results`) of the measurement.
+    pub limit: usize,
+    /// Median uncached latency on a reused worker arena, nanoseconds.
+    pub cold_ns: f64,
+    /// Median cache-hit latency through the query service, nanoseconds.
+    pub warm_ns: f64,
+    /// Iterator pops of one representative execution.
+    pub pops: usize,
+    /// Whether the kernel stopped via the top-k relevance bound.
+    pub early_terminated: bool,
+}
+
+/// Write `BENCH_search.json`: per-query cold/warm latency plus kernel
+/// counters, and the aggregate early-termination rate — the
+/// machine-readable artifact the `bench-smoke` CI job checks for bench
+/// bit-rot and perf tracking diffs across commits.
+pub fn write_search_report(path: &str, entries: &[SearchBenchEntry]) -> std::io::Result<()> {
+    let queries: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("id", Json::Str(e.id.clone())),
+                ("corpus", Json::Str(e.corpus.clone())),
+                ("limit", Json::Uint(e.limit as u64)),
+                ("cold_ns", Json::Num(e.cold_ns.round())),
+                ("warm_ns", Json::Num(e.warm_ns.round())),
+                ("pops", Json::Uint(e.pops as u64)),
+                ("early_terminated", Json::Bool(e.early_terminated)),
+            ])
+        })
+        .collect();
+    let terminated = entries.iter().filter(|e| e.early_terminated).count();
+    let rate = if entries.is_empty() {
+        0.0
+    } else {
+        terminated as f64 / entries.len() as f64
+    };
+    let report = Json::obj([
+        ("bench", Json::Str("search".to_string())),
+        ("queries", Json::Arr(queries)),
+        ("early_termination_rate", Json::Num(rate)),
+    ]);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(report.pretty().as_bytes())?;
+    Ok(())
 }

@@ -2,7 +2,7 @@
 
 use crate::table::render_text_table;
 use banks_browse::{render, JoinSpec, ReverseJoinSpec, ViewSpec};
-use banks_core::{Answer, Banks, BanksConfig, EdgeScoreMode, SearchStrategy};
+use banks_core::{Answer, Banks, BanksConfig, EdgeScoreMode, SearchArena, SearchStrategy};
 use banks_storage::{Predicate, Value};
 
 /// Interactive state: a loaded database plus the last search and the
@@ -12,6 +12,9 @@ pub struct Shell {
     config: BanksConfig,
     last_answers: Vec<Answer>,
     view_history: Vec<ViewSpec>,
+    /// Persistent kernel scratch: every `search` in the session reuses
+    /// the same dense Dijkstra states and cross-product buffers.
+    arena: SearchArena,
 }
 
 impl Default for Shell {
@@ -30,11 +33,19 @@ impl Shell {
             config,
             last_answers: Vec::new(),
             view_history: Vec::new(),
+            arena: SearchArena::new(),
         }
     }
 
     fn banks(&self) -> Result<&Banks, String> {
-        self.banks
+        Self::banks_ref(&self.banks)
+    }
+
+    /// Field-level form of [`Shell::banks`], so callers that also need
+    /// `&mut self.arena` can split the borrow without duplicating the
+    /// "no database loaded" message.
+    fn banks_ref(banks: &Option<Banks>) -> Result<&Banks, String> {
+        banks
             .as_ref()
             .ok_or_else(|| "no database loaded — try `open dblp`".to_string())
     }
@@ -186,9 +197,10 @@ impl Shell {
         if query.is_empty() {
             return Err("usage: search <keywords…>".to_string());
         }
-        let banks = self.banks()?;
+        let banks = Self::banks_ref(&self.banks)?;
+        let parsed = banks.parse(query).map_err(|e| e.to_string())?;
         let outcome = banks
-            .search_with(query, strategy, &self.config)
+            .search_parsed_in(&parsed, strategy, &self.config, &mut self.arena)
             .map_err(|e| e.to_string())?;
         let mut out = format!(
             "{} answers ({} iterators, {} nodes settled, {} trees generated)\n",

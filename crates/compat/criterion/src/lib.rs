@@ -11,12 +11,41 @@
 //! [`criterion`]: https://crates.io/crates/criterion
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per sample batch.
 const TARGET_BATCH: Duration = Duration::from_millis(25);
 /// Default number of timed samples per benchmark.
 const DEFAULT_SAMPLES: usize = 10;
+
+/// Smoke mode: `BANKS_BENCH_SMOKE=1` caps every benchmark at 2 samples
+/// with a 1 ms batch target, so CI can execute each bench end to end in
+/// seconds — catching bench bit-rot without producing usable numbers.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::var("BANKS_BENCH_SMOKE")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false)
+    })
+}
+
+fn effective_samples(requested: usize) -> usize {
+    if smoke_mode() {
+        requested.min(2)
+    } else {
+        requested
+    }
+}
+
+fn target_batch() -> Duration {
+    if smoke_mode() {
+        Duration::from_millis(1)
+    } else {
+        TARGET_BATCH
+    }
+}
 
 /// The harness entry point, one per process.
 #[derive(Debug, Default)]
@@ -132,7 +161,7 @@ impl Bencher {
         let t0 = Instant::now();
         std::hint::black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let calls = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let calls = (target_batch().as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
         let t0 = Instant::now();
         for _ in 0..calls {
@@ -151,6 +180,7 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let samples = effective_samples(samples);
     let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut bencher = Bencher::default();

@@ -219,6 +219,14 @@ pub struct SearchConfig {
     /// `(1 − Nscore(origin)) · w_min`, so iterators from prestigious
     /// keyword nodes expand — and connect — first.
     pub node_weight_in_distance: bool,
+    /// Stop expanding once the top `max_results` can no longer change:
+    /// every un-generated tree's relevance is bounded above by
+    /// [`crate::score::Scorer::max_relevance_for_weight`] of the frontier
+    /// distance, and when that bound falls strictly below the worst
+    /// retained answer no future tree can enter (or reorder) the output.
+    /// The termination is exact — disable only to measure the exhaustive
+    /// baseline.
+    pub early_termination: bool,
 }
 
 impl Default for SearchConfig {
@@ -234,6 +242,7 @@ impl Default for SearchConfig {
             excluded_root_relations: Vec::new(),
             forward_probe_budget: 4096,
             node_weight_in_distance: false,
+            early_termination: true,
         }
     }
 }

@@ -20,8 +20,8 @@
 //! |---|---|---|
 //! | [`graph_build`] | §2.2 | database → weighted graph (eq. 1 backward weights, prestige) |
 //! | [`query`], [`matching`] | §2.3, §7 | parsing, `Sᵢ` node sets, metadata/approx matching |
-//! | [`score`] | §2.3 | Escore/Nscore normalization, λ combination |
-//! | [`search`] | §3, §7 | backward expanding search, output heap, forward search |
+//! | [`score`] | §2.3 | Escore/Nscore normalization, λ combination, early-termination bound |
+//! | [`search`] | §3, §7 | backward expanding search, output heap, forward search — on pooled [`SearchArena`] scratch with exact top-k early termination |
 //! | [`answer`] | §2.3, Fig. 2 | connection trees, duplicate signatures, rendering |
 //! | [`summarize`] | §7 | grouping answers by tree shape |
 //! | [`prestige`] | §7 | authority-transfer node weights |
@@ -34,7 +34,7 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | `banks-graph` | CSR graph, lazy Dijkstra iterators, incremental `GraphPatch`, binary snapshots |
+//! | `banks-graph` | CSR graph, lazy Dijkstra iterators on dense epoch-stamped state, the pooled [`SearchArena`], incremental `GraphPatch`, binary snapshots |
 //! | `banks-storage` | in-memory relational engine + text/metadata indexes |
 //! | `banks-ingest` | live tuple ingestion: delta log, incremental graph/index appliers, epoch-versioned snapshot publisher |
 //! | `banks-server` | concurrent query service: epoch-versioned `Arc`-shared [`Banks`] snapshot, sharded LRU result cache, std-only HTTP/1.1 JSON endpoint (incl. `POST /ingest`) |
@@ -129,6 +129,6 @@ pub use graph_build::TupleGraph;
 pub use matching::{MatchKind, TermMatch};
 pub use query::{Query, Term};
 pub use score::Scorer;
-pub use search::{SearchOutcome, SearchStats};
+pub use search::{SearchArena, SearchOutcome, SearchStats};
 pub use summarize::AnswerGroup;
 pub use system::{Banks, SearchStrategy};

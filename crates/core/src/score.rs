@@ -94,6 +94,56 @@ impl<'g> Scorer<'g> {
         total / count as f64
     }
 
+    /// Upper bound on the relevance of *any* connection tree whose total
+    /// edge weight is at least `min_weight` and whose node score is at
+    /// most `max_node_score` — the early-termination bound of the search
+    /// kernel (pass `max_node_score = 1.0` when nothing tighter is known).
+    ///
+    /// Soundness: (1) both node-score modes clamp to `[0,1]`, so any
+    /// honest `max_node_score` cap applies; (2) for a tree of weight
+    /// `W ≥ min_weight`, the per-edge score sum satisfies
+    /// `Σᵢ e(wᵢ) ≥ e(Σᵢ wᵢ) = e(W) ≥ e(min_weight)` — exactly additive in
+    /// linear mode, and superadditive in log mode since
+    /// `Π(1+aᵢ) ≥ 1+Σaᵢ` for non-negative `aᵢ` — so
+    /// `Escore = 1/(1+Σ) ≤ 1/(1+e(min_weight))`; (3) both combination
+    /// modes are monotone in `Escore` and `Nscore`. On an edgeless graph
+    /// `edge_score` degenerates to 0 and the bound to 1, which simply
+    /// never terminates early.
+    pub fn max_relevance_for_weight(&self, min_weight: f64, max_node_score: f64) -> f64 {
+        let e = 1.0 / (1.0 + self.edge_score(min_weight));
+        let n = max_node_score.clamp(0.0, 1.0);
+        let lambda = self.params.lambda;
+        match self.params.combine {
+            CombineMode::Additive => (1.0 - lambda) * e + lambda * n,
+            CombineMode::Multiplicative => e.powf(1.0 - lambda) * n.powf(lambda),
+        }
+    }
+
+    /// Upper bound on the node score ([`Scorer::tree_node_score`]) of any
+    /// tree whose per-term keyword leaves are drawn from `keyword_sets`.
+    ///
+    /// `tree_node_score` averages the `k` per-term leaf scores plus the
+    /// root's (the root is skipped when it is itself a keyword node).
+    /// With `Mⱼ = max_{v ∈ Sⱼ} ns(v)` and an arbitrary root bounded by 1:
+    /// root counted → `N ≤ (ΣMⱼ + 1)/(k+1)`; root a keyword node →
+    /// `N ≤ ΣMⱼ/k ≤ (ΣMⱼ + 1)/(k+1)` (since every `Mⱼ ≤ 1`). So the
+    /// first form dominates both cases.
+    pub fn max_node_score_for_sets(&self, keyword_sets: &[Vec<NodeId>]) -> f64 {
+        let k = keyword_sets.len();
+        if k == 0 {
+            return 1.0;
+        }
+        let sum: f64 = keyword_sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|&n| self.node_score(n))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        ((sum + 1.0) / (k as f64 + 1.0)).min(1.0)
+    }
+
     /// Overall relevance of a tree, combining edge and node scores.
     pub fn relevance(&self, tree: &ConnectionTree) -> f64 {
         let e = self.tree_edge_score(tree);
@@ -305,6 +355,48 @@ mod tests {
             let t = ConnectionTree::new(root, leaves, edges);
             let r = s.relevance(&t);
             prop_assert!((0.0..=1.0).contains(&r), "relevance {r}");
+        }
+
+        /// The early-termination bound dominates the true relevance of
+        /// every tree at least as heavy as the bound's weight argument.
+        #[test]
+        fn max_relevance_bound_is_sound(
+            lambda in 0.0f64..=1.0,
+            weights in proptest::collection::vec(1.0f64..100.0, 1..8),
+            node_weights in proptest::collection::vec(0.0f64..20.0, 1..8),
+            edge_log in proptest::bool::ANY,
+            node_log in proptest::bool::ANY,
+            multiplicative in proptest::bool::ANY,
+            slack in 0.0f64..5.0,
+        ) {
+            let mut b = GraphBuilder::new();
+            let root = b.add_node(3.0);
+            let mut edges = Vec::new();
+            let mut leaves = Vec::new();
+            for (i, w) in weights.iter().enumerate() {
+                let leaf = b.add_node(node_weights[i % node_weights.len()]);
+                edges.push((root, leaf, *w));
+                b.add_edge(root, leaf, *w);
+                leaves.push(leaf);
+            }
+            let g = b.build();
+            let s = Scorer::new(&g, ScoreParams {
+                lambda,
+                combine: if multiplicative { CombineMode::Multiplicative } else { CombineMode::Additive },
+                edge_score: if edge_log { EdgeScoreMode::Log } else { EdgeScoreMode::Linear },
+                node_score: if node_log { NodeScoreMode::Log } else { NodeScoreMode::Linear },
+            });
+            let t = ConnectionTree::new(root, leaves.clone(), edges);
+            let r = s.relevance(&t);
+            // Bound at the exact weight, and at any smaller weight.
+            prop_assert!(r <= s.max_relevance_for_weight(t.weight, 1.0) + 1e-12);
+            prop_assert!(r <= s.max_relevance_for_weight((t.weight - slack).max(0.0), 1.0) + 1e-12);
+            // The keyword-set node-score cap is honest too: treat each
+            // leaf as its own single-node keyword set.
+            let sets: Vec<Vec<NodeId>> = leaves.iter().map(|&l| vec![l]).collect();
+            let n_cap = s.max_node_score_for_sets(&sets);
+            prop_assert!(s.tree_node_score(&t) <= n_cap + 1e-12);
+            prop_assert!(r <= s.max_relevance_for_weight((t.weight - slack).max(0.0), n_cap) + 1e-12);
         }
 
         /// Adding an edge never increases the edge score.

@@ -6,16 +6,24 @@
 //! term (`u.Lᵢ`). When the iterator started at origin `o ∈ Sᵢ` visits `u`,
 //! the cross product `{o} × Π_{j≠i} u.Lⱼ` enumerates exactly the new
 //! connection trees rooted at `u`, after which `o` joins `u.Lᵢ`.
+//!
+//! The kernel runs on a [`SearchArena`]: dense epoch-stamped Dijkstra
+//! states, the `u.Lᵢ` lists flattened into a linked-entry pool, and
+//! reused cross-product scratch — plus exact top-k early termination
+//! (the `EarlyStop` bound documented on
+//! [`crate::score::Scorer::max_relevance_for_weight`]).
+//! [`backward_search`] allocates a one-shot arena; long-lived callers
+//! keep one per worker and call [`backward_search_in`].
 
 use crate::answer::{Answer, ConnectionTree, TreeSignature};
 use crate::config::SearchConfig;
 use crate::graph_build::TupleGraph;
 use crate::score::Scorer;
 use crate::search::output_heap::OutputHeap;
-use crate::search::{SearchOutcome, SearchStats};
-use banks_graph::{Dijkstra, Direction, FxHashMap, FxHashSet, NodeId};
+use crate::search::{EarlyStop, RootPolicy, SearchOutcome, SearchStats};
+use banks_graph::{Dijkstra, Direction, FxHashMap, FxHashSet, NodeId, SearchArena};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Iterator-heap entry: min-heap on the distance of the iterator's next
 /// output ("ordered on the distance of the first node it will output").
@@ -54,11 +62,33 @@ pub(super) enum DupState {
     Emitted,
 }
 
-/// Run backward expanding search.
+/// Run backward expanding search with a one-shot scratch arena.
 ///
 /// `keyword_sets[i]` is the node set `Sᵢ` for term `i`; `excluded_roots`
 /// holds relation ids whose tuples may not be information nodes.
 pub fn backward_search(
+    tuple_graph: &TupleGraph,
+    scorer: &Scorer<'_>,
+    keyword_sets: &[Vec<NodeId>],
+    config: &SearchConfig,
+    excluded_roots: &FxHashSet<u32>,
+) -> SearchOutcome {
+    backward_search_in(
+        &mut SearchArena::new(),
+        tuple_graph,
+        scorer,
+        keyword_sets,
+        config,
+        excluded_roots,
+    )
+}
+
+/// As [`backward_search`], reusing a caller-owned [`SearchArena`] — the
+/// steady-state serving path, where a worker thread's arena makes the
+/// whole expansion allocation-free. Results are identical to the
+/// one-shot form, bit for bit.
+pub fn backward_search_in(
+    arena: &mut SearchArena,
     tuple_graph: &TupleGraph,
     scorer: &Scorer<'_>,
     keyword_sets: &[Vec<NodeId>],
@@ -72,34 +102,36 @@ pub fn backward_search(
             stats,
         };
     }
+    let policy = RootPolicy::new(tuple_graph, excluded_roots, config);
     if keyword_sets.len() == 1 {
-        return single_term_search(
-            tuple_graph,
-            scorer,
-            &keyword_sets[0],
-            config,
-            excluded_roots,
-        );
+        return single_term_search(scorer, &keyword_sets[0], config, &policy);
     }
 
     let graph = tuple_graph.graph();
+    let n_nodes = graph.node_count();
     let n_terms = keyword_sets.len();
 
-    // One reverse-direction Dijkstra per keyword node.
-    let mut iterators: Vec<Dijkstra<'_>> = Vec::new();
-    let mut infos: Vec<(usize, NodeId)> = Vec::new();
-    let mut iter_index: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    // One reverse-direction Dijkstra per keyword node, each running on a
+    // pooled dense state block.
+    let total_origins: usize = keyword_sets.iter().map(|s| s.len()).sum();
+    let mut iterators: Vec<Dijkstra<'_>> = Vec::with_capacity(total_origins);
+    let mut infos: Vec<(usize, NodeId)> = Vec::with_capacity(total_origins);
+    let mut iter_index: FxHashMap<(u32, u32), usize> =
+        FxHashMap::with_capacity_and_hasher(total_origins, Default::default());
     let prestige_handicap = graph.min_edge_weight().min(1.0);
+    let mut max_handicap = 0.0f64;
     for (term, set) in keyword_sets.iter().enumerate() {
         for &origin in set {
             let idx = iterators.len();
             let mut iterator =
-                Dijkstra::new(graph, origin, Direction::Reverse).with_max_dist(config.max_distance);
+                Dijkstra::new_in(graph, origin, Direction::Reverse, arena.checkout(n_nodes))
+                    .with_max_dist(config.max_distance);
             if config.node_weight_in_distance {
                 // §3: fold keyword-node prestige into the distance —
                 // low-prestige origins start behind by up to one w_min.
                 let handicap = (1.0 - scorer.node_score(origin)) * prestige_handicap;
                 iterator = iterator.with_initial_dist(handicap);
+                max_handicap = max_handicap.max(handicap);
             }
             iterators.push(iterator);
             infos.push((term, origin));
@@ -115,16 +147,27 @@ pub fn backward_search(
         }
     }
 
-    // u.Lᵢ lists, allocated lazily per visited node.
-    let mut node_lists: FxHashMap<u32, Vec<Vec<u32>>> = FxHashMap::default();
+    // u.Lᵢ lists and cross-product scratch, recycled from the arena.
+    let lists = &mut arena.lists;
+    let cross = &mut arena.cross;
+    lists.reset(n_terms);
     let mut output = OutputHeap::new(config.output_heap_size);
-    let mut dedup: HashMap<TreeSignature, DupState> = HashMap::new();
-    let mut emitted: Vec<Answer> = Vec::new();
+    let mut dedup: FxHashMap<TreeSignature, DupState> = FxHashMap::with_capacity_and_hasher(
+        config.output_heap_size + config.max_results,
+        Default::default(),
+    );
+    let mut emitted: Vec<Answer> = Vec::with_capacity(config.max_results);
+    let mut early_stop = EarlyStop::new(config, scorer, max_handicap, keyword_sets);
 
     while emitted.len() < config.max_results && stats.pops < config.max_pops {
-        let Some(entry) = iter_heap.pop() else {
+        let Some(&frontier) = iter_heap.peek() else {
             break;
         };
+        if early_stop.should_stop(frontier.dist, emitted.len(), &output) {
+            stats.early_terminations += 1;
+            break;
+        }
+        let entry = iter_heap.pop().expect("peeked entry");
         let (term, origin) = infos[entry.idx];
         let Some(visit) = iterators[entry.idx].next() else {
             continue;
@@ -137,78 +180,84 @@ pub fn backward_search(
             });
         }
         let u = visit.node;
-        let lists = node_lists
-            .entry(u.0)
-            .or_insert_with(|| vec![Vec::new(); n_terms]);
+        let base = lists.ensure(u.0);
 
-        // Snapshot the other terms' origin lists for the cross product.
-        let mut other: Vec<(usize, Vec<u32>)> = Vec::with_capacity(n_terms - 1);
+        // Record the other terms' origin lists for the cross product —
+        // borrowed straight from the flattened pool where the old kernel
+        // cloned each `Vec<u32>` (the pool append below only touches
+        // `term`'s own list).
+        cross.clear_dims();
         let mut all_nonempty = true;
-        for (j, list) in lists.iter().enumerate() {
+        for j in 0..n_terms {
             if j == term {
                 continue;
             }
-            if list.is_empty() {
+            let len = lists.len(base, j);
+            if len == 0 {
                 all_nonempty = false;
                 break;
             }
-            other.push((j, list.clone()));
+            stats.clone_bytes_saved += len * std::mem::size_of::<u32>();
+            cross.push_dim(j, lists.head(base, j), len);
         }
         // "Insert origin in u.Lᵢ" — after the cross product snapshot.
-        lists[term].push(origin.0);
+        lists.push(base, term, origin.0);
 
         if !all_nonempty {
             continue;
         }
 
-        // Enumerate the cross product with a mixed-radix counter.
-        let total: usize = other
+        let total: usize = cross
+            .lens
             .iter()
-            .map(|(_, l)| l.len())
-            .fold(1usize, |acc, len| acc.saturating_mul(len));
+            .fold(1usize, |acc, &len| acc.saturating_mul(len));
         let budget = total.min(config.max_cross_product);
         if total > budget {
             stats.cross_product_truncations += 1;
         }
-        let mut counter = vec![0usize; other.len()];
+        if policy.root_excluded(u) {
+            // Every combination would be discarded; account for them
+            // without materializing a single tree.
+            stats.trees_generated += budget;
+            stats.excluded_roots += budget;
+            continue;
+        }
+
+        // Enumerate the cross product with a mixed-radix counter whose
+        // cursors walk the pooled lists in insertion order.
+        let dims = cross.terms.len();
+        cross.counter.clear();
+        cross.counter.resize(dims, 0);
+        cross.cursors.clear();
+        cross.cursors.extend_from_slice(&cross.heads);
         for _ in 0..budget {
-            let mut origins = vec![NodeId(0); n_terms];
-            origins[term] = origin;
-            for (pos, &(j, ref list)) in other.iter().enumerate() {
-                origins[j] = NodeId(list[counter[pos]]);
+            cross.origins.clear();
+            cross.origins.resize(n_terms, NodeId(0));
+            cross.origins[term] = origin;
+            for pos in 0..dims {
+                cross.origins[cross.terms[pos]] = NodeId(lists.origin(cross.cursors[pos]));
             }
             // Advance the counter for next combination.
-            for pos in (0..counter.len()).rev() {
-                counter[pos] += 1;
-                if counter[pos] < other[pos].1.len() {
+            for pos in (0..dims).rev() {
+                cross.counter[pos] += 1;
+                if cross.counter[pos] < cross.lens[pos] {
+                    cross.cursors[pos] = lists.next(cross.cursors[pos]);
                     break;
                 }
-                counter[pos] = 0;
+                cross.counter[pos] = 0;
+                cross.cursors[pos] = cross.heads[pos];
             }
 
-            let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
-            for (j, &o) in origins.iter().enumerate() {
+            cross.edges.clear();
+            for (j, &o) in cross.origins.iter().enumerate() {
                 let idx = iter_index[&(j as u32, o.0)];
-                let path = iterators[idx]
-                    .path_edges(u)
-                    .expect("iterator in u.Lj has settled u");
-                edges.extend(path);
+                let ok = iterators[idx].path_edges_into(u, &mut cross.edges);
+                debug_assert!(ok, "iterator in u.Lj has settled u");
             }
-            let tree = ConnectionTree::new(u, origins, edges);
+            let tree = ConnectionTree::new(u, cross.origins.clone(), cross.edges.clone());
             stats.trees_generated += 1;
 
-            if excluded_roots.contains(&tuple_graph.relation_of(u)) {
-                stats.excluded_roots += 1;
-                continue;
-            }
-            if config.discard_single_child_root
-                && tree.root_child_count() == 1
-                && !tree.keyword_nodes.contains(&tree.root)
-            {
-                // A keyword-bearing root cannot be removed without
-                // invalidating the answer, so the discard justification
-                // ("the tree formed by removing the root node would also
-                // have been generated") does not apply to it.
+            if policy.discards_single_child(&tree) {
                 stats.discarded_single_child += 1;
                 continue;
             }
@@ -227,6 +276,9 @@ pub fn backward_search(
         }
     }
 
+    for iterator in iterators {
+        arena.recycle(iterator.into_state());
+    }
     finish(emitted, output, config, stats)
 }
 
@@ -234,7 +286,7 @@ pub fn backward_search(
 pub(super) fn offer(
     answer: Answer,
     output: &mut OutputHeap,
-    dedup: &mut HashMap<TreeSignature, DupState>,
+    dedup: &mut FxHashMap<TreeSignature, DupState>,
     emitted: &mut Vec<Answer>,
     config: &SearchConfig,
     stats: &mut SearchStats,
@@ -298,23 +350,26 @@ pub(super) fn finish(
 /// paper's "Mohan" anecdote works. We build those directly instead of
 /// expanding the whole graph.
 fn single_term_search(
-    tuple_graph: &TupleGraph,
     scorer: &Scorer<'_>,
     set: &[NodeId],
     config: &SearchConfig,
-    excluded_roots: &FxHashSet<u32>,
+    policy: &RootPolicy<'_>,
 ) -> SearchOutcome {
     let mut stats = SearchStats::default();
     let mut output = OutputHeap::new(config.output_heap_size);
-    let mut dedup: HashMap<TreeSignature, DupState> = HashMap::new();
+    let mut dedup: FxHashMap<TreeSignature, DupState> = FxHashMap::default();
     let mut emitted: Vec<Answer> = Vec::new();
     for &node in set {
         stats.trees_generated += 1;
-        if excluded_roots.contains(&tuple_graph.relation_of(node)) {
+        if policy.root_excluded(node) {
             stats.excluded_roots += 1;
             continue;
         }
         let tree = ConnectionTree::new(node, vec![node], Vec::new());
+        debug_assert!(
+            !policy.discards_single_child(&tree),
+            "single-node keyword trees are never single-child-discardable"
+        );
         let relevance = scorer.relevance(&tree);
         offer(
             Answer { tree, relevance },
@@ -636,5 +691,97 @@ mod tests {
         sigs.sort();
         sigs.dedup();
         assert_eq!(before, sigs.len(), "duplicate trees in output");
+    }
+
+    #[test]
+    fn reused_arena_is_bit_identical_to_one_shot() {
+        let f = fixture();
+        let scorer = Scorer::new(f.tg.graph(), ScoreParams::default());
+        let queries: Vec<Vec<Vec<NodeId>>> = vec![
+            vec![
+                vec![author_node(&f, "SoumenC")],
+                vec![author_node(&f, "SunitaS")],
+            ],
+            vec![
+                vec![author_node(&f, "SoumenC"), author_node(&f, "ByronD")],
+                vec![author_node(&f, "SunitaS")],
+            ],
+            vec![vec![paper_node(&f, "ChakrabartiSD98")]],
+        ];
+        let config = SearchConfig::default();
+        let mut arena = SearchArena::new();
+        for sets in &queries {
+            let fresh = backward_search(&f.tg, &scorer, sets, &config, &FxHashSet::default());
+            let reused = backward_search_in(
+                &mut arena,
+                &f.tg,
+                &scorer,
+                sets,
+                &config,
+                &FxHashSet::default(),
+            );
+            assert_eq!(fresh.stats, reused.stats);
+            assert_eq!(fresh.answers.len(), reused.answers.len());
+            for (a, b) in fresh.answers.iter().zip(&reused.answers) {
+                assert_eq!(a.tree, b.tree);
+                assert_eq!(a.relevance.to_bits(), b.relevance.to_bits());
+            }
+        }
+        let (_, reuses) = arena.state_counters();
+        assert!(reuses > 0, "later queries reuse pooled states");
+    }
+
+    #[test]
+    fn early_termination_matches_exhaustive_run() {
+        let f = fixture();
+        // Both terms match every author: plenty of trees, so the bound
+        // can fire once the top answers are settled.
+        let all = vec![
+            author_node(&f, "SoumenC"),
+            author_node(&f, "SunitaS"),
+            author_node(&f, "ByronD"),
+        ];
+        for max_results in [1usize, 2, 3] {
+            let early = run(
+                &f,
+                vec![all.clone(), all.clone()],
+                &SearchConfig {
+                    max_results,
+                    ..SearchConfig::default()
+                },
+            );
+            let exhaustive = run(
+                &f,
+                vec![all.clone(), all.clone()],
+                &SearchConfig {
+                    max_results,
+                    early_termination: false,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(early.answers.len(), exhaustive.answers.len());
+            for (a, b) in early.answers.iter().zip(&exhaustive.answers) {
+                assert_eq!(a.tree.signature(), b.tree.signature());
+                assert_eq!(a.relevance.to_bits(), b.relevance.to_bits());
+            }
+            assert!(early.stats.pops <= exhaustive.stats.pops);
+            assert_eq!(exhaustive.stats.early_terminations, 0);
+        }
+    }
+
+    #[test]
+    fn flattened_lists_count_saved_clone_bytes() {
+        let f = fixture();
+        let soumen = author_node(&f, "SoumenC");
+        let sunita = author_node(&f, "SunitaS");
+        let outcome = run(
+            &f,
+            vec![vec![soumen], vec![sunita]],
+            &SearchConfig::default(),
+        );
+        assert!(
+            outcome.stats.clone_bytes_saved > 0,
+            "cross products borrowed lists the old kernel would clone"
+        );
     }
 }

@@ -15,6 +15,11 @@
 //! one node of every remaining keyword set. Each candidate yields at most
 //! one tree (the nearest origin per term), making this an approximation
 //! of the exhaustive backward search — the trade the paper proposes.
+//!
+//! Like the backward kernel, the probes run on pooled dense states: one
+//! recycled [`banks_graph::DijkstraState`] serves *every* candidate root
+//! (an epoch bump per probe), where the old kernel allocated three hash
+//! maps per candidate.
 
 use crate::answer::{Answer, ConnectionTree, TreeSignature};
 use crate::config::SearchConfig;
@@ -22,10 +27,10 @@ use crate::graph_build::TupleGraph;
 use crate::score::Scorer;
 use crate::search::backward::{self, DupState};
 use crate::search::output_heap::OutputHeap;
-use crate::search::{SearchOutcome, SearchStats};
-use banks_graph::{Dijkstra, Direction, FxHashSet, NodeId};
+use crate::search::{EarlyStop, RootPolicy, SearchOutcome, SearchStats};
+use banks_graph::{Dijkstra, Direction, FxHashMap, FxHashSet, NodeId, SearchArena};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// How many nearest members of each keyword set a forward probe gathers.
 const MAX_HITS_PER_TERM: usize = 4;
@@ -56,9 +61,28 @@ impl Ord for IterEntry {
     }
 }
 
-/// Run forward search. Same contract as
+/// Run forward search with a one-shot scratch arena. Same contract as
 /// [`crate::search::backward_search`].
 pub fn forward_search(
+    tuple_graph: &TupleGraph,
+    scorer: &Scorer<'_>,
+    keyword_sets: &[Vec<NodeId>],
+    config: &SearchConfig,
+    excluded_roots: &FxHashSet<u32>,
+) -> SearchOutcome {
+    forward_search_in(
+        &mut SearchArena::new(),
+        tuple_graph,
+        scorer,
+        keyword_sets,
+        config,
+        excluded_roots,
+    )
+}
+
+/// As [`forward_search`], reusing a caller-owned [`SearchArena`].
+pub fn forward_search_in(
+    arena: &mut SearchArena,
     tuple_graph: &TupleGraph,
     scorer: &Scorer<'_>,
     keyword_sets: &[Vec<NodeId>],
@@ -74,7 +98,8 @@ pub fn forward_search(
     }
     if keyword_sets.len() == 1 {
         // Degenerates to the same fast path as backward search.
-        return backward::backward_search(
+        return backward::backward_search_in(
+            arena,
             tuple_graph,
             scorer,
             keyword_sets,
@@ -84,7 +109,9 @@ pub fn forward_search(
     }
 
     let graph = tuple_graph.graph();
+    let n_nodes = graph.node_count();
     let n_terms = keyword_sets.len();
+    let policy = RootPolicy::new(tuple_graph, excluded_roots, config);
     let selective = keyword_sets
         .iter()
         .enumerate()
@@ -99,11 +126,12 @@ pub fn forward_search(
         .collect();
 
     // Backward expansion from the selective term's origins only.
-    let mut iterators: Vec<Dijkstra<'_>> = Vec::new();
-    let mut origins: Vec<NodeId> = Vec::new();
+    let mut iterators: Vec<Dijkstra<'_>> = Vec::with_capacity(keyword_sets[selective].len());
+    let mut origins: Vec<NodeId> = Vec::with_capacity(keyword_sets[selective].len());
     for &origin in &keyword_sets[selective] {
         iterators.push(
-            Dijkstra::new(graph, origin, Direction::Reverse).with_max_dist(config.max_distance),
+            Dijkstra::new_in(graph, origin, Direction::Reverse, arena.checkout(n_nodes))
+                .with_max_dist(config.max_distance),
         );
         origins.push(origin);
     }
@@ -115,15 +143,31 @@ pub fn forward_search(
         }
     }
 
+    // One recycled state block serves every forward probe.
+    let mut probe_state = Some(arena.checkout(n_nodes));
+    let cross = &mut arena.cross;
     let mut probed: FxHashSet<u32> = FxHashSet::default();
     let mut output = OutputHeap::new(config.output_heap_size);
-    let mut dedup: HashMap<TreeSignature, DupState> = HashMap::new();
-    let mut emitted: Vec<Answer> = Vec::new();
+    let mut dedup: FxHashMap<TreeSignature, DupState> = FxHashMap::with_capacity_and_hasher(
+        config.output_heap_size + config.max_results,
+        Default::default(),
+    );
+    let mut emitted: Vec<Answer> = Vec::with_capacity(config.max_results);
+    // Forward iterators start at distance 0 (no prestige handicap), so
+    // the frontier distance is itself the weight floor of future trees.
+    let mut early_stop = EarlyStop::new(config, scorer, 0.0, keyword_sets);
+    let mut hits: Vec<Vec<NodeId>> = vec![Vec::new(); n_terms];
+    let mut backward_path: Vec<(NodeId, NodeId, f64)> = Vec::new();
 
     while emitted.len() < config.max_results && stats.pops < config.max_pops {
-        let Some(entry) = iter_heap.pop() else {
+        let Some(&frontier) = iter_heap.peek() else {
             break;
         };
+        if early_stop.should_stop(frontier.dist, emitted.len(), &output) {
+            stats.early_terminations += 1;
+            break;
+        }
+        let entry = iter_heap.pop().expect("peeked entry");
         let Some(visit) = iterators[entry.idx].next() else {
             continue;
         };
@@ -140,7 +184,7 @@ pub fn forward_search(
         if !probed.insert(u.0) {
             continue;
         }
-        if excluded_roots.contains(&tuple_graph.relation_of(u)) {
+        if policy.root_excluded(u) {
             stats.excluded_roots += 1;
             continue;
         }
@@ -150,10 +194,17 @@ pub fn forward_search(
         // lies *on* the path to another keyword, the resulting tree fails
         // the single-child-root rule even though a sibling hit would
         // branch properly.
-        let mut probe = Dijkstra::new(graph, u, Direction::Forward)
-            .with_max_dist(config.max_distance)
-            .with_max_settled(config.forward_probe_budget);
-        let mut hits: Vec<Vec<NodeId>> = vec![Vec::new(); n_terms];
+        let mut probe = Dijkstra::new_in(
+            graph,
+            u,
+            Direction::Forward,
+            probe_state.take().expect("probe state checked back in"),
+        )
+        .with_max_dist(config.max_distance)
+        .with_max_settled(config.forward_probe_budget);
+        for h in &mut hits {
+            h.clear();
+        }
         hits[selective].push(origins[entry.idx]);
         let mut satisfied = 1usize; // terms with ≥ 1 hit
         let mut saturated = 1usize; // terms with MAX_HITS_PER_TERM hits
@@ -178,13 +229,16 @@ pub fn forward_search(
             }
         }
         if satisfied < n_terms {
+            probe_state = Some(probe.into_state());
             continue;
         }
 
         // Enumerate hit combinations (mixed-radix counter), assembling for
         // each the tree: backward path root→selective origin plus forward
         // probe paths root→each chosen keyword node.
-        let backward_path = iterators[entry.idx].path_edges(u).expect("just settled u");
+        backward_path.clear();
+        let ok = iterators[entry.idx].path_edges_into(u, &mut backward_path);
+        debug_assert!(ok, "just settled u");
         let total: usize = hits
             .iter()
             .map(|h| h.len())
@@ -193,30 +247,31 @@ pub fn forward_search(
         if total > budget {
             stats.cross_product_truncations += 1;
         }
-        let mut counter = vec![0usize; n_terms];
+        cross.counter.clear();
+        cross.counter.resize(n_terms, 0);
         for _ in 0..budget {
-            let mut keyword_nodes = vec![NodeId(0); n_terms];
-            let mut edges = backward_path.clone();
+            cross.origins.clear();
+            cross.origins.resize(n_terms, NodeId(0));
+            cross.edges.clear();
+            cross.edges.extend_from_slice(&backward_path);
             for (j, hit_list) in hits.iter().enumerate() {
-                let o = hit_list[counter[j]];
-                keyword_nodes[j] = o;
+                let o = hit_list[cross.counter[j]];
+                cross.origins[j] = o;
                 if j != selective {
-                    edges.extend(probe.path_edges(o).expect("probe settled hit"));
+                    let ok = probe.path_edges_into(o, &mut cross.edges);
+                    debug_assert!(ok, "probe settled hit");
                 }
             }
             for pos in (0..n_terms).rev() {
-                counter[pos] += 1;
-                if counter[pos] < hits[pos].len() {
+                cross.counter[pos] += 1;
+                if cross.counter[pos] < hits[pos].len() {
                     break;
                 }
-                counter[pos] = 0;
+                cross.counter[pos] = 0;
             }
-            let tree = ConnectionTree::new(u, keyword_nodes, edges);
+            let tree = ConnectionTree::new(u, cross.origins.clone(), cross.edges.clone());
             stats.trees_generated += 1;
-            if config.discard_single_child_root
-                && tree.root_child_count() == 1
-                && !tree.keyword_nodes.contains(&tree.root)
-            {
+            if policy.discards_single_child(&tree) {
                 stats.discarded_single_child += 1;
                 continue;
             }
@@ -233,8 +288,15 @@ pub fn forward_search(
                 break;
             }
         }
+        probe_state = Some(probe.into_state());
     }
 
+    if let Some(state) = probe_state {
+        arena.recycle(state);
+    }
+    for iterator in iterators {
+        arena.recycle(iterator.into_state());
+    }
     backward::finish(emitted, output, config, stats)
 }
 
@@ -428,5 +490,32 @@ mod tests {
             full.answers[0].relevance
                 >= outcome.answers.first().map(|a| a.relevance).unwrap_or(0.0)
         );
+    }
+
+    #[test]
+    fn reused_arena_matches_one_shot_forward() {
+        let db = db();
+        let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
+        let scorer = Scorer::new(tg.graph(), ScoreParams::default());
+        let a = node(&db, &tg, "Author", "A");
+        let b = node(&db, &tg, "Author", "B");
+        let c = node(&db, &tg, "Author", "C");
+        let cfg = SearchConfig::default();
+        let mut arena = SearchArena::new();
+        for sets in [
+            vec![vec![a], vec![b]],
+            vec![vec![b], vec![c]],
+            vec![vec![a, b, c], vec![c]],
+        ] {
+            let fresh = forward_search(&tg, &scorer, &sets, &cfg, &FxHashSet::default());
+            let reused =
+                forward_search_in(&mut arena, &tg, &scorer, &sets, &cfg, &FxHashSet::default());
+            assert_eq!(fresh.stats, reused.stats);
+            assert_eq!(fresh.answers.len(), reused.answers.len());
+            for (x, y) in fresh.answers.iter().zip(&reused.answers) {
+                assert_eq!(x.tree, y.tree);
+                assert_eq!(x.relevance.to_bits(), y.relevance.to_bits());
+            }
+        }
     }
 }

@@ -19,6 +19,9 @@ use crate::answer::{Answer, TreeSignature};
 pub struct OutputHeap {
     capacity: usize,
     entries: Vec<(Answer, TreeSignature)>,
+    /// Bumped on every content change, so the early-termination cutoff
+    /// (a scan of this buffer) can be memoized between iterator pops.
+    version: u64,
 }
 
 impl OutputHeap {
@@ -28,7 +31,26 @@ impl OutputHeap {
         OutputHeap {
             capacity,
             entries: Vec::with_capacity(capacity + 1),
+            version: 0,
         }
+    }
+
+    /// Monotone content-change counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Relevance of the `k`-th best buffered answer (1-based), or `None`
+    /// when fewer than `k` answers are buffered. This is the
+    /// early-termination cutoff: with `k` answers still owed, a future
+    /// tree must beat this value to alter the final output.
+    pub fn kth_best_relevance(&self, k: usize) -> Option<f64> {
+        if k == 0 || self.entries.len() < k {
+            return None;
+        }
+        let mut rels: Vec<f64> = self.entries.iter().map(|(a, _)| a.relevance).collect();
+        rels.sort_unstable_by(|a, b| b.total_cmp(a));
+        Some(rels[k - 1])
     }
 
     /// Number of buffered answers.
@@ -44,6 +66,7 @@ impl OutputHeap {
     /// Insert an answer. If the buffer overflows, the highest-relevance
     /// answer (which may be the new one) is emitted and returned.
     pub fn push(&mut self, answer: Answer, sig: TreeSignature) -> Option<(Answer, TreeSignature)> {
+        self.version += 1;
         self.entries.push((answer, sig));
         if self.entries.len() <= self.capacity {
             return None;
@@ -63,6 +86,7 @@ impl OutputHeap {
     /// Remove the buffered answer with the given signature.
     pub fn remove(&mut self, sig: &TreeSignature) -> Option<Answer> {
         let idx = self.entries.iter().position(|(_, s)| s == sig)?;
+        self.version += 1;
         Some(self.entries.swap_remove(idx).0)
     }
 
@@ -203,5 +227,26 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         OutputHeap::new(0);
+    }
+
+    #[test]
+    fn kth_best_and_version_track_contents() {
+        let mut h = OutputHeap::new(5);
+        assert_eq!(h.version(), 0);
+        assert_eq!(h.kth_best_relevance(1), None);
+        for (i, r) in [(0u32, 0.3), (1, 0.9), (2, 0.1), (3, 0.5)] {
+            let (a, s) = answer(i, r);
+            h.push(a, s);
+        }
+        assert_eq!(h.version(), 4);
+        assert_eq!(h.kth_best_relevance(1), Some(0.9));
+        assert_eq!(h.kth_best_relevance(3), Some(0.3));
+        assert_eq!(h.kth_best_relevance(4), Some(0.1));
+        assert_eq!(h.kth_best_relevance(5), None, "only four buffered");
+        assert_eq!(h.kth_best_relevance(0), None);
+        let (_, s) = answer(1, 0.9);
+        h.remove(&s);
+        assert_eq!(h.version(), 5);
+        assert_eq!(h.kth_best_relevance(1), Some(0.5));
     }
 }

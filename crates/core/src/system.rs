@@ -8,7 +8,7 @@ use crate::graph_build::TupleGraph;
 use crate::matching::{match_query, TermMatch};
 use crate::query::Query;
 use crate::score::Scorer;
-use crate::search::{backward_search, forward_search, SearchOutcome};
+use crate::search::{backward_search_in, forward_search_in, SearchArena, SearchOutcome};
 use crate::summarize::{summarize, AnswerGroup};
 use banks_graph::{FxHashSet, NodeId};
 use banks_storage::{Database, MetadataIndex, TextIndex, Tokenizer};
@@ -204,18 +204,38 @@ impl Banks {
         strategy: SearchStrategy,
         config: &BanksConfig,
     ) -> BanksResult<SearchOutcome> {
+        self.search_parsed_in(query, strategy, config, &mut SearchArena::new())
+    }
+
+    /// As [`Banks::search_parsed`], executing on a caller-owned
+    /// [`SearchArena`] — the zero-allocation serving path. A worker
+    /// thread keeps one arena for its lifetime and threads it through
+    /// every query; the kernel's dense Dijkstra states, origin lists and
+    /// cross-product scratch are then recycled instead of reallocated,
+    /// and they resize automatically when ingestion publishes a snapshot
+    /// with a different graph size. Results are bit-identical to the
+    /// fresh-allocation path.
+    pub fn search_parsed_in(
+        &self,
+        query: &Query,
+        strategy: SearchStrategy,
+        config: &BanksConfig,
+        arena: &mut SearchArena,
+    ) -> BanksResult<SearchOutcome> {
         let matches = self.match_terms(query, config)?;
         let keyword_sets: Vec<Vec<NodeId>> = matches.iter().map(|m| m.nodes.clone()).collect();
         let scorer = Scorer::new(self.tuple_graph.graph(), config.score);
         let mut outcome = match strategy {
-            SearchStrategy::Backward => backward_search(
+            SearchStrategy::Backward => backward_search_in(
+                arena,
                 &self.tuple_graph,
                 &scorer,
                 &keyword_sets,
                 &config.search,
                 &self.excluded_roots,
             ),
-            SearchStrategy::Forward => forward_search(
+            SearchStrategy::Forward => forward_search_in(
+                arena,
                 &self.tuple_graph,
                 &scorer,
                 &keyword_sets,
@@ -225,6 +245,17 @@ impl Banks {
         };
         apply_node_relevances(&matches, &mut outcome);
         Ok(outcome)
+    }
+
+    /// Answer a keyword query on a caller-owned arena, with execution
+    /// counters — the convenience form benchmarks and workers use.
+    pub fn search_outcome_in(
+        &self,
+        query_text: &str,
+        arena: &mut SearchArena,
+    ) -> BanksResult<SearchOutcome> {
+        let query = Query::parse(query_text, &self.tokenizer)?;
+        self.search_parsed_in(&query, SearchStrategy::Backward, &self.config, arena)
     }
 
     /// Answer several queries concurrently, one OS thread per query

@@ -1,0 +1,451 @@
+//! Reusable scratch memory for the search kernel.
+//!
+//! The backward expanding search (§3) creates one Dijkstra iterator per
+//! keyword node per query; the original kernel paid three hash-map
+//! allocations per iterator plus a `Vec<Vec<u32>>` origin list per visited
+//! node. A [`SearchArena`] makes the whole expansion allocation-free in
+//! steady state:
+//!
+//! * [`DijkstraState`] — dense `dist`/`parent`/settled arrays of length
+//!   `n_nodes`, validity-tracked by an **epoch stamp** per slot: "clearing"
+//!   the state for the next iterator or query is a single generation-counter
+//!   bump, not a rehash or a `memset`. The distance queue is a recycled
+//!   4-ary heap ([`crate::heap::DistHeap`]).
+//! * [`OriginListPool`] — the per-node, per-term origin lists (`u.Lᵢ` in
+//!   the paper) flattened into one entry pool of forward-linked lists, so
+//!   visiting a node allocates nothing.
+//! * [`CrossScratch`] — the mixed-radix counter, cursor, origin and edge
+//!   buffers the cross-product enumerator reuses across connection trees.
+//!
+//! A server worker keeps one arena for its lifetime; `checkout`/`recycle`
+//! hand dense states to iterators and take them back when a query ends.
+//! States resize themselves when the graph grows or shrinks across
+//! snapshot epochs, so one arena safely outlives live-ingestion publishes.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::NodeId;
+use crate::heap::DistHeap;
+
+/// Sentinel for "no parent" / "no list entry" — the terminator
+/// [`OriginListPool::head`] and [`OriginListPool::next`] return.
+pub const NIL: u32 = u32::MAX;
+
+/// Dense epoch-stamped single-source shortest-path state.
+///
+/// A slot's `dist`/`parent` are meaningful only while its stamp equals the
+/// current epoch; bumping the epoch invalidates every slot at once.
+#[derive(Debug, Clone)]
+pub struct DijkstraState {
+    /// Current generation; stamps equal to it are live.
+    epoch: u32,
+    /// `touched[n] == epoch` ⇒ `dist[n]`/`parent[n]` are valid.
+    touched: Vec<u32>,
+    /// `settled[n] == epoch` ⇒ `dist[n]` is final.
+    settled: Vec<u32>,
+    /// Tentative (or, once settled, final) distance per node.
+    dist: Vec<f64>,
+    /// Best-path predecessor per node ([`NIL`] for the origin).
+    parent: Vec<u32>,
+    /// The distance queue (recycled allocation).
+    pub(crate) heap: DistHeap,
+    settled_count: usize,
+}
+
+impl DijkstraState {
+    /// Fresh state for a graph of `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> DijkstraState {
+        DijkstraState {
+            epoch: 1,
+            touched: vec![0; n_nodes],
+            settled: vec![0; n_nodes],
+            dist: vec![0.0; n_nodes],
+            parent: vec![NIL; n_nodes],
+            heap: DistHeap::new(),
+            settled_count: 0,
+        }
+    }
+
+    /// Invalidate every slot and empty the queue — an epoch bump, except
+    /// when the graph size changed (live ingestion published a new
+    /// snapshot) or the 32-bit generation wrapped, when the stamp arrays
+    /// are rebuilt.
+    pub(crate) fn reset(&mut self, n_nodes: usize) {
+        self.heap.clear();
+        self.settled_count = 0;
+        if self.touched.len() != n_nodes {
+            self.touched.clear();
+            self.touched.resize(n_nodes, 0);
+            self.settled.clear();
+            self.settled.resize(n_nodes, 0);
+            self.dist.resize(n_nodes, 0.0);
+            self.parent.resize(n_nodes, NIL);
+            self.epoch = 1;
+        } else if self.epoch == u32::MAX {
+            self.touched.fill(0);
+            self.settled.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Number of node slots (must equal the graph's node count in use).
+    pub fn capacity(&self) -> usize {
+        self.touched.len()
+    }
+
+    #[inline]
+    pub(crate) fn is_touched(&self, n: u32) -> bool {
+        self.touched[n as usize] == self.epoch
+    }
+
+    #[inline]
+    pub(crate) fn is_settled(&self, n: u32) -> bool {
+        self.settled[n as usize] == self.epoch
+    }
+
+    /// Record a (new or improved) tentative distance.
+    #[inline]
+    pub(crate) fn touch(&mut self, n: u32, dist: f64, parent: u32) {
+        let i = n as usize;
+        self.touched[i] = self.epoch;
+        self.dist[i] = dist;
+        self.parent[i] = parent;
+    }
+
+    /// Mark a node's distance final.
+    #[inline]
+    pub(crate) fn settle(&mut self, n: u32) {
+        debug_assert!(self.is_touched(n), "settling an untouched node");
+        self.settled[n as usize] = self.epoch;
+        self.settled_count += 1;
+    }
+
+    /// Distance of a touched node (valid only when its stamp is live).
+    #[inline]
+    pub(crate) fn dist_of(&self, n: u32) -> f64 {
+        debug_assert!(self.is_touched(n));
+        self.dist[n as usize]
+    }
+
+    /// Parent of a touched node ([`NIL`] for the origin).
+    #[inline]
+    pub(crate) fn parent_of(&self, n: u32) -> u32 {
+        debug_assert!(self.is_touched(n));
+        self.parent[n as usize]
+    }
+
+    #[inline]
+    pub(crate) fn settled_count(&self) -> usize {
+        self.settled_count
+    }
+}
+
+/// The paper's per-node origin lists `u.Lᵢ`, flattened: one shared entry
+/// pool of forward-linked lists plus a per-node block of `n_terms`
+/// (head, tail, len) triples. Appends and whole-pool resets never free
+/// memory, so a reused pool allocates only while it is still growing
+/// toward the high-water mark of its workload.
+#[derive(Debug, Clone, Default)]
+pub struct OriginListPool {
+    n_terms: usize,
+    /// node id → base slot of its `n_terms`-wide block.
+    node_base: FxHashMap<u32, u32>,
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    lens: Vec<u32>,
+    /// `(origin, next-entry)` cells; [`NIL`] terminates a list.
+    entries: Vec<(u32, u32)>,
+}
+
+impl OriginListPool {
+    /// Empty the pool for a query over `n_terms` search terms.
+    pub fn reset(&mut self, n_terms: usize) {
+        self.n_terms = n_terms;
+        self.node_base.clear();
+        self.heads.clear();
+        self.tails.clear();
+        self.lens.clear();
+        self.entries.clear();
+    }
+
+    /// Base slot of `node`'s list block, allocating an empty block on
+    /// first visit.
+    pub fn ensure(&mut self, node: u32) -> u32 {
+        if let Some(&base) = self.node_base.get(&node) {
+            return base;
+        }
+        let base = self.heads.len() as u32;
+        self.heads.resize(self.heads.len() + self.n_terms, NIL);
+        self.tails.resize(self.tails.len() + self.n_terms, NIL);
+        self.lens.resize(self.lens.len() + self.n_terms, 0);
+        self.node_base.insert(node, base);
+        base
+    }
+
+    /// Append `origin` to the `term` list of the block at `base`,
+    /// preserving insertion order.
+    pub fn push(&mut self, base: u32, term: usize, origin: u32) {
+        let slot = base as usize + term;
+        let entry = self.entries.len() as u32;
+        self.entries.push((origin, NIL));
+        if self.tails[slot] == NIL {
+            self.heads[slot] = entry;
+        } else {
+            self.entries[self.tails[slot] as usize].1 = entry;
+        }
+        self.tails[slot] = entry;
+        self.lens[slot] += 1;
+    }
+
+    /// Length of the `term` list at `base`.
+    #[inline]
+    pub fn len(&self, base: u32, term: usize) -> usize {
+        self.lens[base as usize + term] as usize
+    }
+
+    /// First entry index of the `term` list at `base` ([`NIL`] if empty).
+    #[inline]
+    pub fn head(&self, base: u32, term: usize) -> u32 {
+        self.heads[base as usize + term]
+    }
+
+    /// The origin stored at `entry`.
+    #[inline]
+    pub fn origin(&self, entry: u32) -> u32 {
+        self.entries[entry as usize].0
+    }
+
+    /// The entry after `entry` ([`NIL`] at the end of a list).
+    #[inline]
+    pub fn next(&self, entry: u32) -> u32 {
+        self.entries[entry as usize].1
+    }
+
+    /// Iterate a list in insertion order (diagnostics and tests).
+    pub fn iter(&self, base: u32, term: usize) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head(base, term);
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let origin = self.origin(cur);
+            cur = self.next(cur);
+            Some(origin)
+        })
+    }
+}
+
+/// Reusable buffers for the cross-product enumerator: one dimension per
+/// *other* search term (`terms`/`heads`/`lens`), the mixed-radix odometer
+/// (`counter` + linked-list `cursors`), and the per-tree `origins`/`edges`
+/// assembly buffers.
+#[derive(Debug, Clone, Default)]
+pub struct CrossScratch {
+    /// Term index of each enumerated dimension.
+    pub terms: Vec<usize>,
+    /// List head entry per dimension (for odometer wrap-around).
+    pub heads: Vec<u32>,
+    /// List length per dimension.
+    pub lens: Vec<usize>,
+    /// Mixed-radix counter, one digit per dimension.
+    pub counter: Vec<usize>,
+    /// Current list entry per dimension (tracks `counter` in O(1)).
+    pub cursors: Vec<u32>,
+    /// Per-term chosen keyword node of the tree being assembled.
+    pub origins: Vec<NodeId>,
+    /// Union of root→origin path edges of the tree being assembled.
+    pub edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl CrossScratch {
+    /// Drop all dimensions (allocation-preserving).
+    pub fn clear_dims(&mut self) {
+        self.terms.clear();
+        self.heads.clear();
+        self.lens.clear();
+    }
+
+    /// Add one enumerated dimension.
+    pub fn push_dim(&mut self, term: usize, head: u32, len: usize) {
+        self.terms.push(term);
+        self.heads.push(head);
+        self.lens.push(len);
+    }
+}
+
+/// Pooled scratch memory for one search worker.
+///
+/// Owns idle [`DijkstraState`] blocks plus the kernel's origin-list and
+/// cross-product buffers. One arena serves one thread at a time; a server
+/// gives each worker thread its own persistent arena, and the blocks
+/// adapt to graph-size changes across ingestion epochs on checkout.
+///
+/// **Memory trade.** A dense block costs ~20 bytes × `n_nodes`, and the
+/// backward search checks out one per keyword origin — O(origins ×
+/// nodes) transiently, where the old hash-map kernel grew only with
+/// visited nodes. That is the right trade for selective keyword sets
+/// (the backward-search regime); terms matching thousands of tuples
+/// should run the §7 forward strategy, which uses two blocks total
+/// regardless of set size. So that one broad query cannot permanently
+/// inflate a long-lived worker, the idle pool retains at most
+/// [`SearchArena::MAX_IDLE_STATES`] blocks — excess blocks are freed on
+/// recycle.
+#[derive(Debug, Default)]
+pub struct SearchArena {
+    idle: Vec<DijkstraState>,
+    /// Flattened `u.Lᵢ` origin lists.
+    pub lists: OriginListPool,
+    /// Cross-product enumeration buffers.
+    pub cross: CrossScratch,
+    states_created: u64,
+    states_reused: u64,
+}
+
+impl SearchArena {
+    /// An empty arena; memory is acquired on first use and retained.
+    pub fn new() -> SearchArena {
+        SearchArena::default()
+    }
+
+    /// Take a dense state block for a graph of `n_nodes` nodes, reusing an
+    /// idle block when one exists. The block is epoch-reset (and resized
+    /// if the graph changed) by [`crate::Dijkstra::new_in`].
+    pub fn checkout(&mut self, n_nodes: usize) -> DijkstraState {
+        match self.idle.pop() {
+            Some(state) => {
+                self.states_reused += 1;
+                state
+            }
+            None => {
+                self.states_created += 1;
+                DijkstraState::new(n_nodes)
+            }
+        }
+    }
+
+    /// Blocks the idle pool retains; recycling beyond this frees the
+    /// block instead, bounding a worker's steady-state footprint at
+    /// ~20 bytes × nodes × this cap even after one query with an
+    /// unusually broad keyword set.
+    pub const MAX_IDLE_STATES: usize = 32;
+
+    /// Return a block to the pool (dropped once the pool is full).
+    pub fn recycle(&mut self, state: DijkstraState) {
+        if self.idle.len() < Self::MAX_IDLE_STATES {
+            self.idle.push(state);
+        }
+    }
+
+    /// Number of idle pooled blocks.
+    pub fn pooled_states(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// `(created, reused)` checkout counters since construction.
+    pub fn state_counters(&self) -> (u64, u64) {
+        (self.states_created, self.states_reused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_bump_invalidates_without_clearing() {
+        let mut s = DijkstraState::new(4);
+        s.touch(2, 1.5, 0);
+        s.settle(2);
+        assert!(s.is_touched(2) && s.is_settled(2));
+        s.reset(4);
+        assert!(!s.is_touched(2) && !s.is_settled(2));
+        assert_eq!(s.settled_count(), 0);
+        // Stale payloads are unreachable until re-touched.
+        s.touch(2, 9.0, NIL);
+        assert_eq!(s.dist_of(2), 9.0);
+    }
+
+    #[test]
+    fn reset_resizes_for_a_grown_graph() {
+        let mut s = DijkstraState::new(2);
+        s.touch(1, 3.0, 0);
+        s.reset(5);
+        assert_eq!(s.capacity(), 5);
+        assert!(!s.is_touched(1));
+        s.touch(4, 1.0, NIL);
+        assert!(s.is_touched(4));
+        // Shrink is equally safe.
+        s.reset(3);
+        assert_eq!(s.capacity(), 3);
+    }
+
+    #[test]
+    fn epoch_wrap_rebuilds_stamps() {
+        let mut s = DijkstraState::new(2);
+        s.epoch = u32::MAX - 1;
+        s.touched[0] = u32::MAX; // would collide after a naive bump
+        s.reset(2);
+        assert_eq!(s.epoch, u32::MAX);
+        s.reset(2);
+        assert_eq!(s.epoch, 1, "wrap resets the generation");
+        assert!(!s.is_touched(0));
+    }
+
+    #[test]
+    fn origin_lists_preserve_insertion_order() {
+        let mut p = OriginListPool::default();
+        p.reset(3);
+        let b7 = p.ensure(7);
+        let b9 = p.ensure(9);
+        assert_eq!(p.ensure(7), b7, "ensure is idempotent");
+        p.push(b7, 0, 100);
+        p.push(b7, 0, 101);
+        p.push(b7, 2, 200);
+        p.push(b9, 0, 300);
+        assert_eq!(p.iter(b7, 0).collect::<Vec<_>>(), vec![100, 101]);
+        assert_eq!(p.iter(b7, 1).collect::<Vec<_>>(), Vec::<u32>::new());
+        assert_eq!(p.iter(b7, 2).collect::<Vec<_>>(), vec![200]);
+        assert_eq!(p.iter(b9, 0).collect::<Vec<_>>(), vec![300]);
+        assert_eq!(p.len(b7, 0), 2);
+        // Walk the links by hand: head → next → NIL.
+        let h = p.head(b7, 0);
+        assert_eq!(p.origin(h), 100);
+        assert_eq!(p.origin(p.next(h)), 101);
+        assert_eq!(p.next(p.next(h)), NIL);
+        // Reset keeps capacity but drops content.
+        p.reset(2);
+        let b = p.ensure(7);
+        assert_eq!(p.len(b, 0), 0);
+    }
+
+    #[test]
+    fn arena_pools_states() {
+        let mut a = SearchArena::new();
+        let s1 = a.checkout(10);
+        let s2 = a.checkout(10);
+        assert_eq!(a.state_counters(), (2, 0));
+        a.recycle(s1);
+        a.recycle(s2);
+        assert_eq!(a.pooled_states(), 2);
+        let _s = a.checkout(10);
+        assert_eq!(a.state_counters(), (2, 1));
+        assert_eq!(a.pooled_states(), 1);
+    }
+
+    #[test]
+    fn idle_pool_is_bounded() {
+        let mut a = SearchArena::new();
+        let blocks: Vec<_> = (0..SearchArena::MAX_IDLE_STATES + 10)
+            .map(|_| a.checkout(4))
+            .collect();
+        for b in blocks {
+            a.recycle(b);
+        }
+        assert_eq!(
+            a.pooled_states(),
+            SearchArena::MAX_IDLE_STATES,
+            "one broad query must not permanently inflate the pool"
+        );
+    }
+}

@@ -7,11 +7,17 @@
 //! yields the nearest unsettled node; [`Dijkstra::peek_dist`] reports the
 //! distance of the node `next()` would yield, which is the key the
 //! iterator heap orders on.
+//!
+//! The iterator's working memory is a dense, epoch-stamped
+//! [`DijkstraState`] (arrays indexed by node id, validated by a generation
+//! counter) rather than hash maps, and the distance queue is a 4-ary heap.
+//! States come from a [`crate::SearchArena`] via [`Dijkstra::new_in`] so a
+//! long-lived worker expands queries without allocating; the plain
+//! [`Dijkstra::new`] constructor allocates a one-shot state for callers
+//! that don't pool.
 
-use crate::fxhash::FxHashMap;
+use crate::arena::{DijkstraState, NIL};
 use crate::graph::{Graph, NodeId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Which way the iterator walks the graph's edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,50 +39,13 @@ pub struct Visit {
     pub dist: f64,
 }
 
-/// Heap entry; ordered as a min-heap on distance via reversed comparison.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    dist: f64,
-    node: u32,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.node == other.node
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the smallest distance
-        // first (ties broken by node id for determinism).
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
 /// A lazy Dijkstra iterator with parent tracking for path reconstruction.
 #[derive(Debug, Clone)]
 pub struct Dijkstra<'g> {
     graph: &'g Graph,
     origin: NodeId,
     direction: Direction,
-    /// Settled nodes → final distance.
-    settled: FxHashMap<u32, f64>,
-    /// Best tentative distance seen per node (settled or frontier).
-    tentative: FxHashMap<u32, f64>,
-    /// `parent[n]` = the neighbour through which `n` was best reached,
-    /// plus the weight of that connecting edge. Follows the traversal
-    /// direction: walking parents from any settled node leads to the origin.
-    parent: FxHashMap<u32, (u32, f64)>,
-    heap: BinaryHeap<Entry>,
+    state: DijkstraState,
     /// Stop expanding past this distance (§3 needs only proximate answers;
     /// callers may bound the search).
     max_dist: f64,
@@ -85,26 +54,43 @@ pub struct Dijkstra<'g> {
 }
 
 impl<'g> Dijkstra<'g> {
-    /// Start a shortest-path iteration from `origin`.
+    /// Start a shortest-path iteration from `origin` with a freshly
+    /// allocated state. Pooling callers use [`Dijkstra::new_in`].
     pub fn new(graph: &'g Graph, origin: NodeId, direction: Direction) -> Dijkstra<'g> {
-        let mut heap = BinaryHeap::new();
-        heap.push(Entry {
-            dist: 0.0,
-            node: origin.0,
-        });
-        let mut tentative = FxHashMap::default();
-        tentative.insert(origin.0, 0.0);
+        Dijkstra::new_in(
+            graph,
+            origin,
+            direction,
+            DijkstraState::new(graph.node_count()),
+        )
+    }
+
+    /// Start a shortest-path iteration reusing `state` (typically checked
+    /// out of a [`crate::SearchArena`]). The state is epoch-reset — and
+    /// resized, if the graph's node count changed since its last use — so
+    /// any block can serve any graph.
+    pub fn new_in(
+        graph: &'g Graph,
+        origin: NodeId,
+        direction: Direction,
+        mut state: DijkstraState,
+    ) -> Dijkstra<'g> {
+        state.reset(graph.node_count());
+        state.touch(origin.0, 0.0, NIL);
+        state.heap.push(0.0, origin.0);
         Dijkstra {
             graph,
             origin,
             direction,
-            settled: FxHashMap::default(),
-            tentative,
-            parent: FxHashMap::default(),
-            heap,
+            state,
             max_dist: f64::INFINITY,
             max_settled: usize::MAX,
         }
+    }
+
+    /// Give the dense state back (to be recycled into an arena).
+    pub fn into_state(self) -> DijkstraState {
+        self.state
     }
 
     /// Bound the search radius: nodes farther than `max_dist` are never
@@ -120,15 +106,16 @@ impl<'g> Dijkstra<'g> {
     /// distance measure can be extended to include node weights of nodes
     /// matching keywords": a low-prestige keyword node is handicapped so
     /// iterators from prestigious origins expand (and connect) first.
-    /// Must be called before the first `next()`/`peek_dist()`.
+    /// Must be called before the first `next()`/`peek_dist()`, and is
+    /// idempotent: a repeat call simply replaces the pending start
+    /// distance (the queue is rebuilt to exactly one origin entry, so no
+    /// stale tentative entry can survive).
     pub fn with_initial_dist(mut self, dist: f64) -> Self {
-        debug_assert!(self.settled.is_empty(), "origin already expanded");
-        self.heap.clear();
-        self.heap.push(Entry {
-            dist,
-            node: self.origin.0,
-        });
-        self.tentative.insert(self.origin.0, dist);
+        debug_assert_eq!(self.state.settled_count(), 0, "origin already expanded");
+        self.state.heap.clear();
+        self.state.heap.push(dist, self.origin.0);
+        self.state.touch(self.origin.0, dist, NIL);
+        debug_assert_eq!(self.state.heap.len(), 1, "exactly one pending origin entry");
         self
     }
 
@@ -145,24 +132,26 @@ impl<'g> Dijkstra<'g> {
 
     /// Number of nodes settled so far.
     pub fn settled_count(&self) -> usize {
-        self.settled.len()
+        self.state.settled_count()
     }
 
     /// Final distance of a settled node (`None` if not yet settled).
     pub fn distance(&self, node: NodeId) -> Option<f64> {
-        self.settled.get(&node.0).copied()
+        self.state
+            .is_settled(node.0)
+            .then(|| self.state.dist_of(node.0))
     }
 
     /// Drop stale heap entries (already settled, or beyond the bounds).
     fn skim(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.settled.contains_key(&top.node) {
-                self.heap.pop();
+        while let Some((dist, node)) = self.state.heap.peek() {
+            if self.state.is_settled(node) {
+                self.state.heap.pop();
                 continue;
             }
-            if top.dist > self.max_dist || self.settled.len() >= self.max_settled {
+            if dist > self.max_dist || self.state.settled_count() >= self.max_settled {
                 // Out of budget: the search is exhausted.
-                self.heap.clear();
+                self.state.heap.clear();
             }
             break;
         }
@@ -172,7 +161,7 @@ impl<'g> Dijkstra<'g> {
     /// consuming it. `None` when the iterator is exhausted.
     pub fn peek_dist(&mut self) -> Option<f64> {
         self.skim();
-        self.heap.peek().map(|e| e.dist)
+        self.state.heap.peek().map(|(dist, _)| dist)
     }
 
     /// Reconstruct the traversal path from `node` back to the origin as a
@@ -183,26 +172,34 @@ impl<'g> Dijkstra<'g> {
     /// `node → … → origin`, which is exactly the root-to-leaf path of a
     /// BANKS connection tree. Returns `None` if `node` is unsettled.
     pub fn path_edges(&self, node: NodeId) -> Option<Vec<(NodeId, NodeId, f64)>> {
-        if !self.settled.contains_key(&node.0) {
-            return None;
-        }
         let mut edges = Vec::new();
+        self.path_edges_into(node, &mut edges).then_some(edges)
+    }
+
+    /// As [`Dijkstra::path_edges`], appending into a caller-owned buffer
+    /// (the cross-product enumerator reuses one buffer for every tree).
+    /// Returns `false` — appending nothing — if `node` is unsettled.
+    pub fn path_edges_into(&self, node: NodeId, out: &mut Vec<(NodeId, NodeId, f64)>) -> bool {
+        if !self.state.is_settled(node.0) {
+            return false;
+        }
         let mut cur = node.0;
         while cur != self.origin.0 {
-            let &(prev, w) = self
-                .parent
-                .get(&cur)
-                .expect("settled non-origin node must have a parent");
+            let prev = self.state.parent_of(cur);
+            debug_assert_ne!(prev, NIL, "settled non-origin node must have a parent");
+            // The connecting edge's weight as the relaxation computed it:
+            // dist(cur) − dist(prev), both final.
+            let w = self.state.dist_of(cur) - self.state.dist_of(prev);
             match self.direction {
                 // Traversal relaxed prev→cur over a forward edge.
-                Direction::Forward => edges.push((NodeId(prev), NodeId(cur), w)),
+                Direction::Forward => out.push((NodeId(prev), NodeId(cur), w)),
                 // Traversal relaxed prev→cur over a *reverse* view of the
                 // graph edge cur→prev.
-                Direction::Reverse => edges.push((NodeId(cur), NodeId(prev), w)),
+                Direction::Reverse => out.push((NodeId(cur), NodeId(prev), w)),
             }
             cur = prev;
         }
-        Some(edges)
+        true
     }
 }
 
@@ -211,42 +208,30 @@ impl Iterator for Dijkstra<'_> {
 
     fn next(&mut self) -> Option<Visit> {
         self.skim();
-        let entry = self.heap.pop()?;
-        let node = NodeId(entry.node);
-        self.settled.insert(entry.node, entry.dist);
+        let (dist, node) = self.state.heap.pop()?;
+        self.state.settle(node);
 
-        let neighbours: Box<dyn Iterator<Item = (NodeId, f64)>> = match self.direction {
-            Direction::Forward => Box::new(self.graph.out_edges(node)),
-            Direction::Reverse => Box::new(self.graph.in_edges(node)),
+        let (neighbours, weights) = match self.direction {
+            Direction::Forward => self.graph.out_adjacency(NodeId(node)),
+            Direction::Reverse => self.graph.in_adjacency(NodeId(node)),
         };
-        let mut updates: Vec<(u32, f64)> = Vec::new();
-        for (next, w) in neighbours {
-            if self.settled.contains_key(&next.0) {
+        for (&next, &w) in neighbours.iter().zip(weights) {
+            if self.state.is_settled(next) {
                 continue;
             }
-            let cand = entry.dist + w;
+            let cand = dist + w;
             if cand > self.max_dist {
                 continue;
             }
-            let better = match self.tentative.get(&next.0) {
-                Some(&old) => cand < old,
-                None => true,
-            };
+            let better = !self.state.is_touched(next) || cand < self.state.dist_of(next);
             if better {
-                updates.push((next.0, cand));
+                self.state.touch(next, cand, node);
+                self.state.heap.push(cand, next);
             }
         }
-        for (next, cand) in updates {
-            self.tentative.insert(next, cand);
-            self.parent.insert(next, (entry.node, cand - entry.dist));
-            self.heap.push(Entry {
-                dist: cand,
-                node: next,
-            });
-        }
         Some(Visit {
-            node,
-            dist: entry.dist,
+            node: NodeId(node),
+            dist,
         })
     }
 }
@@ -254,6 +239,7 @@ impl Iterator for Dijkstra<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::SearchArena;
     use crate::graph::GraphBuilder;
 
     /// a →1 b →1 c →1 d, plus shortcut a →2.5 c
@@ -329,6 +315,9 @@ mod tests {
         let mut it = Dijkstra::new(&g, a, Direction::Forward);
         it.next(); // settles only a
         assert!(it.path_edges(d).is_none());
+        let mut buf = vec![(a, a, 0.0)];
+        assert!(!it.path_edges_into(d, &mut buf));
+        assert_eq!(buf.len(), 1, "failed reconstruction appends nothing");
     }
 
     #[test]
@@ -416,6 +405,20 @@ mod tests {
     }
 
     #[test]
+    fn initial_distance_is_idempotent() {
+        let (g, [a, b, ..]) = chain();
+        // A repeat call replaces the pending start distance outright; no
+        // stale entry from the first call survives in queue or state.
+        let visits: Vec<_> = Dijkstra::new(&g, a, Direction::Forward)
+            .with_initial_dist(10.0)
+            .with_initial_dist(3.0)
+            .collect();
+        assert_eq!(visits[0], Visit { node: a, dist: 3.0 });
+        assert_eq!(visits[1], Visit { node: b, dist: 4.0 });
+        assert_eq!(visits.len(), 4);
+    }
+
+    #[test]
     fn zero_weight_edges_are_fine() {
         let mut b = GraphBuilder::new();
         let x = b.add_node(1.0);
@@ -424,5 +427,31 @@ mod tests {
         let g = b.build();
         let visits: Vec<_> = Dijkstra::new(&g, x, Direction::Forward).collect();
         assert_eq!(visits[1], Visit { node: y, dist: 0.0 });
+    }
+
+    #[test]
+    fn reused_state_matches_fresh_state() {
+        let (g, [a, _b, _c, d]) = chain();
+        let mut arena = SearchArena::new();
+        // Warm the block on one origin, then reuse it on another: the
+        // epoch bump must fully isolate the runs.
+        let mut warm = Dijkstra::new_in(&g, d, Direction::Reverse, arena.checkout(g.node_count()));
+        warm.by_ref().for_each(drop);
+        arena.recycle(warm.into_state());
+
+        let mut fresh = Dijkstra::new(&g, a, Direction::Forward);
+        let mut reused =
+            Dijkstra::new_in(&g, a, Direction::Forward, arena.checkout(g.node_count()));
+        loop {
+            let (f, r) = (fresh.next(), reused.next());
+            assert_eq!(f, r);
+            if f.is_none() {
+                break;
+            }
+            let node = f.unwrap().node;
+            assert_eq!(fresh.path_edges(node), reused.path_edges(node));
+        }
+        arena.recycle(reused.into_state());
+        assert_eq!(arena.pooled_states(), 1);
     }
 }

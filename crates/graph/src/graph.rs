@@ -294,6 +294,23 @@ impl Graph {
             .map(|(&s, &w)| (NodeId(s), w))
     }
 
+    /// Outgoing adjacency of `node` as raw `(targets, weights)` slices —
+    /// the allocation-free form the search kernel's relaxation loop uses.
+    #[inline]
+    pub fn out_adjacency(&self, node: NodeId) -> (&[u32], &[f64]) {
+        let lo = self.fwd_offsets[node.index()] as usize;
+        let hi = self.fwd_offsets[node.index() + 1] as usize;
+        (&self.fwd_targets[lo..hi], &self.fwd_weights[lo..hi])
+    }
+
+    /// Incoming adjacency of `node` as raw `(sources, weights)` slices.
+    #[inline]
+    pub fn in_adjacency(&self, node: NodeId) -> (&[u32], &[f64]) {
+        let lo = self.rev_offsets[node.index()] as usize;
+        let hi = self.rev_offsets[node.index() + 1] as usize;
+        (&self.rev_sources[lo..hi], &self.rev_weights[lo..hi])
+    }
+
     /// Out-degree of `node`.
     pub fn out_degree(&self, node: NodeId) -> usize {
         (self.fwd_offsets[node.index() + 1] - self.fwd_offsets[node.index()]) as usize

@@ -1,0 +1,181 @@
+//! A 4-ary min-heap specialized for the Dijkstra distance queue.
+//!
+//! `std::collections::BinaryHeap` is binary and max-ordered, which the old
+//! kernel worked around with a reversed `Ord` wrapper. A 4-ary layout
+//! halves the tree depth, keeps each sift-down's children in one cache
+//! line (four `(f64, u32)` entries), and lets the arena recycle the
+//! backing buffer between queries without reallocation.
+//!
+//! Ordering matches the old wrapper exactly — smallest distance first,
+//! ties broken by the smaller node id — so pop order (and therefore every
+//! downstream answer) is bit-identical to the `BinaryHeap` kernel.
+
+/// Arity of the heap. Four children share a 64-byte line at 12 bytes per
+/// packed entry.
+const ARITY: usize = 4;
+
+/// A min-heap of `(dist, node)` keys ordered by `f64::total_cmp` on the
+/// distance, then ascending node id.
+#[derive(Debug, Clone, Default)]
+pub struct DistHeap {
+    data: Vec<(f64, u32)>,
+}
+
+#[inline]
+fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+impl DistHeap {
+    /// An empty heap.
+    pub fn new() -> DistHeap {
+        DistHeap::default()
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// The smallest entry, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<(f64, u32)> {
+        self.data.first().copied()
+    }
+
+    /// Insert an entry.
+    #[inline]
+    pub fn push(&mut self, dist: f64, node: u32) {
+        self.data.push((dist, node));
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// Remove and return the smallest entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(f64, u32)> {
+        let last = self.data.len().checked_sub(1)?;
+        self.data.swap(0, last);
+        let top = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.data[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if less(entry, self.data[parent]) {
+                self.data[i] = self.data[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.data[i] = entry;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.data.len();
+        let entry = self.data[i];
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            let end = (first_child + ARITY).min(len);
+            for c in first_child + 1..end {
+                if less(self.data[c], self.data[best]) {
+                    best = c;
+                }
+            }
+            if less(self.data[best], entry) {
+                self.data[i] = self.data[best];
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.data[i] = entry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_distance_then_node_order() {
+        let mut h = DistHeap::new();
+        for &(d, n) in &[(2.0, 7), (1.0, 3), (2.0, 1), (0.5, 9), (1.0, 2)] {
+            h.push(d, n);
+        }
+        let mut out = Vec::new();
+        while let Some(e) = h.pop() {
+            out.push(e);
+        }
+        assert_eq!(
+            out,
+            vec![(0.5, 9), (1.0, 2), (1.0, 3), (2.0, 1), (2.0, 7)],
+            "ties break by node id"
+        );
+    }
+
+    #[test]
+    fn peek_matches_pop_and_clear_retains_capacity() {
+        let mut h = DistHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        h.push(3.0, 0);
+        h.push(1.0, 1);
+        assert_eq!(h.peek(), Some((1.0, 1)));
+        assert_eq!(h.pop(), Some((1.0, 1)));
+        assert_eq!(h.len(), 1);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.peek(), None);
+    }
+
+    #[test]
+    fn agrees_with_a_sort_on_random_input() {
+        // Deterministic xorshift fuzz: heap order == lexicographic sort.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut h = DistHeap::new();
+        let mut expected: Vec<(f64, u32)> = Vec::new();
+        for _ in 0..500 {
+            let d = (next() % 64) as f64 / 8.0;
+            let n = (next() % 97) as u32;
+            h.push(d, n);
+            expected.push((d, n));
+        }
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut got = Vec::new();
+        while let Some(e) = h.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, expected);
+    }
+}

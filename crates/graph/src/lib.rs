@@ -21,7 +21,10 @@
 //!   [`Dijkstra::next`] settles and returns the next nearest node. The
 //!   iterator exposes [`Dijkstra::peek_dist`] so that many iterators can be
 //!   multiplexed on a heap ordered by "distance of the next node it will
-//!   output", exactly as in the paper's Figure 3.
+//!   output", exactly as in the paper's Figure 3. Its working memory is a
+//!   dense, epoch-stamped [`DijkstraState`] with a 4-ary distance heap,
+//!   checked out of a reusable [`SearchArena`] so steady-state query
+//!   serving expands without allocating (see the `arena` module).
 //!
 //! ```
 //! use banks_graph::{GraphBuilder, Direction};
@@ -41,14 +44,18 @@
 //! ```
 
 pub mod analysis;
+pub mod arena;
 pub mod dijkstra;
 pub mod fxhash;
 pub mod graph;
+pub mod heap;
 pub mod patch;
 pub mod snapshot;
 
+pub use arena::{CrossScratch, DijkstraState, OriginListPool, SearchArena, NIL};
 pub use dijkstra::{Dijkstra, Direction, Visit};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use heap::DistHeap;
 pub use patch::GraphPatch;
 pub use snapshot::{read_snapshot, save_snapshot, write_snapshot, SnapshotError};

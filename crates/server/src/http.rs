@@ -533,6 +533,7 @@ fn answers_fragment(banks: &banks_core::Banks, result: &crate::service::CachedRe
             ("pops", Json::Uint(stats.pops as u64)),
             ("trees_generated", Json::Uint(stats.trees_generated as u64)),
             ("trees_emitted", Json::Uint(stats.trees_emitted as u64)),
+            ("early_terminated", Json::Bool(stats.early_terminations > 0),),
         ])
         .compact(),
     )

@@ -16,13 +16,26 @@
 
 use crate::cache::{CacheLookup, CacheStats, ShardedLruCache};
 use banks_core::{
-    Answer, Banks, BanksResult, CombineMode, EdgeScoreMode, NodeScoreMode, SearchStats,
-    SearchStrategy,
+    Answer, Banks, BanksResult, CombineMode, EdgeScoreMode, NodeScoreMode, SearchArena,
+    SearchStats, SearchStrategy,
 };
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// One persistent [`SearchArena`] per worker thread: every cache-miss
+    /// search this thread runs reuses the same dense Dijkstra states,
+    /// origin-list pool and cross-product scratch, so steady-state
+    /// serving performs no kernel allocations. The arena re-sizes its
+    /// blocks lazily on checkout whenever a published snapshot changed
+    /// the graph's node count (an epoch change), so it needs no explicit
+    /// hook into [`QueryService::install_snapshot`] — which could not
+    /// reach other threads' locals anyway.
+    static WORKER_ARENA: RefCell<SearchArena> = RefCell::new(SearchArena::new());
+}
 
 /// Service construction options.
 #[derive(Debug, Clone)]
@@ -322,8 +335,10 @@ impl QueryService {
         let t0 = Instant::now();
         let mut config = banks.config().clone();
         config.search.max_results = limit;
-        let outcome = banks
-            .search_parsed(&query, options.strategy, &config)
+        let outcome = WORKER_ARENA
+            .with(|arena| {
+                banks.search_parsed_in(&query, options.strategy, &config, &mut arena.borrow_mut())
+            })
             .inspect_err(|_| {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 // The lookup above counted a miss for a query that turns
@@ -704,6 +719,51 @@ mod tests {
                 .cached
         );
         assert_eq!(service.stats().cache.invalidations, 2);
+    }
+
+    #[test]
+    fn worker_arena_reuse_across_epochs_matches_fresh_search() {
+        use banks_ingest::{DeltaBatch, SnapshotPublisher, TupleOp};
+        use banks_storage::Value;
+
+        // Every cache miss on this thread reuses one thread-local arena;
+        // across an epoch change the graph grows, the arena blocks
+        // resize, and results must still equal a fresh-allocation search.
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let service = QueryService::new(Arc::clone(&banks), ServiceConfig::default());
+        let mut publisher = SnapshotPublisher::new(banks);
+
+        let check = |service: &QueryService, queries: &[&str]| {
+            for q in queries {
+                let via_service = service.search(q, QueryOptions::default()).unwrap();
+                let direct = service.banks().search(q).unwrap();
+                assert_eq!(via_service.result.answers.len(), direct.len());
+                for (a, b) in direct.iter().zip(&via_service.result.answers) {
+                    assert_eq!(a.tree.signature(), b.tree.signature());
+                    assert_eq!(a.relevance.to_bits(), b.relevance.to_bits());
+                }
+            }
+        };
+        check(&service, &["mohan", "sudarshan", "mohan sudarshan"]);
+
+        let batch = DeltaBatch {
+            ops: vec![
+                TupleOp::Insert {
+                    relation: "Author".into(),
+                    values: vec![Value::text("GrayJ"), Value::text("Jim Gray")],
+                },
+                TupleOp::Insert {
+                    relation: "Writes".into(),
+                    values: vec![Value::text("GrayJ"), Value::text("P1")],
+                },
+            ],
+        };
+        let published = publisher.publish(&batch, None).unwrap();
+        service.install_snapshot(published.banks, published.info.epoch, None);
+        check(
+            &service,
+            &["mohan", "gray", "gray sudarshan", "mohan sudarshan gray"],
+        );
     }
 
     #[test]
