@@ -73,6 +73,34 @@ fn bench_dijkstra(c: &mut Criterion) {
             },
         );
     }
+    // Satellite check for the precomputed per-edge score term: summing
+    // the CSR-parallel score array vs recomputing `log2(1 + w/w_min)`
+    // per edge — the work `Scorer::tree_edge_score` saves on every
+    // generated connection tree.
+    group.bench_function("edge_score_precomputed", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for v in graph.nodes() {
+                for &e in graph.out_escores(v) {
+                    sum += e;
+                }
+            }
+            black_box(sum)
+        });
+    });
+    group.bench_function("edge_score_recomputed", |b| {
+        let w_min = graph.min_edge_weight();
+        b.iter(|| {
+            let mut sum = 0.0;
+            for v in graph.nodes() {
+                let (_, weights) = graph.out_adjacency(v);
+                for &w in weights {
+                    sum += (1.0 + w / w_min).log2();
+                }
+            }
+            black_box(sum)
+        });
+    });
     group.bench_function("peek_next_interleave", |b| {
         b.iter(|| {
             let mut it = Dijkstra::new(graph, start, Direction::Reverse).with_max_settled(1000);

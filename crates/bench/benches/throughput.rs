@@ -179,6 +179,7 @@ fn main() {
         ServiceConfig {
             cache_capacity: 2,
             cache_shards: 1,
+            ..ServiceConfig::default()
         },
     ));
     let pool = query_pool(&cold_service, pool_size, 42);

@@ -31,6 +31,44 @@ pub fn banks_for(dataset: &DblpDataset) -> Banks {
     Banks::with_config(dataset.db.clone(), dblp_eval_config()).expect("banks builds")
 }
 
+/// Search threads for the primary cold measurement, from the
+/// `BANKS_SEARCH_THREADS` environment variable (default 1 =
+/// sequential). CI runs `query_latency` at 1 and 2 and diffs the
+/// answer fingerprints.
+pub fn search_threads_from_env() -> usize {
+    std::env::var("BANKS_SEARCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Order-sensitive FNV-1a fingerprint of a ranked answer list: roots,
+/// keyword nodes, edge triples (weight bits included), and relevance
+/// bits, in rank order. Bit-identical executors produce equal strings.
+pub fn fingerprint_answers(answers: &[banks_core::Answer]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(answers.len() as u64);
+    for a in answers {
+        mix(a.tree.root.0 as u64);
+        for &n in &a.tree.keyword_nodes {
+            mix(n.0 as u64);
+        }
+        for &(f, t, w) in &a.tree.edges {
+            mix(f.0 as u64);
+            mix(t.0 as u64);
+            mix(w.to_bits());
+        }
+        mix(a.relevance.to_bits());
+    }
+    let _ = mix;
+    format!("{h:016x}")
+}
+
 /// One query's measurements for the machine-readable search report.
 #[derive(Debug, Clone)]
 pub struct SearchBenchEntry {
@@ -40,14 +78,31 @@ pub struct SearchBenchEntry {
     pub corpus: String,
     /// Result limit (`max_results`) of the measurement.
     pub limit: usize,
-    /// Median uncached latency on a reused worker arena, nanoseconds.
+    /// Search threads of the primary measurement (`BANKS_SEARCH_THREADS`).
+    pub search_threads: usize,
+    /// Median uncached latency on a reused worker arena at
+    /// `search_threads`, nanoseconds.
     pub cold_ns: f64,
     /// Median cache-hit latency through the query service, nanoseconds.
     pub warm_ns: f64,
+    /// Cold medians of the thread-scaling sweep (1/2/4 search threads),
+    /// nanoseconds.
+    pub cold_ns_t1: f64,
+    /// See [`SearchBenchEntry::cold_ns_t1`].
+    pub cold_ns_t2: f64,
+    /// See [`SearchBenchEntry::cold_ns_t1`].
+    pub cold_ns_t4: f64,
+    /// `cold_ns_t1 / cold_ns_t4` — the cold-query speedup at 4 search
+    /// threads (≤ ~1 on single-core machines).
+    pub speedup_t4: f64,
     /// Iterator pops of one representative execution.
     pub pops: usize,
     /// Whether the kernel stopped via the top-k relevance bound.
     pub early_terminated: bool,
+    /// Order-sensitive FNV fingerprint of the ranked answers (trees +
+    /// relevance bits) at `search_threads` — CI runs the bench at
+    /// different thread counts and fails if fingerprints differ.
+    pub answers_fingerprint: String,
 }
 
 /// Write `BENCH_search.json`: per-query cold/warm latency plus kernel
@@ -62,10 +117,22 @@ pub fn write_search_report(path: &str, entries: &[SearchBenchEntry]) -> std::io:
                 ("id", Json::Str(e.id.clone())),
                 ("corpus", Json::Str(e.corpus.clone())),
                 ("limit", Json::Uint(e.limit as u64)),
+                ("search_threads", Json::Uint(e.search_threads as u64)),
                 ("cold_ns", Json::Num(e.cold_ns.round())),
                 ("warm_ns", Json::Num(e.warm_ns.round())),
+                ("cold_ns_t1", Json::Num(e.cold_ns_t1.round())),
+                ("cold_ns_t2", Json::Num(e.cold_ns_t2.round())),
+                ("cold_ns_t4", Json::Num(e.cold_ns_t4.round())),
+                (
+                    "speedup_t4",
+                    Json::Num((e.speedup_t4 * 100.0).round() / 100.0),
+                ),
                 ("pops", Json::Uint(e.pops as u64)),
                 ("early_terminated", Json::Bool(e.early_terminated)),
+                (
+                    "answers_fingerprint",
+                    Json::Str(e.answers_fingerprint.clone()),
+                ),
             ])
         })
         .collect();

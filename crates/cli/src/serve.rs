@@ -43,6 +43,9 @@ pub struct ServeArgs {
     pub cache_capacity: usize,
     /// Result-cache shard count.
     pub cache_shards: usize,
+    /// Intra-query search threads for cold multi-keyword queries
+    /// (0 = auto: cores / workers, so total threads stay bounded).
+    pub search_threads: usize,
     /// Durable data directory (snapshot bundles + WAL; `banks-persist`).
     pub data_dir: Option<PathBuf>,
     /// Skip the per-append WAL fsync (survives process death, not power
@@ -66,6 +69,7 @@ impl Default for ServeArgs {
             workers: 0,
             cache_capacity: 4096,
             cache_shards: 8,
+            search_threads: 0,
             data_dir: None,
             no_fsync: false,
             compact_wal_batches: PersistOptions::default().compact_wal_batches,
@@ -109,6 +113,11 @@ impl ServeArgs {
                         .parse()
                         .map_err(|_| "--cache-shards must be an integer".to_string())?
                 }
+                "--search-threads" => {
+                    parsed.search_threads = value("--search-threads")?
+                        .parse()
+                        .map_err(|_| "--search-threads must be an integer".to_string())?
+                }
                 "--data-dir" => parsed.data_dir = Some(PathBuf::from(value("--data-dir")?)),
                 "--no-fsync" => parsed.no_fsync = true,
                 "--compact-wal-batches" => {
@@ -146,6 +155,7 @@ pub fn build_service(
     let service_config = ServiceConfig {
         cache_capacity: args.cache_capacity,
         cache_shards: args.cache_shards,
+        search_threads: resolve_search_threads(args),
     };
 
     // Durable mode subsumes (and ignores) --graph-snapshot.
@@ -273,6 +283,24 @@ fn load_graph_snapshot(
     TupleGraph::rebind(db, graph).map_err(|e| e.to_string())
 }
 
+/// Resolve `--search-threads 0` (auto) against the worker pool: each
+/// worker may fan a cold query out, so the budget is cores ÷ workers —
+/// total threads stay bounded by the machine regardless of either flag.
+fn resolve_search_threads(args: &ServeArgs) -> usize {
+    if args.search_threads != 0 {
+        return args.search_threads;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let workers = if args.workers == 0 {
+        cores
+    } else {
+        args.workers
+    };
+    (cores / workers.max(1)).max(1)
+}
+
 fn summary_line(args: &ServeArgs, banks: &Banks, source: &str) -> String {
     format!(
         "corpus {} (seed {}): {} nodes, {} edges, {:.1} MiB — graph {}",
@@ -328,9 +356,10 @@ pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), Strin
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
     eprintln!("{summary}");
     eprintln!(
-        "serving on http://{} ({} workers, cache {} entries × {} shards)",
+        "serving on http://{} ({} workers × {} search thread(s), cache {} entries × {} shards)",
         server.local_addr(),
         workers,
+        resolve_search_threads(args),
         service.cache().capacity(),
         service.cache().shard_count(),
     );
@@ -401,6 +430,12 @@ mod tests {
         assert_eq!(args.workers, 3);
         assert_eq!(args.cache_capacity, 128);
         assert_eq!(args.cache_shards, 2);
+        let threaded = ServeArgs::parse(&strings(&["--search-threads", "4"])).unwrap();
+        assert_eq!(threaded.search_threads, 4);
+        assert_eq!(resolve_search_threads(&threaded), 4);
+        // Auto sizes against the worker pool and never returns 0.
+        assert!(resolve_search_threads(&ServeArgs::default()) >= 1);
+        assert!(ServeArgs::parse(&strings(&["--search-threads", "x"])).is_err());
         assert_eq!(
             args.data_dir.as_deref(),
             Some(std::path::Path::new("/tmp/banks-data"))

@@ -53,8 +53,27 @@ impl<'g> Scorer<'g> {
     }
 
     /// Overall edge score of a tree: `1/(1+Σ)`; 1.0 for edgeless trees.
+    ///
+    /// In log mode the per-edge term is read from the graph's
+    /// precomputed score array ([`Graph::log_edge_score`]) instead of
+    /// recomputing the `log2` — the hot path of cross-product-heavy
+    /// queries, where every generated tree re-scores its edges. The
+    /// lookup validates the weight bits and falls back to computing, so
+    /// the result is bit-identical either way (trees whose edges came
+    /// from the search kernel carry exact CSR weights and always hit).
     pub fn tree_edge_score(&self, tree: &ConnectionTree) -> f64 {
-        let sum: f64 = tree.edges.iter().map(|e| self.edge_score(e.2)).sum();
+        let sum: f64 = match self.params.edge_score {
+            EdgeScoreMode::Log => tree
+                .edges
+                .iter()
+                .map(|&(f, t, w)| {
+                    self.graph
+                        .log_edge_score(f, t, w)
+                        .unwrap_or_else(|| self.edge_score(w))
+                })
+                .sum(),
+            EdgeScoreMode::Linear => tree.edges.iter().map(|e| self.edge_score(e.2)).sum(),
+        };
         1.0 / (1.0 + sum)
     }
 

@@ -21,7 +21,9 @@ use crate::graph_build::TupleGraph;
 use crate::score::Scorer;
 use crate::search::output_heap::OutputHeap;
 use crate::search::{EarlyStop, RootPolicy, SearchOutcome, SearchStats};
-use banks_graph::{Dijkstra, Direction, FxHashMap, FxHashSet, NodeId, SearchArena};
+use banks_graph::{
+    CrossScratch, Dijkstra, Direction, FxHashMap, FxHashSet, NodeId, OriginListPool, SearchArena,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -87,6 +89,12 @@ pub fn backward_search(
 /// steady-state serving path, where a worker thread's arena makes the
 /// whole expansion allocation-free. Results are identical to the
 /// one-shot form, bit for bit.
+///
+/// With `config.search_threads ≥ 2`, multi-keyword queries above the
+/// `parallel_min_origins` cutover run on the parallel executor
+/// ([`crate::search::parallel`]); its deterministic merge makes the
+/// output — answers, scores, and execution stats — bit-identical to the
+/// sequential kernel, so the thread count is purely a latency knob.
 pub fn backward_search_in(
     arena: &mut SearchArena,
     tuple_graph: &TupleGraph,
@@ -95,18 +103,84 @@ pub fn backward_search_in(
     config: &SearchConfig,
     excluded_roots: &FxHashSet<u32>,
 ) -> SearchOutcome {
-    let mut stats = SearchStats::default();
+    let parallel_requested = config.search_threads > 1;
     if keyword_sets.is_empty() || keyword_sets.iter().any(|s| s.is_empty()) {
         return SearchOutcome {
             answers: Vec::new(),
-            stats,
+            stats: SearchStats::default(),
         };
     }
-    let policy = RootPolicy::new(tuple_graph, excluded_roots, config);
-    if keyword_sets.len() == 1 {
-        return single_term_search(scorer, &keyword_sets[0], config, &policy);
-    }
+    let total_origins: usize = keyword_sets.iter().map(|s| s.len()).sum();
+    let mut outcome = if keyword_sets.len() == 1 {
+        let policy = RootPolicy::new(tuple_graph, excluded_roots, config);
+        let mut outcome = single_term_search(scorer, &keyword_sets[0], config, &policy);
+        if parallel_requested {
+            outcome.stats.sequential_fallbacks = 1;
+        }
+        outcome
+    } else if parallel_requested && total_origins >= config.parallel_min_origins {
+        crate::search::parallel::parallel_backward_search(
+            arena,
+            tuple_graph,
+            scorer,
+            keyword_sets,
+            config,
+            excluded_roots,
+        )
+    } else {
+        let mut outcome = sequential_backward_search(
+            arena,
+            tuple_graph,
+            scorer,
+            keyword_sets,
+            config,
+            excluded_roots,
+        );
+        if parallel_requested {
+            outcome.stats.sequential_fallbacks = 1;
+        }
+        outcome
+    };
+    arena.trim();
+    outcome.stats.arena_retained_bytes = arena.retained_bytes();
+    outcome
+}
 
+/// Construct the per-keyword-node reverse Dijkstra iterator exactly as
+/// every executor must: bounded by `max_distance`, with the §3 prestige
+/// handicap folded into the start distance when configured. Returns the
+/// iterator and its handicap (0 when the option is off).
+pub(super) fn make_iterator<'g>(
+    graph: &'g banks_graph::Graph,
+    origin: NodeId,
+    state: banks_graph::DijkstraState,
+    scorer: &Scorer<'_>,
+    config: &SearchConfig,
+    prestige_handicap: f64,
+) -> (Dijkstra<'g>, f64) {
+    let mut iterator = Dijkstra::new_in(graph, origin, Direction::Reverse, state)
+        .with_max_dist(config.max_distance);
+    let mut handicap = 0.0;
+    if config.node_weight_in_distance {
+        // §3: fold keyword-node prestige into the distance —
+        // low-prestige origins start behind by up to one w_min.
+        handicap = (1.0 - scorer.node_score(origin)) * prestige_handicap;
+        iterator = iterator.with_initial_dist(handicap);
+    }
+    (iterator, handicap)
+}
+
+/// The sequential multi-term kernel (PR-4 shape): all iterators
+/// multiplexed on one heap, visits processed inline by the shared
+/// [`AnswerSink`].
+fn sequential_backward_search(
+    arena: &mut SearchArena,
+    tuple_graph: &TupleGraph,
+    scorer: &Scorer<'_>,
+    keyword_sets: &[Vec<NodeId>],
+    config: &SearchConfig,
+    excluded_roots: &FxHashSet<u32>,
+) -> SearchOutcome {
     let graph = tuple_graph.graph();
     let n_nodes = graph.node_count();
     let n_terms = keyword_sets.len();
@@ -123,22 +197,20 @@ pub fn backward_search_in(
     for (term, set) in keyword_sets.iter().enumerate() {
         for &origin in set {
             let idx = iterators.len();
-            let mut iterator =
-                Dijkstra::new_in(graph, origin, Direction::Reverse, arena.checkout(n_nodes))
-                    .with_max_dist(config.max_distance);
-            if config.node_weight_in_distance {
-                // §3: fold keyword-node prestige into the distance —
-                // low-prestige origins start behind by up to one w_min.
-                let handicap = (1.0 - scorer.node_score(origin)) * prestige_handicap;
-                iterator = iterator.with_initial_dist(handicap);
-                max_handicap = max_handicap.max(handicap);
-            }
+            let (iterator, handicap) = make_iterator(
+                graph,
+                origin,
+                arena.checkout(n_nodes),
+                scorer,
+                config,
+                prestige_handicap,
+            );
+            max_handicap = max_handicap.max(handicap);
             iterators.push(iterator);
             infos.push((term, origin));
             iter_index.insert((term as u32, origin.0), idx);
         }
     }
-    stats.iterators = iterators.len();
 
     let mut iter_heap: BinaryHeap<IterEntry> = BinaryHeap::with_capacity(iterators.len());
     for (idx, it) in iterators.iter_mut().enumerate() {
@@ -147,24 +219,25 @@ pub fn backward_search_in(
         }
     }
 
-    // u.Lᵢ lists and cross-product scratch, recycled from the arena.
-    let lists = &mut arena.lists;
-    let cross = &mut arena.cross;
-    lists.reset(n_terms);
-    let mut output = OutputHeap::new(config.output_heap_size);
-    let mut dedup: FxHashMap<TreeSignature, DupState> = FxHashMap::with_capacity_and_hasher(
-        config.output_heap_size + config.max_results,
-        Default::default(),
+    let policy = RootPolicy::new(tuple_graph, excluded_roots, config);
+    let mut sink = AnswerSink::new(
+        n_terms,
+        &mut arena.lists,
+        &mut arena.cross,
+        policy,
+        scorer,
+        config,
+        iter_index,
     );
-    let mut emitted: Vec<Answer> = Vec::with_capacity(config.max_results);
+    sink.stats.iterators = iterators.len();
     let mut early_stop = EarlyStop::new(config, scorer, max_handicap, keyword_sets);
 
-    while emitted.len() < config.max_results && stats.pops < config.max_pops {
+    while sink.want_more() {
         let Some(&frontier) = iter_heap.peek() else {
             break;
         };
-        if early_stop.should_stop(frontier.dist, emitted.len(), &output) {
-            stats.early_terminations += 1;
+        if early_stop.should_stop(frontier.dist, sink.emitted.len(), &sink.output) {
+            sink.stats.early_terminations += 1;
             break;
         }
         let entry = iter_heap.pop().expect("peeked entry");
@@ -172,114 +245,195 @@ pub fn backward_search_in(
         let Some(visit) = iterators[entry.idx].next() else {
             continue;
         };
-        stats.pops += 1;
+        sink.stats.pops += 1;
         if let Some(dist) = iterators[entry.idx].peek_dist() {
             iter_heap.push(IterEntry {
                 dist,
                 idx: entry.idx,
             });
         }
-        let u = visit.node;
-        let base = lists.ensure(u.0);
+        sink.process_visit(visit.node, term, origin, |idx, node, out| {
+            iterators[idx].path_edges_into(node, out)
+        });
+    }
+
+    let outcome = sink.finish();
+    for iterator in iterators {
+        arena.recycle(iterator.into_state());
+    }
+    outcome
+}
+
+/// Shared §3 per-visit machinery: origin-list bookkeeping, cross-product
+/// enumeration, duplicate handling, and answer buffering. The sequential
+/// kernel and the parallel merge stage both drive exactly this code —
+/// only the root→origin path source differs — so the two executors
+/// cannot drift apart.
+pub(super) struct AnswerSink<'a, 'g> {
+    n_terms: usize,
+    lists: &'a mut OriginListPool,
+    cross: &'a mut CrossScratch,
+    policy: RootPolicy<'a>,
+    scorer: &'a Scorer<'g>,
+    config: &'a SearchConfig,
+    /// `(term, origin) → global iterator index`, the paper's "iterator
+    /// of `o ∈ Sⱼ`" lookup for path reconstruction.
+    iter_index: FxHashMap<(u32, u32), usize>,
+    pub(super) output: OutputHeap,
+    pub(super) dedup: FxHashMap<TreeSignature, DupState>,
+    pub(super) emitted: Vec<Answer>,
+    pub(super) stats: SearchStats,
+}
+
+impl<'a, 'g> AnswerSink<'a, 'g> {
+    pub(super) fn new(
+        n_terms: usize,
+        lists: &'a mut OriginListPool,
+        cross: &'a mut CrossScratch,
+        policy: RootPolicy<'a>,
+        scorer: &'a Scorer<'g>,
+        config: &'a SearchConfig,
+        iter_index: FxHashMap<(u32, u32), usize>,
+    ) -> AnswerSink<'a, 'g> {
+        lists.reset(n_terms);
+        AnswerSink {
+            n_terms,
+            lists,
+            cross,
+            policy,
+            scorer,
+            config,
+            iter_index,
+            output: OutputHeap::new(config.output_heap_size),
+            dedup: FxHashMap::with_capacity_and_hasher(
+                config.output_heap_size + config.max_results,
+                Default::default(),
+            ),
+            emitted: Vec::with_capacity(config.max_results),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// The main-loop continuation condition (§3 result and pop budgets).
+    pub(super) fn want_more(&self) -> bool {
+        self.emitted.len() < self.config.max_results && self.stats.pops < self.config.max_pops
+    }
+
+    /// Handle one settled node `u`, visited by the iterator of `origin ∈
+    /// S_term`: snapshot the other terms' origin lists, append `origin`
+    /// to `u.L_term`, and enumerate the new cross products. `path_into`
+    /// appends the root→origin path edges of a given iterator (by
+    /// global index), exactly as [`Dijkstra::path_edges_into`] would.
+    pub(super) fn process_visit(
+        &mut self,
+        u: NodeId,
+        term: usize,
+        origin: NodeId,
+        mut path_into: impl FnMut(usize, NodeId, &mut Vec<(NodeId, NodeId, f64)>) -> bool,
+    ) {
+        let base = self.lists.ensure(u.0);
 
         // Record the other terms' origin lists for the cross product —
         // borrowed straight from the flattened pool where the old kernel
         // cloned each `Vec<u32>` (the pool append below only touches
         // `term`'s own list).
-        cross.clear_dims();
+        self.cross.clear_dims();
         let mut all_nonempty = true;
-        for j in 0..n_terms {
+        for j in 0..self.n_terms {
             if j == term {
                 continue;
             }
-            let len = lists.len(base, j);
+            let len = self.lists.len(base, j);
             if len == 0 {
                 all_nonempty = false;
                 break;
             }
-            stats.clone_bytes_saved += len * std::mem::size_of::<u32>();
-            cross.push_dim(j, lists.head(base, j), len);
+            self.stats.clone_bytes_saved += len * std::mem::size_of::<u32>();
+            self.cross.push_dim(j, self.lists.head(base, j), len);
         }
         // "Insert origin in u.Lᵢ" — after the cross product snapshot.
-        lists.push(base, term, origin.0);
+        self.lists.push(base, term, origin.0);
 
         if !all_nonempty {
-            continue;
+            return;
         }
 
-        let total: usize = cross
+        let total: usize = self
+            .cross
             .lens
             .iter()
             .fold(1usize, |acc, &len| acc.saturating_mul(len));
-        let budget = total.min(config.max_cross_product);
+        let budget = total.min(self.config.max_cross_product);
         if total > budget {
-            stats.cross_product_truncations += 1;
+            self.stats.cross_product_truncations += 1;
         }
-        if policy.root_excluded(u) {
+        if self.policy.root_excluded(u) {
             // Every combination would be discarded; account for them
             // without materializing a single tree.
-            stats.trees_generated += budget;
-            stats.excluded_roots += budget;
-            continue;
+            self.stats.trees_generated += budget;
+            self.stats.excluded_roots += budget;
+            return;
         }
 
         // Enumerate the cross product with a mixed-radix counter whose
         // cursors walk the pooled lists in insertion order.
-        let dims = cross.terms.len();
-        cross.counter.clear();
-        cross.counter.resize(dims, 0);
-        cross.cursors.clear();
-        cross.cursors.extend_from_slice(&cross.heads);
+        let dims = self.cross.terms.len();
+        self.cross.counter.clear();
+        self.cross.counter.resize(dims, 0);
+        self.cross.cursors.clear();
+        let (cursors, heads) = (&mut self.cross.cursors, &self.cross.heads);
+        cursors.extend_from_slice(heads);
         for _ in 0..budget {
-            cross.origins.clear();
-            cross.origins.resize(n_terms, NodeId(0));
-            cross.origins[term] = origin;
+            self.cross.origins.clear();
+            self.cross.origins.resize(self.n_terms, NodeId(0));
+            self.cross.origins[term] = origin;
             for pos in 0..dims {
-                cross.origins[cross.terms[pos]] = NodeId(lists.origin(cross.cursors[pos]));
+                self.cross.origins[self.cross.terms[pos]] =
+                    NodeId(self.lists.origin(self.cross.cursors[pos]));
             }
             // Advance the counter for next combination.
             for pos in (0..dims).rev() {
-                cross.counter[pos] += 1;
-                if cross.counter[pos] < cross.lens[pos] {
-                    cross.cursors[pos] = lists.next(cross.cursors[pos]);
+                self.cross.counter[pos] += 1;
+                if self.cross.counter[pos] < self.cross.lens[pos] {
+                    self.cross.cursors[pos] = self.lists.next(self.cross.cursors[pos]);
                     break;
                 }
-                cross.counter[pos] = 0;
-                cross.cursors[pos] = cross.heads[pos];
+                self.cross.counter[pos] = 0;
+                self.cross.cursors[pos] = self.cross.heads[pos];
             }
 
-            cross.edges.clear();
-            for (j, &o) in cross.origins.iter().enumerate() {
-                let idx = iter_index[&(j as u32, o.0)];
-                let ok = iterators[idx].path_edges_into(u, &mut cross.edges);
+            self.cross.edges.clear();
+            for (j, &o) in self.cross.origins.iter().enumerate() {
+                let idx = self.iter_index[&(j as u32, o.0)];
+                let ok = path_into(idx, u, &mut self.cross.edges);
                 debug_assert!(ok, "iterator in u.Lj has settled u");
             }
-            let tree = ConnectionTree::new(u, cross.origins.clone(), cross.edges.clone());
-            stats.trees_generated += 1;
+            let tree = ConnectionTree::new(u, self.cross.origins.clone(), self.cross.edges.clone());
+            self.stats.trees_generated += 1;
 
-            if policy.discards_single_child(&tree) {
-                stats.discarded_single_child += 1;
+            if self.policy.discards_single_child(&tree) {
+                self.stats.discarded_single_child += 1;
                 continue;
             }
-            let relevance = scorer.relevance(&tree);
+            let relevance = self.scorer.relevance(&tree);
             offer(
                 Answer { tree, relevance },
-                &mut output,
-                &mut dedup,
-                &mut emitted,
-                config,
-                &mut stats,
+                &mut self.output,
+                &mut self.dedup,
+                &mut self.emitted,
+                self.config,
+                &mut self.stats,
             );
-            if emitted.len() >= config.max_results {
+            if self.emitted.len() >= self.config.max_results {
                 break;
             }
         }
     }
 
-    for iterator in iterators {
-        arena.recycle(iterator.into_state());
+    /// Drain the buffer into the final ranked list.
+    pub(super) fn finish(self) -> SearchOutcome {
+        finish(self.emitted, self.output, self.config, self.stats)
     }
-    finish(emitted, output, config, stats)
 }
 
 /// Insert an answer into the output buffer, handling duplicate trees.

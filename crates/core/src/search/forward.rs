@@ -297,7 +297,10 @@ pub fn forward_search_in(
     for iterator in iterators {
         arena.recycle(iterator.into_state());
     }
-    backward::finish(emitted, output, config, stats)
+    let mut outcome = backward::finish(emitted, output, config, stats);
+    arena.trim();
+    outcome.stats.arena_retained_bytes = arena.retained_bytes();
+    outcome
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 pub mod backward;
 pub mod forward;
 pub mod output_heap;
+pub mod parallel;
 
 pub use backward::{backward_search, backward_search_in};
 pub use banks_graph::SearchArena;
@@ -23,7 +24,15 @@ use banks_graph::{FxHashSet, NodeId};
 
 /// Counters describing one search execution, for diagnostics, tests and
 /// the evaluation harness.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// **Equality** compares the *execution-semantic* counters only — the
+/// numbers that must be bit-identical between the sequential kernel and
+/// the parallel executor (or between a fresh and a reused arena). The
+/// environment-descriptive fields ([`SearchStats::shards`],
+/// [`SearchStats::sequential_fallbacks`], [`SearchStats::merge_stall_ns`],
+/// [`SearchStats::arena_retained_bytes`]) describe *how* the query ran,
+/// differ by construction across executors, and are excluded.
+#[derive(Debug, Clone, Default)]
 pub struct SearchStats {
     /// Shortest-path iterators created (Σ|Sᵢ| in the paper's notation).
     pub iterators: usize,
@@ -49,7 +58,40 @@ pub struct SearchStats {
     /// Bytes of origin-list cloning the flattened arena pool avoided
     /// (the old kernel cloned every other-term list per visited node).
     pub clone_bytes_saved: usize,
+    /// Expansion shards spawned by the parallel executor (0 when the
+    /// query ran on the sequential kernel). Excluded from equality.
+    pub shards: usize,
+    /// 1 when parallelism was configured (`search_threads ≥ 2`) but the
+    /// adaptive cutover kept the zero-overhead sequential path (single
+    /// keyword, tiny frontier). Excluded from equality.
+    pub sequential_fallbacks: usize,
+    /// Nanoseconds the merge stage spent stalled waiting for a shard
+    /// whose frontier bound was the global minimum. Excluded from
+    /// equality.
+    pub merge_stall_ns: u64,
+    /// Bytes pinned by the caller's [`SearchArena`] pools after this
+    /// query (post shrink-policy). Excluded from equality.
+    pub arena_retained_bytes: usize,
 }
+
+impl PartialEq for SearchStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Execution-semantic counters only; see the struct docs.
+        self.iterators == other.iterators
+            && self.pops == other.pops
+            && self.trees_generated == other.trees_generated
+            && self.discarded_single_child == other.discarded_single_child
+            && self.trees_emitted == other.trees_emitted
+            && self.excluded_roots == other.excluded_roots
+            && self.duplicates_discarded == other.duplicates_discarded
+            && self.duplicates_replaced == other.duplicates_replaced
+            && self.cross_product_truncations == other.cross_product_truncations
+            && self.early_terminations == other.early_terminations
+            && self.clone_bytes_saved == other.clone_bytes_saved
+    }
+}
+
+impl Eq for SearchStats {}
 
 /// The result of a search: ranked answers plus execution counters.
 #[derive(Debug, Clone)]

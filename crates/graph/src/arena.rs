@@ -46,6 +46,11 @@ pub struct DijkstraState {
     dist: Vec<f64>,
     /// Best-path predecessor per node ([`NIL`] for the origin).
     parent: Vec<u32>,
+    /// CSR slot (in the traversal direction's adjacency arrays) of the
+    /// edge that set `parent` — path reconstruction reads the exact edge
+    /// weight (and its precomputed score) straight out of the CSR
+    /// instead of re-deriving it from a distance difference.
+    parent_slot: Vec<u32>,
     /// The distance queue (recycled allocation).
     pub(crate) heap: DistHeap,
     settled_count: usize,
@@ -60,6 +65,7 @@ impl DijkstraState {
             settled: vec![0; n_nodes],
             dist: vec![0.0; n_nodes],
             parent: vec![NIL; n_nodes],
+            parent_slot: vec![NIL; n_nodes],
             heap: DistHeap::new(),
             settled_count: 0,
         }
@@ -79,6 +85,7 @@ impl DijkstraState {
             self.settled.resize(n_nodes, 0);
             self.dist.resize(n_nodes, 0.0);
             self.parent.resize(n_nodes, NIL);
+            self.parent_slot.resize(n_nodes, NIL);
             self.epoch = 1;
         } else if self.epoch == u32::MAX {
             self.touched.fill(0);
@@ -104,13 +111,15 @@ impl DijkstraState {
         self.settled[n as usize] == self.epoch
     }
 
-    /// Record a (new or improved) tentative distance.
+    /// Record a (new or improved) tentative distance. `slot` is the CSR
+    /// slot of the relaxed edge ([`NIL`] for the origin).
     #[inline]
-    pub(crate) fn touch(&mut self, n: u32, dist: f64, parent: u32) {
+    pub(crate) fn touch(&mut self, n: u32, dist: f64, parent: u32, slot: u32) {
         let i = n as usize;
         self.touched[i] = self.epoch;
         self.dist[i] = dist;
         self.parent[i] = parent;
+        self.parent_slot[i] = slot;
     }
 
     /// Mark a node's distance final.
@@ -135,11 +144,46 @@ impl DijkstraState {
         self.parent[n as usize]
     }
 
+    /// CSR slot of the edge that set a touched node's parent ([`NIL`]
+    /// for the origin).
+    #[inline]
+    pub(crate) fn parent_slot_of(&self, n: u32) -> u32 {
+        debug_assert!(self.is_touched(n));
+        self.parent_slot[n as usize]
+    }
+
     #[inline]
     pub(crate) fn settled_count(&self) -> usize {
         self.settled_count
     }
+
+    /// Apply the recycle-time shrink policy to the distance queue. Any
+    /// queued entries are dead at recycle time (the next checkout
+    /// `reset`s the state), so they are dropped before shrinking.
+    pub(crate) fn shrink_queue(&mut self, max_entries: usize) {
+        self.heap.clear();
+        self.heap.shrink_to_entries(max_entries);
+    }
+
+    /// Bytes this state block retains (dense arrays + queue buffer).
+    pub fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.touched.capacity() * size_of::<u32>()
+            + self.settled.capacity() * size_of::<u32>()
+            + self.dist.capacity() * size_of::<f64>()
+            + self.parent.capacity() * size_of::<u32>()
+            + self.parent_slot.capacity() * size_of::<u32>()
+            + self.heap.retained_bytes()
+    }
 }
+
+// Shards of the parallel executor own their state blocks across scoped
+// threads; this compile-time assertion is what "send-safe state blocks"
+// means — break it and the parallel kernel stops compiling.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<DijkstraState>();
+};
 
 /// The paper's per-node origin lists `u.Lᵢ`, flattened: one shared entry
 /// pool of forward-linked lists plus a per-node block of `n_terms`
@@ -234,6 +278,38 @@ impl OriginListPool {
             Some(origin)
         })
     }
+
+    /// Shrink policy: drop this query's content and clamp every backing
+    /// buffer to at most `max_entries` entries, so one broad query does
+    /// not pin its high-water mark in a long-lived worker arena forever.
+    /// Called at the end of a search — the next query `reset`s anyway.
+    pub fn shrink(&mut self, max_entries: usize) {
+        self.node_base.clear();
+        self.heads.clear();
+        self.tails.clear();
+        self.lens.clear();
+        self.entries.clear();
+        if self.entries.capacity() > max_entries {
+            self.entries.shrink_to(max_entries);
+        }
+        if self.heads.capacity() > max_entries {
+            self.heads.shrink_to(max_entries);
+            self.tails.shrink_to(max_entries);
+            self.lens.shrink_to(max_entries);
+        }
+        if self.node_base.capacity() > max_entries {
+            self.node_base.shrink_to(max_entries);
+        }
+    }
+
+    /// Bytes retained by the pool's backing buffers.
+    pub fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.entries.capacity() * size_of::<(u32, u32)>()
+            + (self.heads.capacity() + self.tails.capacity() + self.lens.capacity())
+                * size_of::<u32>()
+            + self.node_base.capacity() * size_of::<(u32, u32)>()
+    }
 }
 
 /// Reusable buffers for the cross-product enumerator: one dimension per
@@ -272,6 +348,114 @@ impl CrossScratch {
         self.heads.push(head);
         self.lens.push(len);
     }
+
+    /// Bytes retained by the scratch buffers.
+    pub fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.terms.capacity() + self.counter.capacity()) * size_of::<usize>()
+            + (self.heads.capacity() + self.cursors.capacity()) * size_of::<u32>()
+            + self.lens.capacity() * size_of::<usize>()
+            + self.origins.capacity() * size_of::<NodeId>()
+            + self.edges.capacity() * size_of::<(NodeId, NodeId, f64)>()
+    }
+}
+
+/// Pooled [`DijkstraState`] blocks for ONE expansion shard of the
+/// parallel executor. Each shard (one per keyword set) owns its slice of
+/// the sharded arena for the duration of a query, so checkout/recycle on
+/// its own thread needs no synchronization; the blocks are handed back
+/// when the scoped threads join.
+#[derive(Debug, Default)]
+pub struct ShardArena {
+    idle: Vec<DijkstraState>,
+    states_created: u64,
+    states_reused: u64,
+}
+
+impl ShardArena {
+    /// Blocks one shard's idle pool retains (shards hold one block per
+    /// keyword origin of *their* set, typically just a few).
+    pub const MAX_IDLE_STATES: usize = 8;
+
+    /// Take a block, reusing an idle one when available.
+    pub fn checkout(&mut self, n_nodes: usize) -> DijkstraState {
+        match self.idle.pop() {
+            Some(state) => {
+                self.states_reused += 1;
+                state
+            }
+            None => {
+                self.states_created += 1;
+                DijkstraState::new(n_nodes)
+            }
+        }
+    }
+
+    /// Return a block (dropped once the pool is full; the retained
+    /// queue buffer is clamped by the shrink policy).
+    pub fn recycle(&mut self, mut state: DijkstraState) {
+        if self.idle.len() < Self::MAX_IDLE_STATES {
+            state.shrink_queue(SearchArena::RETAINED_HEAP_ENTRIES);
+            self.idle.push(state);
+        }
+    }
+
+    /// Number of idle pooled blocks.
+    pub fn pooled_states(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// `(created, reused)` checkout counters since construction.
+    pub fn state_counters(&self) -> (u64, u64) {
+        (self.states_created, self.states_reused)
+    }
+
+    /// Bytes retained by the idle blocks.
+    pub fn retained_bytes(&self) -> usize {
+        self.idle.iter().map(DijkstraState::retained_bytes).sum()
+    }
+}
+
+/// Merge-stage scratch of the parallel executor: one path map per
+/// Dijkstra iterator (`node → (parent, edge weight)`, filled from
+/// settled-node events in consumption order), pooled so steady-state
+/// parallel serving reuses the maps' buckets instead of reallocating.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    maps: Vec<FxHashMap<u32, (u32, f64)>>,
+}
+
+impl MergeScratch {
+    /// Cleared maps for `n` iterators (allocation-preserving).
+    pub fn maps(&mut self, n: usize) -> &mut [FxHashMap<u32, (u32, f64)>] {
+        for m in self.maps.iter_mut().take(n) {
+            m.clear();
+        }
+        while self.maps.len() < n {
+            self.maps.push(FxHashMap::default());
+        }
+        &mut self.maps[..n]
+    }
+
+    /// Shrink policy: clamp each retained map to `max_entries` capacity
+    /// and the map list itself to `max_maps`.
+    pub fn shrink(&mut self, max_maps: usize, max_entries: usize) {
+        self.maps.truncate(max_maps);
+        for m in &mut self.maps {
+            if m.capacity() > max_entries {
+                m.clear();
+                m.shrink_to(max_entries);
+            }
+        }
+    }
+
+    /// Approximate bytes retained by the pooled maps.
+    pub fn retained_bytes(&self) -> usize {
+        self.maps
+            .iter()
+            .map(|m| m.capacity() * std::mem::size_of::<(u32, (u32, f64))>())
+            .sum()
+    }
 }
 
 /// Pooled scratch memory for one search worker.
@@ -298,6 +482,11 @@ pub struct SearchArena {
     pub lists: OriginListPool,
     /// Cross-product enumeration buffers.
     pub cross: CrossScratch,
+    /// Per-shard state pools for the parallel executor, one per keyword
+    /// set (grown on demand; see [`SearchArena::shard_pools`]).
+    shards: Vec<ShardArena>,
+    /// Merge-stage path maps for the parallel executor.
+    pub merge: MergeScratch,
     states_created: u64,
     states_reused: u64,
 }
@@ -330,9 +519,24 @@ impl SearchArena {
     /// unusually broad keyword set.
     pub const MAX_IDLE_STATES: usize = 32;
 
-    /// Return a block to the pool (dropped once the pool is full).
-    pub fn recycle(&mut self, state: DijkstraState) {
+    /// Distance-queue entries a recycled block keeps (the shrink policy
+    /// of [`DistHeap::shrink_to_entries`]): ~16 K entries ≈ 256 KiB.
+    pub const RETAINED_HEAP_ENTRIES: usize = 1 << 14;
+
+    /// Origin-list pool entries retained between queries (~512 KiB).
+    pub const RETAINED_LIST_ENTRIES: usize = 1 << 16;
+
+    /// Path-map entries per pooled merge map retained between queries.
+    pub const RETAINED_MERGE_ENTRIES: usize = 1 << 14;
+
+    /// Pooled merge maps retained between queries.
+    pub const RETAINED_MERGE_MAPS: usize = 64;
+
+    /// Return a block to the pool (dropped once the pool is full; the
+    /// retained distance-queue buffer is clamped by the shrink policy).
+    pub fn recycle(&mut self, mut state: DijkstraState) {
         if self.idle.len() < Self::MAX_IDLE_STATES {
+            state.shrink_queue(Self::RETAINED_HEAP_ENTRIES);
             self.idle.push(state);
         }
     }
@@ -346,6 +550,44 @@ impl SearchArena {
     pub fn state_counters(&self) -> (u64, u64) {
         (self.states_created, self.states_reused)
     }
+
+    /// The sharded half of the arena: one independent [`ShardArena`] per
+    /// expansion shard (keyword set), grown on demand. The returned
+    /// slice borrows each pool mutably and disjointly, so the parallel
+    /// executor can lend one `&mut ShardArena` to each scoped thread.
+    pub fn shard_pools(&mut self, n_shards: usize) -> &mut [ShardArena] {
+        while self.shards.len() < n_shards {
+            self.shards.push(ShardArena::default());
+        }
+        &mut self.shards[..n_shards]
+    }
+
+    /// End-of-query shrink policy: drop per-query content and clamp
+    /// every pooled buffer to its retention cap, so one pathological
+    /// query cannot pin its worst-case footprint in a worker forever.
+    pub fn trim(&mut self) {
+        self.lists.shrink(Self::RETAINED_LIST_ENTRIES);
+        self.merge
+            .shrink(Self::RETAINED_MERGE_MAPS, Self::RETAINED_MERGE_ENTRIES);
+    }
+
+    /// Bytes currently pinned by the arena's pooled memory (idle state
+    /// blocks, origin lists, cross-product scratch, shard pools, merge
+    /// maps) — surfaced as `SearchStats::arena_retained_bytes`.
+    pub fn retained_bytes(&self) -> usize {
+        self.idle
+            .iter()
+            .map(DijkstraState::retained_bytes)
+            .sum::<usize>()
+            + self.lists.retained_bytes()
+            + self.cross.retained_bytes()
+            + self
+                .shards
+                .iter()
+                .map(ShardArena::retained_bytes)
+                .sum::<usize>()
+            + self.merge.retained_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -355,25 +597,25 @@ mod tests {
     #[test]
     fn epoch_bump_invalidates_without_clearing() {
         let mut s = DijkstraState::new(4);
-        s.touch(2, 1.5, 0);
+        s.touch(2, 1.5, 0, 0);
         s.settle(2);
         assert!(s.is_touched(2) && s.is_settled(2));
         s.reset(4);
         assert!(!s.is_touched(2) && !s.is_settled(2));
         assert_eq!(s.settled_count(), 0);
         // Stale payloads are unreachable until re-touched.
-        s.touch(2, 9.0, NIL);
+        s.touch(2, 9.0, NIL, NIL);
         assert_eq!(s.dist_of(2), 9.0);
     }
 
     #[test]
     fn reset_resizes_for_a_grown_graph() {
         let mut s = DijkstraState::new(2);
-        s.touch(1, 3.0, 0);
+        s.touch(1, 3.0, 0, 0);
         s.reset(5);
         assert_eq!(s.capacity(), 5);
         assert!(!s.is_touched(1));
-        s.touch(4, 1.0, NIL);
+        s.touch(4, 1.0, NIL, NIL);
         assert!(s.is_touched(4));
         // Shrink is equally safe.
         s.reset(3);
@@ -447,5 +689,82 @@ mod tests {
             SearchArena::MAX_IDLE_STATES,
             "one broad query must not permanently inflate the pool"
         );
+    }
+
+    #[test]
+    fn shard_pools_grow_on_demand_and_pool_independently() {
+        let mut a = SearchArena::new();
+        let pools = a.shard_pools(3);
+        assert_eq!(pools.len(), 3);
+        let s0 = pools[0].checkout(8);
+        let s1 = pools[1].checkout(8);
+        pools[0].recycle(s0);
+        pools[1].recycle(s1);
+        assert_eq!(pools[0].pooled_states(), 1);
+        assert_eq!(pools[1].pooled_states(), 1);
+        assert_eq!(pools[2].pooled_states(), 0);
+        assert_eq!(pools[0].state_counters(), (1, 0));
+        let _warm = pools[0].checkout(8);
+        assert_eq!(pools[0].state_counters(), (1, 1));
+        // Re-request keeps the existing pools (and their contents).
+        let pools = a.shard_pools(2);
+        assert_eq!(pools[1].pooled_states(), 1);
+        // Shard pools count toward the arena's retained bytes.
+        assert!(a.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn shard_recycle_caps_pool_and_queue() {
+        let mut p = ShardArena::default();
+        let blocks: Vec<_> = (0..ShardArena::MAX_IDLE_STATES + 4)
+            .map(|_| {
+                let mut s = p.checkout(4);
+                for i in 0..100_000u32 {
+                    s.heap.push(i as f64, i % 4);
+                }
+                s
+            })
+            .collect();
+        for b in blocks {
+            p.recycle(b);
+        }
+        assert_eq!(p.pooled_states(), ShardArena::MAX_IDLE_STATES);
+        assert!(
+            p.retained_bytes()
+                <= ShardArena::MAX_IDLE_STATES
+                    * (DijkstraState::new(4).retained_bytes()
+                        + SearchArena::RETAINED_HEAP_ENTRIES * 16),
+            "recycled queue buffers must be clamped by the shrink policy"
+        );
+    }
+
+    #[test]
+    fn trim_unpins_a_huge_query() {
+        let mut a = SearchArena::new();
+        a.lists.reset(2);
+        for node in 0..200_000u32 {
+            let base = a.lists.ensure(node);
+            a.lists.push(base, 0, node);
+        }
+        let maps = a.merge.maps(4);
+        for m in maps.iter_mut() {
+            for i in 0..100_000u32 {
+                m.insert(i, (i, 0.0));
+            }
+        }
+        let before = a.retained_bytes();
+        a.trim();
+        let after = a.retained_bytes();
+        assert!(
+            after < before / 4,
+            "trim must release the bulk of a pathological query's memory \
+             ({before} -> {after})"
+        );
+        // The pools remain usable after trimming.
+        a.lists.reset(2);
+        let base = a.lists.ensure(7);
+        a.lists.push(base, 1, 9);
+        assert_eq!(a.lists.iter(base, 1).collect::<Vec<_>>(), vec![9]);
+        assert_eq!(a.merge.maps(2).len(), 2);
     }
 }

@@ -76,7 +76,7 @@ impl<'g> Dijkstra<'g> {
         mut state: DijkstraState,
     ) -> Dijkstra<'g> {
         state.reset(graph.node_count());
-        state.touch(origin.0, 0.0, NIL);
+        state.touch(origin.0, 0.0, NIL, NIL);
         state.heap.push(0.0, origin.0);
         Dijkstra {
             graph,
@@ -114,7 +114,7 @@ impl<'g> Dijkstra<'g> {
         debug_assert_eq!(self.state.settled_count(), 0, "origin already expanded");
         self.state.heap.clear();
         self.state.heap.push(dist, self.origin.0);
-        self.state.touch(self.origin.0, dist, NIL);
+        self.state.touch(self.origin.0, dist, NIL, NIL);
         debug_assert_eq!(self.state.heap.len(), 1, "exactly one pending origin entry");
         self
     }
@@ -187,19 +187,44 @@ impl<'g> Dijkstra<'g> {
         while cur != self.origin.0 {
             let prev = self.state.parent_of(cur);
             debug_assert_ne!(prev, NIL, "settled non-origin node must have a parent");
-            // The connecting edge's weight as the relaxation computed it:
-            // dist(cur) − dist(prev), both final.
-            let w = self.state.dist_of(cur) - self.state.dist_of(prev);
+            // The connecting edge's exact CSR weight, read back through
+            // the slot the relaxation recorded — no float re-derivation.
+            let slot = self.state.parent_slot_of(cur);
             match self.direction {
                 // Traversal relaxed prev→cur over a forward edge.
-                Direction::Forward => out.push((NodeId(prev), NodeId(cur), w)),
+                Direction::Forward => {
+                    out.push((NodeId(prev), NodeId(cur), self.graph.fwd_weight_at(slot)))
+                }
                 // Traversal relaxed prev→cur over a *reverse* view of the
                 // graph edge cur→prev.
-                Direction::Reverse => out.push((NodeId(cur), NodeId(prev), w)),
+                Direction::Reverse => {
+                    out.push((NodeId(cur), NodeId(prev), self.graph.rev_weight_at(slot)))
+                }
             }
             cur = prev;
         }
         true
+    }
+
+    /// The parent edge of a settled node as `(parent, exact edge
+    /// weight)` — `(NIL, 0.0)` for the origin, `None` if unsettled. The
+    /// parallel executor's shards emit this with every settled-node
+    /// event so the merge stage can rebuild paths without touching the
+    /// shard-owned state.
+    pub fn parent_edge_of(&self, node: NodeId) -> Option<(u32, f64)> {
+        if !self.state.is_settled(node.0) {
+            return None;
+        }
+        if node == self.origin {
+            return Some((NIL, 0.0));
+        }
+        let parent = self.state.parent_of(node.0);
+        let slot = self.state.parent_slot_of(node.0);
+        let w = match self.direction {
+            Direction::Forward => self.graph.fwd_weight_at(slot),
+            Direction::Reverse => self.graph.rev_weight_at(slot),
+        };
+        Some((parent, w))
     }
 }
 
@@ -211,11 +236,11 @@ impl Iterator for Dijkstra<'_> {
         let (dist, node) = self.state.heap.pop()?;
         self.state.settle(node);
 
-        let (neighbours, weights) = match self.direction {
-            Direction::Forward => self.graph.out_adjacency(NodeId(node)),
-            Direction::Reverse => self.graph.in_adjacency(NodeId(node)),
+        let (base_slot, neighbours, weights) = match self.direction {
+            Direction::Forward => self.graph.out_adjacency_slots(NodeId(node)),
+            Direction::Reverse => self.graph.in_adjacency_slots(NodeId(node)),
         };
-        for (&next, &w) in neighbours.iter().zip(weights) {
+        for (i, (&next, &w)) in neighbours.iter().zip(weights).enumerate() {
             if self.state.is_settled(next) {
                 continue;
             }
@@ -225,7 +250,7 @@ impl Iterator for Dijkstra<'_> {
             }
             let better = !self.state.is_touched(next) || cand < self.state.dist_of(next);
             if better {
-                self.state.touch(next, cand, node);
+                self.state.touch(next, cand, node, base_slot + i as u32);
                 self.state.heap.push(cand, next);
             }
         }

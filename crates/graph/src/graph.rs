@@ -96,6 +96,12 @@ pub struct Graph {
     fwd_offsets: Box<[u32]>,
     fwd_targets: Box<[u32]>,
     fwd_weights: Box<[f64]>,
+    /// Precomputed per-edge log score `log2(1 + w/w_min)` parallel to
+    /// `fwd_weights` — the term the scorer would otherwise re-derive for
+    /// every edge of every generated connection tree. Zeroed when the
+    /// graph has no positive edge weight (matching the scorer's
+    /// degenerate edge score of 0).
+    fwd_escores: Box<[f64]>,
     rev_offsets: Box<[u32]>,
     rev_sources: Box<[u32]>,
     rev_weights: Box<[f64]>,
@@ -115,6 +121,19 @@ impl Graph {
             .fold(f64::INFINITY, f64::min);
         let max_node_weight = node_weights.iter().copied().fold(0.0f64, f64::max);
         (min_edge_weight, max_node_weight)
+    }
+
+    /// The precomputed log-mode edge scores: the exact expression the
+    /// scorer evaluates (`(1.0 + w / w_min).log2()`), so a lookup and a
+    /// recomputation are bit-identical.
+    fn log_scores(fwd_weights: &[f64], min_edge_weight: f64) -> Vec<f64> {
+        if !min_edge_weight.is_finite() || min_edge_weight <= 0.0 {
+            return vec![0.0; fwd_weights.len()];
+        }
+        fwd_weights
+            .iter()
+            .map(|&w| (1.0 + w / min_edge_weight).log2())
+            .collect()
     }
 
     /// Assemble the CSR arrays from edges that are **already sorted by
@@ -173,12 +192,14 @@ impl Graph {
         }
 
         let (min_edge_weight, max_node_weight) = Graph::weight_bounds(&node_weights, &fwd_weights);
+        let fwd_escores = Graph::log_scores(&fwd_weights, min_edge_weight);
 
         Graph {
             node_weights: node_weights.into_boxed_slice(),
             fwd_offsets: fwd_offsets.into_boxed_slice(),
             fwd_targets: fwd_targets.into_boxed_slice(),
             fwd_weights: fwd_weights.into_boxed_slice(),
+            fwd_escores: fwd_escores.into_boxed_slice(),
             rev_offsets: rev_offsets.into_boxed_slice(),
             rev_sources: rev_sources.into_boxed_slice(),
             rev_weights: rev_weights.into_boxed_slice(),
@@ -237,12 +258,14 @@ impl Graph {
         }
 
         let (min_edge_weight, max_node_weight) = Graph::weight_bounds(&node_weights, &fwd_weights);
+        let fwd_escores = Graph::log_scores(&fwd_weights, min_edge_weight);
 
         Graph {
             node_weights: node_weights.into_boxed_slice(),
             fwd_offsets: fwd_offsets.into_boxed_slice(),
             fwd_targets: fwd_targets.into_boxed_slice(),
             fwd_weights: fwd_weights.into_boxed_slice(),
+            fwd_escores: fwd_escores.into_boxed_slice(),
             rev_offsets: rev_offsets.into_boxed_slice(),
             rev_sources: rev_sources.into_boxed_slice(),
             rev_weights: rev_weights.into_boxed_slice(),
@@ -311,6 +334,70 @@ impl Graph {
         (&self.rev_sources[lo..hi], &self.rev_weights[lo..hi])
     }
 
+    /// As [`Graph::out_adjacency`], additionally returning the CSR slot
+    /// of the first edge — the relaxation loop records the slot of the
+    /// parent edge so path reconstruction can read exact edge weights
+    /// (and precomputed scores) back out of the CSR arrays.
+    #[inline]
+    pub fn out_adjacency_slots(&self, node: NodeId) -> (u32, &[u32], &[f64]) {
+        let lo = self.fwd_offsets[node.index()] as usize;
+        let hi = self.fwd_offsets[node.index() + 1] as usize;
+        (
+            lo as u32,
+            &self.fwd_targets[lo..hi],
+            &self.fwd_weights[lo..hi],
+        )
+    }
+
+    /// As [`Graph::in_adjacency`], with the CSR slot of the first edge.
+    #[inline]
+    pub fn in_adjacency_slots(&self, node: NodeId) -> (u32, &[u32], &[f64]) {
+        let lo = self.rev_offsets[node.index()] as usize;
+        let hi = self.rev_offsets[node.index() + 1] as usize;
+        (
+            lo as u32,
+            &self.rev_sources[lo..hi],
+            &self.rev_weights[lo..hi],
+        )
+    }
+
+    /// Weight stored at a forward CSR slot (as returned by
+    /// [`Graph::out_adjacency_slots`]).
+    #[inline]
+    pub fn fwd_weight_at(&self, slot: u32) -> f64 {
+        self.fwd_weights[slot as usize]
+    }
+
+    /// Weight stored at a reverse CSR slot.
+    #[inline]
+    pub fn rev_weight_at(&self, slot: u32) -> f64 {
+        self.rev_weights[slot as usize]
+    }
+
+    /// Precomputed log-mode edge scores parallel to the forward
+    /// adjacency of `node` (same order as [`Graph::out_adjacency`]).
+    #[inline]
+    pub fn out_escores(&self, node: NodeId) -> &[f64] {
+        let lo = self.fwd_offsets[node.index()] as usize;
+        let hi = self.fwd_offsets[node.index() + 1] as usize;
+        &self.fwd_escores[lo..hi]
+    }
+
+    /// Precomputed log-mode score (`log2(1 + w/w_min)`) of the directed
+    /// edge `(from, to)`, provided the edge exists and its stored weight
+    /// is bit-identical to `weight`. The weight check makes the lookup a
+    /// drop-in for recomputation: a caller holding a weight that differs
+    /// from the CSR's (e.g. a synthetic tree) falls back to computing,
+    /// so results never depend on whether the lookup hit.
+    #[inline]
+    pub fn log_edge_score(&self, from: NodeId, to: NodeId, weight: f64) -> Option<f64> {
+        let lo = self.fwd_offsets[from.index()] as usize;
+        let hi = self.fwd_offsets[from.index() + 1] as usize;
+        let slice = &self.fwd_targets[lo..hi];
+        let i = slice.binary_search(&to.0).ok()?;
+        (self.fwd_weights[lo + i].to_bits() == weight.to_bits()).then(|| self.fwd_escores[lo + i])
+    }
+
     /// Out-degree of `node`.
     pub fn out_degree(&self, node: NodeId) -> usize {
         (self.fwd_offsets[node.index() + 1] - self.fwd_offsets[node.index()]) as usize
@@ -357,6 +444,7 @@ impl Graph {
             + self.fwd_offsets.len() * size_of::<u32>()
             + self.fwd_targets.len() * size_of::<u32>()
             + self.fwd_weights.len() * size_of::<f64>()
+            + self.fwd_escores.len() * size_of::<f64>()
             + self.rev_offsets.len() * size_of::<u32>()
             + self.rev_sources.len() * size_of::<u32>()
             + self.rev_weights.len() * size_of::<f64>()
@@ -451,6 +539,39 @@ mod tests {
         assert_eq!(g.edge_weight(x, x), Some(1.5));
         assert_eq!(g.out_degree(NodeId(1)), 0);
         assert_eq!(g.max_node_weight(), 9.0);
+    }
+
+    #[test]
+    fn precomputed_log_scores_match_recomputation() {
+        let (g, [a, b, _c, d]) = diamond();
+        for v in g.nodes() {
+            let (targets, weights) = g.out_adjacency(v);
+            let escores = g.out_escores(v);
+            assert_eq!(targets.len(), escores.len());
+            for (i, (&t, &w)) in targets.iter().zip(weights).enumerate() {
+                let expect = (1.0 + w / g.min_edge_weight()).log2();
+                assert_eq!(escores[i].to_bits(), expect.to_bits());
+                assert_eq!(
+                    g.log_edge_score(v, NodeId(t), w).map(f64::to_bits),
+                    Some(expect.to_bits())
+                );
+                // A weight that differs even in the last bit misses.
+                assert_eq!(g.log_edge_score(v, NodeId(t), w + 1e-9), None);
+            }
+        }
+        assert_eq!(g.log_edge_score(d, a, 1.0), None, "absent edge");
+        // Slot accessors agree with the plain adjacency views.
+        let (lo, targets, weights) = g.out_adjacency_slots(a);
+        assert_eq!((targets, weights), g.out_adjacency(a));
+        assert_eq!(g.fwd_weight_at(lo), weights[0]);
+        let (rlo, sources, rweights) = g.in_adjacency_slots(d);
+        assert_eq!((sources, rweights), g.in_adjacency(d));
+        assert_eq!(g.rev_weight_at(rlo), rweights[0]);
+        let _ = b;
+        // Edgeless graphs degenerate to empty/zero scores.
+        let mut eb = GraphBuilder::new();
+        let lone = eb.add_node(1.0);
+        assert_eq!(eb.build().out_escores(lone).len(), 0);
     }
 
     #[test]

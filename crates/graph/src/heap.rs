@@ -51,6 +51,26 @@ impl DistHeap {
         self.data.clear();
     }
 
+    /// Current backing-buffer capacity, in entries.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Shrink policy: clamp the retained backing buffer to at most
+    /// `max_entries` (keeping at least the current length). One huge
+    /// query can grow the queue toward O(edges); without this, every
+    /// recycled state would pin that worst case forever.
+    pub fn shrink_to_entries(&mut self, max_entries: usize) {
+        if self.data.capacity() > max_entries {
+            self.data.shrink_to(max_entries);
+        }
+    }
+
+    /// Bytes retained by the backing buffer.
+    pub fn retained_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<(f64, u32)>()
+    }
+
     /// The smallest entry, if any.
     #[inline]
     pub fn peek(&self) -> Option<(f64, u32)> {
@@ -151,6 +171,26 @@ mod tests {
         h.clear();
         assert!(h.is_empty());
         assert_eq!(h.peek(), None);
+    }
+
+    #[test]
+    fn shrink_policy_caps_capacity() {
+        let mut h = DistHeap::new();
+        for i in 0..10_000u32 {
+            h.push(i as f64, i);
+        }
+        while h.pop().is_some() {}
+        assert!(h.capacity() >= 10_000);
+        h.shrink_to_entries(64);
+        assert!(h.capacity() <= 64, "capacity {} not capped", h.capacity());
+        assert!(h.retained_bytes() <= 64 * std::mem::size_of::<(f64, u32)>());
+        // Shrinking never drops live entries.
+        for i in 0..128u32 {
+            h.push(i as f64, i);
+        }
+        h.shrink_to_entries(64);
+        assert_eq!(h.len(), 128);
+        assert_eq!(h.pop(), Some((0.0, 0)));
     }
 
     #[test]

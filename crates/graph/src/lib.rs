@@ -52,7 +52,9 @@ pub mod heap;
 pub mod patch;
 pub mod snapshot;
 
-pub use arena::{CrossScratch, DijkstraState, OriginListPool, SearchArena, NIL};
+pub use arena::{
+    CrossScratch, DijkstraState, MergeScratch, OriginListPool, SearchArena, ShardArena, NIL,
+};
 pub use dijkstra::{Dijkstra, Direction, Visit};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{Graph, GraphBuilder, NodeId};

@@ -534,6 +534,12 @@ fn answers_fragment(banks: &banks_core::Banks, result: &crate::service::CachedRe
             ("trees_generated", Json::Uint(stats.trees_generated as u64)),
             ("trees_emitted", Json::Uint(stats.trees_emitted as u64)),
             ("early_terminated", Json::Bool(stats.early_terminations > 0),),
+            ("shards", Json::Uint(stats.shards as u64)),
+            (
+                "sequential_fallback",
+                Json::Bool(stats.sequential_fallbacks > 0),
+            ),
+            ("merge_stall_us", Json::Uint(stats.merge_stall_ns / 1_000)),
         ])
         .compact(),
     )
@@ -626,6 +632,18 @@ fn stats_json(
                 ("nodes", Json::Uint(stats.graph_nodes as u64)),
                 ("edges", Json::Uint(stats.graph_edges as u64)),
                 ("memory_bytes", Json::Uint(stats.memory_bytes as u64)),
+            ]),
+        ),
+        (
+            "parallel",
+            Json::obj([
+                ("search_threads", Json::Uint(stats.search_threads as u64)),
+                ("shards_spawned", Json::Uint(stats.shards_spawned)),
+                (
+                    "sequential_fallbacks",
+                    Json::Uint(stats.sequential_fallbacks),
+                ),
+                ("merge_stall_us", Json::Uint(stats.merge_stall_us)),
             ]),
         ),
         ("uptime_secs", Json::Num(stats.uptime_secs)),

@@ -1,0 +1,203 @@
+//! Property tests for the intra-query parallel executor: at every
+//! thread count the parallel backward expansion must be bit-for-bit
+//! equivalent to the sequential kernel — answers, relevance bits, and
+//! execution stats (pops, trees, duplicates, early-termination firing)
+//! — across random query streams, both strategies, random result
+//! limits, and an ingest-driven epoch/graph-size change mid-stream on
+//! the same reused arena.
+
+use banks_core::{Banks, BanksConfig, SearchArena, SearchOutcome, SearchStrategy};
+use banks_datagen::dblp::{generate, DblpConfig};
+use banks_ingest::{DeltaBatch, SnapshotPublisher, TupleOp};
+use banks_storage::Value;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// The tiny corpus, generated once per process (corpus generation is the
+/// expensive part, and the instance is immutable).
+fn tiny_banks() -> &'static Arc<Banks> {
+    static BANKS: OnceLock<Arc<Banks>> = OnceLock::new();
+    BANKS.get_or_init(|| {
+        let dataset = generate(DblpConfig::tiny(1)).expect("tiny corpus generates");
+        Arc::new(Banks::new(dataset.db).expect("banks builds"))
+    })
+}
+
+fn token_pool(banks: &Banks) -> Vec<String> {
+    let mut tokens: Vec<String> = banks.text_index().tokens().map(|t| t.to_string()).collect();
+    tokens.sort();
+    tokens
+}
+
+fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome, context: &str) {
+    // `SearchStats` equality covers exactly the execution-semantic
+    // counters (environment counters like shard counts are excluded by
+    // its `PartialEq`), so this asserts early-termination firing too.
+    assert_eq!(a.stats, b.stats, "{context}: stats diverged");
+    assert_eq!(
+        a.stats.early_terminations, b.stats.early_terminations,
+        "{context}: early-termination firing diverged"
+    );
+    assert_eq!(
+        a.answers.len(),
+        b.answers.len(),
+        "{context}: answer count diverged"
+    );
+    for (x, y) in a.answers.iter().zip(&b.answers) {
+        assert_eq!(x.tree, y.tree, "{context}: tree diverged");
+        assert_eq!(
+            x.relevance.to_bits(),
+            y.relevance.to_bits(),
+            "{context}: relevance bits diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N random queries: the sequential kernel (threads = 1) vs the
+    /// parallel executor at 2 and 4 threads, all three on reused
+    /// arenas, with a forced-parallel configuration
+    /// (`parallel_min_origins = 0`) so even two-origin draws exercise
+    /// the shard/merge pipeline — including after an ingest-driven
+    /// epoch change grows the graph under the same arenas.
+    #[test]
+    fn parallel_equivalence(
+        picks in proptest::collection::vec(
+            (0usize..5000, 0usize..5000, 1usize..4, proptest::bool::ANY, 1usize..12),
+            3..8,
+        ),
+        seed in 0u32..1000,
+    ) {
+        let base = tiny_banks();
+        let tokens = token_pool(base);
+        let mut seq_arena = SearchArena::new();
+        let mut par_arenas = [SearchArena::new(), SearchArena::new()];
+
+        let run_stream = |banks: &Banks,
+                              seq_arena: &mut SearchArena,
+                              par_arenas: &mut [SearchArena; 2],
+                              salt: usize| {
+            let mut engaged = 0usize;
+            for &(i, j, n_terms, forward, limit) in &picks {
+                let mut text = tokens[(i + salt) % tokens.len()].clone();
+                if n_terms >= 2 {
+                    text.push(' ');
+                    text.push_str(&tokens[(j + salt) % tokens.len()]);
+                }
+                if n_terms >= 3 {
+                    text.push(' ');
+                    text.push_str(&tokens[(i + j + salt) % tokens.len()]);
+                }
+                let strategy = if forward { SearchStrategy::Forward } else { SearchStrategy::Backward };
+                let mut config: BanksConfig = banks.config().clone();
+                config.search.max_results = limit;
+                let query = banks.parse(&text).unwrap();
+                let sequential = banks
+                    .search_parsed_in(&query, strategy, &config, seq_arena)
+                    .unwrap();
+                for (a, threads) in par_arenas.iter_mut().zip([2usize, 4]) {
+                    let mut par_config = config.clone();
+                    par_config.search.search_threads = threads;
+                    par_config.search.parallel_min_origins = 0;
+                    let parallel = banks
+                        .search_parsed_in(&query, strategy, &par_config, a)
+                        .unwrap();
+                    engaged += parallel.stats.shards.min(1);
+                    assert_outcomes_bit_identical(
+                        &sequential,
+                        &parallel,
+                        &format!("query `{text}` ({strategy:?}, {threads} threads)"),
+                    );
+                }
+            }
+            engaged
+        };
+        let engaged = run_stream(base, &mut seq_arena, &mut par_arenas, 0);
+        // Multi-term backward draws exist in nearly every stream; the
+        // executor must actually have run in parallel for them.
+        if picks.iter().any(|&(_, _, n, fwd, _)| n >= 2 && !fwd) {
+            prop_assert!(engaged > 0, "no query engaged the parallel executor");
+        }
+
+        // Publish a delta (new author + paper + link) so the graph's
+        // node count changes, then keep using the SAME arenas.
+        let mut publisher = SnapshotPublisher::new(Arc::clone(base));
+        let author_id = format!("ParProp{seed}");
+        let paper_id = format!("parprop{seed}");
+        let batch = DeltaBatch {
+            ops: vec![
+                TupleOp::Insert {
+                    relation: "Author".into(),
+                    values: vec![Value::text(&author_id), Value::text("Par Prop")],
+                },
+                TupleOp::Insert {
+                    relation: "Paper".into(),
+                    values: vec![
+                        Value::text(&paper_id),
+                        Value::text("Parallel Equivalence Under Epoch Change"),
+                    ],
+                },
+                TupleOp::Insert {
+                    relation: "Writes".into(),
+                    values: vec![Value::text(&author_id), Value::text(&paper_id)],
+                },
+            ],
+        };
+        let published = publisher.publish(&batch, None).expect("publish succeeds");
+        prop_assert!(
+            published.banks.tuple_graph().node_count() > base.tuple_graph().node_count()
+        );
+        run_stream(&published.banks, &mut seq_arena, &mut par_arenas, 7);
+
+        // The new tuples are reachable through a reused parallel arena.
+        let mut config: BanksConfig = published.banks.config().clone();
+        config.search.search_threads = 4;
+        config.search.parallel_min_origins = 0;
+        let query = published.banks.parse("equivalence epoch").unwrap();
+        let outcome = published
+            .banks
+            .search_parsed_in(&query, SearchStrategy::Backward, &config, &mut par_arenas[1])
+            .unwrap();
+        prop_assert!(!outcome.answers.is_empty());
+    }
+}
+
+/// Deterministic regression: the default cutover engages the parallel
+/// executor on a real 3-keyword query and the result — including the
+/// early-termination decision at top-1 — matches sequential bit for bit.
+#[test]
+fn three_keyword_query_parallel_at_default_cutover() {
+    let banks = tiny_banks();
+    let tokens = token_pool(banks);
+    let mut arena = SearchArena::new();
+    let mut engaged = 0usize;
+    for i in 0..tokens.len().min(120) {
+        let text = format!(
+            "{} {} {}",
+            tokens[i],
+            tokens[(i * 17 + 3) % tokens.len()],
+            tokens[(i * 29 + 11) % tokens.len()]
+        );
+        let query = banks.parse(&text).unwrap();
+        for limit in [1usize, 10] {
+            let mut seq = banks.config().clone();
+            seq.search.max_results = limit;
+            let sequential = banks
+                .search_parsed_in(&query, SearchStrategy::Backward, &seq, &mut arena)
+                .unwrap();
+            let mut par = seq.clone();
+            par.search.search_threads = 4; // default parallel_min_origins = 3
+            let parallel = banks
+                .search_parsed_in(&query, SearchStrategy::Backward, &par, &mut arena)
+                .unwrap();
+            engaged += parallel.stats.shards.min(1);
+            assert_outcomes_bit_identical(&sequential, &parallel, &format!("`{text}` k={limit}"));
+        }
+    }
+    assert!(
+        engaged > 0,
+        "no 3-keyword query crossed the default parallel cutover"
+    );
+}
