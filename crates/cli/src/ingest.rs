@@ -17,8 +17,7 @@
 use banks_core::Banks;
 use banks_ingest::DeltaBatch;
 use banks_server::{IngestEndpoint, QueryService, ServiceConfig};
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use banks_util::http::{http_request, ClientError};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -126,39 +125,56 @@ fn url_encode(s: &str) -> String {
     out
 }
 
+/// How many times a connect-refused POST is retried before giving up.
+const POST_ATTEMPTS: u32 = 5;
+/// First retry delay; doubles per attempt, capped at [`POST_MAX_BACKOFF`].
+const POST_BACKOFF: Duration = Duration::from_millis(200);
+/// Backoff ceiling across retries.
+const POST_MAX_BACKOFF: Duration = Duration::from_secs(2);
+
 /// POST a batch to a running server's `/ingest`. Returns the response
 /// body on success.
+///
+/// Ingest is not idempotent — replaying an insert can publish a second
+/// epoch — so only failures where **no byte reached the server**
+/// ([`ClientError::Connect`]: refused, unreachable, reset before write)
+/// are retried, with capped exponential backoff. An error after the
+/// connection was up is reported to the caller instead, since the batch
+/// may already have been applied.
 pub fn post_to_server(addr: &str, batch: &DeltaBatch, ts: &str) -> Result<String, String> {
-    let ts = url_encode(ts);
+    let target = format!("/ingest?ts={}", url_encode(ts));
     let body = batch.to_json().compact();
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(60))))
-        .map_err(|e| e.to_string())?;
-    write!(
-        stream,
-        "POST /ingest?ts={ts} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    )
-    .map_err(|e| format!("send request: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("read response: {e}"))?;
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed response: {response:.120}"))?;
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    if status != 200 {
-        return Err(format!("server rejected the batch ({status}): {payload}"));
+    let mut backoff = POST_BACKOFF;
+    let mut attempt = 1;
+    let resp = loop {
+        match http_request(
+            addr,
+            "POST",
+            &target,
+            Some(body.as_bytes()),
+            Duration::from_secs(60),
+        ) {
+            Ok(resp) => break resp,
+            Err(ClientError::Connect(e)) if attempt < POST_ATTEMPTS => {
+                eprintln!(
+                    "connect {addr}: {e} — retrying in {}ms (attempt {attempt}/{POST_ATTEMPTS})",
+                    backoff.as_millis(),
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(POST_MAX_BACKOFF);
+                attempt += 1;
+            }
+            Err(e) => return Err(format!("{addr}: {e}")),
+        }
+    };
+    if resp.status != 200 {
+        return Err(format!(
+            "server rejected the batch ({}): {}",
+            resp.status,
+            resp.text()
+        ));
     }
-    Ok(payload)
+    Ok(resp.text())
 }
 
 /// Apply a batch against a locally generated corpus and report what the
@@ -299,6 +315,59 @@ mod tests {
             "2026-07-30%2012%3A00%26x%3D1"
         );
         assert_eq!(url_encode("t~0_a.b-c"), "t~0_a.b-c");
+    }
+
+    fn tiny_batch() -> DeltaBatch {
+        DeltaBatch::from_json(
+            r#"{"ops":[{"op":"insert","relation":"Author",
+                        "values":["RetryAuthor","Retry Author"]}]}"#,
+        )
+        .unwrap()
+    }
+
+    /// Serve exactly one canned HTTP response on `listener`.
+    fn answer_once(listener: std::net::TcpListener, status: &'static str, body: &'static str) {
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+            let _ = write!(
+                stream,
+                "HTTP/1.1 {status}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        });
+    }
+
+    #[test]
+    fn post_retries_connection_refused_then_succeeds() {
+        // Reserve a port, then close it: the first attempt is refused
+        // (nothing sent — safe to retry), and a listener comes up before
+        // the backoff expires.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let rebind = addr.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = std::net::TcpListener::bind(&rebind).unwrap();
+            answer_once(listener, "200 OK", "epoch 1 published");
+        });
+        let out = post_to_server(&addr, &tiny_batch(), "t0").unwrap();
+        assert_eq!(out, "epoch 1 published");
+    }
+
+    #[test]
+    fn post_does_not_retry_a_server_rejection() {
+        // One canned 503: if the client retried, the second attempt
+        // would hang on accept — an immediate error proves it didn't.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        answer_once(listener, "503 Service Unavailable", "read-only");
+        let err = post_to_server(&addr, &tiny_batch(), "t0").unwrap_err();
+        assert!(err.contains("503"), "{err}");
+        assert!(err.contains("read-only"), "{err}");
     }
 
     #[test]

@@ -15,12 +15,14 @@
 
 pub mod corpus;
 pub mod ingest;
+pub mod route;
 pub mod serve;
 pub mod shell;
 pub mod snapshot;
 pub mod table;
 
 pub use ingest::IngestArgs;
+pub use route::RouteArgs;
 pub use serve::ServeArgs;
 pub use shell::Shell;
 pub use snapshot::SnapshotArgs;

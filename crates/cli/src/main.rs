@@ -9,7 +9,9 @@
 //!
 //! Also supports one-shot execution: `banks -c "open dblp; search mohan"`,
 //! the HTTP server mode: `banks serve --corpus dblp --addr 127.0.0.1:7331`
-//! (add `--data-dir DIR` for durable, crash-recoverable serving),
+//! (add `--data-dir DIR` for durable serving, `--follow LEADER:PORT` for
+//! a read-only replica), the cluster front door:
+//! `banks route --leader … --follower …`,
 //! delta ingestion: `banks ingest --file deltas.json --server 127.0.0.1:7331`,
 //! and snapshot bundles: `banks snapshot save|load|inspect …`.
 
@@ -22,6 +24,15 @@ fn main() {
     // Server mode: `banks serve [flags…]` (see banks_cli::serve).
     if args.first().map(String::as_str) == Some("serve") {
         if let Err(err) = banks_cli::serve::run(&args[1..]) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Router mode: `banks route [flags…]` (see banks_cli::route).
+    if args.first().map(String::as_str) == Some("route") {
+        if let Err(err) = banks_cli::route::run(&args[1..]) {
             eprintln!("error: {err}");
             std::process::exit(1);
         }

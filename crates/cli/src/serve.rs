@@ -20,10 +20,19 @@
 //! writes) is **deprecated** in favor of `--data-dir`; it still works,
 //! and a corrupt snapshot file now falls back to a rebuild with a
 //! warning instead of refusing to start.
+//!
+//! With `--follow LEADER:PORT` (requires `--data-dir`), the process is
+//! a **follower** (`banks-replica`): it bootstraps from the leader's
+//! newest snapshot bundle, tails its WAL over HTTP, serves the same
+//! epochs read-only, and persists what it tails so a restart resumes
+//! without re-downloading. `POST /ingest` answers `503` with the
+//! leader's address; `/search?min_epoch=…` waits for replication and
+//! answers `409` (plus the leader hint) past its deadline.
 
 use banks_core::{Banks, BanksConfig, TupleGraph};
 use banks_ingest::SnapshotPublisher;
 use banks_persist::{PersistOptions, PersistentStore};
+use banks_replica::{Replica, ReplicaConfig};
 use banks_server::{BanksServer, IngestEndpoint, QueryService, ServerConfig, ServiceConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -58,6 +67,9 @@ pub struct ServeArgs {
     pub graph_snapshot: Option<PathBuf>,
     /// Disable the write path (`POST /ingest` answers 503).
     pub no_ingest: bool,
+    /// Follower mode: tail this leader (`banks-replica`); requires
+    /// `--data-dir`.
+    pub follow: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -75,6 +87,7 @@ impl Default for ServeArgs {
             compact_wal_batches: PersistOptions::default().compact_wal_batches,
             graph_snapshot: None,
             no_ingest: false,
+            follow: None,
         }
     }
 }
@@ -129,6 +142,7 @@ impl ServeArgs {
                     parsed.graph_snapshot = Some(PathBuf::from(value("--graph-snapshot")?))
                 }
                 "--no-ingest" => parsed.no_ingest = true,
+                "--follow" => parsed.follow = Some(value("--follow")?),
                 other => return Err(format!("unknown serve flag `{other}` — see `banks help`")),
             }
         }
@@ -315,7 +329,14 @@ fn summary_line(args: &ServeArgs, banks: &Banks, source: &str) -> String {
 
 /// Start the HTTP server for the given arguments. Returns the running
 /// server so callers (tests, embedding processes) control its lifetime.
-pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), String> {
+/// A third tuple element keeps follower mode's tail thread alive: drop
+/// it and the follower stops replicating.
+pub fn start(
+    args: &ServeArgs,
+) -> Result<(Arc<QueryService>, BanksServer, Option<Replica>), String> {
+    if args.follow.is_some() {
+        return start_follower(args);
+    }
     let (service, summary, durable) = build_service(args)?;
     let workers = if args.workers == 0 {
         std::thread::available_parallelism()
@@ -375,15 +396,83 @@ pub fn start(args: &ServeArgs) -> Result<(Arc<QueryService>, BanksServer), Strin
             "endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health  POST /ingest (live writes on)"
         );
     }
-    Ok((service, server))
+    Ok((service, server, None))
+}
+
+/// Follower mode: bootstrap-or-resume from `--data-dir`, tail the
+/// leader's WAL, and serve read-only with the leader advertised for
+/// writes and read-your-writes redirects.
+fn start_follower(
+    args: &ServeArgs,
+) -> Result<(Arc<QueryService>, BanksServer, Option<Replica>), String> {
+    let leader = args.follow.clone().expect("follower mode");
+    let dir = args.data_dir.clone().ok_or_else(|| {
+        "--follow requires --data-dir (the follower persists the snapshot and WAL it tails)"
+            .to_string()
+    })?;
+    if args.no_ingest {
+        eprintln!("warning: --no-ingest is implied by --follow (followers never ingest)");
+    }
+    let service_config = ServiceConfig {
+        cache_capacity: args.cache_capacity,
+        cache_shards: args.cache_shards,
+        search_threads: resolve_search_threads(args),
+    };
+    let replica = Replica::start(
+        ReplicaConfig {
+            leader: leader.clone(),
+            data_dir: dir,
+            options: PersistOptions {
+                fsync: !args.no_fsync,
+                compact_wal_batches: args.compact_wal_batches,
+                ..PersistOptions::default()
+            },
+            ..ReplicaConfig::default()
+        },
+        service_config,
+    )
+    .map_err(|e| format!("follow {leader}: {e}"))?;
+    let service = replica.service();
+    let workers = if args.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        args.workers
+    };
+    let server = BanksServer::bind_full(
+        Arc::clone(&service),
+        None,
+        Some(replica.store()),
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers,
+            leader_hint: Some(leader.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let downloaded = replica.stats().snapshots_downloaded > 0;
+    eprintln!(
+        "following {leader} from epoch {} ({}) — serving read-only on http://{}",
+        service.epoch(),
+        if downloaded {
+            "bootstrapped from leader snapshot"
+        } else {
+            "resumed from local state"
+        },
+        server.local_addr(),
+    );
+    Ok((service, server, Some(replica)))
 }
 
 /// Foreground entry point for `banks serve`: serve until the process is
 /// killed.
 pub fn run(args: &[String]) -> Result<(), String> {
     let args = ServeArgs::parse(args)?;
-    let (_service, server) = start(&args)?;
+    let (_service, server, replica) = start(&args)?;
     server.join();
+    drop(replica); // stop tailing only after the server is down
     Ok(())
 }
 
@@ -448,6 +537,13 @@ mod tests {
                 .unwrap()
                 .no_ingest
         );
+        assert_eq!(
+            ServeArgs::parse(&strings(&["--follow", "127.0.0.1:7331"]))
+                .unwrap()
+                .follow
+                .as_deref(),
+            Some("127.0.0.1:7331")
+        );
     }
 
     #[test]
@@ -461,6 +557,14 @@ mod tests {
             ..ServeArgs::default()
         })
         .is_err());
+        // Follower mode without a data directory is refused up front.
+        match start(&ServeArgs {
+            follow: Some("127.0.0.1:1".into()),
+            ..ServeArgs::default()
+        }) {
+            Err(err) => assert!(err.contains("--data-dir"), "{err}"),
+            Ok(_) => panic!("follower mode without --data-dir must fail"),
+        }
     }
 
     #[test]
@@ -567,7 +671,7 @@ mod tests {
             workers: 2,
             ..ServeArgs::default()
         };
-        let (_service, server) = start(&args).unwrap();
+        let (_service, server, _replica) = start(&args).unwrap();
         let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
         stream
             .write_all(b"GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
@@ -587,7 +691,8 @@ mod tests {
             workers: 2,
             ..ServeArgs::default()
         };
-        let (service, server) = start(&args).unwrap();
+        let (service, server, replica) = start(&args).unwrap();
+        assert!(replica.is_none());
         assert_ne!(server.local_addr().port(), 0);
         assert_eq!(service.stats().queries, 0);
         server.shutdown();

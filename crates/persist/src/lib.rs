@@ -45,5 +45,5 @@ pub use bundle::{
     inspect_bundle, load_bundle, read_bundle, save_bundle, write_bundle, BundleInfo, BundleMeta,
 };
 pub use error::{PersistError, PersistResult};
-pub use store::{PersistOptions, PersistStats, PersistentStore, Recovery};
-pub use wal::{scan_wal, WalFrame, WalScan, WalWriter};
+pub use store::{snapshot_file, PersistOptions, PersistStats, PersistentStore, Recovery};
+pub use wal::{scan_frames, scan_wal, WalFrame, WalScan, WalWriter};

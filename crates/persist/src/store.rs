@@ -48,8 +48,9 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 type CompactJob = (Arc<Banks>, u64);
 type CompactSender = SyncSender<CompactJob>;
 type CompactReceiver = Receiver<CompactJob>;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs for the store.
 #[derive(Debug, Clone)]
@@ -114,8 +115,11 @@ pub struct Recovery {
     pub warnings: Vec<String>,
 }
 
-/// Epoch-stamped snapshot file name.
-fn snapshot_file(epoch: u64) -> String {
+/// Epoch-stamped snapshot file name (zero-padded so lexicographic order
+/// is epoch order). Public so a replication bootstrap can drop a
+/// downloaded bundle into a fresh data directory under the exact name
+/// recovery expects.
+pub fn snapshot_file(epoch: u64) -> String {
     format!("snapshot-{epoch:020}.banks")
 }
 
@@ -138,6 +142,21 @@ struct Inner {
     recovered_epoch: Option<u64>,
     replayed_batches: u64,
     truncated_wal_bytes: u64,
+    /// Highest epoch whose batch is durable (on the WAL or inside a
+    /// rolled snapshot). Replication long-polls block on this: the pair
+    /// below is a `(Mutex<u64>, Condvar)` notified on every append.
+    durable_epoch: Mutex<u64>,
+    durable_advanced: Condvar,
+}
+
+impl Inner {
+    fn advance_durable_epoch(&self, epoch: u64) {
+        let mut durable = self.durable_epoch.lock().expect("durable epoch lock");
+        if epoch > *durable {
+            *durable = epoch;
+            self.durable_advanced.notify_all();
+        }
+    }
 }
 
 impl Inner {
@@ -165,6 +184,12 @@ impl Inner {
         }
         banks_util::fs::sync_dir(&self.dir);
         self.last_compaction_epoch.store(epoch, Ordering::Release);
+        // A rolled snapshot is durability too: a follower bootstrapping a
+        // fresh directory from a downloaded bundle lands here without a
+        // single WAL append, and its durable epoch must jump to the
+        // bundle's. (On the ingest path this is a no-op — the epoch was
+        // already appended.)
+        self.advance_durable_epoch(epoch);
         Ok(())
     }
 }
@@ -281,6 +306,8 @@ impl PersistentStore {
             recovered_epoch: banks.as_ref().map(|_| epoch),
             replayed_batches: replayed as u64,
             truncated_wal_bytes: scan.torn_bytes,
+            durable_epoch: Mutex::new(epoch),
+            durable_advanced: Condvar::new(),
         });
 
         // The background compactor: at most one roll in flight, expensive
@@ -328,12 +355,90 @@ impl PersistentStore {
     }
 
     /// Append one validated batch to the WAL (the durability point).
+    /// Wakes any replication long-poll waiting on this epoch.
     pub fn append_wal(&self, epoch: u64, batch: &DeltaBatch) -> PersistResult<()> {
-        self.inner
-            .wal
-            .lock()
-            .expect("wal lock")
-            .append(epoch, batch)
+        let mut wal = self.inner.wal.lock().expect("wal lock");
+        wal.append(epoch, batch)?;
+        // Advance durable *while still holding the WAL lock* (lock
+        // order wal → durable, same as `wal_since`): a reader must
+        // never observe a frame whose epoch is ahead of the durable
+        // epoch, or the feed would stamp `X-Banks-Epoch` behind the
+        // frames it just shipped.
+        self.inner.advance_durable_epoch(epoch);
+        Ok(())
+    }
+
+    /// Highest epoch durably recorded in this directory (recovered epoch
+    /// at open, advanced by every WAL append).
+    pub fn durable_epoch(&self) -> u64 {
+        *self.inner.durable_epoch.lock().expect("durable epoch lock")
+    }
+
+    /// Block until the durable epoch exceeds `from_epoch` or `deadline`
+    /// passes; returns the durable epoch either way. This is the leader
+    /// side of a WAL long-poll: a follower that is fully caught up parks
+    /// here instead of busy-polling an empty range.
+    pub fn wait_past_epoch(&self, from_epoch: u64, deadline: Duration) -> u64 {
+        let durable = self.inner.durable_epoch.lock().expect("durable epoch lock");
+        let (guard, _timeout) = self
+            .inner
+            .durable_advanced
+            .wait_timeout_while(durable, deadline, |&mut e| e <= from_epoch)
+            .expect("durable epoch lock");
+        *guard
+    }
+
+    /// The replication feed: raw on-disk bytes of every WAL frame with
+    /// `epoch > from_epoch`, or `None` when compaction already dropped a
+    /// frame in that range — the caller must bootstrap from a snapshot
+    /// bundle instead ([`PersistentStore::newest_snapshot`]).
+    ///
+    /// An empty byte vector means the follower is caught up (every
+    /// durable epoch ≤ `from_epoch`); a request *ahead* of the durable
+    /// epoch is also just "caught up" — frames appear when writes do.
+    pub fn wal_since(&self, from_epoch: u64) -> PersistResult<Option<Vec<u8>>> {
+        let mut wal = self.inner.wal.lock().expect("wal lock");
+        let bytes = wal.frames_since(from_epoch)?;
+        // Read the durable epoch *under* the WAL lock (append takes
+        // wal → durable in that order), so "empty range but durable is
+        // ahead" can only mean compaction dropped the frames — a gap,
+        // not a caught-up follower.
+        let durable = *self.inner.durable_epoch.lock().expect("durable epoch lock");
+        drop(wal);
+        match bytes {
+            Some(bytes) if bytes.is_empty() && durable > from_epoch => Ok(None),
+            other => Ok(other),
+        }
+    }
+
+    /// Newest snapshot bundle in the directory: `(epoch, bytes)`.
+    /// Retries the list-then-read race against the background pruner (a
+    /// listed file may be deleted before the read lands).
+    pub fn newest_snapshot(&self) -> PersistResult<(u64, Vec<u8>)> {
+        for _ in 0..8 {
+            let newest = std::fs::read_dir(&self.inner.dir)?
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name();
+                    let epoch = snapshot_epoch(name.to_str()?)?;
+                    Some((epoch, e.path()))
+                })
+                .max_by_key(|&(epoch, _)| epoch);
+            let Some((epoch, path)) = newest else {
+                return Err(PersistError::NoValidSnapshot {
+                    snapshots_tried: 0,
+                    wal_batches: 0,
+                });
+            };
+            match std::fs::read(&path) {
+                Ok(bytes) => return Ok((epoch, bytes)),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(PersistError::Malformed(
+            "snapshot files churned faster than they could be read".into(),
+        ))
     }
 
     /// Synchronously write a snapshot bundle for `(banks, epoch)`,

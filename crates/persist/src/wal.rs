@@ -104,6 +104,14 @@ pub fn scan_wal(path: &Path) -> PersistResult<WalScan> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
         Err(e) => return Err(e.into()),
     };
+    scan_frames(&bytes)
+}
+
+/// Scan an in-memory frame stream — the same decoding `scan_wal` applies
+/// to the on-disk log, reused by the replication tailer on HTTP bodies
+/// (`GET /replication/wal` ships the on-disk bytes verbatim, so follower
+/// and recovery parse with identical code).
+pub fn scan_frames(bytes: &[u8]) -> PersistResult<WalScan> {
     let mut scan = WalScan::default();
     let mut at = 0usize;
     loop {
@@ -271,6 +279,44 @@ impl WalWriter {
     /// The log's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Raw bytes of every whole frame with `epoch > from_epoch`, exactly
+    /// as they sit on disk — the replication feed. Returns `None` when
+    /// the log no longer reaches back that far (compaction dropped a
+    /// frame the caller still needs; it must re-bootstrap from a
+    /// snapshot instead of tailing).
+    ///
+    /// Frames carry consecutive epochs (recovery rejects gaps, appends
+    /// are sequential), so "present" is a contiguous range: the request
+    /// is serveable iff `from_epoch` is at or past `first_epoch - 1`.
+    /// An empty log serves any request as zero bytes — the caller
+    /// cross-checks against the durable epoch to distinguish "caught
+    /// up" from "compacted away" (see `PersistentStore::wal_since`).
+    pub fn frames_since(&mut self, from_epoch: u64) -> PersistResult<Option<Vec<u8>>> {
+        self.check_poisoned()?;
+        let Some(&(first_epoch, _)) = self.index.first() else {
+            return Ok(Some(Vec::new()));
+        };
+        if from_epoch + 1 < first_epoch {
+            return Ok(None);
+        }
+        let start = self
+            .index
+            .iter()
+            .find(|&&(epoch, _)| epoch > from_epoch)
+            .map(|&(_, offset)| offset)
+            .unwrap_or(self.bytes);
+        let mut out = vec![0u8; (self.bytes - start) as usize];
+        self.file.seek(SeekFrom::Start(start))?;
+        self.file.read_exact(&mut out)?;
+        self.file.seek(SeekFrom::Start(self.bytes))?;
+        Ok(Some(out))
+    }
+
+    /// Epoch of the newest frame in the log, if any.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.index.last().map(|&(epoch, _)| epoch)
     }
 
     /// Drop every frame with `epoch <= up_to_epoch` (superseded by a
@@ -465,6 +511,58 @@ mod tests {
         assert_eq!(scan_wal(&path).unwrap().frames.len(), 0);
         w.append(7, &batch("e7", 1)).unwrap();
         assert_eq!(scan_wal(&path).unwrap().frames[0].epoch, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The replication feed contract: `frames_since` serves the exact
+    /// on-disk byte range past `from_epoch`, reports a gap (`None`) when
+    /// compaction dropped a needed frame, and stays append-consistent
+    /// after the interleaved reads.
+    #[test]
+    fn frames_since_serves_ranges_and_reports_gaps() {
+        let path = tmp("since");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, &WalScan::default(), false).unwrap();
+        assert_eq!(w.frames_since(0).unwrap(), Some(Vec::new()));
+        for e in 1..=4u64 {
+            w.append(e, &batch(&format!("e{e}"), 1)).unwrap();
+        }
+
+        let full = std::fs::read(&path).unwrap();
+        // from_epoch=0 ships the whole log byte-for-byte.
+        assert_eq!(w.frames_since(0).unwrap(), Some(full.clone()));
+        // A mid-log cursor ships exactly the on-disk suffix.
+        let suffix = w.frames_since(2).unwrap().unwrap();
+        assert_eq!(full[full.len() - suffix.len()..], suffix[..]);
+        let parsed = scan_frames(&suffix).unwrap();
+        assert_eq!(
+            parsed.frames.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // Caught-up (and beyond) cursors get zero bytes, not an error.
+        assert_eq!(w.frames_since(4).unwrap(), Some(Vec::new()));
+        assert_eq!(w.frames_since(9).unwrap(), Some(Vec::new()));
+
+        // Compaction through epoch 2: cursor 1 would need the dropped
+        // frame 2 — a gap; cursor 2 sits exactly at the boundary and
+        // still tails.
+        w.compact(2).unwrap();
+        assert_eq!(w.frames_since(1).unwrap(), None);
+        let after = w.frames_since(2).unwrap().unwrap();
+        assert_eq!(
+            scan_frames(&after)
+                .unwrap()
+                .frames
+                .iter()
+                .map(|f| f.epoch)
+                .collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+
+        // The interleaved reads left the append offset intact.
+        w.append(5, &batch("e5", 1)).unwrap();
+        assert_eq!(w.last_epoch(), Some(5));
+        assert_eq!(scan_wal(&path).unwrap().torn_bytes, 0);
         std::fs::remove_file(&path).ok();
     }
 

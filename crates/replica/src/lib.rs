@@ -1,0 +1,733 @@
+//! # banks-replica
+//!
+//! WAL-shipping replication: run a **follower** that serves the same
+//! epochs as a leader `banks serve --data-dir` process, fed entirely
+//! over the leader's ordinary HTTP surface.
+//!
+//! The paper's BANKS is a single-process research prototype; the PR-3
+//! durability layer already pinned down the two artifacts a replica
+//! needs — a full-system **snapshot bundle** and a checksummed,
+//! epoch-stamped **write-ahead log** — and this crate ships both across
+//! the network *verbatim*:
+//!
+//! 1. **Bootstrap** — a fresh follower downloads the leader's newest
+//!    bundle (`GET /replication/snapshot`), decodes and validates it
+//!    with the same [`banks_persist::read_bundle`] used by local
+//!    recovery, and rolls it into its own data directory. A follower
+//!    whose directory already recovers simply resumes from the local
+//!    epoch — no download (see
+//!    [`ReplicaStats::snapshots_downloaded`]).
+//! 2. **Tail** — a long-poll loop on
+//!    `GET /replication/wal?from_epoch=N&wait_ms=M` streams raw WAL
+//!    frames (the on-disk byte format, unmodified). Bodies are parsed
+//!    with [`banks_persist::scan_frames`] — the exact decoder recovery
+//!    uses — and each batch replays through an ordinary
+//!    [`SnapshotPublisher`] whose durability hook appends to the
+//!    *follower's* WAL. Epochs, caches, `/stats`, and ranked answers
+//!    therefore behave bit-identically to the leader, and a follower
+//!    restart recovers from its own directory and resumes tailing
+//!    where it left off.
+//! 3. **Re-bootstrap** — if the leader compacted past the follower's
+//!    epoch it answers `410 Gone`; the follower downloads a fresh
+//!    bundle and swaps it in, atomically from the reader's view.
+//!
+//! Every `/replication/*` response carries the leader's durable epoch
+//! in an `X-Banks-Epoch` header; the follower mirrors it into
+//! [`banks_server::QueryService::note_leader_epoch`] so `/stats`
+//! reports `epoch_lag` even while the log is idle.
+
+use banks_core::BanksConfig;
+use banks_ingest::SnapshotPublisher;
+use banks_persist::{read_bundle, scan_frames, PersistOptions, PersistentStore};
+use banks_server::{QueryService, ServiceConfig};
+use banks_util::http::{http_request, ClientError, HttpResponse};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How a follower connects to and paces its leader.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Leader base address (`host:port`; an `http://` prefix is fine).
+    pub leader: String,
+    /// The follower's own durable directory (bundle + tailed WAL).
+    pub data_dir: PathBuf,
+    /// Long-poll window passed as `wait_ms` on the WAL feed. The leader
+    /// parks the request until an epoch lands or the window expires, so
+    /// this is the idle-traffic knob, not a latency one.
+    pub poll_wait_ms: u64,
+    /// Slack added on top of the poll window for the request timeout.
+    pub request_slack: Duration,
+    /// Timeout for a snapshot download (bundles are big).
+    pub snapshot_timeout: Duration,
+    /// Base backoff after a leader error; doubles per consecutive
+    /// failure, capped at [`MAX_BACKOFF`].
+    pub retry_backoff: Duration,
+    /// Bootstrap attempts before `start` gives up (the leader may still
+    /// be coming up when the follower starts).
+    pub bootstrap_attempts: u32,
+    /// Durability options for the follower's own store.
+    pub options: PersistOptions,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            leader: "127.0.0.1:7331".to_string(),
+            data_dir: PathBuf::from("banks-follower"),
+            poll_wait_ms: 10_000,
+            request_slack: Duration::from_secs(5),
+            snapshot_timeout: Duration::from_secs(30),
+            retry_backoff: Duration::from_millis(200),
+            bootstrap_attempts: 20,
+            options: PersistOptions::default(),
+        }
+    }
+}
+
+/// Ceiling for the doubling retry backoff.
+pub const MAX_BACKOFF: Duration = Duration::from_secs(5);
+
+/// Why a follower could not start (the tail loop itself never dies —
+/// it retries, re-bootstraps, or waits for shutdown).
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// The leader was unreachable or answered garbage during bootstrap.
+    Leader(String),
+    /// The local data directory failed.
+    Persist(banks_persist::PersistError),
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::Leader(msg) => write!(f, "leader: {msg}"),
+            ReplicaError::Persist(e) => write!(f, "data dir: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<banks_persist::PersistError> for ReplicaError {
+    fn from(e: banks_persist::PersistError) -> Self {
+        ReplicaError::Persist(e)
+    }
+}
+
+/// Point-in-time replication counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Bundles fetched over HTTP (bootstrap + re-bootstraps). A restart
+    /// that resumes from local state does **not** increment this.
+    pub snapshots_downloaded: u64,
+    /// WAL batches replayed off the feed.
+    pub batches_applied: u64,
+    /// Raw frame bytes received on the feed.
+    pub frame_bytes: u64,
+    /// 410-triggered (or divergence-triggered) full re-bootstraps.
+    pub rebootstraps: u64,
+    /// Failed leader requests (connect, timeout, non-200 statuses).
+    pub leader_errors: u64,
+    /// The follower's current serving epoch.
+    pub epoch: u64,
+    /// The leader's durable epoch as last observed, if ever.
+    pub leader_epoch: Option<u64>,
+    /// Most recent leader/apply error, for operators.
+    pub last_error: Option<String>,
+}
+
+/// Counters + shutdown flag shared with the tail thread.
+#[derive(Default)]
+struct Shared {
+    shutdown: AtomicBool,
+    snapshots_downloaded: AtomicU64,
+    batches_applied: AtomicU64,
+    frame_bytes: AtomicU64,
+    rebootstraps: AtomicU64,
+    leader_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn note_error(&self, msg: String) {
+        self.leader_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock().expect("last error lock") = Some(msg);
+    }
+
+    /// Shutdown-aware sleep: naps in short slices so `shutdown()` never
+    /// waits out a full backoff.
+    fn pause(&self, duration: Duration) {
+        let mut left = duration;
+        while !self.is_shutdown() && !left.is_zero() {
+            let nap = left.min(Duration::from_millis(50));
+            std::thread::sleep(nap);
+            left = left.saturating_sub(nap);
+        }
+    }
+}
+
+/// A running follower: its query service (serve it, search it) plus the
+/// background tail thread. Dropping it stops the thread.
+pub struct Replica {
+    service: Arc<QueryService>,
+    store: Arc<PersistentStore>,
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Bootstrap (or resume) a follower and start tailing the leader.
+    ///
+    /// Blocks until the follower has a serveable snapshot: either the
+    /// local directory recovered one, or a bundle was downloaded from
+    /// the leader (retried `bootstrap_attempts` times — the leader may
+    /// still be binding when the follower starts).
+    pub fn start(
+        config: ReplicaConfig,
+        service_config: ServiceConfig,
+    ) -> Result<Replica, ReplicaError> {
+        let base = BanksConfig::default();
+        let shared = Arc::new(Shared::default());
+        let (store, recovery) =
+            PersistentStore::open(&config.data_dir, &base, config.options.clone())?;
+        let (banks, epoch) = match recovery.banks {
+            // Local state wins: resume tailing from the recovered epoch
+            // without touching the leader.
+            Some(banks) => (banks, recovery.epoch),
+            None => {
+                let bytes = fetch_bundle_with_retry(&config, &shared)?;
+                let (banks, meta) = read_bundle(&bytes[..], &base).map_err(|e| {
+                    ReplicaError::Leader(format!("leader sent an unreadable snapshot bundle: {e}"))
+                })?;
+                // Rolling the bundle through the store gives the normal
+                // restart path for free: the follower's own directory now
+                // recovers to this epoch.
+                store.save_snapshot(&banks, meta.epoch)?;
+                shared.snapshots_downloaded.fetch_add(1, Ordering::Relaxed);
+                (Arc::new(banks), meta.epoch)
+            }
+        };
+
+        let service = Arc::new(QueryService::with_epoch(
+            Arc::clone(&banks),
+            epoch,
+            service_config,
+        ));
+        let mut publisher = SnapshotPublisher::with_epoch(banks, epoch);
+        publisher.set_durability_hook(store.wal_hook());
+
+        let handle = {
+            let config = config.clone();
+            let shared = Arc::clone(&shared);
+            let store = Arc::clone(&store);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("banks-replica-tail".to_string())
+                .spawn(move || tail_loop(&config, &base, &store, &service, publisher, &shared))
+                .expect("spawn tail thread")
+        };
+
+        Ok(Replica {
+            service,
+            store,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The query service fed by the tail loop — hand it to
+    /// [`banks_server::BanksServer`] to serve reads.
+    pub fn service(&self) -> Arc<QueryService> {
+        Arc::clone(&self.service)
+    }
+
+    /// The follower's own durable store (for `/stats` wiring).
+    pub fn store(&self) -> Arc<PersistentStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Snapshot of the replication counters.
+    pub fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            snapshots_downloaded: self.shared.snapshots_downloaded.load(Ordering::Relaxed),
+            batches_applied: self.shared.batches_applied.load(Ordering::Relaxed),
+            frame_bytes: self.shared.frame_bytes.load(Ordering::Relaxed),
+            rebootstraps: self.shared.rebootstraps.load(Ordering::Relaxed),
+            leader_errors: self.shared.leader_errors.load(Ordering::Relaxed),
+            epoch: self.service.epoch(),
+            leader_epoch: self.service.leader_epoch(),
+            last_error: self
+                .shared
+                .last_error
+                .lock()
+                .expect("last error lock")
+                .clone(),
+        }
+    }
+
+    /// Stop tailing and join the thread. The long-poll in flight is
+    /// abandoned to its timeout, so this can take up to the poll window.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One bundle download. `Err` is a human-readable reason.
+fn fetch_bundle(config: &ReplicaConfig) -> Result<Vec<u8>, String> {
+    let resp = http_request(
+        &config.leader,
+        "GET",
+        "/replication/snapshot",
+        None,
+        config.snapshot_timeout,
+    )
+    .map_err(|e| format!("GET /replication/snapshot: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "GET /replication/snapshot: leader answered {} ({})",
+            resp.status,
+            resp.text().chars().take(200).collect::<String>()
+        ));
+    }
+    Ok(resp.body)
+}
+
+fn fetch_bundle_with_retry(
+    config: &ReplicaConfig,
+    shared: &Shared,
+) -> Result<Vec<u8>, ReplicaError> {
+    let mut backoff = config.retry_backoff;
+    let mut last = String::new();
+    for _ in 0..config.bootstrap_attempts.max(1) {
+        match fetch_bundle(config) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) => {
+                shared.note_error(e.clone());
+                last = e;
+                shared.pause(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+        }
+        if shared.is_shutdown() {
+            break;
+        }
+    }
+    Err(ReplicaError::Leader(format!(
+        "bootstrap gave up after {} attempt(s): {last}",
+        config.bootstrap_attempts.max(1)
+    )))
+}
+
+/// Mirror the leader's durable epoch off a `/replication/*` response.
+fn note_leader_epoch(service: &QueryService, resp: &HttpResponse) {
+    if let Some(epoch) = resp.header("x-banks-epoch").and_then(|v| v.parse().ok()) {
+        service.note_leader_epoch(epoch);
+    }
+}
+
+/// Why a feed response could not be applied.
+enum TailFault {
+    /// Transient — re-poll from the same epoch; the leader re-serves
+    /// the frames.
+    Retry(String),
+    /// The stream no longer lines up with local state (leader reset,
+    /// epoch gap, batch rejected): only a fresh bundle can fix it.
+    Diverged(String),
+}
+
+/// Replay one feed body: decode with the recovery scanner, apply each
+/// frame through the publisher (which WALs it locally first), publish
+/// to readers, and let the store decide about compaction.
+fn apply_frames(
+    body: &[u8],
+    publisher: &mut SnapshotPublisher,
+    service: &QueryService,
+    store: &Arc<PersistentStore>,
+    shared: &Shared,
+) -> Result<(), TailFault> {
+    let scan = scan_frames(body).map_err(|e| TailFault::Retry(format!("feed body: {e}")))?;
+    shared
+        .frame_bytes
+        .fetch_add(scan.valid_bytes, Ordering::Relaxed);
+    for frame in &scan.frames {
+        if frame.epoch <= publisher.epoch() {
+            // Overlap after a retry — the leader serves whole suffixes.
+            continue;
+        }
+        if frame.epoch != publisher.epoch() + 1 {
+            return Err(TailFault::Diverged(format!(
+                "epoch gap in feed: have {}, next frame is {}",
+                publisher.epoch(),
+                frame.epoch
+            )));
+        }
+        // Same contract as the leader's ingest path: the WAL hook runs
+        // before promotion, so an applied epoch is already durable here.
+        let published = publisher
+            .publish(&frame.batch, None)
+            .map_err(|e| TailFault::Diverged(format!("replay epoch {}: {e}", frame.epoch)))?;
+        service.install_snapshot(Arc::clone(&published.banks), published.info.epoch, None);
+        store.maybe_compact(&published.banks, published.info.epoch);
+        shared.batches_applied.fetch_add(1, Ordering::Relaxed);
+    }
+    if scan.torn_bytes > 0 {
+        // A complete HTTP body can still end mid-frame only if the
+        // leader misbehaved; whole frames above were applied, re-poll
+        // for the rest.
+        return Err(TailFault::Retry(format!(
+            "feed body ended mid-frame ({} torn byte(s))",
+            scan.torn_bytes
+        )));
+    }
+    Ok(())
+}
+
+/// Download a fresh bundle and swap it in: store, publisher, readers.
+fn rebootstrap(
+    config: &ReplicaConfig,
+    base: &BanksConfig,
+    store: &Arc<PersistentStore>,
+    service: &QueryService,
+    publisher: &mut SnapshotPublisher,
+    shared: &Shared,
+) -> Result<(), String> {
+    let bytes = fetch_bundle(config)?;
+    let (banks, meta) =
+        read_bundle(&bytes[..], base).map_err(|e| format!("re-bootstrap bundle: {e}"))?;
+    if meta.epoch < publisher.epoch() {
+        return Err(format!(
+            "leader snapshot (epoch {}) is behind this follower (epoch {})",
+            meta.epoch,
+            publisher.epoch()
+        ));
+    }
+    // Rolling through the store compacts the local WAL past the new
+    // epoch, so a restart recovers the post-re-bootstrap state.
+    store
+        .save_snapshot(&banks, meta.epoch)
+        .map_err(|e| format!("roll re-bootstrap bundle: {e}"))?;
+    let banks = Arc::new(banks);
+    *publisher = SnapshotPublisher::with_epoch(Arc::clone(&banks), meta.epoch);
+    publisher.set_durability_hook(store.wal_hook());
+    service.install_snapshot(banks, meta.epoch, None);
+    shared.snapshots_downloaded.fetch_add(1, Ordering::Relaxed);
+    shared.rebootstraps.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// The follower's main loop: long-poll, apply, repeat — with doubling
+/// backoff on errors and a full re-bootstrap on `410 Gone`.
+fn tail_loop(
+    config: &ReplicaConfig,
+    base: &BanksConfig,
+    store: &Arc<PersistentStore>,
+    service: &Arc<QueryService>,
+    mut publisher: SnapshotPublisher,
+    shared: &Shared,
+) {
+    let timeout = Duration::from_millis(config.poll_wait_ms) + config.request_slack;
+    let mut backoff = config.retry_backoff;
+    while !shared.is_shutdown() {
+        let target = format!(
+            "/replication/wal?from_epoch={}&wait_ms={}",
+            publisher.epoch(),
+            config.poll_wait_ms
+        );
+        let resp = match http_request(&config.leader, "GET", &target, None, timeout) {
+            Ok(resp) => resp,
+            Err(ClientError::Connect(e)) => {
+                shared.note_error(format!("connect {}: {e}", config.leader));
+                shared.pause(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
+            Err(e) => {
+                shared.note_error(format!("GET {target}: {e}"));
+                shared.pause(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
+        };
+        note_leader_epoch(service, &resp);
+        match resp.status {
+            200 => {
+                backoff = config.retry_backoff;
+                if resp.body.is_empty() {
+                    continue; // idle poll window expired — go right back
+                }
+                match apply_frames(&resp.body, &mut publisher, service, store, shared) {
+                    Ok(()) => {}
+                    Err(TailFault::Retry(msg)) => {
+                        shared.note_error(msg);
+                        shared.pause(backoff);
+                        backoff = (backoff * 2).min(MAX_BACKOFF);
+                    }
+                    Err(TailFault::Diverged(msg)) => {
+                        shared.note_error(msg);
+                        if let Err(e) =
+                            rebootstrap(config, base, store, service, &mut publisher, shared)
+                        {
+                            shared.note_error(e);
+                            shared.pause(backoff);
+                            backoff = (backoff * 2).min(MAX_BACKOFF);
+                        }
+                    }
+                }
+            }
+            410 => {
+                // The leader compacted past us — the log suffix we need
+                // no longer exists anywhere.
+                if let Err(e) = rebootstrap(config, base, store, service, &mut publisher, shared) {
+                    shared.note_error(e);
+                    shared.pause(backoff);
+                    backoff = (backoff * 2).min(MAX_BACKOFF);
+                } else {
+                    backoff = config.retry_backoff;
+                }
+            }
+            status => {
+                shared.note_error(format!("GET {target}: leader answered {status}"));
+                shared.pause(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banks_core::Banks;
+    use banks_datagen::dblp::{generate, DblpConfig};
+    use banks_ingest::{DeltaBatch, TupleOp};
+    use banks_server::{BanksServer, IngestEndpoint, ServerConfig};
+    use banks_storage::Value;
+    use std::path::Path;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "banks_replica_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A durable leader over `dir`, mirroring `banks serve --data-dir`.
+    fn leader(dir: &Path) -> (Arc<QueryService>, BanksServer, Arc<IngestEndpoint>) {
+        let config = BanksConfig::default();
+        let (store, recovery) =
+            PersistentStore::open(dir, &config, PersistOptions::default()).expect("open leader");
+        let (banks, epoch) = match recovery.banks {
+            Some(banks) => (banks, recovery.epoch),
+            None => {
+                let dataset = generate(DblpConfig::tiny(7)).expect("datagen");
+                let banks = Arc::new(Banks::new(dataset.db.clone()).expect("banks"));
+                store.save_snapshot(&banks, 0).expect("initial bundle");
+                (banks, 0)
+            }
+        };
+        let service = Arc::new(QueryService::with_epoch(
+            Arc::clone(&banks),
+            epoch,
+            ServiceConfig::default(),
+        ));
+        let mut publisher = SnapshotPublisher::with_epoch(banks, epoch);
+        publisher.set_durability_hook(store.wal_hook());
+        let ingest = IngestEndpoint::with_publisher(
+            Arc::clone(&service),
+            publisher,
+            Some(Arc::clone(&store)),
+        );
+        let server = BanksServer::bind_full(
+            Arc::clone(&service),
+            Some(Arc::clone(&ingest)),
+            Some(store),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind leader");
+        (service, server, ingest)
+    }
+
+    fn insert_author(ingest: &IngestEndpoint, id: &str) {
+        let batch = DeltaBatch {
+            ops: vec![TupleOp::Insert {
+                relation: "Author".into(),
+                values: vec![Value::text(id), Value::text(format!("Replicated {id}"))],
+            }],
+        };
+        ingest.ingest(&batch, None).expect("leader ingest");
+    }
+
+    fn follower_config(leader_addr: std::net::SocketAddr, dir: &Path) -> ReplicaConfig {
+        ReplicaConfig {
+            leader: leader_addr.to_string(),
+            data_dir: dir.to_path_buf(),
+            poll_wait_ms: 400,
+            retry_backoff: Duration::from_millis(20),
+            ..ReplicaConfig::default()
+        }
+    }
+
+    fn wait_for_epoch(replica: &Replica, epoch: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while replica.service().epoch() < epoch {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "follower stuck at epoch {} (want {epoch}): {:?}",
+                replica.service().epoch(),
+                replica.stats()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn bootstrap_tail_and_resume_without_redownload() {
+        let leader_dir = tmp_dir("leader");
+        let follower_dir = tmp_dir("follower");
+        let (leader_service, server, ingest) = leader(&leader_dir);
+
+        // Cold follower: downloads the bundle, then tails live writes.
+        let replica = Replica::start(
+            follower_config(server.local_addr(), &follower_dir),
+            ServiceConfig::default(),
+        )
+        .expect("follower start");
+        assert_eq!(replica.stats().snapshots_downloaded, 1);
+        assert_eq!(replica.service().epoch(), 0);
+
+        insert_author(&ingest, "rep-1");
+        insert_author(&ingest, "rep-2");
+        wait_for_epoch(&replica, 2);
+
+        // Identical answers, leader epoch observed, lag zero.
+        let a = leader_service
+            .search("replicated", Default::default())
+            .unwrap();
+        let b = replica
+            .service()
+            .search("replicated", Default::default())
+            .unwrap();
+        assert_eq!(a.result.answers.len(), b.result.answers.len());
+        assert_eq!(b.result.answers.len(), 2);
+        for (x, y) in a.result.answers.iter().zip(&b.result.answers) {
+            assert_eq!(x.tree.signature(), y.tree.signature());
+            assert_eq!(x.relevance.to_bits(), y.relevance.to_bits());
+        }
+        let stats = replica.stats();
+        assert_eq!(stats.batches_applied, 2);
+        assert_eq!(stats.leader_epoch, Some(2));
+        assert!(replica.service().stats().epoch_lag == Some(0));
+
+        // Restart the follower: local recovery, no second download.
+        replica.shutdown();
+        let replica = Replica::start(
+            follower_config(server.local_addr(), &follower_dir),
+            ServiceConfig::default(),
+        )
+        .expect("follower restart");
+        assert_eq!(replica.service().epoch(), 2, "resumed from local state");
+        assert_eq!(replica.stats().snapshots_downloaded, 0, "no re-download");
+
+        // And it keeps tailing from where it stopped.
+        insert_author(&ingest, "rep-3");
+        wait_for_epoch(&replica, 3);
+        assert_eq!(replica.stats().batches_applied, 1);
+
+        replica.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn leader_compaction_triggers_rebootstrap() {
+        let leader_dir = tmp_dir("compact_leader");
+        let follower_dir = tmp_dir("compact_follower");
+        let (leader_service, server, ingest) = leader(&leader_dir);
+        let replica = Replica::start(
+            follower_config(server.local_addr(), &follower_dir),
+            ServiceConfig::default(),
+        )
+        .expect("follower start");
+        replica.shutdown(); // stops at epoch 0, keeps its directory
+
+        // Leader moves on AND compacts its WAL away, so epoch 0 is no
+        // longer serveable as a log suffix.
+        insert_author(&ingest, "gap-1");
+        insert_author(&ingest, "gap-2");
+        let store = ingest.store().expect("durable leader").clone();
+        store
+            .save_snapshot(&leader_service.banks(), 2)
+            .expect("leader compaction");
+
+        // The restarted follower resumes at 0, hits 410, re-bootstraps.
+        let replica = Replica::start(
+            follower_config(server.local_addr(), &follower_dir),
+            ServiceConfig::default(),
+        )
+        .expect("follower restart");
+        wait_for_epoch(&replica, 2);
+        let stats = replica.stats();
+        assert_eq!(stats.rebootstraps, 1, "{stats:?}");
+        assert_eq!(stats.snapshots_downloaded, 1, "{stats:?}");
+        let hits = replica.service().search("gap", Default::default()).unwrap();
+        assert_eq!(hits.result.answers.len(), 2);
+
+        // A follower restart after the re-bootstrap recovers locally.
+        replica.shutdown();
+        let replica = Replica::start(
+            follower_config(server.local_addr(), &follower_dir),
+            ServiceConfig::default(),
+        )
+        .expect("second restart");
+        assert_eq!(replica.service().epoch(), 2);
+        assert_eq!(replica.stats().snapshots_downloaded, 0);
+
+        replica.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn bootstrap_fails_cleanly_without_a_leader() {
+        let dir = tmp_dir("no_leader");
+        let config = ReplicaConfig {
+            leader: "127.0.0.1:1".to_string(), // nothing listens there
+            data_dir: dir.clone(),
+            bootstrap_attempts: 2,
+            retry_backoff: Duration::from_millis(5),
+            ..ReplicaConfig::default()
+        };
+        match Replica::start(config, ServiceConfig::default()) {
+            Err(err) => assert!(matches!(err, ReplicaError::Leader(_)), "{err}"),
+            Ok(_) => panic!("bootstrap with no leader must fail"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

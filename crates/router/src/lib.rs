@@ -1,0 +1,918 @@
+//! # banks-router
+//!
+//! A query-routing front door for a replicated BANKS cluster: one
+//! leader (`banks serve --data-dir`), any number of WAL-tailing
+//! followers (`banks-replica`), and this broker in front deciding who
+//! answers what.
+//!
+//! * **Health-checked registry** — a prober thread hits every backend's
+//!   `/health` (which carries its serving epoch) on a fixed cadence.
+//!   Consecutive failures eject a backend from rotation; an ejected
+//!   backend is re-probed with doubling backoff and re-admitted on the
+//!   first success. An in-request connection failure ejects
+//!   immediately — the next client never retries a corpse.
+//! * **Cache-affinity routing** — `/search` traffic is spread over
+//!   followers by **rendezvous (highest-random-weight) hashing** of the
+//!   PR-1 normalized query key ([`banks_server::QueryKey`]): `mohan
+//!   sudarshan` and `Sudarshan  Mohan` hash identically, so a repeated
+//!   query lands on the follower that already has it cached, while
+//!   distinct queries spread evenly and a dead follower redistributes
+//!   only its own keys.
+//! * **Leader-only writes** — `POST /ingest` (and `/epochs`) always
+//!   forward to the leader; followers never see a write.
+//! * **Staleness-aware fallback** — every probe records the backend's
+//!   epoch. A follower lagging more than `staleness_bound` epochs
+//!   behind the newest known epoch leaves rotation until it catches
+//!   up; if *every* follower lags, reads fall back to the leader.
+//! * **Failover, not errors** — a connect failure, timeout, or 5xx
+//!   from a follower marks it down and retries the next candidate,
+//!   ending at the leader; a follower's `409` (a `min_epoch` the
+//!   follower couldn't reach) retries against the leader, which by
+//!   definition has the newest epoch. Clients see a failed read only
+//!   when **no** backend at all is reachable — answered as `503` with
+//!   a `Retry-After` hint and a JSON error body.
+//!
+//! The router is deliberately dumb about payloads: responses stream
+//! back verbatim (status, content type, epoch headers), so everything
+//! the backends guarantee — deterministic ranking, epoch stamps,
+//! `min_epoch` semantics — passes through unchanged.
+
+use banks_server::{QueryKey, QueryOptions};
+use banks_util::fxhash::FxHasher;
+use banks_util::http::{http_request, parse_query_string, query_param, HttpResponse};
+use banks_util::json::Json;
+use std::hash::Hasher;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Largest request the router accepts (mirrors the backend cap).
+const MAX_REQUEST_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Router tuning. `Default` matches a small local cluster.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` for tests).
+    pub addr: String,
+    /// The leader's address (`host:port`).
+    pub leader: String,
+    /// Follower addresses.
+    pub followers: Vec<String>,
+    /// Worker threads serving client connections.
+    pub workers: usize,
+    /// Accept queue depth.
+    pub backlog: usize,
+    /// Cadence of `/health` probes against healthy backends.
+    pub probe_interval: Duration,
+    /// Per-probe timeout.
+    pub probe_timeout: Duration,
+    /// Per-forwarded-request timeout (must exceed the backends'
+    /// `min_epoch` wait ceiling for pass-through waits to work).
+    pub request_timeout: Duration,
+    /// Consecutive probe failures before a backend leaves rotation.
+    pub eject_after: u32,
+    /// Ceiling for the doubling re-probe backoff of an ejected backend.
+    pub max_probe_backoff: Duration,
+    /// Max epochs a follower may lag behind the newest known epoch and
+    /// still serve reads.
+    pub staleness_bound: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            leader: "127.0.0.1:7331".to_string(),
+            followers: Vec::new(),
+            workers: 4,
+            backlog: 64,
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(40),
+            eject_after: 2,
+            max_probe_backoff: Duration::from_secs(5),
+            staleness_bound: 8,
+        }
+    }
+}
+
+/// One backend as the registry currently sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSnapshot {
+    /// Address.
+    pub url: String,
+    /// `"leader"` or `"follower"`.
+    pub role: &'static str,
+    /// In rotation?
+    pub healthy: bool,
+    /// Serving epoch at the last successful probe.
+    pub epoch: u64,
+    /// Requests forwarded here.
+    pub forwarded: u64,
+    /// Times ejected from rotation.
+    pub ejections: u64,
+    /// Times re-admitted after an ejection.
+    pub readmissions: u64,
+}
+
+/// Router-level counters plus the registry.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// `/search` requests routed.
+    pub searches: u64,
+    /// `POST /ingest` requests forwarded to the leader.
+    pub ingests: u64,
+    /// Mid-request failovers (backend errored, next candidate tried).
+    pub failovers: u64,
+    /// Reads that fell back to the leader because every follower was
+    /// out of rotation or past the staleness bound.
+    pub leader_fallbacks: u64,
+    /// Requests answered `503` because no backend was reachable.
+    pub unavailable: u64,
+    /// Health probes sent.
+    pub probes: u64,
+    /// Registry snapshot (leader first).
+    pub backends: Vec<BackendSnapshot>,
+}
+
+struct Backend {
+    url: String,
+    is_leader: bool,
+    healthy: bool,
+    consecutive_failures: u32,
+    probe_backoff: Duration,
+    next_probe: Instant,
+    epoch: u64,
+    forwarded: u64,
+    ejections: u64,
+    readmissions: u64,
+}
+
+impl Backend {
+    fn new(url: String, is_leader: bool, now: Instant) -> Backend {
+        Backend {
+            url,
+            is_leader,
+            healthy: true,
+            consecutive_failures: 0,
+            probe_backoff: Duration::ZERO,
+            next_probe: now, // probe immediately on startup
+            epoch: 0,
+            forwarded: 0,
+            ejections: 0,
+            readmissions: 0,
+        }
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot {
+            url: self.url.clone(),
+            role: if self.is_leader { "leader" } else { "follower" },
+            healthy: self.healthy,
+            epoch: self.epoch,
+            forwarded: self.forwarded,
+            ejections: self.ejections,
+            readmissions: self.readmissions,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    searches: AtomicU64,
+    ingests: AtomicU64,
+    failovers: AtomicU64,
+    leader_fallbacks: AtomicU64,
+    unavailable: AtomicU64,
+    probes: AtomicU64,
+}
+
+struct Shared {
+    config: RouterConfig,
+    backends: Mutex<Vec<Backend>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn with_backend(&self, url: &str, f: impl FnOnce(&mut Backend)) {
+        let mut backends = self.backends.lock().expect("registry lock");
+        if let Some(backend) = backends.iter_mut().find(|b| b.url == url) {
+            f(backend);
+        }
+    }
+
+    /// A probe (or in-request attempt) failed. Healthy backends get
+    /// `eject_after` strikes; an already-ejected one doubles its
+    /// re-probe backoff.
+    fn note_failure(&self, url: &str, immediate: bool) {
+        let (interval, max_backoff, eject_after) = (
+            self.config.probe_interval,
+            self.config.max_probe_backoff,
+            self.config.eject_after,
+        );
+        self.with_backend(url, |b| {
+            b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+            if b.healthy && (immediate || b.consecutive_failures >= eject_after) {
+                b.healthy = false;
+                b.ejections += 1;
+                b.probe_backoff = interval;
+            } else if !b.healthy {
+                b.probe_backoff = (b.probe_backoff * 2).min(max_backoff).max(interval);
+            }
+            b.next_probe = Instant::now() + if b.healthy { interval } else { b.probe_backoff };
+        });
+    }
+
+    /// A probe succeeded at `epoch`: reset strikes, re-admit if ejected.
+    fn note_success(&self, url: &str, epoch: u64) {
+        let interval = self.config.probe_interval;
+        self.with_backend(url, |b| {
+            if !b.healthy {
+                b.readmissions += 1;
+            }
+            b.healthy = true;
+            b.consecutive_failures = 0;
+            b.probe_backoff = Duration::ZERO;
+            b.epoch = epoch.max(b.epoch);
+            b.next_probe = Instant::now() + interval;
+        });
+    }
+
+    fn note_forward(&self, url: &str) {
+        self.with_backend(url, |b| b.forwarded += 1);
+    }
+
+    /// Candidate order for a read: eligible followers by descending
+    /// rendezvous score, then the leader as the unconditional last
+    /// resort. Returns `(candidates, fell_back_to_leader_only)`.
+    fn read_plan(&self, affinity: u64) -> (Vec<String>, bool) {
+        let backends = self.backends.lock().expect("registry lock");
+        // The staleness reference is the newest epoch any backend has
+        // reported — the leader's, unless the leader is unreachable and
+        // a follower is ahead of our last sighting of it.
+        let newest = backends.iter().map(|b| b.epoch).max().unwrap_or(0);
+        let mut scored: Vec<(u64, &str)> = backends
+            .iter()
+            .filter(|b| {
+                !b.is_leader
+                    && b.healthy
+                    && newest.saturating_sub(b.epoch) <= self.config.staleness_bound
+            })
+            .map(|b| (rendezvous_score(&b.url, affinity), b.url.as_str()))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        let had_followers = backends.iter().any(|b| !b.is_leader);
+        let leader_only = had_followers && scored.is_empty();
+        let mut plan: Vec<String> = scored.into_iter().map(|(_, url)| url.to_string()).collect();
+        if let Some(leader) = backends.iter().find(|b| b.is_leader) {
+            plan.push(leader.url.clone());
+        }
+        (plan, leader_only)
+    }
+
+    fn stats(&self) -> RouterStats {
+        let backends = self.backends.lock().expect("registry lock");
+        RouterStats {
+            searches: self.counters.searches.load(Ordering::Relaxed),
+            ingests: self.counters.ingests.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            leader_fallbacks: self.counters.leader_fallbacks.load(Ordering::Relaxed),
+            unavailable: self.counters.unavailable.load(Ordering::Relaxed),
+            probes: self.counters.probes.load(Ordering::Relaxed),
+            backends: backends.iter().map(Backend::snapshot).collect(),
+        }
+    }
+}
+
+/// Rendezvous (highest-random-weight) score of one backend for one
+/// affinity key: every router instance ranks backends identically, and
+/// removing a backend reassigns only the keys it owned.
+fn rendezvous_score(url: &str, affinity: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(url.as_bytes());
+    h.write_u64(affinity);
+    h.finish()
+}
+
+/// Affinity of a `/search` target: the PR-1 normalized cache key terms
+/// (sorted, case-folded — `mohan sudarshan` ≡ `Sudarshan  Mohan`) plus
+/// the raw strategy/limit parameters.
+fn search_affinity(params: &[(String, String)]) -> u64 {
+    let q = query_param(params, "q").unwrap_or("");
+    let key = QueryKey::normalize(q, QueryOptions::default(), 0, 0);
+    let mut h = FxHasher::default();
+    for term in &key.terms {
+        h.write(term.as_bytes());
+        h.write_u8(0xff);
+    }
+    h.write(query_param(params, "strategy").unwrap_or("").as_bytes());
+    h.write_u8(0xff);
+    h.write(query_param(params, "limit").unwrap_or("").as_bytes());
+    h.finish()
+}
+
+/// Affinity of any other read: the raw target string.
+fn target_affinity(target: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(target.as_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The router server.
+// ---------------------------------------------------------------------------
+
+/// A running router. Dropping (or [`Router::shutdown`]) stops the
+/// prober, acceptor, and workers.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind and start routing.
+    pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let now = Instant::now();
+        let mut backends = vec![Backend::new(config.leader.clone(), true, now)];
+        backends.extend(
+            config
+                .followers
+                .iter()
+                .map(|f| Backend::new(f.clone(), false, now)),
+        );
+        let shared = Arc::new(Shared {
+            backends: Mutex::new(backends),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(shared.config.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("banks-router-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn router worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("banks-router-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                // Back off on transient accept errors
+                                // instead of spinning.
+                                std::thread::sleep(Duration::from_millis(10));
+                                continue;
+                            }
+                        };
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn router acceptor")
+        };
+
+        let prober = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("banks-router-probe".to_string())
+                .spawn(move || prober_loop(&shared))
+                .expect("spawn router prober")
+        };
+
+        Ok(Router {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters + registry snapshot.
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats()
+    }
+
+    /// Stop and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the router is shut down from another thread (the CLI
+    /// foreground mode).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Probe every due backend, apply results, nap, repeat.
+fn prober_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        let due: Vec<String> = {
+            let backends = shared.backends.lock().expect("registry lock");
+            backends
+                .iter()
+                .filter(|b| b.next_probe <= now)
+                .map(|b| b.url.clone())
+                .collect()
+        };
+        for url in due {
+            shared.counters.probes.fetch_add(1, Ordering::Relaxed);
+            match probe(&url, shared.config.probe_timeout) {
+                Some(epoch) => shared.note_success(&url, epoch),
+                None => shared.note_failure(&url, false),
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One `/health` probe: `Some(epoch)` on a parseable 200.
+fn probe(url: &str, timeout: Duration) -> Option<u64> {
+    let resp = http_request(url, "GET", "/health", None, timeout).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    Json::parse(&resp.text()).ok()?.get("epoch")?.as_u64()
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling.
+// ---------------------------------------------------------------------------
+
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A backend response relayed verbatim: status, body, content type,
+    /// and the headers clients act on (`Retry-After`, `X-Banks-Epoch`).
+    fn passthrough(resp: HttpResponse) -> Reply {
+        let mut headers = Vec::new();
+        for name in ["retry-after", "x-banks-epoch"] {
+            if let Some(value) = resp.header(name) {
+                headers.push((name.to_string(), value.to_string()));
+            }
+        }
+        let content_type = match resp.header("content-type") {
+            Some(ct) if ct.starts_with("application/octet-stream") => "application/octet-stream",
+            Some(ct) if ct.starts_with("text/plain") => "text/plain; charset=utf-8",
+            _ => "application/json",
+        };
+        Reply {
+            status: resp.status,
+            content_type,
+            headers,
+            body: resp.body,
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let rx = rx.lock().expect("router rx lock");
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                let _ = handle_connection(stream, shared);
+            }
+            Err(_) => break, // acceptor gone
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut content_length: u64 = 0;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(MAX_REQUEST_BYTES) as usize];
+    if !body.is_empty() {
+        reader.read_exact(&mut body)?;
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/").to_string();
+    let reply = route(shared, &method, &target, &body);
+
+    let mut stream = stream;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reply.status,
+        reason(reply.status),
+        reply.content_type,
+        reply.body.len()
+    );
+    for (name, value) in &reply.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&reply.body)?;
+    stream.flush()
+}
+
+fn route(shared: &Shared, method: &str, target: &str, body: &[u8]) -> Reply {
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    match (method, path) {
+        ("GET", "/health") => health_reply(shared),
+        ("GET", "/stats") => stats_reply(shared),
+        ("POST", "/ingest") => forward_write(shared, target, body),
+        ("GET", "/epochs") => forward_write(shared, target, &[]),
+        ("GET", _) => {
+            let affinity = if path == "/search" {
+                shared.counters.searches.fetch_add(1, Ordering::Relaxed);
+                search_affinity(&parse_query_string(query))
+            } else {
+                target_affinity(target)
+            };
+            forward_read(shared, target, affinity)
+        }
+        _ => Reply::json(
+            405,
+            r#"{"error":"only GET (and POST /ingest) are supported"}"#.to_string(),
+        ),
+    }
+}
+
+/// Reads: walk the rendezvous plan, failing over past dead or lagging
+/// backends; the leader is always the last resort.
+fn forward_read(shared: &Shared, target: &str, affinity: u64) -> Reply {
+    let (plan, leader_only) = shared.read_plan(affinity);
+    if leader_only {
+        shared
+            .counters
+            .leader_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let total = plan.len();
+    for (i, url) in plan.iter().enumerate() {
+        let is_last = i + 1 == total;
+        match http_request(url, "GET", target, None, shared.config.request_timeout) {
+            Ok(resp) if resp.status == 409 && !is_last => {
+                // This backend couldn't reach the client's `min_epoch`
+                // in time; someone later in the plan (ultimately the
+                // leader) has a newer epoch.
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Ok(resp) if resp.status >= 500 && !is_last => {
+                shared.note_failure(url, true);
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Ok(resp) => {
+                shared.note_forward(url);
+                return Reply::passthrough(resp);
+            }
+            Err(_) => {
+                shared.note_failure(url, true);
+                if !is_last {
+                    shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+    }
+    shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+    let mut reply = Reply::json(
+        503,
+        r#"{"error":"no healthy backend","hint":"all backends unreachable; retry shortly"}"#
+            .to_string(),
+    );
+    reply
+        .headers
+        .push(("retry-after".to_string(), "1".to_string()));
+    reply
+}
+
+/// Writes (and `/epochs`) go to the leader, never a follower.
+fn forward_write(shared: &Shared, target: &str, body: &[u8]) -> Reply {
+    shared.counters.ingests.fetch_add(1, Ordering::Relaxed);
+    let leader = shared.config.leader.clone();
+    let method = if body.is_empty() { "GET" } else { "POST" };
+    let payload = if body.is_empty() { None } else { Some(body) };
+    match http_request(
+        &leader,
+        method,
+        target,
+        payload,
+        shared.config.request_timeout,
+    ) {
+        Ok(resp) => {
+            shared.note_forward(&leader);
+            Reply::passthrough(resp)
+        }
+        Err(e) => {
+            shared.note_failure(&leader, true);
+            shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            let mut reply = Reply::json(
+                503,
+                format!(
+                    r#"{{"error":"leader unreachable","detail":"{}"}}"#,
+                    e.to_string().replace('"', "'")
+                ),
+            );
+            reply
+                .headers
+                .push(("retry-after".to_string(), "1".to_string()));
+            reply
+        }
+    }
+}
+
+fn health_reply(shared: &Shared) -> Reply {
+    let stats = shared.stats();
+    let healthy = stats.backends.iter().filter(|b| b.healthy).count();
+    Reply::json(
+        200,
+        Json::obj([
+            ("status", Json::Str("ok".to_string())),
+            ("backends", Json::Uint(stats.backends.len() as u64)),
+            ("healthy", Json::Uint(healthy as u64)),
+        ])
+        .compact(),
+    )
+}
+
+fn stats_reply(shared: &Shared) -> Reply {
+    let stats = shared.stats();
+    let backends = stats
+        .backends
+        .iter()
+        .map(|b| {
+            Json::obj([
+                ("url", Json::Str(b.url.clone())),
+                ("role", Json::Str(b.role.to_string())),
+                ("healthy", Json::Bool(b.healthy)),
+                ("epoch", Json::Uint(b.epoch)),
+                ("forwarded", Json::Uint(b.forwarded)),
+                ("ejections", Json::Uint(b.ejections)),
+                ("readmissions", Json::Uint(b.readmissions)),
+            ])
+        })
+        .collect();
+    Reply::json(
+        200,
+        Json::obj([
+            (
+                "router",
+                Json::obj([
+                    ("searches", Json::Uint(stats.searches)),
+                    ("ingests", Json::Uint(stats.ingests)),
+                    ("failovers", Json::Uint(stats.failovers)),
+                    ("leader_fallbacks", Json::Uint(stats.leader_fallbacks)),
+                    ("unavailable", Json::Uint(stats.unavailable)),
+                    ("probes", Json::Uint(stats.probes)),
+                ]),
+            ),
+            ("backends", Json::Arr(backends)),
+        ])
+        .compact(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_deterministic_and_minimal() {
+        let urls = ["127.0.0.1:1001", "127.0.0.1:1002", "127.0.0.1:1003"];
+        let rank = |affinity: u64, pool: &[&str]| -> Vec<String> {
+            let mut scored: Vec<(u64, &str)> = pool
+                .iter()
+                .map(|u| (rendezvous_score(u, affinity), *u))
+                .collect();
+            scored.sort_unstable_by(|a, b| b.cmp(a));
+            scored.into_iter().map(|(_, u)| u.to_string()).collect()
+        };
+        for affinity in [0u64, 7, 42, 0xdead_beef] {
+            // Order-independent: the ranking ignores registration order.
+            let a = rank(affinity, &urls);
+            let mut shuffled = urls;
+            shuffled.reverse();
+            let b = rank(affinity, &shuffled);
+            assert_eq!(a, b);
+            // Minimal disruption: removing a non-winner never changes
+            // the winner.
+            let winner = a[0].clone();
+            for dropped in &urls {
+                if *dropped == winner {
+                    continue;
+                }
+                let pool: Vec<&str> = urls.iter().filter(|u| *u != dropped).copied().collect();
+                assert_eq!(rank(affinity, &pool)[0], winner, "dropped {dropped}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_affinity_matches_the_cache_key() {
+        let parse = |qs: &str| parse_query_string(qs);
+        // Order- and case-insensitive, like QueryKey.
+        assert_eq!(
+            search_affinity(&parse("q=mohan+sudarshan")),
+            search_affinity(&parse("q=Sudarshan++mohan"))
+        );
+        // Different terms, strategies, or limits split.
+        assert_ne!(
+            search_affinity(&parse("q=mohan")),
+            search_affinity(&parse("q=sudarshan"))
+        );
+        assert_ne!(
+            search_affinity(&parse("q=mohan&strategy=iterator")),
+            search_affinity(&parse("q=mohan"))
+        );
+        assert_ne!(
+            search_affinity(&parse("q=mohan&limit=3")),
+            search_affinity(&parse("q=mohan&limit=5"))
+        );
+    }
+
+    #[test]
+    fn registry_ejects_and_readmits() {
+        let shared = Shared {
+            config: RouterConfig {
+                leader: "l:1".to_string(),
+                followers: vec!["f:1".to_string()],
+                ..RouterConfig::default()
+            },
+            backends: Mutex::new(vec![
+                Backend::new("l:1".to_string(), true, Instant::now()),
+                Backend::new("f:1".to_string(), false, Instant::now()),
+            ]),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        };
+        // Two strikes eject; the plan then holds only the leader.
+        shared.note_failure("f:1", false);
+        assert!(shared.stats().backends[1].healthy);
+        shared.note_failure("f:1", false);
+        let stats = shared.stats();
+        assert!(!stats.backends[1].healthy);
+        assert_eq!(stats.backends[1].ejections, 1);
+        let (plan, leader_only) = shared.read_plan(1);
+        assert_eq!(plan, vec!["l:1".to_string()]);
+        assert!(leader_only);
+        // A successful probe re-admits.
+        shared.note_success("f:1", 9);
+        let stats = shared.stats();
+        assert!(stats.backends[1].healthy);
+        assert_eq!(stats.backends[1].readmissions, 1);
+        assert_eq!(stats.backends[1].epoch, 9);
+        let (plan, _) = shared.read_plan(1);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.last().unwrap(), "l:1");
+    }
+
+    #[test]
+    fn stale_followers_leave_rotation() {
+        let config = RouterConfig {
+            leader: "l:1".to_string(),
+            followers: vec!["f:1".to_string(), "f:2".to_string()],
+            staleness_bound: 2,
+            ..RouterConfig::default()
+        };
+        let now = Instant::now();
+        let shared = Shared {
+            backends: Mutex::new(vec![
+                Backend::new("l:1".to_string(), true, now),
+                Backend::new("f:1".to_string(), false, now),
+                Backend::new("f:2".to_string(), false, now),
+            ]),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        };
+        shared.note_success("l:1", 10);
+        shared.note_success("f:1", 9); // within bound
+        shared.note_success("f:2", 3); // hopelessly behind
+        let (plan, leader_only) = shared.read_plan(1);
+        assert!(!leader_only);
+        assert_eq!(plan, vec!["f:1".to_string(), "l:1".to_string()]);
+        // Every follower stale → leader-only fallback.
+        shared.note_success("l:1", 20);
+        let (plan, leader_only) = shared.read_plan(1);
+        assert_eq!(plan, vec!["l:1".to_string()]);
+        assert!(leader_only);
+    }
+}

@@ -15,7 +15,18 @@
 //! | `GET /stats` | — | cache + service + graph counters, snapshot epoch |
 //! | `GET /epochs` | — | current epoch + recent publication history |
 //! | `POST /ingest` | `ts` (caller timestamp); body = delta JSON | publishes a new epoch |
-//! | `GET /health` | — | liveness probe |
+//! | `GET /health` | — | liveness probe + current epoch |
+//! | `GET /replication/snapshot` | — | newest snapshot bundle, raw bytes (`X-Banks-Epoch` header) |
+//! | `GET /replication/wal` | `from_epoch` (required), `wait_ms` | WAL frames past `from_epoch`, raw bytes; long-polls; `410` when compacted away |
+//!
+//! `/search` additionally accepts `min_epoch` (+ `wait_ms`): the
+//! read-your-writes barrier for followers — wait until the serving epoch
+//! reaches it, else `409` with a `Retry-After` header and a leader
+//! redirect hint.
+//!
+//! The replication endpoints serve the **on-disk byte formats verbatim**
+//! (bundle file, WAL frames), so a follower persists and parses exactly
+//! what recovery would.
 
 use crate::ingest::{epoch_info_json, IngestEndpoint};
 use crate::service::{QueryOptions, QueryService};
@@ -41,6 +52,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Pending-connection queue depth before accepts block.
     pub backlog: usize,
+    /// Where writes really go, when this server is a replication
+    /// follower: surfaced as the `leader` redirect hint on `min_epoch`
+    /// 409s and on rejected `POST /ingest`.
+    pub leader_hint: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +66,7 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             backlog: 256,
+            leader_hint: None,
         }
     }
 }
@@ -99,15 +115,19 @@ impl BanksServer {
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(config.backlog);
         let rx = Arc::new(Mutex::new(rx));
 
+        let shared = Arc::new(Shared {
+            service,
+            ingest,
+            store,
+            leader_hint: config.leader_hint.clone(),
+        });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let service = Arc::clone(&service);
-                let ingest = ingest.clone();
-                let store = store.clone();
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("banks-http-{i}"))
-                    .spawn(move || worker_loop(rx, service, ingest, store))
+                    .spawn(move || worker_loop(rx, shared))
                     .expect("spawn worker")
             })
             .collect();
@@ -211,12 +231,15 @@ impl Drop for BanksServer {
     }
 }
 
-fn worker_loop(
-    rx: Arc<Mutex<Receiver<TcpStream>>>,
+/// Everything a worker needs to answer any route, shared once per server.
+struct Shared {
     service: Arc<QueryService>,
     ingest: Option<Arc<IngestEndpoint>>,
     store: Option<Arc<banks_persist::PersistentStore>>,
-) {
+    leader_hint: Option<String>,
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
     loop {
         let stream = match rx.lock().expect("worker queue lock").recv() {
             Ok(stream) => stream,
@@ -227,7 +250,7 @@ fn worker_loop(
         // would otherwise shrink the pool until the server is dead. The
         // service is immutable-plus-atomics, hence panic-safe to reuse.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = handle_connection(stream, &service, ingest.as_deref(), store.as_deref());
+            let _ = handle_connection(stream, &shared);
         }));
     }
 }
@@ -240,12 +263,50 @@ const MAX_REQUEST_BYTES: u64 = 16 * 1024;
 /// Hard cap on a `POST /ingest` body.
 const MAX_INGEST_BODY_BYTES: u64 = 8 * 1024 * 1024;
 
-fn handle_connection(
-    stream: TcpStream,
-    service: &QueryService,
-    ingest: Option<&IngestEndpoint>,
-    store: Option<&banks_persist::PersistentStore>,
-) -> std::io::Result<()> {
+/// Longest a long-polling route (`/replication/wal`, `min_epoch` search)
+/// may park before answering with whatever state exists.
+const MAX_WAIT_MS: u64 = 30_000;
+
+/// One response: status line tail, body, and whatever extra headers the
+/// route wants on the wire. JSON by default; the replication routes ship
+/// raw on-disk bytes as `application/octet-stream`.
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn json(status: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Raw bytes stamped with the epoch they represent — even an empty
+    /// WAL range carries `X-Banks-Epoch`, which is how a caught-up
+    /// follower learns the leader's durable epoch without a second
+    /// request.
+    fn bytes(epoch: u64, body: Vec<u8>) -> Response {
+        Response {
+            status: "200 OK",
+            content_type: "application/octet-stream",
+            headers: vec![("X-Banks-Epoch", epoch.to_string())],
+            body,
+        }
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
@@ -296,7 +357,7 @@ fn handle_connection(
                 .is_some_and(|t| t.split_once('?').map_or(t, |(p, _)| p) == "/ingest")
     };
 
-    let (status, body) = if !complete && reader.limit() == 0 {
+    let response = if !complete && reader.limit() == 0 {
         error_response("431 Request Header Fields Too Large", "request too large")
     } else if bad_content_length {
         error_response("400 Bad Request", "bad Content-Length header")
@@ -317,25 +378,32 @@ fn handle_connection(
             Some(String::new())
         };
         match request_body {
-            Some(request_body) => route(&request_line, &request_body, service, ingest, store),
+            Some(request_body) => route(&request_line, &request_body, shared),
             None => error_response("400 Bad Request", "request body is not valid UTF-8"),
         }
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        response.content_type,
+        response.body.len(),
     );
-    stream.write_all(response.as_bytes())?;
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
     stream.flush()
 }
 
-fn route(
-    request_line: &str,
-    request_body: &str,
-    service: &QueryService,
-    ingest: Option<&IngestEndpoint>,
-    store: Option<&banks_persist::PersistentStore>,
-) -> (&'static str, String) {
+fn route(request_line: &str, request_body: &str, shared: &Shared) -> Response {
+    let service = shared.service.as_ref();
+    let ingest = shared.ingest.as_deref();
+    let store = shared.store.as_deref();
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m, t),
@@ -347,17 +415,25 @@ fn route(
     };
     let params = parse_query_string(query);
     match (method, path) {
-        ("POST", "/ingest") => handle_ingest(&params, request_body, ingest),
+        ("POST", "/ingest") => handle_ingest(&params, request_body, ingest, shared),
         (_, "/ingest") => error_response("405 Method Not Allowed", "/ingest requires POST"),
         ("GET", _) => match path {
-            "/search" => handle_search(&params, service),
+            "/search" => handle_search(&params, service, shared),
             "/node" => handle_node(&params, service),
-            "/stats" => ("200 OK", stats_json(service, ingest, store).compact()),
+            "/stats" => Response::json("200 OK", stats_json(service, ingest, store).compact()),
             "/epochs" => handle_epochs(service, ingest),
-            "/health" => (
+            // The epoch rides in the liveness probe so a router can
+            // track staleness with the request it already makes.
+            "/health" => Response::json(
                 "200 OK",
-                Json::obj([("status", Json::Str("ok".into()))]).compact(),
+                Json::obj([
+                    ("status", Json::Str("ok".into())),
+                    ("epoch", Json::Uint(service.epoch())),
+                ])
+                .compact(),
             ),
+            "/replication/snapshot" => handle_replication_snapshot(store),
+            "/replication/wal" => handle_replication_wal(&params, store),
             _ => error_response("404 Not Found", "unknown path"),
         },
         _ => error_response("405 Method Not Allowed", "only GET is supported"),
@@ -368,9 +444,15 @@ fn handle_ingest(
     params: &[(String, String)],
     request_body: &str,
     ingest: Option<&IngestEndpoint>,
-) -> (&'static str, String) {
+    shared: &Shared,
+) -> Response {
     let Some(endpoint) = ingest else {
-        return error_response("503 Service Unavailable", "ingestion is disabled");
+        // A follower (or read-only server) points writers at the leader.
+        let mut fields = vec![("error", Json::Str("ingestion is disabled".into()))];
+        if let Some(leader) = &shared.leader_hint {
+            fields.push(("leader", Json::Str(leader.clone())));
+        }
+        return Response::json("503 Service Unavailable", Json::obj(fields).compact());
     };
     let batch = match DeltaBatch::from_json(request_body) {
         Ok(batch) => batch,
@@ -385,15 +467,12 @@ fn handle_ingest(
         .filter(|ts| !ts.is_empty())
         .map(str::to_string);
     match endpoint.ingest(&batch, published_at) {
-        Ok(info) => ("200 OK", epoch_info_json(&info).compact()),
+        Ok(info) => Response::json("200 OK", epoch_info_json(&info).compact()),
         Err(e) => error_response("409 Conflict", &e.to_string()),
     }
 }
 
-fn handle_epochs(
-    service: &QueryService,
-    ingest: Option<&IngestEndpoint>,
-) -> (&'static str, String) {
+fn handle_epochs(service: &QueryService, ingest: Option<&IngestEndpoint>) -> Response {
     let doc = match ingest {
         Some(endpoint) => endpoint.epochs_json(),
         None => Json::obj([
@@ -401,20 +480,118 @@ fn handle_epochs(
             ("history", Json::Arr(Vec::new())),
         ]),
     };
-    ("200 OK", doc.compact())
+    Response::json("200 OK", doc.compact())
 }
 
-fn error_response(status: &'static str, message: &str) -> (&'static str, String) {
-    (
+/// The follower-bootstrap feed: the newest snapshot bundle, byte for
+/// byte as it sits on disk, stamped with its epoch.
+fn handle_replication_snapshot(store: Option<&banks_persist::PersistentStore>) -> Response {
+    let Some(store) = store else {
+        return error_response(
+            "503 Service Unavailable",
+            "replication requires a data directory (serve --data-dir)",
+        );
+    };
+    match store.newest_snapshot() {
+        Ok((epoch, bytes)) => Response::bytes(epoch, bytes),
+        Err(e) => error_response("500 Internal Server Error", &e.to_string()),
+    }
+}
+
+/// The WAL tail feed: raw frames past `from_epoch`, long-polling up to
+/// `wait_ms` when the follower is already caught up. `410 Gone` means
+/// compaction dropped a needed frame — re-bootstrap from the snapshot.
+fn handle_replication_wal(
+    params: &[(String, String)],
+    store: Option<&banks_persist::PersistentStore>,
+) -> Response {
+    let Some(store) = store else {
+        return error_response(
+            "503 Service Unavailable",
+            "replication requires a data directory (serve --data-dir)",
+        );
+    };
+    let Some(from_epoch) = query_param(params, "from_epoch").and_then(|v| v.parse::<u64>().ok())
+    else {
+        return error_response(
+            "400 Bad Request",
+            "missing or invalid required parameter `from_epoch`",
+        );
+    };
+    let wait_ms = query_param(params, "wait_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(MAX_WAIT_MS);
+    let mut range = store.wal_since(from_epoch);
+    if wait_ms > 0 && matches!(&range, Ok(Some(bytes)) if bytes.is_empty()) {
+        // Caught up: park until a write lands (or the window closes),
+        // then re-read — the long-poll half of the protocol.
+        store.wait_past_epoch(from_epoch, Duration::from_millis(wait_ms));
+        range = store.wal_since(from_epoch);
+    }
+    match range {
+        Ok(Some(bytes)) => Response::bytes(store.durable_epoch(), bytes),
+        Ok(None) => Response::json(
+            "410 Gone",
+            Json::obj([
+                (
+                    "error",
+                    Json::Str(format!(
+                        "WAL frames past epoch {from_epoch} were compacted away; \
+                         re-bootstrap from /replication/snapshot"
+                    )),
+                ),
+                ("from_epoch", Json::Uint(from_epoch)),
+            ])
+            .compact(),
+        )
+        .with_header("X-Banks-Epoch", store.durable_epoch().to_string()),
+        Err(e) => error_response("500 Internal Server Error", &e.to_string()),
+    }
+}
+
+fn error_response(status: &'static str, message: &str) -> Response {
+    Response::json(
         status,
         Json::obj([("error", Json::Str(message.to_string()))]).compact(),
     )
 }
 
-fn handle_search(params: &[(String, String)], service: &QueryService) -> (&'static str, String) {
+fn handle_search(params: &[(String, String)], service: &QueryService, shared: &Shared) -> Response {
     let Some(q) = query_param(params, "q") else {
         return error_response("400 Bad Request", "missing required parameter `q`");
     };
+    // Read-your-writes: a client that saw the leader ack epoch N asks a
+    // follower for `min_epoch=N` and parks (bounded) until the tailer
+    // catches up. On timeout: 409 + Retry-After + a leader hint, never a
+    // silently stale answer.
+    if let Some(raw) = query_param(params, "min_epoch").filter(|v| !v.is_empty()) {
+        let Ok(min_epoch) = raw.parse::<u64>() else {
+            return error_response("400 Bad Request", "min_epoch must be an unsigned integer");
+        };
+        let wait_ms = query_param(params, "wait_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(2_000)
+            .min(MAX_WAIT_MS);
+        let reached = service.wait_for_min_epoch(min_epoch, Duration::from_millis(wait_ms));
+        if reached < min_epoch {
+            let mut fields = vec![
+                (
+                    "error",
+                    Json::Str(format!(
+                        "serving epoch {reached} has not reached min_epoch {min_epoch}"
+                    )),
+                ),
+                ("epoch", Json::Uint(reached)),
+                ("min_epoch", Json::Uint(min_epoch)),
+            ];
+            if let Some(leader) = &shared.leader_hint {
+                fields.push(("leader", Json::Str(leader.clone())));
+            }
+            return Response::json("409 Conflict", Json::obj(fields).compact())
+                .with_header("Retry-After", "1".to_string());
+        }
+    }
     let strategy = match query_param(params, "strategy") {
         None | Some("") | Some("backward") => SearchStrategy::Backward,
         Some("forward") => SearchStrategy::Forward,
@@ -477,7 +654,7 @@ fn handle_search(params: &[(String, String)], service: &QueryService) -> (&'stat
     .compact();
     // Splice: `{volatile…,fragment…}`.
     let body = format!("{},{fragment}}}", &volatile[..volatile.len() - 1]);
-    ("200 OK", body)
+    Response::json("200 OK", body)
 }
 
 /// Serialize the cacheable part of a search response:
@@ -545,7 +722,7 @@ fn answers_fragment(banks: &banks_core::Banks, result: &crate::service::CachedRe
     )
 }
 
-fn handle_node(params: &[(String, String)], service: &QueryService) -> (&'static str, String) {
+fn handle_node(params: &[(String, String)], service: &QueryService) -> Response {
     let Some(raw) = query_param(params, "id") else {
         return error_response("400 Bad Request", "missing required parameter `id`");
     };
@@ -557,7 +734,7 @@ fn handle_node(params: &[(String, String)], service: &QueryService) -> (&'static
     if (id as usize) >= banks.tuple_graph().node_count() {
         return error_response("404 Not Found", "no such node");
     }
-    ("200 OK", node_json(&banks, NodeId(id)).compact())
+    Response::json("200 OK", node_json(&banks, NodeId(id)).compact())
 }
 
 /// JSON description of one graph node: its tuple, relation, prestige,
@@ -600,6 +777,20 @@ fn stats_json(
             "last_publish",
             match &stats.last_publish {
                 Some(ts) => Json::Str(ts.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "last_publish_unix_ms",
+            match stats.last_publish_unix_ms {
+                Some(ms) => Json::Uint(ms),
+                None => Json::Null,
+            },
+        ),
+        (
+            "epoch_lag",
+            match stats.epoch_lag {
+                Some(lag) => Json::Uint(lag),
                 None => Json::Null,
             },
         ),

@@ -22,7 +22,7 @@ use banks_core::{
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 thread_local! {
@@ -189,6 +189,14 @@ pub struct ServiceStats {
     pub epoch: u64,
     /// Caller-supplied timestamp of the last snapshot publication.
     pub last_publish: Option<String>,
+    /// Wall-clock milliseconds (Unix epoch) of the last snapshot
+    /// install, `None` until the first one — operators read staleness in
+    /// seconds even when the writer supplies no `ts`.
+    pub last_publish_unix_ms: Option<u64>,
+    /// How many epochs this service trails the leader it replicates
+    /// from: `None` unless a replication tailer reports leader epochs
+    /// (see [`QueryService::note_leader_epoch`]).
+    pub epoch_lag: Option<u64>,
     /// Cache invalidations observed per epoch: `(epoch, count)` pairs,
     /// ascending — entry `(e, n)` means `n` stale results were dropped
     /// while epoch `e` was current.
@@ -237,6 +245,16 @@ pub struct QueryService {
     sequential_fallbacks: AtomicU64,
     /// Σ merge-stall nanoseconds across parallel cold queries.
     merge_stall_ns: AtomicU64,
+    /// Mirror of the current epoch for blocking waits: `min_epoch`
+    /// readers park on the condvar; every install notifies it. (The
+    /// `RwLock` snapshot itself cannot carry a condvar wait.)
+    epoch_sync: Mutex<u64>,
+    epoch_advanced: Condvar,
+    /// Newest leader epoch observed by a replication tailer
+    /// (`u64::MAX` = not a follower). Feeds `epoch_lag` in `/stats`.
+    leader_epoch: AtomicU64,
+    /// Unix milliseconds of the last snapshot install (0 = never).
+    last_publish_unix_ms: AtomicU64,
 }
 
 /// How many epochs of invalidation counts `/stats` retains.
@@ -270,6 +288,10 @@ impl QueryService {
             shards_spawned: AtomicU64::new(0),
             sequential_fallbacks: AtomicU64::new(0),
             merge_stall_ns: AtomicU64::new(0),
+            epoch_sync: Mutex::new(epoch),
+            epoch_advanced: Condvar::new(),
+            leader_epoch: AtomicU64::new(u64::MAX),
+            last_publish_unix_ms: AtomicU64::new(0),
         }
     }
 
@@ -306,6 +328,42 @@ impl QueryService {
         });
         drop(slot);
         *self.last_publish.lock().expect("publish lock") = published_at;
+        self.last_publish_unix_ms
+            .store(unix_millis_now(), Ordering::Relaxed);
+        let mut mirror = self.epoch_sync.lock().expect("epoch sync lock");
+        if epoch > *mirror {
+            *mirror = epoch;
+            self.epoch_advanced.notify_all();
+        }
+    }
+
+    /// Block until the serving epoch reaches `min_epoch` or `deadline`
+    /// passes; returns the serving epoch either way. The read-your-writes
+    /// wait behind `/search?min_epoch=N` on a follower: the caller saw
+    /// the leader ack epoch `N` and parks here until the tailer installs
+    /// it (or gives up and redirects to the leader).
+    pub fn wait_for_min_epoch(&self, min_epoch: u64, deadline: Duration) -> u64 {
+        let mirror = self.epoch_sync.lock().expect("epoch sync lock");
+        let (guard, _timeout) = self
+            .epoch_advanced
+            .wait_timeout_while(mirror, deadline, |&mut e| e < min_epoch)
+            .expect("epoch sync lock");
+        *guard
+    }
+
+    /// Record the newest leader epoch a replication tailer has observed.
+    /// Turns on `epoch_lag` in [`QueryService::stats`].
+    pub fn note_leader_epoch(&self, epoch: u64) {
+        self.leader_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The newest leader epoch reported via
+    /// [`QueryService::note_leader_epoch`], if any.
+    pub fn leader_epoch(&self) -> Option<u64> {
+        match self.leader_epoch.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            epoch => Some(epoch),
+        }
     }
 
     /// Answer a keyword query through the cache.
@@ -445,6 +503,13 @@ impl QueryService {
             uptime_secs: self.started.elapsed().as_secs_f64(),
             epoch: snapshot.epoch,
             last_publish: self.last_publish.lock().expect("publish lock").clone(),
+            last_publish_unix_ms: match self.last_publish_unix_ms.load(Ordering::Relaxed) {
+                0 => None,
+                ms => Some(ms),
+            },
+            epoch_lag: self
+                .leader_epoch()
+                .map(|leader| leader.saturating_sub(snapshot.epoch)),
             invalidations_by_epoch: self
                 .invalidations_by_epoch
                 .lock()
@@ -463,6 +528,15 @@ impl QueryService {
     pub fn cache(&self) -> &ShardedLruCache<QueryKey, Arc<CachedResult>> {
         &self.cache
     }
+}
+
+/// Current wall clock as Unix milliseconds (0 if the clock is before
+/// the Unix epoch, which only a badly skewed host can produce).
+fn unix_millis_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Fingerprint the ranking parameters that affect result order, so a

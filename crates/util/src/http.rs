@@ -1,5 +1,17 @@
-//! Minimal HTTP building blocks: percent-decoding and query-string
-//! parsing, shared by the server and its tests.
+//! Minimal HTTP building blocks: percent-decoding, query-string
+//! parsing, and a tiny HTTP/1.1 client — shared by the server, the
+//! replication tailer (`banks-replica`), the query router
+//! (`banks-router`), and the CLI.
+//!
+//! The client speaks exactly the dialect the workspace's servers speak:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies, no chunked encoding. Keeping it here means every process in
+//! a replication topology — leader, follower, router, CLI — frames
+//! requests with the same code.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Decode `%XX` escapes and `+`-as-space in a URL component.
 ///
@@ -63,6 +75,169 @@ pub fn query_param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a 
         .map(|(_, v)| v.as_str())
 }
 
+/// Percent-encode a query-string value (RFC 3986 unreserved characters
+/// pass through), so caller-supplied text cannot mangle a request line.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Strip an optional `http://` scheme and trailing `/` so flags accept
+/// either `host:port` or `http://host:port` spellings of a peer address.
+pub fn host_port(url: &str) -> &str {
+    url.strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/')
+}
+
+/// Why a client request failed — retry policy hangs off this split.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection could not be established (refused, unreachable,
+    /// name resolution). **Nothing was sent**, so retrying can never
+    /// duplicate a server-side effect.
+    Connect(std::io::Error),
+    /// I/O failed after the connection was up — bytes may have reached
+    /// the server, so a non-idempotent request must not blindly retry.
+    Io(std::io::Error),
+    /// The peer answered with something that is not parseable HTTP/1.1.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Malformed(what) => write!(f, "malformed response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A parsed HTTP/1.1 response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Numeric status code (200, 409, …).
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, raw. May be binary (replication frames, bundles).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value for `name` (case-insensitive lookup; stored
+    /// names are already lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy — error bodies are always ASCII
+    /// JSON in this workspace).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One blocking HTTP/1.1 request over a fresh connection.
+///
+/// `addr` is `host:port` (or `http://host:port`). `timeout` bounds the
+/// connect and each read/write syscall — a long-polling endpoint should
+/// pass its poll window plus slack. The body is read to `Content-Length`
+/// when present, else to EOF (the servers here always close).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> Result<HttpResponse, ClientError> {
+    let addr = host_port(addr);
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(ClientError::Connect)?
+        .next()
+        .ok_or_else(|| {
+            ClientError::Connect(std::io::Error::other(format!("{addr}: no usable address")))
+        })?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout).map_err(ClientError::Connect)?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(ClientError::Io)?;
+
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(ClientError::Io)?;
+    stream.write_all(body).map_err(ClientError::Io)?;
+    stream.flush().map_err(ClientError::Io)?;
+
+    let mut raw = Vec::with_capacity(4 * 1024);
+    stream.read_to_end(&mut raw).map_err(ClientError::Io)?;
+    parse_response(&raw)
+}
+
+/// Split a raw HTTP/1.1 response into status, headers, and body.
+pub fn parse_response(raw: &[u8]) -> Result<HttpResponse, ClientError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Malformed("no header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ClientError::Malformed("non-UTF-8 header block".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Malformed("empty response".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("bad status line `{status_line}`")))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let mut body = raw[head_end + 4..].to_vec();
+    // Trust Content-Length when present: a peer that closes late must
+    // not leave trailing bytes glued onto the body.
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if body.len() < len {
+            return Err(ClientError::Malformed(format!(
+                "body truncated: {} of {len} bytes",
+                body.len()
+            )));
+        }
+        body.truncate(len);
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +257,53 @@ mod tests {
         assert_eq!(query_param(&params, "limit"), Some("5"));
         assert_eq!(query_param(&params, "flag"), Some(""));
         assert_eq!(query_param(&params, "missing"), None);
+    }
+
+    #[test]
+    fn encodes_round_trip() {
+        assert_eq!(percent_encode("1753880000"), "1753880000");
+        assert_eq!(percent_encode("a b&c=d"), "a%20b%26c%3Dd");
+        assert_eq!(percent_decode(&percent_encode("é ~x_1")), "é ~x_1");
+    }
+
+    #[test]
+    fn host_port_strips_scheme_and_slash() {
+        assert_eq!(host_port("http://127.0.0.1:7331/"), "127.0.0.1:7331");
+        assert_eq!(host_port("127.0.0.1:7331"), "127.0.0.1:7331");
+    }
+
+    #[test]
+    fn parses_responses() {
+        let resp = parse_response(
+            b"HTTP/1.1 409 Conflict\r\nContent-Type: application/json\r\nRetry-After: 1\r\nContent-Length: 13\r\n\r\n{\"error\":\"x\"}",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 409);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.text(), r#"{"error":"x"}"#);
+
+        // Binary body, length respected even with trailing garbage.
+        let resp = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\n\x00\x01\x02junk")
+            .unwrap();
+        assert_eq!(resp.body, vec![0, 1, 2]);
+
+        // Truncated body is an error, not a silent short read.
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nabc").is_err());
+        assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn connect_refused_is_typed() {
+        // Port 1 on loopback is essentially never listening.
+        let err = http_request(
+            "127.0.0.1:1",
+            "GET",
+            "/health",
+            None,
+            Duration::from_millis(300),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::Connect(_)), "{err}");
     }
 }
