@@ -2,14 +2,20 @@
 //! serve`, so the two front ends can never drift on which corpora they
 //! accept or how they're configured.
 
-use banks_datagen::{dblp, thesis, tpcd, DblpConfig, ThesisConfig, TpcdConfig};
+use banks_datagen::{dblp, stream, thesis, tpcd, DblpConfig, ThesisConfig, TpcdConfig};
 use banks_storage::Database;
+use std::path::Path;
 
 /// The accepted corpus names, for error messages and help text.
-pub const CORPORA: &str = "dblp|dblp-small|thesis|tpcd";
+pub const CORPORA: &str = "dblp|dblp-small|thesis|tpcd|<stream dir>";
 
-/// Generate the named synthetic corpus at the given seed.
+/// Generate the named synthetic corpus at the given seed, or load a
+/// `banks datagen` shard directory (a path whose `MANIFEST` carries the
+/// stream magic; the directory's own seed applies, not `seed`).
 pub fn open(name: &str, seed: u64) -> Result<Database, String> {
+    if stream::is_stream_dir(Path::new(name)) {
+        return stream::build_database(Path::new(name));
+    }
     let dataset = match name {
         "dblp" => dblp::generate(DblpConfig::tiny(seed)).map(|d| d.db),
         "dblp-small" => dblp::generate(DblpConfig::small(seed)).map(|d| d.db),
@@ -26,7 +32,7 @@ mod tests {
 
     #[test]
     fn all_advertised_corpora_open() {
-        for name in CORPORA.split('|') {
+        for name in CORPORA.split('|').filter(|n| !n.starts_with('<')) {
             let db = open(name, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(db.total_tuples() > 0, "{name} is non-empty");
         }

@@ -14,6 +14,7 @@
 //! ```
 
 pub mod corpus;
+pub mod datagen;
 pub mod ingest;
 pub mod route;
 pub mod serve;
@@ -21,6 +22,7 @@ pub mod shell;
 pub mod snapshot;
 pub mod table;
 
+pub use datagen::DatagenArgs;
 pub use ingest::IngestArgs;
 pub use route::RouteArgs;
 pub use serve::ServeArgs;

@@ -13,6 +13,7 @@
 //! a read-only replica), the cluster front door:
 //! `banks route --leader … --follower …`,
 //! delta ingestion: `banks ingest --file deltas.json --server 127.0.0.1:7331`,
+//! streaming corpus generation: `banks datagen --tuples N --out DIR`,
 //! and snapshot bundles: `banks snapshot save|load|inspect …`.
 
 use banks_cli::Shell;
@@ -42,6 +43,16 @@ fn main() {
     // Ingestion: `banks ingest [flags…]` (see banks_cli::ingest).
     if args.first().map(String::as_str) == Some("ingest") {
         if let Err(err) = banks_cli::ingest::run(&args[1..]) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Corpus generation: `banks datagen --tuples N --out DIR`
+    // (see banks_cli::datagen).
+    if args.first().map(String::as_str) == Some("datagen") {
+        if let Err(err) = banks_cli::datagen::run(&args[1..]) {
             eprintln!("error: {err}");
             std::process::exit(1);
         }

@@ -16,10 +16,13 @@
 //! power-loss guarantee for ingest latency; `--compact-wal-batches`
 //! tunes how often the background compactor rolls a fresh snapshot.
 //!
-//! `--graph-snapshot` (graph-only fast restart, no durability for
-//! writes) is **deprecated** in favor of `--data-dir`; it still works,
-//! and a corrupt snapshot file now falls back to a rebuild with a
-//! warning instead of refusing to start.
+//! `--paged` (requires `--data-dir`) serves **out of core**: the bundle
+//! is opened through `banks-pager` instead of decoded into RAM — the
+//! text index answers per-term reads straight off the file, and the
+//! graph keeps its decoded adjacency segments under `--memory-budget`
+//! bytes (default 256 MiB), paging and evicting on demand. Answers are
+//! bit-identical to the in-RAM backend; `/stats` grows a `storage`
+//! object with resident/pinned bytes and page-in/eviction counters.
 //!
 //! With `--follow LEADER:PORT` (requires `--data-dir`), the process is
 //! a **follower** (`banks-replica`): it bootstraps from the leader's
@@ -29,7 +32,7 @@
 //! leader's address; `/search?min_epoch=…` waits for replication and
 //! answers `409` (plus the leader hint) past its deadline.
 
-use banks_core::{Banks, BanksConfig, TupleGraph};
+use banks_core::{Banks, BanksConfig};
 use banks_ingest::SnapshotPublisher;
 use banks_persist::{PersistOptions, PersistentStore};
 use banks_replica::{Replica, ReplicaConfig};
@@ -62,9 +65,11 @@ pub struct ServeArgs {
     pub no_fsync: bool,
     /// Roll a snapshot once this many batches sit in the WAL.
     pub compact_wal_batches: u64,
-    /// Deprecated: CSR-graph-only snapshot path (load if present, else
-    /// save). Subsumed by `--data-dir`, which persists the whole system.
-    pub graph_snapshot: Option<PathBuf>,
+    /// Serve out of core: open the snapshot bundle paged (requires
+    /// `--data-dir`).
+    pub paged: bool,
+    /// Decoded-graph-segment budget in bytes for `--paged`.
+    pub memory_budget: u64,
     /// Disable the write path (`POST /ingest` answers 503).
     pub no_ingest: bool,
     /// Follower mode: tail this leader (`banks-replica`); requires
@@ -85,7 +90,8 @@ impl Default for ServeArgs {
             data_dir: None,
             no_fsync: false,
             compact_wal_batches: PersistOptions::default().compact_wal_batches,
-            graph_snapshot: None,
+            paged: false,
+            memory_budget: 256 * 1024 * 1024,
             no_ingest: false,
             follow: None,
         }
@@ -138,16 +144,41 @@ impl ServeArgs {
                         .parse()
                         .map_err(|_| "--compact-wal-batches must be an integer".to_string())?
                 }
-                "--graph-snapshot" => {
-                    parsed.graph_snapshot = Some(PathBuf::from(value("--graph-snapshot")?))
+                "--paged" => parsed.paged = true,
+                "--memory-budget" => {
+                    parsed.memory_budget = parse_byte_size(&value("--memory-budget")?)?
                 }
                 "--no-ingest" => parsed.no_ingest = true,
                 "--follow" => parsed.follow = Some(value("--follow")?),
                 other => return Err(format!("unknown serve flag `{other}` — see `banks help`")),
             }
         }
+        if parsed.paged && parsed.data_dir.is_none() {
+            return Err(
+                "--paged requires --data-dir (it serves straight off the snapshot bundle file)"
+                    .to_string(),
+            );
+        }
         Ok(parsed)
     }
+}
+
+/// Parse a byte size: a plain integer, or one with a `k`/`m`/`g` suffix
+/// (binary units, case-insensitive) — `--memory-budget 64m`.
+fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, shift) = match lower.as_bytes().last() {
+        Some(b'k') => (&lower[..lower.len() - 1], 10),
+        Some(b'm') => (&lower[..lower.len() - 1], 20),
+        Some(b'g') => (&lower[..lower.len() - 1], 30),
+        _ => (lower.as_str(), 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("`{s}` is not a byte size (use e.g. 268435456, 256m, 1g)"))?;
+    n.checked_shl(shift)
+        .filter(|&v| shift == 0 || v >> shift == n)
+        .ok_or_else(|| format!("`{s}` overflows"))
 }
 
 /// The durable half of a built service: the publisher (seeded at the
@@ -172,17 +203,11 @@ pub fn build_service(
         search_threads: resolve_search_threads(args),
     };
 
-    // Durable mode subsumes (and ignores) --graph-snapshot.
     if let Some(dir) = &args.data_dir {
-        if args.graph_snapshot.is_some() {
-            eprintln!(
-                "warning: --graph-snapshot is ignored when --data-dir is set \
-                 (the bundle already embeds the graph)"
-            );
-        }
         let options = PersistOptions {
             fsync: !args.no_fsync,
             compact_wal_batches: args.compact_wal_batches,
+            paged_budget: args.paged.then_some(args.memory_budget),
             ..PersistOptions::default()
         };
         let (store, recovery) = PersistentStore::open(dir, &config, options)
@@ -207,11 +232,25 @@ pub fn build_service(
             }
             None => {
                 let db = crate::corpus::open(&args.corpus, args.seed)?;
-                let banks =
+                let mut banks =
                     Arc::new(Banks::with_config(db, config.clone()).map_err(|e| e.to_string())?);
                 store
                     .save_snapshot(&banks, 0)
                     .map_err(|e| format!("initial snapshot: {e}"))?;
+                if args.paged {
+                    // Swap the freshly built in-RAM state for a paged
+                    // open of the bundle just written — the build was
+                    // unavoidable (something had to derive the graph),
+                    // but serving stays under the memory budget.
+                    let path = dir.join(banks_persist::snapshot_file(0));
+                    let (paged, _) = banks_persist::open_bundle_paged(
+                        &path,
+                        args.memory_budget as usize,
+                        &config,
+                    )
+                    .map_err(|e| format!("paged reopen of {}: {e}", path.display()))?;
+                    banks = Arc::new(paged);
+                }
                 (
                     banks,
                     0,
@@ -233,68 +272,12 @@ pub fn build_service(
         return Ok((service, summary, Some(DurableParts { publisher, store })));
     }
 
-    // Volatile mode, optionally with the deprecated graph-only snapshot.
+    // Volatile mode: build from the corpus, serve from RAM.
     let db = crate::corpus::open(&args.corpus, args.seed)?;
-    let mut graph_source = "built from database".to_string();
-    let banks = match &args.graph_snapshot {
-        Some(path) => {
-            eprintln!(
-                "warning: --graph-snapshot is deprecated; use --data-dir for full-system \
-                 durability (snapshot bundle + WAL + crash recovery)"
-            );
-            let restored_graph = if path.exists() {
-                match load_graph_snapshot(path, &db) {
-                    Ok(graph) => Some(graph),
-                    Err(e) => {
-                        // Satellite fix: a corrupt/mismatched snapshot is
-                        // a warning + rebuild, not a refusal to start.
-                        eprintln!(
-                            "warning: graph snapshot {} unusable ({e}); rebuilding from the \
-                             database and replacing it",
-                            path.display()
-                        );
-                        None
-                    }
-                }
-            } else {
-                None
-            };
-            match restored_graph {
-                // `db` moves into the restored instance — no clone on the
-                // warm-start path whose whole point is load speed.
-                Some(tuple_graph) => {
-                    graph_source = "restored from snapshot".to_string();
-                    Banks::with_graph(db, config.clone(), tuple_graph).map_err(|e| e.to_string())?
-                }
-                None => {
-                    let banks =
-                        Banks::with_config(db, config.clone()).map_err(|e| e.to_string())?;
-                    banks_graph::snapshot::save_snapshot(banks.tuple_graph().graph(), path)
-                        .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
-                    graph_source = "built from database (snapshot saved)".to_string();
-                    banks
-                }
-            }
-        }
-        None => Banks::with_config(db, config).map_err(|e| e.to_string())?,
-    };
-
-    let summary = summary_line(args, &banks, &graph_source);
+    let banks = Banks::with_config(db, config).map_err(|e| e.to_string())?;
+    let summary = summary_line(args, &banks, "built from database");
     let service = Arc::new(QueryService::new(Arc::new(banks), service_config));
     Ok((service, summary, None))
-}
-
-/// Load the CSR graph at `path` and rebind it to `db`. Every failure —
-/// unreadable file, bad magic/version, checksum mismatch, catalog drift
-/// — is returned as a typed-error description for the caller to log.
-fn load_graph_snapshot(
-    path: &std::path::Path,
-    db: &banks_storage::Database,
-) -> Result<TupleGraph, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open: {e}"))?;
-    let graph = banks_graph::snapshot::read_snapshot(std::io::BufReader::new(file))
-        .map_err(|e| e.to_string())?;
-    TupleGraph::rebind(db, graph).map_err(|e| e.to_string())
 }
 
 /// Resolve `--search-threads 0` (auto) against the worker pool: each
@@ -316,8 +299,16 @@ fn resolve_search_threads(args: &ServeArgs) -> usize {
 }
 
 fn summary_line(args: &ServeArgs, banks: &Banks, source: &str) -> String {
+    let backend = if args.paged {
+        format!(
+            " — paged backend, budget {:.0} MiB",
+            args.memory_budget as f64 / (1024.0 * 1024.0)
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "corpus {} (seed {}): {} nodes, {} edges, {:.1} MiB — graph {}",
+        "corpus {} (seed {}): {} nodes, {} edges, {:.1} MiB — graph {}{backend}",
         args.corpus,
         args.seed,
         banks.tuple_graph().node_count(),
@@ -425,6 +416,7 @@ fn start_follower(
             options: PersistOptions {
                 fsync: !args.no_fsync,
                 compact_wal_batches: args.compact_wal_batches,
+                paged_budget: args.paged.then_some(args.memory_budget),
                 ..PersistOptions::default()
             },
             ..ReplicaConfig::default()
@@ -537,6 +529,21 @@ mod tests {
                 .unwrap()
                 .no_ingest
         );
+        let paged = ServeArgs::parse(&strings(&[
+            "--data-dir",
+            "/tmp/x",
+            "--paged",
+            "--memory-budget",
+            "64m",
+        ]))
+        .unwrap();
+        assert!(paged.paged);
+        assert_eq!(paged.memory_budget, 64 << 20);
+        assert_eq!(parse_byte_size("123").unwrap(), 123);
+        assert_eq!(parse_byte_size("2G").unwrap(), 2 << 30);
+        assert!(parse_byte_size("lots").is_err());
+        // --paged without a data dir is refused at parse time.
+        assert!(ServeArgs::parse(&strings(&["--paged"])).is_err());
         assert_eq!(
             ServeArgs::parse(&strings(&["--follow", "127.0.0.1:7331"]))
                 .unwrap()
@@ -568,52 +575,34 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_restart_roundtrip() {
-        let path =
-            std::env::temp_dir().join(format!("banks_serve_snapshot_{}.graph", std::process::id()));
-        let _ = std::fs::remove_file(&path);
-        let args = ServeArgs {
+    fn paged_serve_matches_in_ram_answers() {
+        let dir = tmp_dir("paged");
+        let base = ServeArgs {
             corpus: "dblp".into(),
-            graph_snapshot: Some(path.clone()),
+            data_dir: Some(dir.clone()),
             ..ServeArgs::default()
         };
-        // Cold start: builds the graph and saves the snapshot.
-        let (service, summary, durable) = build_service(&args).unwrap();
-        assert!(summary.contains("snapshot saved"), "{summary}");
-        assert!(durable.is_none());
-        assert!(path.exists());
-        let cold = service
-            .search("mohan", Default::default())
-            .expect("planted author");
-        // Warm start: restores the snapshot; answers are identical.
-        let (service2, summary2, _) = build_service(&args).unwrap();
-        assert!(summary2.contains("restored from snapshot"), "{summary2}");
-        let warm = service2.search("mohan", Default::default()).unwrap();
-        assert_eq!(cold.result.answers.len(), warm.result.answers.len());
-        for (a, b) in cold.result.answers.iter().zip(&warm.result.answers) {
+        // Cold start in-RAM: builds the corpus and writes the bundle.
+        let (in_ram, _, durable) = build_service(&base).unwrap();
+        let expected = in_ram.search("mohan", Default::default()).unwrap();
+        drop(durable);
+        drop(in_ram);
+        // Reopen the same directory paged, under a small budget.
+        let args = ServeArgs {
+            paged: true,
+            memory_budget: 1 << 20,
+            ..base
+        };
+        let (paged, summary, durable) = build_service(&args).unwrap();
+        assert!(summary.contains("paged backend"), "{summary}");
+        assert!(durable.is_some());
+        let got = paged.search("mohan", Default::default()).unwrap();
+        assert_eq!(expected.result.answers.len(), got.result.answers.len());
+        for (a, b) in expected.result.answers.iter().zip(&got.result.answers) {
             assert_eq!(a.tree.signature(), b.tree.signature());
         }
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn corrupt_graph_snapshot_falls_back_to_rebuild() {
-        let path =
-            std::env::temp_dir().join(format!("banks_serve_corrupt_{}.graph", std::process::id()));
-        std::fs::write(&path, b"BNKSGRPH then total garbage").unwrap();
-        let args = ServeArgs {
-            corpus: "dblp".into(),
-            graph_snapshot: Some(path.clone()),
-            ..ServeArgs::default()
-        };
-        // Must not error out: warn, rebuild, and replace the bad file.
-        let (service, summary, _) = build_service(&args).unwrap();
-        assert!(summary.contains("snapshot saved"), "{summary}");
-        assert!(service.search("mohan", Default::default()).is_ok());
-        // The replaced file now restores cleanly.
-        let (_, summary2, _) = build_service(&args).unwrap();
-        assert!(summary2.contains("restored from snapshot"), "{summary2}");
-        let _ = std::fs::remove_file(&path);
+        drop(durable);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

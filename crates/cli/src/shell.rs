@@ -432,11 +432,17 @@ server mode (not a shell command):
               [--addr HOST:PORT] [--workers N] [--search-threads N]
               [--cache-capacity N] [--cache-shards N] [--data-dir DIR]
               [--no-fsync] [--compact-wal-batches N] [--no-ingest]
+              [--paged] [--memory-budget BYTES]
     serves /search, /node, /stats, /epochs, /health, POST /ingest
     --data-dir enables durability: full-system snapshot bundle + WAL'd
     ingestion + crash recovery (banks-persist)
-    --graph-snapshot PATH is DEPRECATED (graph-only restart, writes not
-    durable) — use --data-dir instead
+    --paged serves out of core from the bundle file (banks-pager);
+    --memory-budget caps decoded graph segments (e.g. 256m, default)
+
+corpus generation (not a shell command):
+  banks datagen --tuples N --out DIR [--seed N] [--shard-tuples N]
+    streams an exact-size DBLP-shaped corpus to disk; the output
+    directory is accepted wherever a corpus name is (open, serve)
 
 snapshot bundles (not a shell command):
   banks snapshot save --corpus NAME [--seed N] [--epoch N] --out PATH

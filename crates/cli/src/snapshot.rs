@@ -176,8 +176,9 @@ pub fn execute(args: &SnapshotArgs) -> Result<String, String> {
                 inspect_bundle(path).map_err(|e| format!("inspect {}: {e}", path.display()))?;
             let (meta_b, data_b, tidx_b, graph_b) = info.section_bytes;
             let mut out = format!(
-                "{}: valid bundle, {} bytes, epoch {}\n",
+                "{}: valid bundle (v{}), {} bytes, epoch {}\n",
                 path.display(),
+                info.version,
                 info.file_bytes,
                 info.meta.epoch
             );

@@ -15,7 +15,10 @@
 //! * [`thesis`] — Department/Program/Faculty/Student/Thesis with the
 //!   planted CSE-department hub and the Sudarshan→Aditya advisor pair;
 //! * [`tpcd`] — Part/Supplier/Customer/Orders/LineItem with a popular and
-//!   an obscure "widget" part for the prestige example.
+//!   an obscure "widget" part for the prestige example;
+//! * [`stream`] — DBLP-shaped corpora of an *exact* total tuple count,
+//!   written as shard files straight to disk with O(1) memory, for the
+//!   out-of-core storage tests (`--tuples N` on the CLI).
 //!
 //! Everything is seeded ([`rng::Rng`] is a local SplitMix64) so evaluation
 //! results are reproducible bit-for-bit.
@@ -23,10 +26,12 @@
 pub mod dblp;
 pub mod names;
 pub mod rng;
+pub mod stream;
 pub mod thesis;
 pub mod tpcd;
 pub mod zipf;
 
 pub use dblp::{DblpConfig, DblpDataset, DblpPlanted};
+pub use stream::{StreamConfig, StreamCounts, StreamManifest};
 pub use thesis::{ThesisConfig, ThesisDataset, ThesisPlanted};
 pub use tpcd::{TpcdConfig, TpcdDataset, TpcdPlanted};

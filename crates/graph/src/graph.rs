@@ -1,6 +1,16 @@
 //! Compact CSR graph: the in-memory representation of the BANKS data graph.
+//!
+//! Since the out-of-core work, [`Graph`] is a thin dispatch wrapper over
+//! one of two storage backends: the original in-RAM CSR (the default —
+//! every constructor here produces it, and its accessors compile to the
+//! same direct array indexing as before) or a pluggable
+//! [`GraphStore`] such as the segment-paged
+//! store in `banks-pager`. The search kernel and every other caller see
+//! a single `Graph` type either way.
 
+use crate::store::{GraphStore, StorageStats};
 use std::fmt;
+use std::sync::Arc;
 
 /// A node identifier: a dense index into the graph's node arrays.
 ///
@@ -87,11 +97,13 @@ impl GraphBuilder {
     }
 }
 
-/// An immutable directed graph in CSR form, with both forward and reverse
-/// adjacency so the backward expanding search can traverse edges in reverse
-/// at the same cost as forward.
+/// The fully-decoded CSR arrays: the original in-RAM backend.
+///
+/// Kept as a plain struct (not a `GraphStore` impl) so the hot path —
+/// accessors on an in-RAM [`Graph`] — is one enum discriminant test
+/// plus direct array indexing, with no virtual dispatch.
 #[derive(Debug, Clone)]
-pub struct Graph {
+struct InRamGraph {
     node_weights: Box<[f64]>,
     fwd_offsets: Box<[u32]>,
     fwd_targets: Box<[u32]>,
@@ -109,7 +121,29 @@ pub struct Graph {
     max_node_weight: f64,
 }
 
-impl Graph {
+/// Which backend a [`Graph`] dispatches to.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Fully decoded CSR arrays in RAM (the default).
+    InRam(InRamGraph),
+    /// A pluggable out-of-core backend (see `banks-pager`).
+    Paged(Arc<dyn GraphStore>),
+}
+
+/// An immutable directed graph in CSR form, with both forward and reverse
+/// adjacency so the backward expanding search can traverse edges in reverse
+/// at the same cost as forward.
+///
+/// Backed either by in-RAM arrays or by a paged [`GraphStore`]; see the
+/// [`crate::store`] module docs for the slice lifetime contract that the
+/// adjacency accessors inherit from paged backends (in-RAM graphs
+/// trivially satisfy it).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    repr: Repr,
+}
+
+impl InRamGraph {
     /// The cached normalization bounds both constructors derive: the
     /// smallest positive edge weight (the `w_min` of the paper's edge
     /// score) and the largest node weight (`w_max` of the node score).
@@ -136,12 +170,7 @@ impl Graph {
             .collect()
     }
 
-    /// Assemble the CSR arrays from edges that are **already sorted by
-    /// `(from, to)` with no duplicate pairs** — the shared final step of
-    /// [`GraphBuilder::build`] and the O(m) fast path of
-    /// [`crate::patch::GraphPatch::apply`], which produces its merged
-    /// edge stream in sorted order and must not pay a global re-sort.
-    pub fn from_sorted_edges(node_weights: Vec<f64>, edges: Vec<(u32, u32, f64)>) -> Graph {
+    fn from_sorted_edges(node_weights: Vec<f64>, edges: Vec<(u32, u32, f64)>) -> InRamGraph {
         let n = node_weights.len();
         let m = edges.len();
         debug_assert!(
@@ -191,10 +220,11 @@ impl Graph {
             }
         }
 
-        let (min_edge_weight, max_node_weight) = Graph::weight_bounds(&node_weights, &fwd_weights);
-        let fwd_escores = Graph::log_scores(&fwd_weights, min_edge_weight);
+        let (min_edge_weight, max_node_weight) =
+            InRamGraph::weight_bounds(&node_weights, &fwd_weights);
+        let fwd_escores = InRamGraph::log_scores(&fwd_weights, min_edge_weight);
 
-        Graph {
+        InRamGraph {
             node_weights: node_weights.into_boxed_slice(),
             fwd_offsets: fwd_offsets.into_boxed_slice(),
             fwd_targets: fwd_targets.into_boxed_slice(),
@@ -208,23 +238,12 @@ impl Graph {
         }
     }
 
-    /// Assemble a graph directly from forward CSR arrays — the snapshot
-    /// restore path, where `fwd_offsets`/`fwd_targets`/`fwd_weights`
-    /// were deserialized verbatim and re-expanding them into an edge
-    /// triple list (as [`Graph::from_sorted_edges`] consumes) would just
-    /// copy ~24 bytes per edge to immediately shred them back into
-    /// columns. Only the reverse CSR is derived here.
-    ///
-    /// The caller guarantees what the builder normally establishes:
-    /// offsets monotone with the right endpoints, targets in range, and
-    /// each node's adjacency sorted by target with no duplicates (the
-    /// snapshot reader validates all of this before calling).
-    pub fn from_csr(
+    fn from_csr(
         node_weights: Vec<f64>,
         fwd_offsets: Vec<u32>,
         fwd_targets: Vec<u32>,
         fwd_weights: Vec<f64>,
-    ) -> Graph {
+    ) -> InRamGraph {
         let n = node_weights.len();
         let m = fwd_targets.len();
         debug_assert_eq!(fwd_offsets.len(), n + 1);
@@ -257,10 +276,11 @@ impl Graph {
             }
         }
 
-        let (min_edge_weight, max_node_weight) = Graph::weight_bounds(&node_weights, &fwd_weights);
-        let fwd_escores = Graph::log_scores(&fwd_weights, min_edge_weight);
+        let (min_edge_weight, max_node_weight) =
+            InRamGraph::weight_bounds(&node_weights, &fwd_weights);
+        let fwd_escores = InRamGraph::log_scores(&fwd_weights, min_edge_weight);
 
-        Graph {
+        InRamGraph {
             node_weights: node_weights.into_boxed_slice(),
             fwd_offsets: fwd_offsets.into_boxed_slice(),
             fwd_targets: fwd_targets.into_boxed_slice(),
@@ -274,64 +294,276 @@ impl Graph {
         }
     }
 
+    #[inline]
+    fn out_range(&self, node: NodeId) -> (usize, usize) {
+        (
+            self.fwd_offsets[node.index()] as usize,
+            self.fwd_offsets[node.index() + 1] as usize,
+        )
+    }
+
+    #[inline]
+    fn in_range(&self, node: NodeId) -> (usize, usize) {
+        (
+            self.rev_offsets[node.index()] as usize,
+            self.rev_offsets[node.index() + 1] as usize,
+        )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node_weights.len() * size_of::<f64>()
+            + self.fwd_offsets.len() * size_of::<u32>()
+            + self.fwd_targets.len() * size_of::<u32>()
+            + self.fwd_weights.len() * size_of::<f64>()
+            + self.fwd_escores.len() * size_of::<f64>()
+            + self.rev_offsets.len() * size_of::<u32>()
+            + self.rev_sources.len() * size_of::<u32>()
+            + self.rev_weights.len() * size_of::<f64>()
+    }
+}
+
+/// Iterator over one adjacency list as `(neighbor, weight)` pairs.
+///
+/// For in-RAM graphs this borrows the CSR arrays directly (no
+/// allocation, exactly as before); for paged graphs the list is copied
+/// out at construction so the iterator stays valid however long it is
+/// held — paged slices themselves only survive a bounded number of
+/// further accesses (see [`crate::store`]).
+pub struct Edges<'g> {
+    inner: EdgesInner<'g>,
+}
+
+enum EdgesInner<'g> {
+    Borrowed(std::iter::Zip<std::slice::Iter<'g, u32>, std::slice::Iter<'g, f64>>),
+    Owned(std::vec::IntoIter<(u32, f64)>),
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, f64)> {
+        match &mut self.inner {
+            EdgesInner::Borrowed(it) => it.next().map(|(&id, &w)| (NodeId(id), w)),
+            EdgesInner::Owned(it) => it.next().map(|(id, w)| (NodeId(id), w)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            EdgesInner::Borrowed(it) => it.size_hint(),
+            EdgesInner::Owned(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Edges<'_> {}
+
+impl Edges<'_> {
+    fn borrowed<'g>(ids: &'g [u32], weights: &'g [f64]) -> Edges<'g> {
+        Edges {
+            inner: EdgesInner::Borrowed(ids.iter().zip(weights.iter())),
+        }
+    }
+
+    fn owned(ids: &[u32], weights: &[f64]) -> Edges<'static> {
+        let pairs: Vec<(u32, f64)> = ids.iter().copied().zip(weights.iter().copied()).collect();
+        Edges {
+            inner: EdgesInner::Owned(pairs.into_iter()),
+        }
+    }
+}
+
+impl Graph {
+    /// Assemble the CSR arrays from edges that are **already sorted by
+    /// `(from, to)` with no duplicate pairs** — the shared final step of
+    /// [`GraphBuilder::build`] and the O(m) fast path of
+    /// [`crate::patch::GraphPatch::apply`], which produces its merged
+    /// edge stream in sorted order and must not pay a global re-sort.
+    pub fn from_sorted_edges(node_weights: Vec<f64>, edges: Vec<(u32, u32, f64)>) -> Graph {
+        Graph {
+            repr: Repr::InRam(InRamGraph::from_sorted_edges(node_weights, edges)),
+        }
+    }
+
+    /// Assemble a graph directly from forward CSR arrays — the snapshot
+    /// restore path, where `fwd_offsets`/`fwd_targets`/`fwd_weights`
+    /// were deserialized verbatim and re-expanding them into an edge
+    /// triple list (as [`Graph::from_sorted_edges`] consumes) would just
+    /// copy ~24 bytes per edge to immediately shred them back into
+    /// columns. Only the reverse CSR is derived here.
+    ///
+    /// The caller guarantees what the builder normally establishes:
+    /// offsets monotone with the right endpoints, targets in range, and
+    /// each node's adjacency sorted by target with no duplicates (the
+    /// snapshot reader validates all of this before calling).
+    pub fn from_csr(
+        node_weights: Vec<f64>,
+        fwd_offsets: Vec<u32>,
+        fwd_targets: Vec<u32>,
+        fwd_weights: Vec<f64>,
+    ) -> Graph {
+        Graph {
+            repr: Repr::InRam(InRamGraph::from_csr(
+                node_weights,
+                fwd_offsets,
+                fwd_targets,
+                fwd_weights,
+            )),
+        }
+    }
+
+    /// Wrap a pluggable storage backend as a [`Graph`]. Every accessor
+    /// dispatches to `store`; the search kernel runs against it
+    /// unchanged.
+    pub fn from_store(store: Arc<dyn GraphStore>) -> Graph {
+        Graph {
+            repr: Repr::Paged(store),
+        }
+    }
+
+    /// The storage backend, if this graph is backed by one (`None` for
+    /// the in-RAM representation). Used by the ingest pipeline to route
+    /// patches through the backend's copy-on-write path.
+    pub fn store(&self) -> Option<&Arc<dyn GraphStore>> {
+        match &self.repr {
+            Repr::InRam(_) => None,
+            Repr::Paged(s) => Some(s),
+        }
+    }
+
+    /// Paging telemetry, if this graph is backed by a paged store
+    /// (`None` for in-RAM, which has nothing to page).
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        match &self.repr {
+            Repr::InRam(_) => None,
+            Repr::Paged(s) => Some(s.storage_stats()),
+        }
+    }
+
+    /// A fully in-RAM copy of this graph (a plain clone when already
+    /// in-RAM). For a paged graph this decodes **everything** — use
+    /// only where the full footprint is acceptable, e.g. tests and the
+    /// ingest fallback path.
+    pub fn materialize(&self) -> Graph {
+        match &self.repr {
+            Repr::InRam(_) => self.clone(),
+            Repr::Paged(s) => {
+                let n = s.node_count();
+                let m = s.edge_count();
+                let mut node_weights = Vec::with_capacity(n);
+                let mut fwd_offsets = Vec::with_capacity(n + 1);
+                let mut fwd_targets = Vec::with_capacity(m);
+                let mut fwd_weights = Vec::with_capacity(m);
+                fwd_offsets.push(0u32);
+                for node in 0..n as u32 {
+                    node_weights.push(s.node_weight(node));
+                    let (_, targets, weights) = s.out_adjacency_slots(node);
+                    fwd_targets.extend_from_slice(targets);
+                    fwd_weights.extend_from_slice(weights);
+                    fwd_offsets.push(fwd_targets.len() as u32);
+                }
+                Graph::from_csr(node_weights, fwd_offsets, fwd_targets, fwd_weights)
+            }
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.node_weights.len()
+        match &self.repr {
+            Repr::InRam(g) => g.node_weights.len(),
+            Repr::Paged(s) => s.node_count(),
+        }
     }
 
     /// Number of directed edges (after coalescing).
     pub fn edge_count(&self) -> usize {
-        self.fwd_targets.len()
+        match &self.repr {
+            Repr::InRam(g) => g.fwd_targets.len(),
+            Repr::Paged(s) => s.edge_count(),
+        }
     }
 
     /// The prestige weight of a node (§2.2 node weight).
     #[inline]
     pub fn node_weight(&self, node: NodeId) -> f64 {
-        self.node_weights[node.index()]
+        match &self.repr {
+            Repr::InRam(g) => g.node_weights[node.index()],
+            Repr::Paged(s) => s.node_weight(node.0),
+        }
     }
 
     /// Iterate over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_weights.len() as u32).map(NodeId)
+        (0..self.node_count() as u32).map(NodeId)
     }
 
     /// Outgoing edges of `node` as `(target, weight)`.
     #[inline]
-    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        let lo = self.fwd_offsets[node.index()] as usize;
-        let hi = self.fwd_offsets[node.index() + 1] as usize;
-        self.fwd_targets[lo..hi]
-            .iter()
-            .zip(&self.fwd_weights[lo..hi])
-            .map(|(&t, &w)| (NodeId(t), w))
+    pub fn out_edges(&self, node: NodeId) -> Edges<'_> {
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.out_range(node);
+                Edges::borrowed(&g.fwd_targets[lo..hi], &g.fwd_weights[lo..hi])
+            }
+            Repr::Paged(s) => {
+                let (_, targets, weights) = s.out_adjacency_slots(node.0);
+                Edges::owned(targets, weights)
+            }
+        }
     }
 
     /// Incoming edges of `node` as `(source, weight)`.
     #[inline]
-    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        let lo = self.rev_offsets[node.index()] as usize;
-        let hi = self.rev_offsets[node.index() + 1] as usize;
-        self.rev_sources[lo..hi]
-            .iter()
-            .zip(&self.rev_weights[lo..hi])
-            .map(|(&s, &w)| (NodeId(s), w))
+    pub fn in_edges(&self, node: NodeId) -> Edges<'_> {
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.in_range(node);
+                Edges::borrowed(&g.rev_sources[lo..hi], &g.rev_weights[lo..hi])
+            }
+            Repr::Paged(s) => {
+                let (_, sources, weights) = s.in_adjacency_slots(node.0);
+                Edges::owned(sources, weights)
+            }
+        }
     }
 
     /// Outgoing adjacency of `node` as raw `(targets, weights)` slices —
     /// the allocation-free form the search kernel's relaxation loop uses.
+    ///
+    /// For paged graphs the slices obey the bounded-lifetime contract in
+    /// [`crate::store`]: consume them before many further adjacency
+    /// accesses on this thread.
     #[inline]
     pub fn out_adjacency(&self, node: NodeId) -> (&[u32], &[f64]) {
-        let lo = self.fwd_offsets[node.index()] as usize;
-        let hi = self.fwd_offsets[node.index() + 1] as usize;
-        (&self.fwd_targets[lo..hi], &self.fwd_weights[lo..hi])
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.out_range(node);
+                (&g.fwd_targets[lo..hi], &g.fwd_weights[lo..hi])
+            }
+            Repr::Paged(s) => {
+                let (_, targets, weights) = s.out_adjacency_slots(node.0);
+                (targets, weights)
+            }
+        }
     }
 
     /// Incoming adjacency of `node` as raw `(sources, weights)` slices.
+    ///
+    /// Same lifetime contract as [`Graph::out_adjacency`].
     #[inline]
     pub fn in_adjacency(&self, node: NodeId) -> (&[u32], &[f64]) {
-        let lo = self.rev_offsets[node.index()] as usize;
-        let hi = self.rev_offsets[node.index() + 1] as usize;
-        (&self.rev_sources[lo..hi], &self.rev_weights[lo..hi])
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.in_range(node);
+                (&g.rev_sources[lo..hi], &g.rev_weights[lo..hi])
+            }
+            Repr::Paged(s) => {
+                let (_, sources, weights) = s.in_adjacency_slots(node.0);
+                (sources, weights)
+            }
+        }
     }
 
     /// As [`Graph::out_adjacency`], additionally returning the CSR slot
@@ -340,47 +572,59 @@ impl Graph {
     /// (and precomputed scores) back out of the CSR arrays.
     #[inline]
     pub fn out_adjacency_slots(&self, node: NodeId) -> (u32, &[u32], &[f64]) {
-        let lo = self.fwd_offsets[node.index()] as usize;
-        let hi = self.fwd_offsets[node.index() + 1] as usize;
-        (
-            lo as u32,
-            &self.fwd_targets[lo..hi],
-            &self.fwd_weights[lo..hi],
-        )
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.out_range(node);
+                (lo as u32, &g.fwd_targets[lo..hi], &g.fwd_weights[lo..hi])
+            }
+            Repr::Paged(s) => s.out_adjacency_slots(node.0),
+        }
     }
 
     /// As [`Graph::in_adjacency`], with the CSR slot of the first edge.
     #[inline]
     pub fn in_adjacency_slots(&self, node: NodeId) -> (u32, &[u32], &[f64]) {
-        let lo = self.rev_offsets[node.index()] as usize;
-        let hi = self.rev_offsets[node.index() + 1] as usize;
-        (
-            lo as u32,
-            &self.rev_sources[lo..hi],
-            &self.rev_weights[lo..hi],
-        )
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.in_range(node);
+                (lo as u32, &g.rev_sources[lo..hi], &g.rev_weights[lo..hi])
+            }
+            Repr::Paged(s) => s.in_adjacency_slots(node.0),
+        }
     }
 
     /// Weight stored at a forward CSR slot (as returned by
     /// [`Graph::out_adjacency_slots`]).
     #[inline]
     pub fn fwd_weight_at(&self, slot: u32) -> f64 {
-        self.fwd_weights[slot as usize]
+        match &self.repr {
+            Repr::InRam(g) => g.fwd_weights[slot as usize],
+            Repr::Paged(s) => s.fwd_weight_at(slot),
+        }
     }
 
     /// Weight stored at a reverse CSR slot.
     #[inline]
     pub fn rev_weight_at(&self, slot: u32) -> f64 {
-        self.rev_weights[slot as usize]
+        match &self.repr {
+            Repr::InRam(g) => g.rev_weights[slot as usize],
+            Repr::Paged(s) => s.rev_weight_at(slot),
+        }
     }
 
     /// Precomputed log-mode edge scores parallel to the forward
     /// adjacency of `node` (same order as [`Graph::out_adjacency`]).
+    ///
+    /// Same lifetime contract as [`Graph::out_adjacency`].
     #[inline]
     pub fn out_escores(&self, node: NodeId) -> &[f64] {
-        let lo = self.fwd_offsets[node.index()] as usize;
-        let hi = self.fwd_offsets[node.index() + 1] as usize;
-        &self.fwd_escores[lo..hi]
+        match &self.repr {
+            Repr::InRam(g) => {
+                let (lo, hi) = g.out_range(node);
+                &g.fwd_escores[lo..hi]
+            }
+            Repr::Paged(s) => s.out_escores(node.0),
+        }
     }
 
     /// Precomputed log-mode score (`log2(1 + w/w_min)`) of the directed
@@ -391,63 +635,60 @@ impl Graph {
     /// so results never depend on whether the lookup hit.
     #[inline]
     pub fn log_edge_score(&self, from: NodeId, to: NodeId, weight: f64) -> Option<f64> {
-        let lo = self.fwd_offsets[from.index()] as usize;
-        let hi = self.fwd_offsets[from.index() + 1] as usize;
-        let slice = &self.fwd_targets[lo..hi];
-        let i = slice.binary_search(&to.0).ok()?;
-        (self.fwd_weights[lo + i].to_bits() == weight.to_bits()).then(|| self.fwd_escores[lo + i])
+        let (_, targets, weights) = self.out_adjacency_slots(from);
+        let i = targets.binary_search(&to.0).ok()?;
+        if weights[i].to_bits() != weight.to_bits() {
+            return None;
+        }
+        Some(self.out_escores(from)[i])
     }
 
     /// Out-degree of `node`.
     pub fn out_degree(&self, node: NodeId) -> usize {
-        (self.fwd_offsets[node.index() + 1] - self.fwd_offsets[node.index()]) as usize
+        self.out_adjacency(node).0.len()
     }
 
     /// In-degree of `node`.
     pub fn in_degree(&self, node: NodeId) -> usize {
-        (self.rev_offsets[node.index() + 1] - self.rev_offsets[node.index()]) as usize
+        self.in_adjacency(node).0.len()
     }
 
     /// Weight of the directed edge `(from, to)`, if present.
     ///
     /// Binary search over the (sorted) forward adjacency of `from`.
     pub fn edge_weight(&self, from: NodeId, to: NodeId) -> Option<f64> {
-        let lo = self.fwd_offsets[from.index()] as usize;
-        let hi = self.fwd_offsets[from.index() + 1] as usize;
-        let slice = &self.fwd_targets[lo..hi];
-        slice
-            .binary_search(&to.0)
-            .ok()
-            .map(|i| self.fwd_weights[lo + i])
+        let (targets, weights) = self.out_adjacency(from);
+        targets.binary_search(&to.0).ok().map(|i| weights[i])
     }
 
     /// Smallest strictly-positive edge weight — the `w_min` normalizer of
     /// the paper's edge score (§2.3). Infinity for an edgeless graph.
     pub fn min_edge_weight(&self) -> f64 {
-        self.min_edge_weight
+        match &self.repr {
+            Repr::InRam(g) => g.min_edge_weight,
+            Repr::Paged(s) => s.min_edge_weight(),
+        }
     }
 
     /// Largest node weight — the `w_max` normalizer of the node score
     /// (§2.3). Zero for an empty graph.
     pub fn max_node_weight(&self) -> f64 {
-        self.max_node_weight
+        match &self.repr {
+            Repr::InRam(g) => g.max_node_weight,
+            Repr::Paged(s) => s.max_node_weight(),
+        }
     }
 
-    /// Actual heap footprint of the graph arrays, in bytes.
-    ///
-    /// Reproduces the §5.2 space measurement (the paper reports ~120 MB for
-    /// 100K nodes / 300K edges under Java; the CSR layout is a small
-    /// fraction of that).
+    /// Actual heap footprint of the graph, in bytes. For the in-RAM
+    /// backend this is the full CSR array size, reproducing the §5.2
+    /// space measurement; for a paged backend it is the *resident*
+    /// footprint (decoded segments plus directories), not the full
+    /// decoded size.
     pub fn memory_bytes(&self) -> usize {
-        use std::mem::size_of;
-        self.node_weights.len() * size_of::<f64>()
-            + self.fwd_offsets.len() * size_of::<u32>()
-            + self.fwd_targets.len() * size_of::<u32>()
-            + self.fwd_weights.len() * size_of::<f64>()
-            + self.fwd_escores.len() * size_of::<f64>()
-            + self.rev_offsets.len() * size_of::<u32>()
-            + self.rev_sources.len() * size_of::<u32>()
-            + self.rev_weights.len() * size_of::<f64>()
+        match &self.repr {
+            Repr::InRam(g) => g.memory_bytes(),
+            Repr::Paged(s) => s.memory_bytes(),
+        }
     }
 }
 
@@ -581,6 +822,18 @@ mod tests {
         b.set_node_weight(x, 10.0);
         let g = b.build();
         assert_eq!(g.node_weight(x), 10.0);
+    }
+
+    #[test]
+    fn materialize_in_ram_is_identity() {
+        let (g, [a, _b, _c, d]) = diamond();
+        let m = g.materialize();
+        assert_eq!(m.node_count(), g.node_count());
+        assert_eq!(m.edge_count(), g.edge_count());
+        assert_eq!(m.out_adjacency(a), g.out_adjacency(a));
+        assert_eq!(m.in_adjacency(d), g.in_adjacency(d));
+        assert!(g.store().is_none());
+        assert!(g.storage_stats().is_none());
     }
 
     mod properties {

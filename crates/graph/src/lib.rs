@@ -51,13 +51,15 @@ pub mod graph;
 pub mod heap;
 pub mod patch;
 pub mod snapshot;
+pub mod store;
 
 pub use arena::{
     CrossScratch, DijkstraState, MergeScratch, OriginListPool, SearchArena, ShardArena, NIL,
 };
 pub use dijkstra::{Dijkstra, Direction, Visit};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use graph::{Graph, GraphBuilder, NodeId};
+pub use graph::{Edges, Graph, GraphBuilder, NodeId};
 pub use heap::DistHeap;
 pub use patch::GraphPatch;
 pub use snapshot::{read_snapshot, save_snapshot, write_snapshot, SnapshotError};
+pub use store::{GraphStore, StorageStats};

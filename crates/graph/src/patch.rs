@@ -92,19 +92,92 @@ impl GraphPatch {
         self.dirty.len()
     }
 
+    /// The node remap: `remap()[old_id]` = new id, or `None` for removed
+    /// nodes. Exposed (with the other read accessors below) so a
+    /// [`GraphStore`](crate::store::GraphStore) backend can apply the
+    /// patch copy-on-write without materializing the old graph.
+    pub fn remap(&self) -> &[Option<u32>] {
+        &self.remap
+    }
+
+    /// Weight of every node of the **new** graph.
+    pub fn new_node_weights(&self) -> &[f64] {
+        &self.new_node_weights
+    }
+
+    /// Whether the ordered pair `(from, to)` (new-id space) is dirty.
+    pub fn is_dirty(&self, from: u32, to: u32) -> bool {
+        self.dirty.contains(&(from, to))
+    }
+
+    /// Iterate the dirty pairs in new-id space (arbitrary order).
+    pub fn dirty(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// The replacement edges in new-id space. Sorted by `(from, to)` and
+    /// min-coalesced once [`GraphPatch::apply`] has normalized the patch
+    /// (which it does before consulting any storage backend); in raw
+    /// insertion order before that.
+    pub fn replacements(&self) -> &[(u32, u32, f64)] {
+        &self.replacements
+    }
+
+    /// True when the remap is the identity on all old nodes (possibly
+    /// followed by appended new nodes) — the shape ingest produces for
+    /// pure insert/update batches, and the shape a paged backend can
+    /// patch segment-by-segment without renumbering.
+    pub fn remap_is_identity_extend(&self) -> bool {
+        self.remap
+            .iter()
+            .enumerate()
+            .all(|(i, m)| *m == Some(i as u32))
+    }
+
+    /// Sort + min-coalesce the replacement set (small), making
+    /// [`GraphPatch::replacements`] canonical.
+    fn normalize(&mut self) {
+        self.replacements
+            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        self.replacements
+            .dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
+    }
+
     /// Produce the patched graph.
+    ///
+    /// When `old` is backed by a storage backend, the patch is first
+    /// offered to [`GraphStore::apply_patch`] (the copy-on-write fast
+    /// path); if the backend declines, the merge runs in RAM as usual
+    /// and the result is handed back to [`GraphStore::reencode`] so the
+    /// published graph stays paged.
+    ///
+    /// [`GraphStore::apply_patch`]: crate::store::GraphStore::apply_patch
+    /// [`GraphStore::reencode`]: crate::store::GraphStore::reencode
     pub fn apply(mut self, old: &Graph) -> Graph {
         assert_eq!(
             self.remap.len(),
             old.node_count(),
             "remap must cover every old node"
         );
-        // Sort + min-coalesce the replacement set (small).
-        self.replacements
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
-        self.replacements
-            .dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
+        self.normalize();
+        if let Some(store) = old.store() {
+            if let Some(patched) = store.apply_patch(&self) {
+                return patched;
+            }
+            let patched = self.apply_in_ram(old);
+            return match store.reencode(&patched) {
+                Some(reencoded) => Graph::from_store(reencoded),
+                None => patched,
+            };
+        }
+        self.apply_in_ram(old)
+    }
 
+    /// The in-RAM merge: stream the old graph's edges against the
+    /// (normalized) replacement set. Works on any backend — a paged
+    /// `old` decodes each node's adjacency on the fly — but always
+    /// produces an in-RAM graph.
+    fn apply_in_ram(self, old: &Graph) -> Graph {
         // Copy-through stream: old edges remapped, dead endpoints and
         // dirty pairs dropped. Monotone remap ⇒ still sorted.
         let mut merged: Vec<(u32, u32, f64)> =

@@ -1,0 +1,42 @@
+//! # banks-pager
+//!
+//! Out-of-core graph storage for BANKS, following EMBANKS (disk-based
+//! BANKS): the CSR graph is serialized as an mmap-able *paged blob* —
+//! delta-varint–compressed adjacency segments behind a checksummed
+//! segment directory — and served through [`PagedGraphStore`], a
+//! [`banks_graph::GraphStore`] backend that decodes segments lazily on
+//! first touch and keeps the decoded-resident total under a memory
+//! budget with a prestige/access-pinned hot set plus an LRU sweep.
+//!
+//! A cold open reads only the directory (O(segments), independent of
+//! corpus size); bit-identical search answers to the in-RAM backend are
+//! a format invariant (weights round-trip as raw bits, the log-score
+//! lane is recomputed from the identical `w_min`), proptest-verified in
+//! the workspace test suite.
+//!
+//! ```
+//! use banks_graph::{Graph, GraphBuilder, NodeId};
+//! use banks_pager::page_graph;
+//!
+//! let mut b = GraphBuilder::new();
+//! let x = b.add_node(1.0);
+//! let y = b.add_node(2.0);
+//! b.add_edge(x, y, 0.5);
+//! let g = b.build();
+//!
+//! // Round-trip through the paged backend under a tiny budget.
+//! let store = page_graph(&g, None, 1 << 16).unwrap();
+//! let paged = Graph::from_store(store);
+//! assert_eq!(paged.edge_weight(x, y), Some(0.5));
+//! assert_eq!(paged.out_adjacency(x), g.out_adjacency(x));
+//! ```
+
+pub mod blob;
+pub mod codec;
+pub mod error;
+pub mod store;
+pub mod varint;
+
+pub use blob::{encode_paged_blob, ByteSource, Layout, SegEntry, DEFAULT_SEG_SPAN};
+pub use error::PagerError;
+pub use store::{page_graph, PagedGraphStore};

@@ -1,25 +1,47 @@
 //! Full-system snapshot bundles: one file holding everything a server
 //! needs to answer queries — catalog + schemas, table tuples, text-index
 //! postings, the CSR graph, ranking parameters, and the publication
-//! epoch — loadable in a single sequential pass.
+//! epoch. Version 2 lays the file out for *out-of-core* serving: every
+//! section sits at a directory-recorded offset, and the two bulky
+//! sections (postings and graph) use formats that can be served
+//! straight off the file — [`open_bundle_paged`] — instead of decoded
+//! front-to-back.
 //!
-//! ## Layout (all integers little-endian)
+//! ## Version 2 layout (all integers little-endian)
 //!
 //! ```text
-//! magic    "BNKSBNDL"                     8 bytes
-//! version  u32                            (currently 1)
-//! section  "BNKSMETA"  u64 len  payload   epoch, score params, graph config
-//! section  "BNKSDATA"  u64 len  payload   banks_storage::binary::write_database
-//! section  "BNKSTIDX"  u64 len  payload   banks_storage::binary::write_text_index
-//! section  "BNKSGRPH"  u64 len  payload   banks_graph::snapshot::write_snapshot
-//! checksum u64                            (FxHasher over everything above)
+//! magic           "BNKSBNDL"                        8 bytes
+//! version         u32  (= 2)                        4
+//! section_count   u32  (= 4)                        4
+//! directory       4 × 32 bytes                      per section:
+//!                                                     magic     [u8; 8]
+//!                                                     offset    u64  (from file start)
+//!                                                     len       u64
+//!                                                     checksum  u64  (stream over payload)
+//! header checksum u64                               stream over everything above
+//! BNKSMETA payload                                  epoch, score params, graph config
+//! BNKSDATA payload                                  banks_storage::binary::write_database
+//! BNKSTIDX payload                                  banks_storage::postings (packed, lazy-readable)
+//! zero padding to a 4096 boundary
+//! BNKSGRPH payload                                  banks_pager::encode_paged_blob
 //! ```
 //!
-//! Every section leads with its own magic and length, so `inspect` can
-//! skim headers without decoding payloads and future versions can add
-//! sections without breaking the frame walk. The graph section embeds
-//! the existing graph snapshot format verbatim (its internal checksum
-//! rides along — double protection, zero new code).
+//! The directory + header checksum let any consumer locate and verify a
+//! section with one small positioned read — no sequential frame walk.
+//! The graph payload is the `banks-pager` paged blob: 4096-aligned so
+//! its 64-byte-aligned internal segments stay aligned on disk, directly
+//! mmap-able, and openable by [`banks_pager::PagedGraphStore`] without
+//! touching the segment payloads. A *full* load still verifies every
+//! section's whole-payload checksum; a *paged* open verifies the bundle
+//! header, the meta/data payloads it must decode anyway, and the
+//! internal checksummed directories of the postings and graph sections,
+//! trading whole-payload verification of the two lazy sections for not
+//! reading their bytes (payload corruption there is still caught —
+//! per-segment checksums at page-in, skeleton validation at open).
+//!
+//! Version 1 bundles (sequential `magic + len` frames, graph as the
+//! `banks_graph::snapshot` format, postings interleaved) remain fully
+//! loadable; writing always produces version 2.
 //!
 //! Saving goes through [`banks_util::fs::atomic_write`]: temp file,
 //! fsync, rename, directory fsync. A bundle either exists completely at
@@ -39,20 +61,36 @@ use banks_core::{
     ScoreParams, TupleGraph,
 };
 use banks_graph::fxhash::FxHasher;
-use banks_storage::binary;
+use banks_graph::Graph;
+use banks_pager::{ByteSource, PagedGraphStore};
+use banks_storage::postings::{self, LazyTextIndex, PostingSource};
+use banks_storage::{binary, TextIndex};
+use std::fs::File;
 use std::hash::Hasher;
 use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic.
 pub const BUNDLE_MAGIC: &[u8; 8] = b"BNKSBNDL";
-/// Format version.
-pub const BUNDLE_VERSION: u32 = 1;
+/// Format version written by [`write_bundle`].
+pub const BUNDLE_VERSION: u32 = 2;
 
 const SECTION_META: &[u8; 8] = b"BNKSMETA";
 const SECTION_DATA: &[u8; 8] = b"BNKSDATA";
 const SECTION_TIDX: &[u8; 8] = b"BNKSTIDX";
 const SECTION_GRPH: &[u8; 8] = b"BNKSGRPH";
+const SECTION_MAGICS: [&[u8; 8]; 4] = [SECTION_META, SECTION_DATA, SECTION_TIDX, SECTION_GRPH];
+
+/// magic + version + section_count.
+const V2_PREFIX: usize = 8 + 4 + 4;
+const DIR_ENTRY_LEN: usize = 32;
+/// Whole v2 header region: prefix + directory + header checksum.
+const V2_HEADER: usize = V2_PREFIX + SECTION_MAGICS.len() * DIR_ENTRY_LEN + 8;
+/// The graph payload starts on a page boundary so its internal 64-byte
+/// segment alignment is alignment on disk too (mmap-friendly).
+const GRAPH_ALIGN: u64 = 4096;
 
 /// Refuse sections longer than this while decoding (64 GiB) — corrupt
 /// length prefixes must fail fast, not attempt the allocation.
@@ -69,13 +107,14 @@ pub struct BundleMeta {
     pub graph: GraphConfig,
 }
 
-/// Whole-stream checksum over every byte before the trailing checksum
-/// word: four independent Fx lanes striped across 32-byte blocks, folded
-/// into one word at the end. The single-lane Fx fold is a serial
-/// dependency chain (~4 cycles per 8 bytes — ~0.4 ms on a multi-MiB
-/// bundle, pure latency); four lanes run in parallel execution ports and
-/// verify the same megabytes ~4× faster. Save and load both call this
-/// function, so the definition *is* the format.
+/// Whole-stream checksum over a byte range: four independent Fx lanes
+/// striped across 32-byte blocks, folded into one word at the end. The
+/// single-lane Fx fold is a serial dependency chain (~4 cycles per 8
+/// bytes — ~0.4 ms on a multi-MiB bundle, pure latency); four lanes run
+/// in parallel execution ports and verify the same megabytes ~4× faster.
+/// Save and load both call this function, so the definition *is* the
+/// format — v1 uses it over the whole file, v2 over the header region
+/// and over each section payload.
 fn stream_checksum(bytes: &[u8]) -> u64 {
     const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
     let mut lanes = [0u64; 4];
@@ -202,46 +241,49 @@ fn decode_meta(bytes: &[u8]) -> PersistResult<BundleMeta> {
     })
 }
 
-/// Serialize `banks` (stamped as `epoch`) into `out`.
+/// Serialize `banks` (stamped as `epoch`) into `out` — always version 2.
 pub fn write_bundle(banks: &Banks, epoch: u64, mut out: impl Write) -> PersistResult<()> {
-    let mut bytes = Vec::with_capacity(64 * 1024);
-    bytes.extend_from_slice(BUNDLE_MAGIC);
-    bytes.extend_from_slice(&BUNDLE_VERSION.to_le_bytes());
+    let meta = encode_meta(epoch, banks.config());
+    let mut data = Vec::with_capacity(64 * 1024);
+    binary::write_database(banks.db(), &mut data)?;
+    let mut tidx = Vec::with_capacity(64 * 1024);
+    postings::write_packed_postings(banks.text_index(), &mut tidx)?;
+    let grph =
+        banks_pager::encode_paged_blob(banks.tuple_graph().graph(), banks_pager::DEFAULT_SEG_SPAN);
 
-    let section = |bytes: &mut Vec<u8>,
-                   magic: &[u8; 8],
-                   fill: &mut dyn FnMut(&mut Vec<u8>) -> PersistResult<()>|
-     -> PersistResult<()> {
-        bytes.extend_from_slice(magic);
-        let len_at = bytes.len();
-        bytes.extend_from_slice(&0u64.to_le_bytes());
-        let payload_at = bytes.len();
-        fill(bytes)?;
-        let len = (bytes.len() - payload_at) as u64;
-        bytes[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
-        Ok(())
-    };
+    let meta_off = V2_HEADER as u64;
+    let data_off = meta_off + meta.len() as u64;
+    let tidx_off = data_off + data.len() as u64;
+    let tidx_end = tidx_off + tidx.len() as u64;
+    let grph_off = tidx_end.next_multiple_of(GRAPH_ALIGN);
 
-    section(&mut bytes, SECTION_META, &mut |b| {
-        b.extend_from_slice(&encode_meta(epoch, banks.config()));
-        Ok(())
-    })?;
-    section(&mut bytes, SECTION_DATA, &mut |b| {
-        Ok(binary::write_database(banks.db(), b)?)
-    })?;
-    section(&mut bytes, SECTION_TIDX, &mut |b| {
-        Ok(binary::write_text_index(banks.text_index(), b)?)
-    })?;
-    section(&mut bytes, SECTION_GRPH, &mut |b| {
-        Ok(banks_graph::snapshot::write_snapshot(
-            banks.tuple_graph().graph(),
-            b,
-        )?)
-    })?;
+    let mut header = Vec::with_capacity(V2_HEADER);
+    header.extend_from_slice(BUNDLE_MAGIC);
+    header.extend_from_slice(&BUNDLE_VERSION.to_le_bytes());
+    header.extend_from_slice(&(SECTION_MAGICS.len() as u32).to_le_bytes());
+    let payloads: [(&[u8; 8], u64, &[u8]); 4] = [
+        (SECTION_META, meta_off, &meta),
+        (SECTION_DATA, data_off, &data),
+        (SECTION_TIDX, tidx_off, &tidx),
+        (SECTION_GRPH, grph_off, &grph),
+    ];
+    for (magic, offset, payload) in &payloads {
+        header.extend_from_slice(*magic);
+        header.extend_from_slice(&offset.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&stream_checksum(payload).to_le_bytes());
+    }
+    let header_checksum = stream_checksum(&header);
+    header.extend_from_slice(&header_checksum.to_le_bytes());
+    debug_assert_eq!(header.len(), V2_HEADER);
 
-    let checksum = stream_checksum(&bytes);
-    bytes.extend_from_slice(&checksum.to_le_bytes());
-    out.write_all(&bytes).map_err(PersistError::Io)
+    out.write_all(&header)?;
+    out.write_all(&meta)?;
+    out.write_all(&data)?;
+    out.write_all(&tidx)?;
+    out.write_all(&vec![0u8; (grph_off - tidx_end) as usize])?;
+    out.write_all(&grph)?;
+    Ok(())
 }
 
 /// Atomically write the bundle to `path` (temp file + fsync + rename).
@@ -255,29 +297,195 @@ pub fn save_bundle(banks: &Banks, epoch: u64, path: &Path) -> PersistResult<()> 
     .map_err(PersistError::Io)
 }
 
-/// The four section payloads, borrowed from the verified byte stream.
-struct Sections<'a> {
+/// One parsed v2 directory row.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    offset: u64,
+    len: u64,
+    checksum: u64,
+}
+
+/// The verified v2 directory: one entry per section, in file order.
+struct DirectoryV2 {
+    meta: SectionEntry,
+    data: SectionEntry,
+    tidx: SectionEntry,
+    grph: SectionEntry,
+}
+
+/// Parse and verify the v2 header region (`prefix` must hold at least
+/// [`V2_HEADER`] bytes) against the known `file_len`. Checks the header
+/// checksum, section order, offset monotonicity, and bounds; payload
+/// checksums are the caller's job (a paged open intentionally skips the
+/// two lazy sections').
+fn parse_directory_v2(prefix: &[u8], file_len: u64) -> PersistResult<DirectoryV2> {
+    let count = u32::from_le_bytes(prefix[8 + 4..V2_PREFIX].try_into().expect("4 bytes"));
+    if count as usize != SECTION_MAGICS.len() {
+        return Err(PersistError::Malformed(format!(
+            "bundle declares {count} sections, expected {}",
+            SECTION_MAGICS.len()
+        )));
+    }
+    let body = V2_HEADER - 8;
+    let stored = u64::from_le_bytes(prefix[body..V2_HEADER].try_into().expect("8 bytes"));
+    if stream_checksum(&prefix[..body]) != stored {
+        return Err(PersistError::BadChecksum);
+    }
+    let mut entries = [SectionEntry {
+        offset: 0,
+        len: 0,
+        checksum: 0,
+    }; 4];
+    let mut cursor = V2_HEADER as u64;
+    for (i, expected_magic) in SECTION_MAGICS.iter().enumerate() {
+        let at = V2_PREFIX + i * DIR_ENTRY_LEN;
+        let row = &prefix[at..at + DIR_ENTRY_LEN];
+        if &row[..8] != *expected_magic {
+            return Err(PersistError::Malformed(format!(
+                "directory entry {i}: expected section {} found {}",
+                String::from_utf8_lossy(*expected_magic),
+                String::from_utf8_lossy(&row[..8])
+            )));
+        }
+        let entry = SectionEntry {
+            offset: u64::from_le_bytes(row[8..16].try_into().expect("8 bytes")),
+            len: u64::from_le_bytes(row[16..24].try_into().expect("8 bytes")),
+            checksum: u64::from_le_bytes(row[24..32].try_into().expect("8 bytes")),
+        };
+        if entry.len > MAX_SECTION_LEN {
+            return Err(PersistError::Malformed(format!(
+                "section {} length {} is implausible",
+                String::from_utf8_lossy(*expected_magic),
+                entry.len
+            )));
+        }
+        let end = entry
+            .offset
+            .checked_add(entry.len)
+            .filter(|&e| entry.offset >= cursor && e <= file_len)
+            .ok_or_else(|| {
+                PersistError::Malformed(format!(
+                    "section {} at {}..+{} escapes the file ({} bytes)",
+                    String::from_utf8_lossy(*expected_magic),
+                    entry.offset,
+                    entry.len,
+                    file_len
+                ))
+            })?;
+        cursor = end;
+        entries[i] = entry;
+    }
+    if cursor != file_len {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing byte(s) after the last section",
+            file_len - cursor
+        )));
+    }
+    Ok(DirectoryV2 {
+        meta: entries[0],
+        data: entries[1],
+        tidx: entries[2],
+        grph: entries[3],
+    })
+}
+
+fn section_slice<'a>(bytes: &'a [u8], entry: &SectionEntry) -> &'a [u8] {
+    &bytes[entry.offset as usize..(entry.offset + entry.len) as usize]
+}
+
+fn verify_section<'a>(bytes: &'a [u8], entry: &SectionEntry) -> PersistResult<&'a [u8]> {
+    let payload = section_slice(bytes, entry);
+    if stream_checksum(payload) != entry.checksum {
+        return Err(PersistError::BadChecksum);
+    }
+    Ok(payload)
+}
+
+fn decode_bundle_v2(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Banks, BundleMeta)> {
+    let dir = parse_directory_v2(bytes, bytes.len() as u64)?;
+    // Inter-section gaps (alignment padding) must be zero — every byte
+    // of the file is either checksummed payload or provably-dead zeros,
+    // so a flipped bit anywhere fails the load.
+    let mut cursor = V2_HEADER as u64;
+    for entry in [&dir.meta, &dir.data, &dir.tidx, &dir.grph] {
+        if bytes[cursor as usize..entry.offset as usize]
+            .iter()
+            .any(|&b| b != 0)
+        {
+            return Err(PersistError::Malformed(
+                "nonzero bytes in section alignment padding".into(),
+            ));
+        }
+        cursor = entry.offset + entry.len;
+    }
+    let meta = decode_meta(verify_section(bytes, &dir.meta)?)?;
+
+    // Checksum + decode the payloads. The three sections are
+    // independent until the graph rebinds to the database, so on a
+    // multi-core host the text index and graph decode on their own
+    // threads while this one takes the database — restore wall-clock is
+    // the *max* of the section costs, not their sum. A single-core host
+    // decodes sequentially (spawning would only add overhead).
+    let decode_data =
+        || -> PersistResult<_> { Ok(binary::read_database(verify_section(bytes, &dir.data)?)?) };
+    let decode_tidx = || -> PersistResult<_> {
+        Ok(postings::read_packed_postings(verify_section(
+            bytes, &dir.tidx,
+        )?)?)
+    };
+    let decode_graph = || -> PersistResult<Graph> {
+        let payload = verify_section(bytes, &dir.grph)?;
+        Ok(PagedGraphStore::decode_full(&ByteSource::Mem(
+            payload.into(),
+        ))?)
+    };
+    let parallel = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+    let (db, text_index, graph) = if parallel {
+        let (db, text_index, graph) = std::thread::scope(|scope| {
+            let tidx_handle = scope.spawn(decode_tidx);
+            let graph_handle = scope.spawn(decode_graph);
+            let db = decode_data();
+            let text_index = tidx_handle.join().expect("text-index decode panicked");
+            let graph = graph_handle.join().expect("graph decode panicked");
+            (db, text_index, graph)
+        });
+        (db?, text_index?, graph?)
+    } else {
+        (decode_data()?, decode_tidx()?, decode_graph()?)
+    };
+    assemble(db, text_index, graph, meta, base_config)
+}
+
+fn assemble(
+    db: banks_storage::Database,
+    text_index: TextIndex,
+    graph: Graph,
+    meta: BundleMeta,
+    base_config: &BanksConfig,
+) -> PersistResult<(Banks, BundleMeta)> {
+    let tuple_graph = TupleGraph::rebind(&db, graph)?;
+    let mut config = base_config.clone();
+    config.score = meta.score;
+    config.graph = meta.graph.clone();
+    let banks = Banks::from_parts(db, config, tuple_graph, text_index)?;
+    Ok((banks, meta))
+}
+
+/// The four v1 section payloads, borrowed from the verified byte stream.
+struct SectionsV1<'a> {
     meta: &'a [u8],
     data: &'a [u8],
     tidx: &'a [u8],
     graph: &'a [u8],
 }
 
-/// Verify header + trailing checksum, then split the section payloads
-/// out of `bytes` without copying.
-fn split_sections(bytes: &[u8]) -> PersistResult<Sections<'_>> {
+/// Verify a v1 bundle's trailing whole-file checksum, then split the
+/// sequential `magic + len + payload` frames out of `bytes` without
+/// copying.
+fn split_sections_v1(bytes: &[u8]) -> PersistResult<SectionsV1<'_>> {
     let header = 8 + 4;
     if bytes.len() < header + 8 {
         return Err(PersistError::Malformed("bundle shorter than header".into()));
-    }
-    if &bytes[..8] != BUNDLE_MAGIC {
-        return Err(PersistError::BadMagic {
-            what: "snapshot bundle",
-        });
-    }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != BUNDLE_VERSION {
-        return Err(PersistError::BadVersion(version));
     }
     let body_end = bytes.len() - 8;
     let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
@@ -315,7 +523,7 @@ fn split_sections(bytes: &[u8]) -> PersistResult<Sections<'_>> {
     let data = section(SECTION_DATA)?;
     let tidx = section(SECTION_TIDX)?;
     let graph = section(SECTION_GRPH)?;
-    Ok(Sections {
+    Ok(SectionsV1 {
         meta,
         data,
         tidx,
@@ -323,15 +531,9 @@ fn split_sections(bytes: &[u8]) -> PersistResult<Sections<'_>> {
     })
 }
 
-fn decode_bundle(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Banks, BundleMeta)> {
-    let sections = split_sections(bytes)?;
+fn decode_bundle_v1(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Banks, BundleMeta)> {
+    let sections = split_sections_v1(bytes)?;
     let meta = decode_meta(sections.meta)?;
-    // Checksum verified: decode the payloads. The three sections are
-    // independent until the graph rebinds to the database, so on a
-    // multi-core host the text index and graph decode on their own
-    // threads while this one takes the database — restore wall-clock is
-    // the *max* of the section costs, not their sum. A single-core host
-    // decodes sequentially (spawning would only add overhead).
     let parallel = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
     let (db, text_index, graph) = if parallel {
         let (db, text_index, graph) = std::thread::scope(|scope| {
@@ -350,12 +552,30 @@ fn decode_bundle(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Bank
             banks_graph::snapshot::read_snapshot(sections.graph)?,
         )
     };
-    let tuple_graph = TupleGraph::rebind(&db, graph)?;
-    let mut config = base_config.clone();
-    config.score = meta.score;
-    config.graph = meta.graph.clone();
-    let banks = Banks::from_parts(db, config, tuple_graph, text_index)?;
-    Ok((banks, meta))
+    assemble(db, text_index, graph, meta, base_config)
+}
+
+/// Magic + version check shared by every read path.
+fn bundle_version(bytes: &[u8]) -> PersistResult<u32> {
+    if bytes.len() < 12 {
+        return Err(PersistError::Malformed("bundle shorter than header".into()));
+    }
+    if &bytes[..8] != BUNDLE_MAGIC {
+        return Err(PersistError::BadMagic {
+            what: "snapshot bundle",
+        });
+    }
+    Ok(u32::from_le_bytes(
+        bytes[8..12].try_into().expect("4 bytes"),
+    ))
+}
+
+fn decode_bundle(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Banks, BundleMeta)> {
+    match bundle_version(bytes)? {
+        1 => decode_bundle_v1(bytes, base_config),
+        2 => decode_bundle_v2(bytes, base_config),
+        other => Err(PersistError::BadVersion(other)),
+    }
 }
 
 /// Deserialize a bundle, assembling a query-ready [`Banks`].
@@ -377,11 +597,148 @@ pub fn load_bundle(path: &Path, base_config: &BanksConfig) -> PersistResult<(Ban
     decode_bundle(&bytes, base_config)
 }
 
+/// A [`PostingSource`] over a byte window of an open file.
+#[derive(Debug)]
+struct FileRange {
+    file: Arc<File>,
+    base: u64,
+    len: u64,
+}
+
+impl PostingSource for FileRange {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        offset
+            .checked_add(buf.len() as u64)
+            .filter(|&end| end <= self.len)
+            .ok_or_else(|| std::io::Error::other("posting read out of section bounds"))?;
+        self.file.read_exact_at(buf, self.base + offset)
+    }
+}
+
+/// Open the version-2 bundle at `path` *paged*: catalog and tuples are
+/// decoded eagerly (they are structural — every search path walks
+/// them), but postings serve lazily off the file per term, and the
+/// graph serves through a [`PagedGraphStore`] that keeps decoded
+/// segments under `budget` bytes. Cold-open cost is the meta + data
+/// sections plus two small directories — independent of how large the
+/// postings and graph payloads are.
+///
+/// Only version 2 bundles can be paged; a version-1 file is
+/// [`PersistError::BadVersion`] here (load it fully instead).
+pub fn open_bundle_paged(
+    path: &Path,
+    budget: usize,
+    base_config: &BanksConfig,
+) -> PersistResult<(Banks, BundleMeta)> {
+    let file = Arc::new(File::open(path)?);
+    let file_len = file.metadata()?.len();
+    if file_len < V2_HEADER as u64 {
+        return Err(PersistError::Malformed("bundle shorter than header".into()));
+    }
+    let mut header = vec![0u8; V2_HEADER];
+    file.read_exact_at(&mut header, 0)?;
+    match bundle_version(&header)? {
+        2 => {}
+        other => return Err(PersistError::BadVersion(other)),
+    }
+    let dir = parse_directory_v2(&header, file_len)?;
+
+    let read_section = |entry: &SectionEntry| -> PersistResult<Vec<u8>> {
+        let mut buf = vec![0u8; entry.len as usize];
+        file.read_exact_at(&mut buf, entry.offset)?;
+        if stream_checksum(&buf) != entry.checksum {
+            return Err(PersistError::BadChecksum);
+        }
+        Ok(buf)
+    };
+    let meta = decode_meta(&read_section(&dir.meta)?)?;
+    // The data read+decode dominates a paged open; the two directory
+    // opens are small but disk-bound, so overlap them with it.
+    let (db, tidx_and_store) = std::thread::scope(|scope| {
+        let dirs = scope.spawn(|| -> PersistResult<_> {
+            let lazy = LazyTextIndex::open(Arc::new(FileRange {
+                file: Arc::clone(&file),
+                base: dir.tidx.offset,
+                len: dir.tidx.len,
+            }))?;
+            let store = PagedGraphStore::open_file(
+                Arc::clone(&file),
+                dir.grph.offset,
+                dir.grph.len,
+                budget,
+            )?;
+            Ok((lazy, store))
+        });
+        let db: PersistResult<_> = (|| Ok(binary::read_database(&read_section(&dir.data)?)?))();
+        (db, dirs.join().expect("directory-open thread panicked"))
+    });
+    let (lazy, store) = tidx_and_store?;
+    let text_index = TextIndex::from_lazy(Arc::new(lazy));
+    assemble(db?, text_index, Graph::from_store(store), meta, base_config)
+}
+
+/// Read just enough of the bundle at `path` to learn its epoch: the
+/// header plus the (few-dozen-byte) meta section, never the bulk
+/// payloads. A replication bootstrap streams a downloaded bundle to a
+/// temp file, peeks the epoch to pick its final `snapshot-<epoch>`
+/// name, and lets the subsequent open do the real validation — so this
+/// verifies the meta section it reads (v2 checksums it; v1's whole-file
+/// checksum would require the bulk read this function exists to avoid).
+pub fn peek_epoch(path: &Path) -> PersistResult<u64> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut prefix = [0u8; 12];
+    if file_len < prefix.len() as u64 {
+        return Err(PersistError::Malformed("bundle shorter than header".into()));
+    }
+    file.read_exact_at(&mut prefix, 0)?;
+    match bundle_version(&prefix)? {
+        1 => {
+            // Frame walk: META is always the first section, at offset 12.
+            let mut frame = [0u8; 16];
+            file.read_exact_at(&mut frame, 12)?;
+            if &frame[..8] != SECTION_META {
+                return Err(PersistError::Malformed("first section is not META".into()));
+            }
+            let len = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+            if len > 4096 {
+                return Err(PersistError::Malformed(format!(
+                    "meta section length {len} is implausible"
+                )));
+            }
+            let mut meta = vec![0u8; len as usize];
+            file.read_exact_at(&mut meta, 28)?;
+            Ok(decode_meta(&meta)?.epoch)
+        }
+        2 => {
+            if file_len < V2_HEADER as u64 {
+                return Err(PersistError::Malformed("bundle shorter than header".into()));
+            }
+            let mut header = vec![0u8; V2_HEADER];
+            file.read_exact_at(&mut header, 0)?;
+            let dir = parse_directory_v2(&header, file_len)?;
+            let mut meta = vec![0u8; dir.meta.len as usize];
+            file.read_exact_at(&mut meta, dir.meta.offset)?;
+            if stream_checksum(&meta) != dir.meta.checksum {
+                return Err(PersistError::BadChecksum);
+            }
+            Ok(decode_meta(&meta)?.epoch)
+        }
+        other => Err(PersistError::BadVersion(other)),
+    }
+}
+
 /// Summary of a bundle's sections, for `banks snapshot inspect`.
 #[derive(Debug, Clone)]
 pub struct BundleInfo {
     /// The meta section.
     pub meta: BundleMeta,
+    /// Bundle format version (1 or 2).
+    pub version: u32,
     /// Database name.
     pub database: String,
     /// Per-relation `(name, live tuple count)`.
@@ -403,15 +760,43 @@ pub struct BundleInfo {
 }
 
 /// Fully validate and summarize the bundle at `path` (decodes every
-/// section, verifies the checksum — an `Ok` here means the bundle loads).
+/// section, verifies the checksums — an `Ok` here means the bundle
+/// loads).
 pub fn inspect_bundle(path: &Path) -> PersistResult<BundleInfo> {
     let bytes = std::fs::read(path)?;
-    let sections = split_sections(&bytes)?;
-    let meta = decode_meta(sections.meta)?;
-    let db = binary::read_database(sections.data)?;
-    let text_index = binary::read_text_index(sections.tidx)?;
-    let graph = banks_graph::snapshot::read_snapshot(sections.graph)?;
+    let version = bundle_version(&bytes)?;
+    let (meta, db, text_index, graph, section_bytes) = match version {
+        1 => {
+            let sections = split_sections_v1(&bytes)?;
+            (
+                decode_meta(sections.meta)?,
+                binary::read_database(sections.data)?,
+                binary::read_text_index(sections.tidx)?,
+                banks_graph::snapshot::read_snapshot(sections.graph)?,
+                (
+                    sections.meta.len() as u64,
+                    sections.data.len() as u64,
+                    sections.tidx.len() as u64,
+                    sections.graph.len() as u64,
+                ),
+            )
+        }
+        2 => {
+            let dir = parse_directory_v2(&bytes, bytes.len() as u64)?;
+            (
+                decode_meta(verify_section(&bytes, &dir.meta)?)?,
+                binary::read_database(verify_section(&bytes, &dir.data)?)?,
+                postings::read_packed_postings(verify_section(&bytes, &dir.tidx)?)?,
+                PagedGraphStore::decode_full(&ByteSource::Mem(
+                    verify_section(&bytes, &dir.grph)?.into(),
+                ))?,
+                (dir.meta.len, dir.data.len, dir.tidx.len, dir.grph.len),
+            )
+        }
+        other => return Err(PersistError::BadVersion(other)),
+    };
     Ok(BundleInfo {
+        version,
         database: db.name().to_string(),
         relations: db
             .relations()
@@ -422,12 +807,7 @@ pub fn inspect_bundle(path: &Path) -> PersistResult<BundleInfo> {
         postings: text_index.posting_count(),
         nodes: graph.node_count(),
         edges: graph.edge_count(),
-        section_bytes: (
-            sections.meta.len() as u64,
-            sections.data.len() as u64,
-            sections.tidx.len() as u64,
-            sections.graph.len() as u64,
-        ),
+        section_bytes,
         file_bytes: bytes.len() as u64,
         meta,
     })
@@ -491,19 +871,23 @@ mod tests {
         read_bundle(buf.as_slice(), &BanksConfig::default()).unwrap()
     }
 
+    fn assert_same_answers(a: &Banks, b: &Banks, query: &str) {
+        let x = a.search(query).unwrap();
+        let y = b.search(query).unwrap();
+        assert_eq!(x.len(), y.len());
+        for (p, q) in x.iter().zip(&y) {
+            assert_eq!(p.tree.signature(), q.tree.signature());
+            assert!((p.relevance - q.relevance).abs() < 1e-12);
+        }
+    }
+
     #[test]
     fn bundle_roundtrip_preserves_results_and_epoch() {
         let banks = Banks::new(dblp()).unwrap();
         let (restored, meta) = roundtrip(&banks, 17);
         assert_eq!(meta.epoch, 17);
         assert_eq!(meta.score, banks.config().score);
-        let a = banks.search("mohan sudarshan").unwrap();
-        let b = restored.search("mohan sudarshan").unwrap();
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.tree.signature(), y.tree.signature());
-            assert!((x.relevance - y.relevance).abs() < 1e-12);
-        }
+        assert_same_answers(&banks, &restored, "mohan sudarshan");
         // Graph bit-equality.
         let (g, h) = (banks.tuple_graph().graph(), restored.tuple_graph().graph());
         assert_eq!(g.node_count(), h.node_count());
@@ -546,8 +930,9 @@ mod tests {
         let mut buf = Vec::new();
         write_bundle(&banks, 3, &mut buf).unwrap();
 
-        // Flip one byte anywhere in the payload region → checksum (or an
-        // earlier structural check) must fire; never a silent wrong load.
+        // Flip one byte anywhere — header, directory, payload, or the
+        // alignment padding — and the load must fail; never a silent
+        // wrong load.
         for at in [12usize, 40, buf.len() / 2, buf.len() - 20] {
             let mut bad = buf.clone();
             bad[at] ^= 0xff;
@@ -556,7 +941,7 @@ mod tests {
                 "flip at {at} must not load"
             );
         }
-        // Truncation at a section boundary is an Io error, not a panic.
+        // Truncation is an error, not a panic.
         let cut = buf.len() - 9;
         assert!(read_bundle(&buf[..cut], &BanksConfig::default()).is_err());
         // Wrong magic / version.
@@ -580,6 +965,7 @@ mod tests {
         let path = dir.join("snap.banks");
         save_bundle(&banks, 5, &path).unwrap();
         let info = inspect_bundle(&path).unwrap();
+        assert_eq!(info.version, BUNDLE_VERSION);
         assert_eq!(info.meta.epoch, 5);
         assert_eq!(info.database, "dblp");
         assert_eq!(info.tuples, 5);
@@ -590,6 +976,103 @@ mod tests {
         let (restored, meta) = load_bundle(&path, &BanksConfig::default()).unwrap();
         assert_eq!(meta.epoch, 5);
         assert_eq!(restored.db().total_tuples(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_open_matches_full_load() {
+        let banks = Banks::new(dblp()).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "banks_bundle_paged_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.banks");
+        save_bundle(&banks, 7, &path).unwrap();
+
+        let (full, _) = load_bundle(&path, &BanksConfig::default()).unwrap();
+        let (paged, meta) = open_bundle_paged(&path, 1 << 16, &BanksConfig::default()).unwrap();
+        assert_eq!(meta.epoch, 7);
+        assert!(paged.text_index().is_lazy());
+        let stats = paged
+            .tuple_graph()
+            .graph()
+            .storage_stats()
+            .expect("paged graph");
+        assert!(stats.budget_bytes == 1 << 16);
+        assert_same_answers(&full, &paged, "mohan sudarshan");
+        assert_same_answers(&full, &paged, "recovery");
+        // The paged graph is bit-identical to the decoded one.
+        let (g, h) = (full.tuple_graph().graph(), paged.tuple_graph().graph());
+        for v in g.nodes() {
+            assert_eq!(g.node_weight(v), h.node_weight(v));
+            assert_eq!(g.out_adjacency(v), h.out_adjacency(v));
+            assert_eq!(g.in_adjacency(v), h.in_adjacency(v));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A hand-rolled v1 writer: the sequential `magic + len + payload`
+    /// frame walk with the whole-file trailing checksum, graph as the
+    /// `banks_graph::snapshot` format, postings interleaved. This is
+    /// exactly what `write_bundle` produced before version 2; reading
+    /// those files must keep working.
+    fn write_bundle_v1(banks: &Banks, epoch: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(BUNDLE_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let section = |bytes: &mut Vec<u8>, magic: &[u8; 8], payload: &[u8]| {
+            bytes.extend_from_slice(magic);
+            bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        };
+        section(
+            &mut bytes,
+            SECTION_META,
+            &encode_meta(epoch, banks.config()),
+        );
+        let mut data = Vec::new();
+        binary::write_database(banks.db(), &mut data).unwrap();
+        section(&mut bytes, SECTION_DATA, &data);
+        let mut tidx = Vec::new();
+        binary::write_text_index(banks.text_index(), &mut tidx).unwrap();
+        section(&mut bytes, SECTION_TIDX, &tidx);
+        let mut graph = Vec::new();
+        banks_graph::snapshot::write_snapshot(banks.tuple_graph().graph(), &mut graph).unwrap();
+        section(&mut bytes, SECTION_GRPH, &graph);
+        let checksum = stream_checksum(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn version1_bundles_still_load() {
+        let banks = Banks::new(dblp()).unwrap();
+        let v1 = write_bundle_v1(&banks, 11);
+        let (restored, meta) = read_bundle(v1.as_slice(), &BanksConfig::default()).unwrap();
+        assert_eq!(meta.epoch, 11);
+        assert_same_answers(&banks, &restored, "mohan sudarshan");
+
+        // v1 corruption still detected by the whole-file checksum.
+        let mut bad = v1.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(read_bundle(bad.as_slice(), &BanksConfig::default()).is_err());
+
+        // …but v1 cannot be paged.
+        let dir = std::env::temp_dir().join(format!(
+            "banks_bundle_v1_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.banks");
+        std::fs::write(&path, &v1).unwrap();
+        assert!(matches!(
+            open_bundle_paged(&path, 1 << 20, &BanksConfig::default()),
+            Err(PersistError::BadVersion(1))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,6 +3,7 @@
 use banks_core::BanksError;
 use banks_graph::SnapshotError;
 use banks_ingest::IngestError;
+use banks_pager::PagerError;
 use banks_storage::StorageError;
 use std::fmt;
 use std::io;
@@ -35,6 +36,9 @@ pub enum PersistError {
     Ingest(IngestError),
     /// The embedded CSR graph section failed to decode.
     Graph(SnapshotError),
+    /// The paged graph blob (bundle v2 graph section) failed to open
+    /// or decode.
+    Pager(PagerError),
     /// A data directory holds durable state (snapshot files or WAL
     /// frames) but no snapshot could be loaded — refusing to continue,
     /// because starting fresh would silently discard acknowledged
@@ -67,6 +71,7 @@ impl fmt::Display for PersistError {
             PersistError::Banks(e) => write!(f, "recovered parts rejected: {e}"),
             PersistError::Ingest(e) => write!(f, "WAL replay failed: {e}"),
             PersistError::Graph(e) => write!(f, "graph section: {e}"),
+            PersistError::Pager(e) => write!(f, "paged graph section: {e}"),
             PersistError::NoValidSnapshot {
                 snapshots_tried,
                 wal_batches,
@@ -91,6 +96,7 @@ impl std::error::Error for PersistError {
             PersistError::Banks(e) => Some(e),
             PersistError::Ingest(e) => Some(e),
             PersistError::Graph(e) => Some(e),
+            PersistError::Pager(e) => Some(e),
             _ => None,
         }
     }
@@ -123,6 +129,12 @@ impl From<IngestError> for PersistError {
 impl From<SnapshotError> for PersistError {
     fn from(e: SnapshotError) -> Self {
         PersistError::Graph(e)
+    }
+}
+
+impl From<PagerError> for PersistError {
+    fn from(e: PagerError) -> Self {
+        PersistError::Pager(e)
     }
 }
 

@@ -16,10 +16,12 @@
 //! * [`bundle`] — **full-system snapshot bundles**: a single versioned,
 //!   checksummed file carrying catalog + schemas, table tuples (slot
 //!   layout preserved so rids stay valid), text-index postings, the CSR
-//!   graph (the existing `banks_graph::snapshot` format embedded
-//!   verbatim), ranking parameters, and the publication epoch. Written
-//!   atomically (temp file + fsync + rename), loaded in one sequential
-//!   pass.
+//!   graph, ranking parameters, and the publication epoch. Version 2
+//!   lays sections out behind a verified directory, stores the graph in
+//!   the `banks-pager` segment format and the postings packed, so a
+//!   bundle can be opened *paged* ([`bundle::open_bundle_paged`]) —
+//!   lazy postings, bounded-memory graph — as well as fully loaded.
+//!   Written atomically (temp file + fsync + rename).
 //! * [`wal`] — a **write-ahead log** of length-prefixed, checksummed
 //!   frames, each carrying one validated `DeltaBatch` (the PR-2 JSON
 //!   wire format) and the epoch it produced. The
@@ -42,7 +44,8 @@ pub mod store;
 pub mod wal;
 
 pub use bundle::{
-    inspect_bundle, load_bundle, read_bundle, save_bundle, write_bundle, BundleInfo, BundleMeta,
+    inspect_bundle, load_bundle, open_bundle_paged, peek_epoch, read_bundle, save_bundle,
+    write_bundle, BundleInfo, BundleMeta,
 };
 pub use error::{PersistError, PersistResult};
 pub use store::{snapshot_file, PersistOptions, PersistStats, PersistentStore, Recovery};

@@ -63,6 +63,13 @@ pub struct PersistOptions {
     pub compact_wal_bytes: u64,
     /// … or this many batches, whichever comes first.
     pub compact_wal_batches: u64,
+    /// Open snapshots *paged*: serve postings lazily off the bundle
+    /// file and keep decoded graph segments under this many bytes
+    /// ([`bundle::open_bundle_paged`]) instead of decoding the whole
+    /// bundle into RAM. `None` (the default) loads fully. A version-1
+    /// bundle cannot be paged; recovery falls back to a full load of it
+    /// with a warning, and the next compaction rewrites it as v2.
+    pub paged_budget: Option<u64>,
 }
 
 impl Default for PersistOptions {
@@ -71,6 +78,7 @@ impl Default for PersistOptions {
             fsync: true,
             compact_wal_bytes: 8 * 1024 * 1024,
             compact_wal_batches: 256,
+            paged_budget: None,
         }
     }
 }
@@ -165,6 +173,14 @@ impl Inner {
     /// without any lock; only the WAL rewrite holds the append mutex.
     fn roll_snapshot(&self, banks: &Banks, epoch: u64) -> PersistResult<()> {
         bundle::save_bundle(banks, epoch, &self.dir.join(snapshot_file(epoch)))?;
+        self.finish_roll(epoch)
+    }
+
+    /// The post-write half of a roll: the snapshot file for `epoch`
+    /// already sits in the directory (just written, or dropped in by a
+    /// streaming bootstrap) — compact the WAL past it, prune older
+    /// snapshots, and advance the durable epoch.
+    fn finish_roll(&self, epoch: u64) -> PersistResult<()> {
         // Drop superseded frames. The writer's in-memory frame index
         // makes this a raw copy of the surviving byte range, so the
         // append mutex — which every ingest ack needs — is held only
@@ -238,7 +254,24 @@ impl PersistentStore {
         let snapshots_tried = snapshot_files.len();
         let mut loaded: Option<(Banks, u64)> = None;
         for (epoch, path) in &snapshot_files {
-            match bundle::load_bundle(path, base_config) {
+            let attempt = match options.paged_budget {
+                Some(budget) => {
+                    match bundle::open_bundle_paged(path, budget as usize, base_config) {
+                        Ok(ok) => Ok(ok),
+                        Err(PersistError::BadVersion(1)) => {
+                            warnings.push(format!(
+                                "{}: version-1 bundle cannot be paged — loading it fully; \
+                                 the next compaction rewrites it as v2",
+                                path.display()
+                            ));
+                            bundle::load_bundle(path, base_config)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                None => bundle::load_bundle(path, base_config),
+            };
+            match attempt {
                 Ok((banks, meta)) => {
                     if meta.epoch != *epoch {
                         warnings.push(format!(
@@ -447,6 +480,23 @@ impl PersistentStore {
     /// the ingest path uses [`PersistentStore::maybe_compact`] instead.
     pub fn save_snapshot(&self, banks: &Banks, epoch: u64) -> PersistResult<()> {
         self.inner.roll_snapshot(banks, epoch)
+    }
+
+    /// Adopt a snapshot file that was placed in the directory *without*
+    /// going through [`PersistentStore::save_snapshot`] — a replication
+    /// bootstrap streams the leader's bundle straight to
+    /// `snapshot-<epoch>.banks` and calls this to finish the roll (WAL
+    /// compaction past the epoch, pruning, durable-epoch advance),
+    /// skipping the decode + re-encode a `save_snapshot` would cost.
+    pub fn adopt_snapshot(&self, epoch: u64) -> PersistResult<()> {
+        let path = self.inner.dir.join(snapshot_file(epoch));
+        if !path.exists() {
+            return Err(PersistError::Malformed(format!(
+                "adopt_snapshot: {} does not exist",
+                path.display()
+            )));
+        }
+        self.inner.finish_roll(epoch)
     }
 
     /// Hand `(banks, epoch)` to the background compactor when the WAL
@@ -753,6 +803,47 @@ mod tests {
         let recovered = recovery.banks.unwrap();
         assert_eq!(recovered.search("recovered").unwrap().len(), 5);
         drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_open_recovers_and_replays_wal() {
+        let dir = tmp_dir("paged");
+        let config = BanksConfig::default();
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        {
+            let (store, _) =
+                PersistentStore::open(&dir, &config, PersistOptions::default()).unwrap();
+            store.save_snapshot(&banks, 0).unwrap();
+            let mut publisher = durable_publisher(&store, Arc::clone(&banks), 0);
+            for i in 0..3 {
+                publisher.publish(&author_batch(i), None).unwrap();
+            }
+        }
+        let options = PersistOptions {
+            paged_budget: Some(1 << 20),
+            ..PersistOptions::default()
+        };
+        let (store, recovery) = PersistentStore::open(&dir, &config, options).unwrap();
+        assert_eq!(recovery.epoch, 3);
+        let paged = recovery.banks.unwrap();
+        assert!(paged.text_index().is_lazy() || recovery.replayed_batches > 0);
+        // Same answers as an ordinary full-load recovery.
+        let (store2, recovery2) =
+            PersistentStore::open(&dir, &config, PersistOptions::default()).unwrap();
+        let full = recovery2.banks.unwrap();
+        let (a, b) = (
+            paged.search("recovered").unwrap(),
+            full.search("recovered").unwrap(),
+        );
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tree.signature(), y.tree.signature());
+            assert!((x.relevance - y.relevance).abs() < 1e-12);
+        }
+        drop(store);
+        drop(store2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,12 +10,16 @@
 //! epoch-stamped **write-ahead log** — and this crate ships both across
 //! the network *verbatim*:
 //!
-//! 1. **Bootstrap** — a fresh follower downloads the leader's newest
-//!    bundle (`GET /replication/snapshot`), decodes and validates it
-//!    with the same [`banks_persist::read_bundle`] used by local
-//!    recovery, and rolls it into its own data directory. A follower
-//!    whose directory already recovers simply resumes from the local
-//!    epoch — no download (see
+//! 1. **Bootstrap** — a fresh follower streams the leader's newest
+//!    bundle (`GET /replication/snapshot`) straight to a temp file in
+//!    its data directory — never buffered in memory, so a follower
+//!    under a `--paged` memory budget can bootstrap from a bundle
+//!    bigger than that budget — peeks the epoch out of the meta
+//!    section, renames it to the exact `snapshot-<epoch>` name local
+//!    recovery expects, and opens it with the same
+//!    [`banks_persist::load_bundle`] / [`banks_persist::open_bundle_paged`]
+//!    used by local recovery. A follower whose directory already
+//!    recovers simply resumes from the local epoch — no download (see
 //!    [`ReplicaStats::snapshots_downloaded`]).
 //! 2. **Tail** — a long-poll loop on
 //!    `GET /replication/wal?from_epoch=N&wait_ms=M` streams raw WAL
@@ -36,11 +40,15 @@
 //! [`banks_server::QueryService::note_leader_epoch`] so `/stats`
 //! reports `epoch_lag` even while the log is idle.
 
-use banks_core::BanksConfig;
+use banks_core::{Banks, BanksConfig};
 use banks_ingest::SnapshotPublisher;
-use banks_persist::{read_bundle, scan_frames, PersistOptions, PersistentStore};
+use banks_persist::{
+    load_bundle, open_bundle_paged, peek_epoch, scan_frames, snapshot_file, PersistOptions,
+    PersistentStore,
+};
 use banks_server::{QueryService, ServiceConfig};
-use banks_util::http::{http_request, ClientError, HttpResponse};
+use banks_util::http::{http_request, http_request_to_writer, ClientError, HttpResponse};
+use std::io::BufWriter;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -201,16 +209,11 @@ impl Replica {
             // without touching the leader.
             Some(banks) => (banks, recovery.epoch),
             None => {
-                let bytes = fetch_bundle_with_retry(&config, &shared)?;
-                let (banks, meta) = read_bundle(&bytes[..], &base).map_err(|e| {
-                    ReplicaError::Leader(format!("leader sent an unreadable snapshot bundle: {e}"))
-                })?;
-                // Rolling the bundle through the store gives the normal
-                // restart path for free: the follower's own directory now
-                // recovers to this epoch.
-                store.save_snapshot(&banks, meta.epoch)?;
+                let (temp, epoch) = fetch_bundle_with_retry(&config, &shared)?;
+                let banks = install_bundle(&temp, epoch, &config, &base, &store)
+                    .map_err(ReplicaError::Leader)?;
                 shared.snapshots_downloaded.fetch_add(1, Ordering::Relaxed);
-                (Arc::new(banks), meta.epoch)
+                (banks, epoch)
             }
         };
 
@@ -291,35 +294,89 @@ impl Drop for Replica {
     }
 }
 
-/// One bundle download. `Err` is a human-readable reason.
-fn fetch_bundle(config: &ReplicaConfig) -> Result<Vec<u8>, String> {
-    let resp = http_request(
+/// One bundle download, streamed straight to a temp file in the data
+/// directory (never buffered in memory — a bundle can be bigger than
+/// the follower's budget, which is the whole point of `--paged`).
+/// Returns the temp path and the bundle's epoch, peeked from its meta
+/// section. `Err` is a human-readable reason; the temp file is removed
+/// on every error path.
+fn fetch_bundle(config: &ReplicaConfig) -> Result<(PathBuf, u64), String> {
+    let temp = config.data_dir.join("bundle.download.tmp");
+    let discard = |e: String| {
+        let _ = std::fs::remove_file(&temp);
+        e
+    };
+    let file = std::fs::File::create(&temp)
+        .map_err(|e| format!("create {}: {e}", temp.display()))
+        .map_err(discard)?;
+    let mut sink = BufWriter::new(file);
+    let resp = http_request_to_writer(
         &config.leader,
         "GET",
         "/replication/snapshot",
-        None,
         config.snapshot_timeout,
+        &mut sink,
     )
-    .map_err(|e| format!("GET /replication/snapshot: {e}"))?;
+    .map_err(|e| discard(format!("GET /replication/snapshot: {e}")))?;
+    let file = sink
+        .into_inner()
+        .map_err(|e| discard(format!("flush {}: {e}", temp.display())))?;
     if resp.status != 200 {
-        return Err(format!(
-            "GET /replication/snapshot: leader answered {} ({})",
-            resp.status,
-            resp.text().chars().take(200).collect::<String>()
-        ));
+        // The (small) error body went to the file; read it back for the
+        // operator before discarding.
+        let text: String = std::fs::read(&temp)
+            .map(|b| String::from_utf8_lossy(&b).chars().take(200).collect())
+            .unwrap_or_default();
+        return Err(discard(format!(
+            "GET /replication/snapshot: leader answered {} ({text})",
+            resp.status
+        )));
     }
-    Ok(resp.body)
+    file.sync_all()
+        .map_err(|e| discard(format!("sync {}: {e}", temp.display())))?;
+    let epoch = peek_epoch(&temp)
+        .map_err(|e| discard(format!("leader sent an unreadable snapshot bundle: {e}")))?;
+    Ok((temp, epoch))
+}
+
+/// Move a downloaded bundle into its final `snapshot-<epoch>` name,
+/// open it (paged when the store runs with a memory budget), and let
+/// the store adopt it — WAL compaction, pruning, durable-epoch advance
+/// — without ever re-encoding the bytes the leader already encoded.
+fn install_bundle(
+    temp: &std::path::Path,
+    epoch: u64,
+    config: &ReplicaConfig,
+    base: &BanksConfig,
+    store: &Arc<PersistentStore>,
+) -> Result<Arc<Banks>, String> {
+    let path = config.data_dir.join(snapshot_file(epoch));
+    std::fs::rename(temp, &path).map_err(|e| format!("rename into {}: {e}", path.display()))?;
+    banks_util::fs::sync_dir(&config.data_dir);
+    let open = match config.options.paged_budget {
+        Some(budget) => open_bundle_paged(&path, budget as usize, base),
+        None => load_bundle(&path, base),
+    };
+    let (banks, meta) = open.map_err(|e| {
+        let _ = std::fs::remove_file(&path);
+        format!("leader sent an unreadable snapshot bundle: {e}")
+    })?;
+    debug_assert_eq!(meta.epoch, epoch);
+    store
+        .adopt_snapshot(epoch)
+        .map_err(|e| format!("adopt downloaded bundle: {e}"))?;
+    Ok(Arc::new(banks))
 }
 
 fn fetch_bundle_with_retry(
     config: &ReplicaConfig,
     shared: &Shared,
-) -> Result<Vec<u8>, ReplicaError> {
+) -> Result<(PathBuf, u64), ReplicaError> {
     let mut backoff = config.retry_backoff;
     let mut last = String::new();
     for _ in 0..config.bootstrap_attempts.max(1) {
         match fetch_bundle(config) {
-            Ok(bytes) => return Ok(bytes),
+            Ok(downloaded) => return Ok(downloaded),
             Err(e) => {
                 shared.note_error(e.clone());
                 last = e;
@@ -410,25 +467,20 @@ fn rebootstrap(
     publisher: &mut SnapshotPublisher,
     shared: &Shared,
 ) -> Result<(), String> {
-    let bytes = fetch_bundle(config)?;
-    let (banks, meta) =
-        read_bundle(&bytes[..], base).map_err(|e| format!("re-bootstrap bundle: {e}"))?;
-    if meta.epoch < publisher.epoch() {
+    let (temp, epoch) = fetch_bundle(config)?;
+    if epoch < publisher.epoch() {
+        let _ = std::fs::remove_file(&temp);
         return Err(format!(
-            "leader snapshot (epoch {}) is behind this follower (epoch {})",
-            meta.epoch,
+            "leader snapshot (epoch {epoch}) is behind this follower (epoch {})",
             publisher.epoch()
         ));
     }
-    // Rolling through the store compacts the local WAL past the new
+    // Installing through the store compacts the local WAL past the new
     // epoch, so a restart recovers the post-re-bootstrap state.
-    store
-        .save_snapshot(&banks, meta.epoch)
-        .map_err(|e| format!("roll re-bootstrap bundle: {e}"))?;
-    let banks = Arc::new(banks);
-    *publisher = SnapshotPublisher::with_epoch(Arc::clone(&banks), meta.epoch);
+    let banks = install_bundle(&temp, epoch, config, base, store)?;
+    *publisher = SnapshotPublisher::with_epoch(Arc::clone(&banks), epoch);
     publisher.set_durability_hook(store.wal_hook());
-    service.install_snapshot(banks, meta.epoch, None);
+    service.install_snapshot(banks, epoch, None);
     shared.snapshots_downloaded.fetch_add(1, Ordering::Relaxed);
     shared.rebootstraps.fetch_add(1, Ordering::Relaxed);
     Ok(())
@@ -707,6 +759,48 @@ mod tests {
         .expect("second restart");
         assert_eq!(replica.service().epoch(), 2);
         assert_eq!(replica.stats().snapshots_downloaded, 0);
+
+        replica.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn paged_follower_bootstraps_and_matches_leader() {
+        let leader_dir = tmp_dir("paged_leader");
+        let follower_dir = tmp_dir("paged_follower");
+        let (leader_service, server, ingest) = leader(&leader_dir);
+
+        let mut config = follower_config(server.local_addr(), &follower_dir);
+        config.options.paged_budget = Some(1 << 20);
+        let replica =
+            Replica::start(config, ServiceConfig::default()).expect("paged follower start");
+        assert_eq!(replica.stats().snapshots_downloaded, 1);
+        // The bootstrap bundle opened through the pager.
+        assert!(replica
+            .service()
+            .banks()
+            .tuple_graph()
+            .graph()
+            .storage_stats()
+            .is_some());
+
+        // Tail a write and compare answers bit-for-bit with the leader.
+        insert_author(&ingest, "paged-1");
+        wait_for_epoch(&replica, 1);
+        let a = leader_service.search("soumen", Default::default()).unwrap();
+        let b = replica
+            .service()
+            .search("soumen", Default::default())
+            .unwrap();
+        assert_eq!(a.result.answers.len(), b.result.answers.len());
+        for (x, y) in a.result.answers.iter().zip(&b.result.answers) {
+            assert_eq!(x.tree.signature(), y.tree.signature());
+            assert_eq!(x.relevance.to_bits(), y.relevance.to_bits());
+        }
+        // No temp download file left behind.
+        assert!(!follower_dir.join("bundle.download.tmp").exists());
 
         replica.shutdown();
         server.shutdown();

@@ -839,6 +839,60 @@ fn stats_json(
         ),
         ("uptime_secs", Json::Num(stats.uptime_secs)),
     ]);
+    // Storage backend: how the current snapshot holds its graph and
+    // text index. In-RAM is the classic fully-decoded backend; a paged
+    // backend (serve --paged) reports its budget and paging counters.
+    {
+        let banks = service.banks();
+        let storage = match banks.tuple_graph().graph().storage_stats() {
+            Some(s) => {
+                let mut pairs = vec![
+                    ("backend".to_string(), Json::Str("paged".into())),
+                    (
+                        "budget_bytes".to_string(),
+                        Json::Uint(s.budget_bytes as u64),
+                    ),
+                    (
+                        "resident_bytes".to_string(),
+                        Json::Uint(s.resident_bytes as u64),
+                    ),
+                    (
+                        "pinned_bytes".to_string(),
+                        Json::Uint(s.pinned_bytes as u64),
+                    ),
+                    (
+                        "segments".to_string(),
+                        Json::obj([
+                            ("total", Json::Uint(s.segment_count as u64)),
+                            ("resident", Json::Uint(s.resident_segments as u64)),
+                            ("pinned", Json::Uint(s.pinned_segments as u64)),
+                        ]),
+                    ),
+                    ("page_ins".to_string(), Json::Uint(s.page_ins)),
+                    ("evictions".to_string(), Json::Uint(s.evictions)),
+                    (
+                        "decode_micros".to_string(),
+                        Json::Uint(s.decode_nanos / 1_000),
+                    ),
+                ];
+                if let Some((cached, total, cached_bytes)) = banks.text_index().lazy_cache_stats() {
+                    pairs.push((
+                        "text_index".to_string(),
+                        Json::obj([
+                            ("cached_terms", Json::Uint(cached as u64)),
+                            ("total_terms", Json::Uint(total as u64)),
+                            ("cached_bytes", Json::Uint(cached_bytes as u64)),
+                        ]),
+                    ));
+                }
+                Json::Obj(pairs)
+            }
+            None => Json::obj([("backend", Json::Str("in-ram".into()))]),
+        };
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("storage".to_string(), storage));
+        }
+    }
     // Persistence counters, when the server runs with a data directory
     // — either via the write path's store or (durable read-only mode)
     // the explicitly bound one.

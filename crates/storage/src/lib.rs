@@ -49,6 +49,7 @@ pub mod catalog;
 pub mod csv;
 pub mod error;
 pub mod metadata;
+pub mod postings;
 pub mod predicate;
 pub mod schema;
 pub mod stats;
@@ -61,6 +62,7 @@ pub mod value;
 pub use catalog::{BackRef, Database};
 pub use error::{StorageError, StorageResult};
 pub use metadata::{MetadataIndex, MetadataTarget};
+pub use postings::{LazyTextIndex, PostingSource};
 pub use predicate::Predicate;
 pub use schema::{ColumnDef, ColumnType, ForeignKey, RelationSchema, SchemaBuilder};
 pub use table::Table;

@@ -21,11 +21,35 @@ pub struct Posting {
 }
 
 /// An inverted index over every text column of a database.
+///
+/// Two representations behind one API: the *eager* form (an Fx hash map
+/// of owned posting lists — what [`TextIndex::build`] and live
+/// ingestion maintain) and the *lazy* form (a
+/// [`crate::postings::LazyTextIndex`] serving lookups straight off a
+/// packed on-disk payload — what a paged bundle open hands over).
+/// Mutation entry points ([`TextIndex::add_value`] /
+/// [`TextIndex::remove_value`]) materialize a lazy index eagerly first,
+/// so derived state stays identical whichever representation an index
+/// started in.
 #[derive(Debug, Clone, Default)]
 pub struct TextIndex {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
     /// Fx-hashed: looked up per query term and rebuilt token-by-token
     /// on binary-snapshot restore.
-    postings: FxHashMap<String, Vec<Posting>>,
+    Eager(FxHashMap<String, Vec<Posting>>),
+    /// Shared lazy view of a packed payload (Arc: clones share the
+    /// posting cache).
+    Lazy(std::sync::Arc<crate::postings::LazyTextIndex>),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Eager(FxHashMap::default())
+    }
 }
 
 impl TextIndex {
@@ -59,8 +83,44 @@ impl TextIndex {
         index
     }
 
+    /// Wrap a lazily-decoded packed payload (see [`crate::postings`]).
+    pub fn from_lazy(lazy: std::sync::Arc<crate::postings::LazyTextIndex>) -> TextIndex {
+        TextIndex {
+            repr: Repr::Lazy(lazy),
+        }
+    }
+
+    /// Whether lookups are served from a lazy packed payload.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.repr, Repr::Lazy(_))
+    }
+
+    /// `(cached terms, total terms, cached posting bytes)` when lazy.
+    pub fn lazy_cache_stats(&self) -> Option<(usize, usize, usize)> {
+        match &self.repr {
+            Repr::Lazy(l) => Some(l.cache_stats()),
+            Repr::Eager(_) => None,
+        }
+    }
+
+    /// The eager map, materializing a lazy payload first. Mutations have
+    /// no error channel, so a source torn after open panics here — the
+    /// same contract as a lazy lookup.
+    fn eager_mut(&mut self) -> &mut FxHashMap<String, Vec<Posting>> {
+        if let Repr::Lazy(lazy) = &self.repr {
+            let entries = lazy
+                .materialize()
+                .expect("packed postings source torn after open");
+            self.repr = Repr::Eager(entries.into_iter().collect());
+        }
+        match &mut self.repr {
+            Repr::Eager(map) => map,
+            Repr::Lazy(_) => unreachable!("materialized above"),
+        }
+    }
+
     fn insert(&mut self, token: String, rid: Rid, column: u32) {
-        self.postings
+        self.eager_mut()
             .entry(token)
             .or_default()
             .push(Posting { rid, column });
@@ -69,7 +129,7 @@ impl TextIndex {
     /// Sort and deduplicate posting lists (a token may occur several times
     /// in one attribute value; one posting per (rid, column) is enough).
     fn finish(&mut self) {
-        for list in self.postings.values_mut() {
+        for list in self.eager_mut().values_mut() {
             list.sort_by_key(|p| (p.rid, p.column));
             list.dedup();
             list.shrink_to_fit();
@@ -82,7 +142,7 @@ impl TextIndex {
     /// present postings are left alone, so re-adding is idempotent.
     pub fn add_value(&mut self, rid: Rid, column: u32, text: &str, tokenizer: &Tokenizer) {
         for token in Self::distinct_tokens_of(text, tokenizer) {
-            let list = self.postings.entry(token).or_default();
+            let list = self.eager_mut().entry(token).or_default();
             let posting = Posting { rid, column };
             if let Err(pos) = list.binary_search_by_key(&(rid, column), |p| (p.rid, p.column)) {
                 list.insert(pos, posting);
@@ -97,14 +157,15 @@ impl TextIndex {
     /// dropped entirely so lookups and memory accounting stay exact.
     pub fn remove_value(&mut self, rid: Rid, column: u32, text: &str, tokenizer: &Tokenizer) {
         for token in Self::distinct_tokens_of(text, tokenizer) {
-            let Some(list) = self.postings.get_mut(&token) else {
+            let map = self.eager_mut();
+            let Some(list) = map.get_mut(&token) else {
                 continue;
             };
             if let Ok(pos) = list.binary_search_by_key(&(rid, column), |p| (p.rid, p.column)) {
                 list.remove(pos);
             }
             if list.is_empty() {
-                self.postings.remove(&token);
+                map.remove(&token);
             }
         }
     }
@@ -129,29 +190,31 @@ impl TextIndex {
         I: IntoIterator<Item = (String, Vec<Posting>)>,
     {
         TextIndex {
-            postings: entries
-                .into_iter()
-                .filter(|(_, list)| !list.is_empty())
-                .map(|(token, mut list)| {
-                    let sorted = list
-                        .windows(2)
-                        .all(|w| (w[0].rid, w[0].column) < (w[1].rid, w[1].column));
-                    if !sorted {
-                        list.sort_by_key(|p| (p.rid, p.column));
-                        list.dedup();
-                    }
-                    (token, list)
-                })
-                .collect(),
+            repr: Repr::Eager(
+                entries
+                    .into_iter()
+                    .filter(|(_, list)| !list.is_empty())
+                    .map(|(token, mut list)| {
+                        let sorted = list
+                            .windows(2)
+                            .all(|w| (w[0].rid, w[0].column) < (w[1].rid, w[1].column));
+                        if !sorted {
+                            list.sort_by_key(|p| (p.rid, p.column));
+                            list.dedup();
+                        }
+                        (token, list)
+                    })
+                    .collect(),
+            ),
         }
     }
 
     /// Postings for `token` (already lowercased by the tokenizer).
     pub fn lookup(&self, token: &str) -> &[Posting] {
-        self.postings
-            .get(token)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        match &self.repr {
+            Repr::Eager(map) => map.get(token).map(|v| v.as_slice()).unwrap_or(&[]),
+            Repr::Lazy(lazy) => lazy.lookup(token),
+        }
     }
 
     /// Distinct rids containing `token` in any column.
@@ -178,29 +241,45 @@ impl TextIndex {
 
     /// Number of distinct tokens.
     pub fn distinct_tokens(&self) -> usize {
-        self.postings.len()
+        match &self.repr {
+            Repr::Eager(map) => map.len(),
+            Repr::Lazy(lazy) => lazy.distinct_tokens(),
+        }
     }
 
     /// Total number of postings across all tokens.
     pub fn posting_count(&self) -> usize {
-        self.postings.values().map(|v| v.len()).sum()
+        match &self.repr {
+            Repr::Eager(map) => map.values().map(|v| v.len()).sum(),
+            Repr::Lazy(lazy) => lazy.posting_count(),
+        }
     }
 
     /// Iterate over all distinct tokens (used by approximate matching).
     pub fn tokens(&self) -> impl Iterator<Item = &str> + '_ {
-        self.postings.keys().map(|s| s.as_str())
+        let iter: Box<dyn Iterator<Item = &str> + '_> = match &self.repr {
+            Repr::Eager(map) => Box::new(map.keys().map(|s| s.as_str())),
+            Repr::Lazy(lazy) => Box::new(lazy.tokens()),
+        };
+        iter
     }
 
-    /// Approximate memory footprint in bytes (keys + posting arrays),
+    /// Approximate memory footprint in bytes (keys + posting arrays for
+    /// the eager form; table + heap + cached lists for the lazy form),
     /// supporting the paper's §5.2 space accounting.
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes = 0usize;
-        for (k, v) in &self.postings {
-            bytes += k.len() + std::mem::size_of::<String>();
-            bytes += v.capacity() * std::mem::size_of::<Posting>();
-            bytes += std::mem::size_of::<Vec<Posting>>();
+        match &self.repr {
+            Repr::Eager(map) => {
+                let mut bytes = 0usize;
+                for (k, v) in map {
+                    bytes += k.len() + std::mem::size_of::<String>();
+                    bytes += v.capacity() * std::mem::size_of::<Posting>();
+                    bytes += std::mem::size_of::<Vec<Posting>>();
+                }
+                bytes
+            }
+            Repr::Lazy(lazy) => lazy.memory_bytes(),
         }
-        bytes
     }
 }
 

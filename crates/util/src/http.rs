@@ -194,6 +194,135 @@ pub fn http_request(
     parse_response(&raw)
 }
 
+/// Response metadata for a streamed request: everything
+/// [`HttpResponse`] carries except the body, which went to the sink.
+#[derive(Debug)]
+pub struct StreamedResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes written to the sink.
+    pub body_bytes: u64,
+}
+
+impl StreamedResponse {
+    /// First header value for `name` (stored names are lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Like [`http_request`], but the response body streams into `sink`
+/// in fixed-size chunks instead of accumulating in memory — a follower
+/// bootstrapping from a multi-gigabyte snapshot bundle writes it
+/// straight to disk. The body is copied to `Content-Length` when
+/// present, else to EOF; a short body against a declared length is
+/// [`ClientError::Malformed`] (the sink then holds a truncated copy the
+/// caller must discard).
+pub fn http_request_to_writer(
+    addr: &str,
+    method: &str,
+    target: &str,
+    timeout: Duration,
+    sink: &mut dyn Write,
+) -> Result<StreamedResponse, ClientError> {
+    let addr = host_port(addr);
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(ClientError::Connect)?
+        .next()
+        .ok_or_else(|| {
+            ClientError::Connect(std::io::Error::other(format!("{addr}: no usable address")))
+        })?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout).map_err(ClientError::Connect)?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(ClientError::Io)?;
+
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes()).map_err(ClientError::Io)?;
+    stream.flush().map_err(ClientError::Io)?;
+
+    // Read until the header terminator; whatever follows it in the same
+    // chunk is the body's first bytes.
+    let mut head_buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 64 * 1024];
+    let head_end = loop {
+        if let Some(at) = head_buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+        if head_buf.len() > 64 * 1024 {
+            return Err(ClientError::Malformed("unbounded header block".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(ClientError::Io)?;
+        if n == 0 {
+            return Err(ClientError::Malformed("no header terminator".into()));
+        }
+        head_buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&head_buf[..head_end])
+        .map_err(|_| ClientError::Malformed("non-UTF-8 header block".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Malformed("empty response".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("bad status line `{status_line}`")))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: Option<u64> = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok());
+
+    let mut written: u64 = 0;
+    let mut push = |bytes: &[u8], written: &mut u64| -> Result<bool, ClientError> {
+        // Never write past a declared length — trailing bytes from a
+        // late-closing peer must not land in the sink.
+        let take = match content_length {
+            Some(len) => (len - *written).min(bytes.len() as u64) as usize,
+            None => bytes.len(),
+        };
+        sink.write_all(&bytes[..take]).map_err(ClientError::Io)?;
+        *written += take as u64;
+        Ok(content_length.is_some_and(|len| *written >= len))
+    };
+    let mut done = push(&head_buf[head_end + 4..], &mut written)?;
+    while !done {
+        let n = stream.read(&mut chunk).map_err(ClientError::Io)?;
+        if n == 0 {
+            if let Some(len) = content_length {
+                if written < len {
+                    return Err(ClientError::Malformed(format!(
+                        "body truncated: {written} of {len} bytes"
+                    )));
+                }
+            }
+            break;
+        }
+        done = push(&chunk[..n], &mut written)?;
+    }
+    sink.flush().map_err(ClientError::Io)?;
+    Ok(StreamedResponse {
+        status,
+        headers,
+        body_bytes: written,
+    })
+}
+
 /// Split a raw HTTP/1.1 response into status, headers, and body.
 pub fn parse_response(raw: &[u8]) -> Result<HttpResponse, ClientError> {
     let head_end = raw
@@ -291,6 +420,41 @@ mod tests {
         // Truncated body is an error, not a silent short read.
         assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nabc").is_err());
         assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn streams_body_to_writer() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let body: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = body.clone();
+        let handle = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = sock.read(&mut buf);
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nX-Banks-Epoch: 7\r\n\r\n",
+                body.len()
+            );
+            sock.write_all(head.as_bytes()).unwrap();
+            sock.write_all(&body).unwrap();
+            // Trailing garbage past Content-Length must not reach the sink.
+            let _ = sock.write_all(b"junk");
+        });
+        let mut sink = Vec::new();
+        let resp = http_request_to_writer(
+            &addr.to_string(),
+            "GET",
+            "/replication/snapshot",
+            Duration::from_secs(5),
+            &mut sink,
+        )
+        .unwrap();
+        handle.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("X-Banks-Epoch"), Some("7"));
+        assert_eq!(resp.body_bytes, expected.len() as u64);
+        assert_eq!(sink, expected);
     }
 
     #[test]
