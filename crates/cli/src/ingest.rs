@@ -18,6 +18,7 @@ use banks_core::Banks;
 use banks_ingest::DeltaBatch;
 use banks_server::{IngestEndpoint, QueryService, ServiceConfig};
 use banks_util::http::{http_request, ClientError};
+use banks_util::{log_info, log_warn};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -156,7 +157,8 @@ pub fn post_to_server(addr: &str, batch: &DeltaBatch, ts: &str) -> Result<String
         ) {
             Ok(resp) => break resp,
             Err(ClientError::Connect(e)) if attempt < POST_ATTEMPTS => {
-                eprintln!(
+                log_warn!(
+                    "ingest",
                     "connect {addr}: {e} — retrying in {}ms (attempt {attempt}/{POST_ATTEMPTS})",
                     backoff.as_millis(),
                 );
@@ -214,7 +216,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let args = IngestArgs::parse(args)?;
     let batch = load_batch(&args)?;
     let ts = args.ts.clone().unwrap_or_else(default_ts);
-    eprintln!(
+    log_info!(
+        "ingest",
         "{}: {} operations ({})",
         args.file,
         batch.len(),

@@ -17,6 +17,7 @@
 //! and snapshot bundles: `banks snapshot save|load|inspect …`.
 
 use banks_cli::Shell;
+use banks_util::log_error;
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -25,7 +26,7 @@ fn main() {
     // Server mode: `banks serve [flags…]` (see banks_cli::serve).
     if args.first().map(String::as_str) == Some("serve") {
         if let Err(err) = banks_cli::serve::run(&args[1..]) {
-            eprintln!("error: {err}");
+            log_error!("serve", "{err}");
             std::process::exit(1);
         }
         return;
@@ -34,7 +35,7 @@ fn main() {
     // Router mode: `banks route [flags…]` (see banks_cli::route).
     if args.first().map(String::as_str) == Some("route") {
         if let Err(err) = banks_cli::route::run(&args[1..]) {
-            eprintln!("error: {err}");
+            log_error!("route", "{err}");
             std::process::exit(1);
         }
         return;
@@ -43,7 +44,7 @@ fn main() {
     // Ingestion: `banks ingest [flags…]` (see banks_cli::ingest).
     if args.first().map(String::as_str) == Some("ingest") {
         if let Err(err) = banks_cli::ingest::run(&args[1..]) {
-            eprintln!("error: {err}");
+            log_error!("ingest", "{err}");
             std::process::exit(1);
         }
         return;
@@ -53,7 +54,7 @@ fn main() {
     // (see banks_cli::datagen).
     if args.first().map(String::as_str) == Some("datagen") {
         if let Err(err) = banks_cli::datagen::run(&args[1..]) {
-            eprintln!("error: {err}");
+            log_error!("datagen", "{err}");
             std::process::exit(1);
         }
         return;
@@ -63,7 +64,7 @@ fn main() {
     // (see banks_cli::snapshot).
     if args.first().map(String::as_str) == Some("snapshot") {
         if let Err(err) = banks_cli::snapshot::run(&args[1..]) {
-            eprintln!("error: {err}");
+            log_error!("snapshot", "{err}");
             std::process::exit(1);
         }
         return;

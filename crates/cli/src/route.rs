@@ -15,6 +15,7 @@
 //! ejection, and staleness rules.
 
 use banks_router::{Router, RouterConfig};
+use banks_util::log_info;
 use std::time::Duration;
 
 /// Parsed `route` arguments.
@@ -34,6 +35,9 @@ pub struct RouteArgs {
     pub eject_after: u32,
     /// Max epochs a follower may lag and still serve reads.
     pub staleness_bound: u64,
+    /// Log verbosity override (`error|warn|info|debug`); defaults to
+    /// the `BANKS_LOG` environment variable, then `info`.
+    pub log_level: Option<banks_util::log::Level>,
 }
 
 impl Default for RouteArgs {
@@ -47,6 +51,7 @@ impl Default for RouteArgs {
             probe_interval_ms: defaults.probe_interval.as_millis() as u64,
             eject_after: defaults.eject_after,
             staleness_bound: defaults.staleness_bound,
+            log_level: None,
         }
     }
 }
@@ -86,6 +91,13 @@ impl RouteArgs {
                         .parse()
                         .map_err(|_| "--staleness-bound must be an integer".to_string())?
                 }
+                "--log-level" => {
+                    let raw = value("--log-level")?;
+                    parsed.log_level =
+                        Some(banks_util::log::Level::parse(&raw).ok_or_else(|| {
+                            format!("--log-level must be error|warn|info|debug, got `{raw}`")
+                        })?)
+                }
                 other => return Err(format!("unknown route flag `{other}` — see `banks help`")),
             }
         }
@@ -109,8 +121,12 @@ impl RouteArgs {
 /// Bind the router for the given arguments. Returns the running router
 /// so callers (tests, embedding processes) control its lifetime.
 pub fn start(args: &RouteArgs) -> Result<Router, String> {
+    if let Some(level) = args.log_level {
+        banks_util::log::set_level(level);
+    }
     let router = Router::bind(args.config()).map_err(|e| format!("bind {}: {e}", args.addr))?;
-    eprintln!(
+    log_info!(
+        "route",
         "routing on http://{} → leader {} + {} follower(s) \
          (probe every {}ms, eject after {}, staleness bound {} epoch(s))",
         router.local_addr(),

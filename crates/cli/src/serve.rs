@@ -37,6 +37,7 @@ use banks_ingest::SnapshotPublisher;
 use banks_persist::{PersistOptions, PersistentStore};
 use banks_replica::{Replica, ReplicaConfig};
 use banks_server::{BanksServer, IngestEndpoint, QueryService, ServerConfig, ServiceConfig};
+use banks_util::{log_info, log_warn};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -75,6 +76,9 @@ pub struct ServeArgs {
     /// Follower mode: tail this leader (`banks-replica`); requires
     /// `--data-dir`.
     pub follow: Option<String>,
+    /// Log verbosity override (`error|warn|info|debug`); defaults to
+    /// the `BANKS_LOG` environment variable, then `info`.
+    pub log_level: Option<banks_util::log::Level>,
 }
 
 impl Default for ServeArgs {
@@ -94,6 +98,7 @@ impl Default for ServeArgs {
             memory_budget: 256 * 1024 * 1024,
             no_ingest: false,
             follow: None,
+            log_level: None,
         }
     }
 }
@@ -150,6 +155,13 @@ impl ServeArgs {
                 }
                 "--no-ingest" => parsed.no_ingest = true,
                 "--follow" => parsed.follow = Some(value("--follow")?),
+                "--log-level" => {
+                    let raw = value("--log-level")?;
+                    parsed.log_level =
+                        Some(banks_util::log::Level::parse(&raw).ok_or_else(|| {
+                            format!("--log-level must be error|warn|info|debug, got `{raw}`")
+                        })?)
+                }
                 other => return Err(format!("unknown serve flag `{other}` — see `banks help`")),
             }
         }
@@ -201,6 +213,7 @@ pub fn build_service(
         cache_capacity: args.cache_capacity,
         cache_shards: args.cache_shards,
         search_threads: resolve_search_threads(args),
+        ..ServiceConfig::default()
     };
 
     if let Some(dir) = &args.data_dir {
@@ -213,7 +226,7 @@ pub fn build_service(
         let (store, recovery) = PersistentStore::open(dir, &config, options)
             .map_err(|e| format!("open data dir {}: {e}", dir.display()))?;
         for warning in &recovery.warnings {
-            eprintln!("warning: {warning}");
+            log_warn!("serve", "{warning}");
         }
         let (banks, epoch, source) = match recovery.banks {
             Some(banks) => {
@@ -325,6 +338,9 @@ fn summary_line(args: &ServeArgs, banks: &Banks, source: &str) -> String {
 pub fn start(
     args: &ServeArgs,
 ) -> Result<(Arc<QueryService>, BanksServer, Option<Replica>), String> {
+    if let Some(level) = args.log_level {
+        banks_util::log::set_level(level);
+    }
     if args.follow.is_some() {
         return start_follower(args);
     }
@@ -366,8 +382,9 @@ pub fn start(
         },
     )
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
-    eprintln!("{summary}");
-    eprintln!(
+    log_info!("serve", "{summary}");
+    log_info!(
+        "serve",
         "serving on http://{} ({} workers × {} search thread(s), cache {} entries × {} shards)",
         server.local_addr(),
         workers,
@@ -376,15 +393,20 @@ pub fn start(
         service.cache().shard_count(),
     );
     if args.no_ingest {
-        eprintln!("endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health (ingest disabled)");
+        log_info!(
+            "serve",
+            "endpoints: /search?q=…  /node?id=…  /stats  /metrics  /epochs  /health (ingest disabled)"
+        );
     } else if durable_on {
-        eprintln!(
-            "endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health  POST /ingest \
+        log_info!(
+            "serve",
+            "endpoints: /search?q=…  /node?id=…  /stats  /metrics  /epochs  /health  POST /ingest \
              (live writes on, WAL'd to disk)"
         );
     } else {
-        eprintln!(
-            "endpoints: /search?q=…  /node?id=…  /stats  /epochs  /health  POST /ingest (live writes on)"
+        log_info!(
+            "serve",
+            "endpoints: /search?q=…  /node?id=…  /stats  /metrics  /epochs  /health  POST /ingest (live writes on)"
         );
     }
     Ok((service, server, None))
@@ -402,12 +424,16 @@ fn start_follower(
             .to_string()
     })?;
     if args.no_ingest {
-        eprintln!("warning: --no-ingest is implied by --follow (followers never ingest)");
+        log_warn!(
+            "serve",
+            "--no-ingest is implied by --follow (followers never ingest)"
+        );
     }
     let service_config = ServiceConfig {
         cache_capacity: args.cache_capacity,
         cache_shards: args.cache_shards,
         search_threads: resolve_search_threads(args),
+        ..ServiceConfig::default()
     };
     let replica = Replica::start(
         ReplicaConfig {
@@ -432,10 +458,15 @@ fn start_follower(
     } else {
         args.workers
     };
-    let server = BanksServer::bind_full(
+    // The follower's replication counters ride on the same registry as
+    // the serving families, so one scrape of this process sees both.
+    let registry = Arc::new(banks_telemetry::Registry::new());
+    replica.install_metrics(&registry);
+    let server = BanksServer::bind_with_registry(
         Arc::clone(&service),
         None,
         Some(replica.store()),
+        registry,
         ServerConfig {
             addr: args.addr.clone(),
             workers,
@@ -445,7 +476,8 @@ fn start_follower(
     )
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
     let downloaded = replica.stats().snapshots_downloaded > 0;
-    eprintln!(
+    log_info!(
+        "serve",
         "following {leader} from epoch {} ({}) — serving read-only on http://{}",
         service.epoch(),
         if downloaded {

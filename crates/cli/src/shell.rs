@@ -432,8 +432,11 @@ server mode (not a shell command):
               [--addr HOST:PORT] [--workers N] [--search-threads N]
               [--cache-capacity N] [--cache-shards N] [--data-dir DIR]
               [--no-fsync] [--compact-wal-batches N] [--no-ingest]
-              [--paged] [--memory-budget BYTES]
-    serves /search, /node, /stats, /epochs, /health, POST /ingest
+              [--paged] [--memory-budget BYTES] [--log-level LEVEL]
+    serves /search, /node, /stats, /metrics, /epochs, /health,
+    /debug/slow, POST /ingest
+    --log-level error|warn|info|debug filters the structured stderr
+    log (also the BANKS_LOG environment variable)
     --data-dir enables durability: full-system snapshot bundle + WAL'd
     ingestion + crash recovery (banks-persist)
     --paged serves out of core from the bundle file (banks-pager);

@@ -112,13 +112,17 @@ pub fn backward_search_in(
     }
     let total_origins: usize = keyword_sets.iter().map(|s| s.len()).sum();
     let mut outcome = if keyword_sets.len() == 1 {
+        let span = arena.spans.begin();
         let policy = RootPolicy::new(tuple_graph, excluded_roots, config);
         let mut outcome = single_term_search(scorer, &keyword_sets[0], config, &policy);
+        arena.spans.end("expand", 0, span);
         if parallel_requested {
             outcome.stats.sequential_fallbacks = 1;
         }
         outcome
     } else if parallel_requested && total_origins >= config.parallel_min_origins {
+        // Per-shard expand spans and the merge span are recorded inside
+        // the parallel executor, against the same buffer origin.
         crate::search::parallel::parallel_backward_search(
             arena,
             tuple_graph,
@@ -128,6 +132,7 @@ pub fn backward_search_in(
             excluded_roots,
         )
     } else {
+        let span = arena.spans.begin();
         let mut outcome = sequential_backward_search(
             arena,
             tuple_graph,
@@ -136,6 +141,7 @@ pub fn backward_search_in(
             config,
             excluded_roots,
         );
+        arena.spans.end("expand", 0, span);
         if parallel_requested {
             outcome.stats.sequential_fallbacks = 1;
         }

@@ -207,7 +207,15 @@ fn run_shards<'g>(
     mut tasks: Vec<ShardTask<'g>>,
     channels: &[ShardChannel],
     stop: &AtomicBool,
-) -> Vec<(usize, Vec<DijkstraState>)> {
+    span_origin: Option<Instant>,
+) -> ShardRun {
+    // Trace timing (only when the query is traced): every owned shard's
+    // expand span opens when this thread starts and closes when the
+    // shard drains. `elapsed_ns` is measured against the caller's span
+    // buffer origin, so the offsets line up with the merge span.
+    let elapsed_ns = |o: Instant| u64::try_from(o.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let span_start = span_origin.map(&elapsed_ns);
+    let mut span_ends: Vec<Option<u64>> = vec![None; tasks.len()];
     'outer: loop {
         if stop.load(MemOrder::Relaxed) {
             break;
@@ -267,7 +275,12 @@ fn run_shards<'g>(
         // merge, never unsound.)
         match task.heap.peek() {
             Some(top) => chan.bound.store(top.dist.to_bits(), MemOrder::Release),
-            None => chan.done.store(true, MemOrder::Release),
+            None => {
+                chan.done.store(true, MemOrder::Release);
+                if let Some(origin) = span_origin {
+                    span_ends[t].get_or_insert_with(|| elapsed_ns(origin));
+                }
+            }
         }
     }
     // However this thread exits, no further events will arrive: make
@@ -275,7 +288,18 @@ fn run_shards<'g>(
     for task in &tasks {
         channels[task.shard].done.store(true, MemOrder::Release);
     }
-    tasks
+    let spans = match (span_origin, span_start) {
+        (Some(origin), Some(start)) => {
+            let now = elapsed_ns(origin);
+            tasks
+                .iter()
+                .enumerate()
+                .map(|(t, task)| (task.shard, start, span_ends[t].unwrap_or(now)))
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    let recycled = tasks
         .into_iter()
         .map(|task| {
             (
@@ -286,7 +310,16 @@ fn run_shards<'g>(
                     .collect(),
             )
         })
-        .collect()
+        .collect();
+    ShardRun { recycled, spans }
+}
+
+/// What a shard thread hands back when it joins: the recycled state
+/// blocks per shard, plus `(shard, start_ns, end_ns)` expand spans when
+/// the query is traced (empty otherwise).
+struct ShardRun {
+    recycled: Vec<(usize, Vec<DijkstraState>)>,
+    spans: Vec<(usize, u64, u64)>,
 }
 
 /// Rebuild the root→origin path of iterator `idx` from the merge-side
@@ -408,13 +441,17 @@ pub(super) fn parallel_backward_search(
     let mut early_stop = EarlyStop::new(config, scorer, max_handicap, keyword_sets);
     let stop = AtomicBool::new(false);
     let mut stall_ns: u64 = 0;
+    let span_origin = arena.spans.is_enabled().then(|| arena.spans.origin());
+    let merge_span = arena.spans.begin();
 
-    let recycled: Vec<Vec<(usize, Vec<DijkstraState>)>> = std::thread::scope(|scope| {
+    let runs: Vec<ShardRun> = std::thread::scope(|scope| {
         let channels_ref = &channels;
         let stop_ref = &stop;
         let handles: Vec<_> = thread_tasks
             .into_iter()
-            .map(|tasks| scope.spawn(move || run_shards(tasks, channels_ref, stop_ref)))
+            .map(|tasks| {
+                scope.spawn(move || run_shards(tasks, channels_ref, stop_ref, span_origin))
+            })
             .collect();
 
         // ---- the deterministic merge stage (caller thread) ----
@@ -505,10 +542,18 @@ pub(super) fn parallel_backward_search(
 
     sink.stats.merge_stall_ns = stall_ns;
     let outcome = sink.finish();
+    arena.spans.end("merge", 0, merge_span);
+    for run in &runs {
+        for &(shard, start_ns, end_ns) in &run.spans {
+            arena.spans.push("expand", shard as u32, start_ns, end_ns);
+        }
+    }
     let shard_pools = arena.shard_pools(n_terms);
-    for (shard, states) in recycled.into_iter().flatten() {
-        for state in states {
-            shard_pools[shard].recycle(state);
+    for run in runs {
+        for (shard, states) in run.recycled {
+            for state in states {
+                shard_pools[shard].recycle(state);
+            }
         }
     }
     outcome
@@ -789,6 +834,64 @@ mod tests {
             &FxHashSet::default(),
         );
         assert_eq!(plain.stats.sequential_fallbacks, 0);
+    }
+
+    #[test]
+    fn trace_spans_cover_both_executors() {
+        let db = ladder_db(8);
+        let tg = TupleGraph::build(&db, &GraphConfig::default()).unwrap();
+        let scorer = Scorer::new(tg.graph(), ScoreParams::default());
+        let authors: Vec<NodeId> = db
+            .relation("Author")
+            .unwrap()
+            .scan()
+            .map(|(rid, _)| tg.node(rid).unwrap())
+            .collect();
+        let papers: Vec<NodeId> = db
+            .relation("Paper")
+            .unwrap()
+            .scan()
+            .map(|(rid, _)| tg.node(rid).unwrap())
+            .collect();
+        let sets = vec![authors[..4].to_vec(), papers[..4].to_vec()];
+        let excluded = FxHashSet::default();
+
+        // Disabled buffer (the default): no spans, results unchanged.
+        let mut arena = SearchArena::new();
+        let base = SearchConfig::default();
+        let baseline = backward_search_in(&mut arena, &tg, &scorer, &sets, &base, &excluded);
+        assert!(arena.spans.spans().is_empty());
+
+        // Sequential executor, traced: a single expand span.
+        arena.spans.enable();
+        let traced = backward_search_in(&mut arena, &tg, &scorer, &sets, &base, &excluded);
+        let names: Vec<&str> = arena.spans.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["expand"]);
+        assert_eq!(traced.answers.len(), baseline.answers.len());
+
+        // Parallel executor, traced: one expand span per shard plus the
+        // merge span, all closed after they open.
+        let config = SearchConfig {
+            search_threads: 2,
+            parallel_min_origins: 0,
+            ..SearchConfig::default()
+        };
+        arena.spans.enable();
+        let parallel = backward_search_in(&mut arena, &tg, &scorer, &sets, &config, &excluded);
+        assert_eq!(parallel.stats.shards, sets.len());
+        let spans = arena.spans.spans();
+        let expands: Vec<u32> = spans
+            .iter()
+            .filter(|s| s.name == "expand")
+            .map(|s| s.index)
+            .collect();
+        assert_eq!(expands.len(), sets.len(), "one expand span per shard");
+        assert!(expands.contains(&0) && expands.contains(&1));
+        assert_eq!(spans.iter().filter(|s| s.name == "merge").count(), 1);
+        for s in spans {
+            assert!(s.end_ns >= s.start_ns, "span {s:?} runs backwards");
+        }
+        arena.spans.disable();
     }
 
     #[test]

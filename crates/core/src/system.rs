@@ -222,7 +222,9 @@ impl Banks {
         config: &BanksConfig,
         arena: &mut SearchArena,
     ) -> BanksResult<SearchOutcome> {
+        let span = arena.spans.begin();
         let matches = self.match_terms(query, config)?;
+        arena.spans.end("match", 0, span);
         let keyword_sets: Vec<Vec<NodeId>> = matches.iter().map(|m| m.nodes.clone()).collect();
         let scorer = Scorer::new(self.tuple_graph.graph(), config.score);
         let mut outcome = match strategy {
@@ -243,7 +245,9 @@ impl Banks {
                 &self.excluded_roots,
             ),
         };
+        let span = arena.spans.begin();
         apply_node_relevances(&matches, &mut outcome);
+        arena.spans.end("score", 0, span);
         Ok(outcome)
     }
 

@@ -477,6 +477,10 @@ impl MergeScratch {
 /// recycle.
 #[derive(Debug, Default)]
 pub struct SearchArena {
+    /// Per-query trace spans. Disabled by default (one branch per probe
+    /// point); the serving layer enables it for traced queries and
+    /// drains it after the search returns.
+    pub spans: banks_telemetry::SpanBuffer,
     idle: Vec<DijkstraState>,
     /// Flattened `u.Lᵢ` origin lists.
     pub lists: OriginListPool,

@@ -103,6 +103,12 @@ pub struct PersistStats {
     pub truncated_wal_bytes: u64,
     /// Whether appends fsync.
     pub fsync: bool,
+    /// Completed append fsyncs since the store opened.
+    pub fsync_count: u64,
+    /// Total nanoseconds spent inside append fsyncs — with
+    /// `fsync_count`, exported as the fsync-latency `_sum`/`_count`
+    /// pair on `/metrics`.
+    pub fsync_nanos: u64,
 }
 
 /// What [`PersistentStore::open`] found.
@@ -357,8 +363,9 @@ impl PersistentStore {
                             worker.compactions.fetch_add(1, Ordering::Release);
                         }
                         Err(e) => {
-                            eprintln!(
-                                "banks-persist: background compaction at epoch {epoch} failed: {e}"
+                            banks_util::log_error!(
+                                "persist",
+                                "background compaction at epoch {epoch} failed: {e}"
                             );
                         }
                     }
@@ -535,9 +542,10 @@ impl PersistentStore {
 
     /// Current counters.
     pub fn stats(&self) -> PersistStats {
-        let (wal_bytes, wal_batches) = {
+        let (wal_bytes, wal_batches, fsync_count, fsync_nanos) = {
             let wal = self.inner.wal.lock().expect("wal lock");
-            (wal.bytes(), wal.batches())
+            let (fsync_count, fsync_nanos) = wal.fsync_totals();
+            (wal.bytes(), wal.batches(), fsync_count, fsync_nanos)
         };
         let last = self.inner.last_compaction_epoch.load(Ordering::Acquire);
         PersistStats {
@@ -549,6 +557,8 @@ impl PersistentStore {
             replayed_batches: self.inner.replayed_batches,
             truncated_wal_bytes: self.inner.truncated_wal_bytes,
             fsync: self.inner.options.fsync,
+            fsync_count,
+            fsync_nanos,
         }
     }
 

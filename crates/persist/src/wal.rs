@@ -186,6 +186,11 @@ pub struct WalWriter {
     index: Vec<(u64, u64)>,
     /// On-disk state may not match this bookkeeping; refuse everything.
     poisoned: bool,
+    /// Completed `sync_data` calls (appends with fsync on).
+    fsyncs: u64,
+    /// Total nanoseconds spent inside `sync_data` — with `fsyncs`, the
+    /// `_sum`/`_count` pair behind the fsync-latency metric.
+    fsync_nanos: u64,
 }
 
 impl WalWriter {
@@ -217,6 +222,8 @@ impl WalWriter {
                 .zip(scan.offsets.iter().copied())
                 .collect(),
             poisoned: false,
+            fsyncs: 0,
+            fsync_nanos: 0,
         })
     }
 
@@ -241,14 +248,23 @@ impl WalWriter {
     pub fn append(&mut self, epoch: u64, batch: &DeltaBatch) -> PersistResult<()> {
         self.check_poisoned()?;
         let frame = encode_frame(epoch, batch);
+        let mut fsync_elapsed = None;
         let result = (|| -> PersistResult<()> {
             self.file.write_all(&frame)?;
             self.file.flush()?;
             if self.fsync {
+                let t0 = std::time::Instant::now();
                 self.file.sync_data()?;
+                fsync_elapsed = Some(t0.elapsed());
             }
             Ok(())
         })();
+        if let Some(elapsed) = fsync_elapsed {
+            self.fsyncs += 1;
+            self.fsync_nanos = self
+                .fsync_nanos
+                .saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
         if let Err(e) = result {
             // Roll the file back to the pre-append state. Without this,
             // the garbage bytes would sit *before* any later successful
@@ -274,6 +290,11 @@ impl WalWriter {
     /// Whole frames currently in the log.
     pub fn batches(&self) -> u64 {
         self.index.len() as u64
+    }
+
+    /// `(count, total nanoseconds)` of completed append fsyncs.
+    pub fn fsync_totals(&self) -> (u64, u64) {
+        (self.fsyncs, self.fsync_nanos)
     }
 
     /// The log's path.

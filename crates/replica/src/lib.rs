@@ -274,6 +274,18 @@ impl Replica {
         }
     }
 
+    /// Register the follower's replication families on `registry`.
+    /// Pass the same registry to
+    /// [`banks_server::BanksServer::bind_with_registry`] so the
+    /// follower's `/metrics` carries them next to the serving families.
+    /// The collector holds the counters and the service, not the
+    /// replica itself — it keeps reporting (frozen) after shutdown.
+    pub fn install_metrics(&self, registry: &banks_telemetry::Registry) {
+        let shared = Arc::clone(&self.shared);
+        let service = Arc::clone(&self.service);
+        registry.register_collector(move || replica_families(&shared, &service));
+    }
+
     /// Stop tailing and join the thread. The long-poll in flight is
     /// abandoned to its timeout, so this can take up to the poll window.
     pub fn shutdown(mut self) {
@@ -292,6 +304,73 @@ impl Drop for Replica {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// The follower's Prometheus families, read from the same atomics as
+/// [`Replica::stats`].
+fn replica_families(
+    shared: &Shared,
+    service: &QueryService,
+) -> Vec<banks_telemetry::CollectedFamily> {
+    use banks_telemetry::{CollectedFamily, Kind};
+    let c = Kind::Counter;
+    let g = Kind::Gauge;
+    let epoch = service.epoch();
+    let mut fams = vec![
+        CollectedFamily::scalar(
+            "banks_replica_snapshots_downloaded_total",
+            "Snapshot bundles fetched from the leader.",
+            c,
+            shared.snapshots_downloaded.load(Ordering::Relaxed) as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_replica_batches_applied_total",
+            "WAL batches replayed off the leader's feed.",
+            c,
+            shared.batches_applied.load(Ordering::Relaxed) as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_replica_frame_bytes_total",
+            "Raw WAL frame bytes received from the leader.",
+            c,
+            shared.frame_bytes.load(Ordering::Relaxed) as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_replica_rebootstraps_total",
+            "Full re-bootstraps after compaction gaps or divergence.",
+            c,
+            shared.rebootstraps.load(Ordering::Relaxed) as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_replica_leader_errors_total",
+            "Failed leader requests (connect, timeout, non-200).",
+            c,
+            shared.leader_errors.load(Ordering::Relaxed) as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_replica_epoch",
+            "The follower's serving epoch.",
+            g,
+            epoch as f64,
+        ),
+    ];
+    // Leader-relative families only exist once the leader has been
+    // observed, so a dashboard can tell "never reached" from "lag 0".
+    if let Some(leader_epoch) = service.leader_epoch() {
+        fams.push(CollectedFamily::scalar(
+            "banks_replica_leader_epoch",
+            "The leader's durable epoch as last observed.",
+            g,
+            leader_epoch as f64,
+        ));
+        fams.push(CollectedFamily::scalar(
+            "banks_replica_apply_lag",
+            "Epochs the follower's serving snapshot trails the leader.",
+            g,
+            leader_epoch.saturating_sub(epoch) as f64,
+        ));
+    }
+    fams
 }
 
 /// One bundle download, streamed straight to a temp file in the data
@@ -801,6 +880,47 @@ mod tests {
         }
         // No temp download file left behind.
         assert!(!follower_dir.join("bundle.download.tmp").exists());
+
+        replica.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn follower_metrics_export_replication_families() {
+        let leader_dir = tmp_dir("metrics_leader");
+        let follower_dir = tmp_dir("metrics_follower");
+        let (_leader_service, server, ingest) = leader(&leader_dir);
+        let replica = Replica::start(
+            follower_config(server.local_addr(), &follower_dir),
+            ServiceConfig::default(),
+        )
+        .expect("follower start");
+        insert_author(&ingest, "obs-1");
+        wait_for_epoch(&replica, 1);
+
+        let registry = banks_telemetry::Registry::new();
+        replica.install_metrics(&registry);
+        let text = registry.render();
+        for family in [
+            "banks_replica_snapshots_downloaded_total",
+            "banks_replica_batches_applied_total",
+            "banks_replica_frame_bytes_total",
+            "banks_replica_rebootstraps_total",
+            "banks_replica_leader_errors_total",
+            "banks_replica_epoch",
+            "banks_replica_leader_epoch",
+            "banks_replica_apply_lag",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "family {family} missing:\n{text}"
+            );
+        }
+        assert!(text.contains("banks_replica_snapshots_downloaded_total 1"));
+        assert!(text.contains("banks_replica_batches_applied_total 1"));
+        assert!(text.contains("banks_replica_epoch 1"));
 
         replica.shutdown();
         server.shutdown();

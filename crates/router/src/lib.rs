@@ -38,6 +38,7 @@
 //! `min_epoch` semantics — passes through unchanged.
 
 use banks_server::{QueryKey, QueryOptions};
+use banks_telemetry::{CollectedFamily, Kind, Registry, Sample};
 use banks_util::fxhash::FxHasher;
 use banks_util::http::{http_request, parse_query_string, query_param, HttpResponse};
 use banks_util::json::Json;
@@ -116,6 +117,9 @@ pub struct BackendSnapshot {
     pub ejections: u64,
     /// Times re-admitted after an ejection.
     pub readmissions: u64,
+    /// Round-trip time of the last successful `/health` probe, in
+    /// microseconds (0 until the first success).
+    pub last_probe_us: u64,
 }
 
 /// Router-level counters plus the registry.
@@ -149,6 +153,7 @@ struct Backend {
     forwarded: u64,
     ejections: u64,
     readmissions: u64,
+    last_probe_us: u64,
 }
 
 impl Backend {
@@ -164,6 +169,7 @@ impl Backend {
             forwarded: 0,
             ejections: 0,
             readmissions: 0,
+            last_probe_us: 0,
         }
     }
 
@@ -176,6 +182,7 @@ impl Backend {
             forwarded: self.forwarded,
             ejections: self.ejections,
             readmissions: self.readmissions,
+            last_probe_us: self.last_probe_us,
         }
     }
 }
@@ -195,6 +202,8 @@ struct Shared {
     backends: Mutex<Vec<Backend>>,
     counters: Counters,
     shutdown: AtomicBool,
+    registry: Registry,
+    started: Instant,
 }
 
 impl Shared {
@@ -227,8 +236,9 @@ impl Shared {
         });
     }
 
-    /// A probe succeeded at `epoch`: reset strikes, re-admit if ejected.
-    fn note_success(&self, url: &str, epoch: u64) {
+    /// A probe succeeded at `epoch` after `latency`: reset strikes,
+    /// re-admit if ejected, record the round trip.
+    fn note_success(&self, url: &str, epoch: u64, latency: Duration) {
         let interval = self.config.probe_interval;
         self.with_backend(url, |b| {
             if !b.healthy {
@@ -238,6 +248,7 @@ impl Shared {
             b.consecutive_failures = 0;
             b.probe_backoff = Duration::ZERO;
             b.epoch = epoch.max(b.epoch);
+            b.last_probe_us = latency.as_micros() as u64;
             b.next_probe = Instant::now() + interval;
         });
     }
@@ -354,7 +365,19 @@ impl Router {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             config,
+            registry: Registry::new(),
+            started: now,
         });
+        // The registry lives inside `Shared`, so the scrape collector
+        // holds a `Weak` back-reference to avoid an `Arc` cycle.
+        {
+            let weak = Arc::downgrade(&shared);
+            shared.registry.register_collector(move || {
+                weak.upgrade()
+                    .map(|shared| router_families(&shared))
+                    .unwrap_or_default()
+            });
+        }
 
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
             sync_channel(shared.config.backlog);
@@ -480,8 +503,9 @@ fn prober_loop(shared: &Shared) {
         };
         for url in due {
             shared.counters.probes.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
             match probe(&url, shared.config.probe_timeout) {
-                Some(epoch) => shared.note_success(&url, epoch),
+                Some(epoch) => shared.note_success(&url, epoch, t0.elapsed()),
                 None => shared.note_failure(&url, false),
             }
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -635,6 +659,12 @@ fn route(shared: &Shared, method: &str, target: &str, body: &[u8]) -> Reply {
     match (method, path) {
         ("GET", "/health") => health_reply(shared),
         ("GET", "/stats") => stats_reply(shared),
+        ("GET", "/metrics") => Reply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: shared.registry.render().into_bytes(),
+        },
         ("POST", "/ingest") => forward_write(shared, target, body),
         ("GET", "/epochs") => forward_write(shared, target, &[]),
         ("GET", _) => {
@@ -746,6 +776,8 @@ fn health_reply(shared: &Shared) -> Reply {
         200,
         Json::obj([
             ("status", Json::Str("ok".to_string())),
+            ("version", Json::Str(banks_util::build::version())),
+            ("uptime_s", Json::Uint(shared.started.elapsed().as_secs())),
             ("backends", Json::Uint(stats.backends.len() as u64)),
             ("healthy", Json::Uint(healthy as u64)),
         ])
@@ -767,6 +799,7 @@ fn stats_reply(shared: &Shared) -> Reply {
                 ("forwarded", Json::Uint(b.forwarded)),
                 ("ejections", Json::Uint(b.ejections)),
                 ("readmissions", Json::Uint(b.readmissions)),
+                ("last_probe_us", Json::Uint(b.last_probe_us)),
             ])
         })
         .collect();
@@ -788,6 +821,115 @@ fn stats_reply(shared: &Shared) -> Reply {
         ])
         .compact(),
     )
+}
+
+/// The router's Prometheus families, collected at scrape time from the
+/// same counter snapshot `/stats` reads: routing totals plus one
+/// labeled sample per backend (`backend`, `role`).
+fn router_families(shared: &Shared) -> Vec<CollectedFamily> {
+    let stats = shared.stats();
+    let c = Kind::Counter;
+    let g = Kind::Gauge;
+    let mut fams = vec![
+        CollectedFamily::scalar(
+            "banks_router_searches_total",
+            "`/search` requests routed.",
+            c,
+            stats.searches as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_router_ingests_total",
+            "Write requests forwarded to the leader.",
+            c,
+            stats.ingests as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_router_failovers_total",
+            "Mid-request failovers to the next read candidate.",
+            c,
+            stats.failovers as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_router_leader_fallbacks_total",
+            "Reads answered by the leader because no follower was eligible.",
+            c,
+            stats.leader_fallbacks as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_router_unavailable_total",
+            "Requests answered 503 with no reachable backend.",
+            c,
+            stats.unavailable as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_router_probes_total",
+            "Health probes sent.",
+            c,
+            stats.probes as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_router_uptime_seconds",
+            "Seconds since the router was bound.",
+            g,
+            shared.started.elapsed().as_secs_f64(),
+        ),
+    ];
+    let labeled = |f: fn(&BackendSnapshot) -> f64| -> Vec<Sample> {
+        stats
+            .backends
+            .iter()
+            .map(|b| Sample {
+                labels: vec![("backend", b.url.clone()), ("role", b.role.to_string())],
+                value: f(b),
+            })
+            .collect()
+    };
+    for (name, help, kind, f) in [
+        (
+            "banks_router_backend_healthy",
+            "1 when the backend is in rotation.",
+            g,
+            (|b| if b.healthy { 1.0 } else { 0.0 }) as fn(&BackendSnapshot) -> f64,
+        ),
+        (
+            "banks_router_backend_epoch",
+            "Serving epoch at the backend's last successful probe.",
+            g,
+            |b| b.epoch as f64,
+        ),
+        (
+            "banks_router_backend_forwarded_total",
+            "Requests forwarded to the backend.",
+            c,
+            |b| b.forwarded as f64,
+        ),
+        (
+            "banks_router_backend_ejections_total",
+            "Times the backend left rotation.",
+            c,
+            |b| b.ejections as f64,
+        ),
+        (
+            "banks_router_backend_readmissions_total",
+            "Times the backend re-entered rotation.",
+            c,
+            |b| b.readmissions as f64,
+        ),
+        (
+            "banks_router_backend_last_probe_seconds",
+            "Round-trip time of the backend's last successful probe.",
+            g,
+            |b| b.last_probe_us as f64 * 1e-6,
+        ),
+    ] {
+        fams.push(CollectedFamily {
+            name,
+            help,
+            kind,
+            samples: labeled(f),
+        });
+    }
+    fams
 }
 
 #[cfg(test)]
@@ -862,6 +1004,8 @@ mod tests {
             ]),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            registry: Registry::new(),
+            started: Instant::now(),
         };
         // Two strikes eject; the plan then holds only the leader.
         shared.note_failure("f:1", false);
@@ -873,12 +1017,13 @@ mod tests {
         let (plan, leader_only) = shared.read_plan(1);
         assert_eq!(plan, vec!["l:1".to_string()]);
         assert!(leader_only);
-        // A successful probe re-admits.
-        shared.note_success("f:1", 9);
+        // A successful probe re-admits and records its round trip.
+        shared.note_success("f:1", 9, Duration::from_micros(250));
         let stats = shared.stats();
         assert!(stats.backends[1].healthy);
         assert_eq!(stats.backends[1].readmissions, 1);
         assert_eq!(stats.backends[1].epoch, 9);
+        assert_eq!(stats.backends[1].last_probe_us, 250);
         let (plan, _) = shared.read_plan(1);
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.last().unwrap(), "l:1");
@@ -902,17 +1047,84 @@ mod tests {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             config,
+            registry: Registry::new(),
+            started: now,
         };
-        shared.note_success("l:1", 10);
-        shared.note_success("f:1", 9); // within bound
-        shared.note_success("f:2", 3); // hopelessly behind
+        shared.note_success("l:1", 10, Duration::ZERO);
+        shared.note_success("f:1", 9, Duration::ZERO); // within bound
+        shared.note_success("f:2", 3, Duration::ZERO); // hopelessly behind
         let (plan, leader_only) = shared.read_plan(1);
         assert!(!leader_only);
         assert_eq!(plan, vec!["f:1".to_string(), "l:1".to_string()]);
         // Every follower stale → leader-only fallback.
-        shared.note_success("l:1", 20);
+        shared.note_success("l:1", 20, Duration::ZERO);
         let (plan, leader_only) = shared.read_plan(1);
         assert_eq!(plan, vec!["l:1".to_string()]);
         assert!(leader_only);
+    }
+
+    #[test]
+    fn metrics_cover_router_totals_and_labeled_backends() {
+        let now = Instant::now();
+        let shared = Arc::new(Shared {
+            config: RouterConfig {
+                leader: "l:1".to_string(),
+                followers: vec!["f:1".to_string()],
+                ..RouterConfig::default()
+            },
+            backends: Mutex::new(vec![
+                Backend::new("l:1".to_string(), true, now),
+                Backend::new("f:1".to_string(), false, now),
+            ]),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            registry: Registry::new(),
+            started: now,
+        });
+        shared.counters.searches.fetch_add(3, Ordering::Relaxed);
+        shared.note_success("f:1", 7, Duration::from_micros(100));
+        let weak = Arc::downgrade(&shared);
+        shared.registry.register_collector(move || {
+            weak.upgrade()
+                .map(|shared| router_families(&shared))
+                .unwrap_or_default()
+        });
+        let text = shared.registry.render();
+        for family in [
+            "banks_router_searches_total",
+            "banks_router_ingests_total",
+            "banks_router_failovers_total",
+            "banks_router_leader_fallbacks_total",
+            "banks_router_unavailable_total",
+            "banks_router_probes_total",
+            "banks_router_uptime_seconds",
+            "banks_router_backend_healthy",
+            "banks_router_backend_epoch",
+            "banks_router_backend_forwarded_total",
+            "banks_router_backend_ejections_total",
+            "banks_router_backend_readmissions_total",
+            "banks_router_backend_last_probe_seconds",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "family {family} missing:\n{text}"
+            );
+        }
+        assert!(text.contains("banks_router_searches_total 3"));
+        assert!(text.contains(r#"banks_router_backend_epoch{backend="f:1",role="follower"} 7"#));
+        assert!(text.contains(r#"banks_router_backend_healthy{backend="l:1",role="leader"} 1"#));
+        // The probe round trip exports in seconds (value check is done
+        // on the collected sample — text rendering of floats varies).
+        let fams = router_families(&shared);
+        let probe = fams
+            .iter()
+            .find(|f| f.name == "banks_router_backend_last_probe_seconds")
+            .and_then(|f| {
+                f.samples
+                    .iter()
+                    .find(|s| s.labels.iter().any(|(_, v)| v == "f:1"))
+            })
+            .expect("f:1 probe sample");
+        assert!((probe.value - 100e-6).abs() < 1e-9, "{}", probe.value);
     }
 }

@@ -15,24 +15,29 @@
 //! | `GET /stats` | — | cache + service + graph counters, snapshot epoch |
 //! | `GET /epochs` | — | current epoch + recent publication history |
 //! | `POST /ingest` | `ts` (caller timestamp); body = delta JSON | publishes a new epoch |
-//! | `GET /health` | — | liveness probe + current epoch |
+//! | `GET /health` | — | liveness probe + current epoch, build version, uptime |
+//! | `GET /metrics` | — | Prometheus text exposition (format 0.0.4) |
+//! | `GET /debug/slow` | `limit` | worst cold queries with per-phase span breakdowns |
 //! | `GET /replication/snapshot` | — | newest snapshot bundle, raw bytes (`X-Banks-Epoch` header) |
 //! | `GET /replication/wal` | `from_epoch` (required), `wait_ms` | WAL frames past `from_epoch`, raw bytes; long-polls; `410` when compacted away |
 //!
 //! `/search` additionally accepts `min_epoch` (+ `wait_ms`): the
 //! read-your-writes barrier for followers — wait until the serving epoch
 //! reaches it, else `409` with a `Retry-After` header and a leader
-//! redirect hint.
+//! redirect hint. `trace=1` adds a `trace` section with the per-phase
+//! span breakdown of the result's cold run.
 //!
 //! The replication endpoints serve the **on-disk byte formats verbatim**
 //! (bundle file, WAL frames), so a follower persists and parses exactly
 //! what recovery would.
 
 use crate::ingest::{epoch_info_json, IngestEndpoint};
+use crate::metrics::{install_service_metrics, install_store_metrics, ServerMetrics};
 use crate::service::{QueryOptions, QueryService};
 use banks_core::SearchStrategy;
 use banks_graph::NodeId;
 use banks_ingest::DeltaBatch;
+use banks_telemetry::Registry;
 use banks_util::http::{parse_query_string, query_param};
 use banks_util::json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -41,7 +46,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// HTTP server options.
 #[derive(Debug, Clone)]
@@ -109,17 +114,44 @@ impl BanksServer {
         store: Option<Arc<banks_persist::PersistentStore>>,
         config: ServerConfig,
     ) -> std::io::Result<BanksServer> {
+        BanksServer::bind_with_registry(service, ingest, store, Arc::new(Registry::new()), config)
+    }
+
+    /// Bind against a caller-supplied metric registry. The server still
+    /// installs its own families (HTTP, service, WAL); the caller may
+    /// have pre-registered extra collectors — this is how a follower's
+    /// replication counters reach the follower's `/metrics`.
+    pub fn bind_with_registry(
+        service: Arc<QueryService>,
+        ingest: Option<Arc<IngestEndpoint>>,
+        store: Option<Arc<banks_persist::PersistentStore>>,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+    ) -> std::io::Result<BanksServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(config.backlog);
         let rx = Arc::new(Mutex::new(rx));
 
+        let metrics = ServerMetrics::new(registry);
+        install_service_metrics(metrics.registry(), Arc::clone(&service));
+        // `/stats` resolves the durable store the same way: explicit
+        // binding first, else the one riding inside the ingest endpoint.
+        let metric_store = store
+            .clone()
+            .or_else(|| ingest.as_ref().and_then(|i| i.store().cloned()));
+        if let Some(store) = metric_store {
+            install_store_metrics(metrics.registry(), store);
+        }
+
         let shared = Arc::new(Shared {
             service,
             ingest,
             store,
             leader_hint: config.leader_hint.clone(),
+            metrics,
+            started: Instant::now(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -134,6 +166,7 @@ impl BanksServer {
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("banks-http-accept".to_string())
                 .spawn(move || {
@@ -153,8 +186,12 @@ impl BanksServer {
                                 continue;
                             }
                         };
+                        // Depth counts connections sitting in the
+                        // channel; the worker decrements on pickup.
+                        shared.metrics.queue_depth.add(1);
                         // If all workers are gone the send fails; stop.
                         if tx.send(stream).is_err() {
+                            shared.metrics.queue_depth.sub(1);
                             break;
                         }
                     }
@@ -237,6 +274,9 @@ struct Shared {
     ingest: Option<Arc<IngestEndpoint>>,
     store: Option<Arc<banks_persist::PersistentStore>>,
     leader_hint: Option<String>,
+    metrics: ServerMetrics,
+    /// Bind time, for `/health`'s `uptime_s`.
+    started: Instant,
 }
 
 fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
@@ -245,6 +285,7 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
             Ok(stream) => stream,
             Err(_) => return, // acceptor gone and queue drained
         };
+        shared.metrics.queue_depth.sub(1);
         // Contain per-request panics: a worker that dies is never
         // respawned, so an adversarial request that panicked the handler
         // would otherwise shrink the pool until the server is dead. The
@@ -307,6 +348,7 @@ impl Response {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let t0 = Instant::now();
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
@@ -382,6 +424,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             None => error_response("400 Bad Request", "request body is not valid UTF-8"),
         }
     };
+    // Per-endpoint accounting: first read through computed response
+    // (client write time excluded — a slow reader is not server time).
+    {
+        let path = request_line
+            .split_whitespace()
+            .nth(1)
+            .map(|t| t.split_once('?').map_or(t, |(p, _)| p))
+            .unwrap_or("");
+        let endpoint = shared.metrics.endpoint(path);
+        endpoint.requests.inc();
+        endpoint.latency.record_duration(t0.elapsed());
+    }
     let mut head = format!(
         "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
@@ -423,15 +477,25 @@ fn route(request_line: &str, request_body: &str, shared: &Shared) -> Response {
             "/stats" => Response::json("200 OK", stats_json(service, ingest, store).compact()),
             "/epochs" => handle_epochs(service, ingest),
             // The epoch rides in the liveness probe so a router can
-            // track staleness with the request it already makes.
+            // track staleness with the request it already makes; the
+            // build identity and uptime make probe output self-locating.
             "/health" => Response::json(
                 "200 OK",
                 Json::obj([
                     ("status", Json::Str("ok".into())),
                     ("epoch", Json::Uint(service.epoch())),
+                    ("version", Json::Str(banks_util::build::version())),
+                    ("uptime_s", Json::Uint(shared.started.elapsed().as_secs())),
                 ])
                 .compact(),
             ),
+            "/metrics" => Response {
+                status: "200 OK",
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                headers: Vec::new(),
+                body: shared.metrics.registry().render().into_bytes(),
+            },
+            "/debug/slow" => handle_slow(&params, service),
             "/replication/snapshot" => handle_replication_snapshot(store),
             "/replication/wal" => handle_replication_wal(&params, store),
             _ => error_response("404 Not Found", "unknown path"),
@@ -609,8 +673,16 @@ fn handle_search(params: &[(String, String)], service: &QueryService, shared: &S
             _ => return error_response("400 Bad Request", "limit must be a positive integer"),
         },
     };
+    let trace = matches!(query_param(params, "trace"), Some("1") | Some("true"));
 
-    let response = match service.search(q, QueryOptions { strategy, limit }) {
+    let response = match service.search(
+        q,
+        QueryOptions {
+            strategy,
+            limit,
+            trace,
+        },
+    ) {
         Ok(response) => response,
         Err(e) => return error_response("400 Bad Request", &e.to_string()),
     };
@@ -622,12 +694,14 @@ fn handle_search(params: &[(String, String)], service: &QueryService, shared: &S
     // snapshot that produced the result (`response.banks`): node ids are
     // snapshot-relative, and the current snapshot may already be a newer
     // epoch by the time this executes.
+    let render_t0 = Instant::now();
     let fragment = response
         .result
         .http_fragment
         .get_or_init(|| answers_fragment(&response.banks, &response.result));
+    let render_ns = render_t0.elapsed().as_nanos() as u64;
 
-    let volatile = Json::obj([
+    let mut fields = vec![
         ("query", Json::Str(q.to_string())),
         (
             "normalized",
@@ -650,11 +724,71 @@ fn handle_search(params: &[(String, String)], service: &QueryService, shared: &S
             "cold_elapsed_us",
             Json::Uint(response.result.cold_elapsed.as_micros() as u64),
         ),
-    ])
-    .compact();
+    ];
+    if trace {
+        // The spans describe the *cold* run that produced this result —
+        // on a hit, that run happened earlier; `render_ns` is this
+        // request's own (usually memoized-away) serialization cost.
+        fields.push((
+            "trace",
+            Json::obj([
+                ("spans", spans_json(&response.result.spans)),
+                ("render_ns", Json::Uint(render_ns)),
+            ]),
+        ));
+    }
+    let volatile = Json::obj(fields).compact();
     // Splice: `{volatile…,fragment…}`.
     let body = format!("{},{fragment}}}", &volatile[..volatile.len() - 1]);
     Response::json("200 OK", body)
+}
+
+fn spans_json(spans: &[banks_telemetry::Span]) -> Json {
+    Json::Arr(
+        spans
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", Json::Str(s.name.to_string())),
+                    ("index", Json::Uint(s.index as u64)),
+                    ("start_ns", Json::Uint(s.start_ns)),
+                    ("end_ns", Json::Uint(s.end_ns)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `GET /debug/slow`: the worst cold queries with span breakdowns,
+/// slowest first. `limit` trims the list (default: everything retained).
+fn handle_slow(params: &[(String, String)], service: &QueryService) -> Response {
+    let limit = query_param(params, "limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    let mut entries = service.slow_log().snapshot();
+    entries.truncate(limit);
+    let body = Json::obj([
+        ("capacity", Json::Uint(service.slow_log().capacity() as u64)),
+        ("count", Json::Uint(entries.len() as u64)),
+        (
+            "slowest",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("query", Json::Str(e.query.clone())),
+                            ("total_us", Json::Uint(e.total_us)),
+                            ("epoch", Json::Uint(e.epoch)),
+                            ("unix_ms", Json::Uint(e.unix_ms)),
+                            ("spans", spans_json(&e.spans)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json("200 OK", body.compact())
 }
 
 /// Serialize the cacheable part of a search response:
@@ -768,7 +902,11 @@ fn stats_json(
     ingest: Option<&IngestEndpoint>,
     store: Option<&banks_persist::PersistentStore>,
 ) -> Json {
-    let stats = service.stats();
+    // One atomic counter snapshot + the snapshot it was read against.
+    // Storage figures below reuse `banks` instead of re-pinning the
+    // current snapshot, so the document can't mix two epochs when a
+    // publish lands mid-request.
+    let (stats, banks) = service.stats_with_snapshot();
     let mut doc = Json::obj([
         ("queries", Json::Uint(stats.queries)),
         ("errors", Json::Uint(stats.errors)),
@@ -835,15 +973,15 @@ fn stats_json(
                     Json::Uint(stats.sequential_fallbacks),
                 ),
                 ("merge_stall_us", Json::Uint(stats.merge_stall_us)),
+                ("early_terminations", Json::Uint(stats.early_terminations)),
             ]),
         ),
         ("uptime_secs", Json::Num(stats.uptime_secs)),
     ]);
-    // Storage backend: how the current snapshot holds its graph and
+    // Storage backend: how the stats snapshot holds its graph and
     // text index. In-RAM is the classic fully-decoded backend; a paged
     // backend (serve --paged) reports its budget and paging counters.
     {
-        let banks = service.banks();
         let storage = match banks.tuple_graph().graph().storage_stats() {
             Some(s) => {
                 let mut pairs = vec![
@@ -919,10 +1057,235 @@ fn stats_json(
             ("replayed_batches", Json::Uint(p.replayed_batches)),
             ("truncated_wal_bytes", Json::Uint(p.truncated_wal_bytes)),
             ("fsync", Json::Bool(p.fsync)),
+            ("fsync_count", Json::Uint(p.fsync_count)),
+            ("fsync_us", Json::Uint(p.fsync_nanos / 1_000)),
         ]);
         if let Json::Obj(pairs) = &mut doc {
             pairs.push(("persistence".to_string(), section));
         }
     }
     doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use banks_core::Banks;
+    use banks_storage::{ColumnType, Database, RelationSchema, Value};
+    use banks_util::http::{http_request, HttpResponse};
+
+    fn dblp() -> Database {
+        let mut db = Database::new("dblp");
+        db.create_relation(
+            RelationSchema::builder("Author")
+                .column("AuthorId", ColumnType::Text)
+                .column("AuthorName", ColumnType::Text)
+                .primary_key(&["AuthorId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Paper")
+                .column("PaperId", ColumnType::Text)
+                .column("PaperName", ColumnType::Text)
+                .primary_key(&["PaperId"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_relation(
+            RelationSchema::builder("Writes")
+                .column("AuthorId", ColumnType::Text)
+                .column("PaperId", ColumnType::Text)
+                .primary_key(&["AuthorId", "PaperId"])
+                .foreign_key(&["AuthorId"], "Author")
+                .foreign_key(&["PaperId"], "Paper")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (id, name) in [("MohanC", "C. Mohan"), ("SudarshanS", "S. Sudarshan")] {
+            db.insert("Author", vec![Value::text(id), Value::text(name)])
+                .unwrap();
+        }
+        db.insert(
+            "Paper",
+            vec![
+                Value::text("P1"),
+                Value::text("Transaction Recovery Methods"),
+            ],
+        )
+        .unwrap();
+        for a in ["MohanC", "SudarshanS"] {
+            db.insert("Writes", vec![Value::text(a), Value::text("P1")])
+                .unwrap();
+        }
+        db
+    }
+
+    fn server(workers: usize) -> BanksServer {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let service = Arc::new(crate::service::QueryService::new(
+            banks,
+            ServiceConfig::default(),
+        ));
+        BanksServer::bind(
+            service,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> HttpResponse {
+        http_request(
+            &addr.to_string(),
+            "GET",
+            target,
+            None,
+            Duration::from_secs(10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metrics_exposes_documented_families_after_traffic() {
+        let server = server(2);
+        let addr = server.local_addr();
+        // One cold query, one hit.
+        assert_eq!(get(addr, "/search?q=mohan+sudarshan").status, 200);
+        assert_eq!(get(addr, "/search?q=sudarshan+mohan").status, 200);
+
+        let resp = get(addr, "/metrics");
+        assert_eq!(resp.status, 200);
+        assert!(resp
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain; version=0.0.4")));
+        let body = resp.text();
+        for family in [
+            "banks_http_requests_total",
+            "banks_http_request_seconds",
+            "banks_http_queue_depth",
+            "banks_query_seconds",
+            "banks_queries_total",
+            "banks_query_errors_total",
+            "banks_cache_hits_total",
+            "banks_cache_misses_total",
+            "banks_cache_entries",
+            "banks_epoch",
+            "banks_graph_nodes",
+            "banks_graph_edges",
+            "banks_memory_bytes",
+            "banks_search_shards_total",
+            "banks_search_early_terminations_total",
+            "banks_uptime_seconds",
+            "banks_pager_budget_bytes",
+            "banks_pager_resident_bytes",
+            "banks_pager_page_ins_total",
+        ] {
+            assert!(
+                body.contains(&format!("# TYPE {family} ")),
+                "family {family} missing from /metrics:\n{body}"
+            );
+        }
+        // The cold/hit split is labeled, histogram-shaped, and counted.
+        assert!(body.contains(r#"banks_query_seconds_count{cache="miss"} 1"#));
+        assert!(body.contains(r#"banks_query_seconds_count{cache="hit"} 1"#));
+        assert!(body.contains(r#"banks_query_seconds_bucket{cache="miss",le="+Inf"} 1"#));
+        // Per-endpoint request counters carry the endpoint label.
+        assert!(body.contains(r#"banks_http_requests_total{endpoint="/search"} 2"#));
+        // The in-RAM backend still exports pager families, as zeros.
+        assert!(body.contains("banks_pager_budget_bytes 0"));
+    }
+
+    #[test]
+    fn unknown_paths_fold_into_other_endpoint_label() {
+        let server = server(1);
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/no/such/path").status, 404);
+        assert_eq!(get(addr, "/another?x=1").status, 404);
+        let body = get(addr, "/metrics").text();
+        assert!(body.contains(r#"banks_http_requests_total{endpoint="other"} 2"#));
+    }
+
+    #[test]
+    fn search_trace_param_returns_span_breakdown() {
+        let server = server(1);
+        let addr = server.local_addr();
+        // Without trace: no trace object in the envelope.
+        let plain = get(addr, "/search?q=mohan").text();
+        assert!(!plain.contains(r#""trace""#));
+        // With trace=1: spans + this request's render time.
+        let traced = get(addr, "/search?q=mohan&trace=1").text();
+        assert!(traced.contains(r#""trace":{"spans":["#), "{traced}");
+        assert!(traced.contains(r#""render_ns""#));
+        for span in ["parse", "match", "expand", "score"] {
+            assert!(
+                traced.contains(&format!(r#""name":"{span}""#)),
+                "span {span} missing: {traced}"
+            );
+        }
+        // A cache hit replays the cold run's spans.
+        let hit = get(addr, "/search?q=mohan&trace=true").text();
+        assert!(hit.contains(r#""cached":true"#));
+        assert!(hit.contains(r#""name":"parse""#));
+    }
+
+    #[test]
+    fn debug_slow_lists_recorded_queries() {
+        let server = server(1);
+        let addr = server.local_addr();
+        get(addr, "/search?q=mohan+sudarshan");
+        get(addr, "/search?q=sudarshan");
+        let body = get(addr, "/debug/slow").text();
+        assert!(body.contains(r#""capacity":16"#), "{body}");
+        assert!(body.contains(r#""count":2"#), "{body}");
+        assert!(body.contains(r#""query":"mohan sudarshan""#));
+        assert!(body.contains(r#""spans""#));
+        // `limit` trims the list to the slowest entries.
+        let trimmed = get(addr, "/debug/slow?limit=1").text();
+        assert!(trimmed.contains(r#""count":1"#), "{trimmed}");
+    }
+
+    #[test]
+    fn health_reports_version_and_uptime() {
+        let server = server(1);
+        let addr = server.local_addr();
+        let body = get(addr, "/health").text();
+        assert!(body.contains(r#""status":"ok""#), "{body}");
+        assert!(
+            body.contains(&format!(r#""version":"{}""#, banks_util::build::version())),
+            "{body}"
+        );
+        assert!(body.contains(r#""uptime_s""#), "{body}");
+    }
+
+    /// Regression: `/stats` and `/metrics` must answer from counter
+    /// snapshots, never behind a lock a slow query can hold. One worker
+    /// parks in a `min_epoch` wait; the remaining worker must keep
+    /// serving observability endpoints promptly.
+    #[test]
+    fn stats_and_metrics_stay_responsive_while_query_parks_a_worker() {
+        let server = server(2);
+        let addr = server.local_addr();
+        let parked = std::thread::spawn(move || {
+            // Epoch 999 never arrives; this holds its worker for ~3s.
+            get(addr, "/search?q=mohan&min_epoch=999&wait_ms=3000")
+        });
+        // Give the parked request time to reach its worker.
+        std::thread::sleep(Duration::from_millis(200));
+        let t0 = Instant::now();
+        assert_eq!(get(addr, "/stats").status, 200);
+        assert_eq!(get(addr, "/metrics").status, 200);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "observability endpoints stalled {elapsed:?} behind a parked query"
+        );
+        assert_eq!(parked.join().unwrap().status, 409);
+    }
 }

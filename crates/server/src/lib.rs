@@ -43,11 +43,13 @@
 pub mod cache;
 pub mod http;
 pub mod ingest;
+pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheLookup, CacheStats, ShardedLruCache};
 pub use http::{BanksServer, ServerConfig};
 pub use ingest::IngestEndpoint;
+pub use metrics::ServerMetrics;
 pub use service::{
     CachedResult, QueryKey, QueryOptions, QueryService, SearchResponse, ServiceConfig, ServiceStats,
 };

@@ -19,6 +19,7 @@ use banks_core::{
     Answer, Banks, BanksResult, CombineMode, EdgeScoreMode, NodeScoreMode, SearchArena,
     SearchStats, SearchStrategy,
 };
+use banks_telemetry::{Histogram, SlowLog, SlowQuery, Span};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +52,14 @@ pub struct ServiceConfig {
     /// Front ends size this against their worker pool so
     /// `workers × search_threads` stays within the machine's cores.
     pub search_threads: usize,
+    /// Record per-phase trace spans on every cold query. Spans feed the
+    /// slow-query log and the opt-in `?trace=1` response section; the
+    /// cost is a handful of clock reads per *miss* (hits never record),
+    /// so this defaults to on. `false` reduces tracing to one branch.
+    pub record_spans: bool,
+    /// How many worst-by-latency cold queries the slow log retains
+    /// (`GET /debug/slow`). `0` disables the log.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +68,8 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             search_threads: 1,
+            record_spans: true,
+            slow_log_capacity: 16,
         }
     }
 }
@@ -71,6 +82,12 @@ pub struct QueryOptions {
     /// Override of `search.max_results`, capped by the server to the
     /// configured maximum.
     pub limit: Option<usize>,
+    /// Force span recording for this query even when the service has
+    /// `record_spans: false` (the `?trace=1` escape hatch). Does not
+    /// affect the cache key: a traced and an untraced run of the same
+    /// query share one entry, and a hit serves the spans recorded by
+    /// whichever cold run populated it.
+    pub trace: bool,
 }
 
 /// The normalized cache key: order- and case-insensitive keywords plus
@@ -146,6 +163,10 @@ pub struct CachedResult {
     /// identical for every alias of the cache key, so repeat hits skip
     /// re-rendering and re-serializing every connection tree.
     pub http_fragment: std::sync::OnceLock<String>,
+    /// Phase breakdown of the original cold run (`parse`, `match`,
+    /// `expand`, `merge`, `score`), nanosecond offsets from the start of
+    /// the search. Empty when span recording was off.
+    pub spans: Vec<Span>,
 }
 
 /// What [`QueryService::search`] returns.
@@ -211,6 +232,9 @@ pub struct ServiceStats {
     /// Total microseconds parallel merges spent stalled on a shard
     /// whose frontier bound was the global minimum.
     pub merge_stall_us: u64,
+    /// Cold queries whose heap search stopped early once the result set
+    /// provably could not improve (Σ `SearchStats::early_terminations`).
+    pub early_terminations: u64,
 }
 
 /// The current snapshot plus everything derived from it that a query
@@ -245,6 +269,17 @@ pub struct QueryService {
     sequential_fallbacks: AtomicU64,
     /// Σ merge-stall nanoseconds across parallel cold queries.
     merge_stall_ns: AtomicU64,
+    /// Σ early heap terminations across cold queries.
+    early_terminations: AtomicU64,
+    /// Record spans on every cold query (see [`ServiceConfig`]).
+    record_spans: bool,
+    /// Worst cold queries with span breakdowns (`GET /debug/slow`).
+    slow_log: SlowLog,
+    /// Cold (cache-miss) search latency, nanosecond ticks. `Arc`ed so a
+    /// metrics registry can export it without owning it.
+    cold_latency: Arc<Histogram>,
+    /// Cache-hit lookup latency, nanosecond ticks.
+    hit_latency: Arc<Histogram>,
     /// Mirror of the current epoch for blocking waits: `min_epoch`
     /// readers park on the condvar; every install notifies it. (The
     /// `RwLock` snapshot itself cannot carry a condvar wait.)
@@ -288,6 +323,11 @@ impl QueryService {
             shards_spawned: AtomicU64::new(0),
             sequential_fallbacks: AtomicU64::new(0),
             merge_stall_ns: AtomicU64::new(0),
+            early_terminations: AtomicU64::new(0),
+            record_spans: config.record_spans,
+            slow_log: SlowLog::new(config.slow_log_capacity),
+            cold_latency: Arc::new(Histogram::new()),
+            hit_latency: Arc::new(Histogram::new()),
             epoch_sync: Mutex::new(epoch),
             epoch_advanced: Condvar::new(),
             leader_epoch: AtomicU64::new(u64::MAX),
@@ -378,6 +418,8 @@ impl QueryService {
         // hit/miss counters only ever count answerable queries and
         // `queries == hits + computed` stays an invariant of `/stats`.
         // The parse is kept and reused on the miss path below.
+        let trace = self.record_spans || options.trace;
+        let parse_t0 = trace.then(Instant::now);
         let query = match banks.parse(query_text) {
             Ok(query) => query,
             Err(e) => {
@@ -385,6 +427,7 @@ impl QueryService {
                 return Err(e);
             }
         };
+        let parse_ns = parse_t0.map(|t| t.elapsed().as_nanos() as u64);
         let configured_max = banks.config().search.max_results;
         let limit = options
             .limit
@@ -407,9 +450,11 @@ impl QueryService {
             }) {
             CacheLookup::Hit(result) => {
                 self.queries.fetch_add(1, Ordering::Relaxed);
+                let elapsed = t0.elapsed();
+                self.hit_latency.record_duration(elapsed);
                 return Ok(SearchResponse {
                     cached: true,
-                    elapsed: t0.elapsed(),
+                    elapsed,
                     key,
                     epoch: result.epoch,
                     banks: Arc::clone(banks),
@@ -427,9 +472,27 @@ impl QueryService {
         // across the per-worker search-thread budget; the deterministic
         // merge keeps results bit-identical to sequential execution.
         config.search.search_threads = self.search_threads;
-        let outcome = WORKER_ARENA
+        let (outcome, spans) = WORKER_ARENA
             .with(|arena| {
-                banks.search_parsed_in(&query, options.strategy, &config, &mut arena.borrow_mut())
+                let mut arena = arena.borrow_mut();
+                if trace {
+                    // The parse ran before the buffer's clock origin, so
+                    // its span is back-dated to offset 0; the kernel's
+                    // own spans (match/expand/merge/score) follow it.
+                    arena.spans.enable();
+                    if let Some(parse_ns) = parse_ns {
+                        arena.spans.push("parse", 0, 0, parse_ns);
+                    }
+                }
+                let result = banks.search_parsed_in(&query, options.strategy, &config, &mut arena);
+                let spans = if trace {
+                    let spans = arena.spans.take();
+                    arena.spans.disable();
+                    spans
+                } else {
+                    Vec::new()
+                };
+                result.map(|outcome| (outcome, spans))
             })
             .inspect_err(|_| {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -440,18 +503,31 @@ impl QueryService {
                 self.cache.forget_miss();
             })?;
         let elapsed = t0.elapsed();
+        self.cold_latency.record_duration(elapsed);
         self.shards_spawned
             .fetch_add(outcome.stats.shards as u64, Ordering::Relaxed);
         self.sequential_fallbacks
             .fetch_add(outcome.stats.sequential_fallbacks as u64, Ordering::Relaxed);
         self.merge_stall_ns
             .fetch_add(outcome.stats.merge_stall_ns, Ordering::Relaxed);
+        self.early_terminations
+            .fetch_add(outcome.stats.early_terminations as u64, Ordering::Relaxed);
+        if self.slow_log.capacity() > 0 {
+            self.slow_log.record(SlowQuery {
+                query: key.terms.join(" "),
+                total_us: elapsed.as_micros() as u64,
+                epoch: snapshot.epoch,
+                unix_ms: unix_millis_now(),
+                spans: spans.clone(),
+            });
+        }
         let result = Arc::new(CachedResult {
             answers: outcome.answers,
             stats: outcome.stats,
             cold_elapsed: elapsed,
             epoch: snapshot.epoch,
             http_fragment: std::sync::OnceLock::new(),
+            spans,
         });
         // Conditional insert under the shard lock: a fresher-epoch entry
         // (cached by a racing reader after a publish we missed, whether
@@ -492,8 +568,18 @@ impl QueryService {
 
     /// Service counters.
     pub fn stats(&self) -> ServiceStats {
+        self.stats_with_snapshot().0
+    }
+
+    /// Service counters plus the snapshot they were read against.
+    ///
+    /// `/stats` derives storage-backend figures from the snapshot; using
+    /// the one this method pinned (instead of a second `banks()` call)
+    /// keeps the whole stats document internally consistent even when a
+    /// publish lands between the two reads.
+    pub fn stats_with_snapshot(&self) -> (ServiceStats, Arc<Banks>) {
         let snapshot = self.current();
-        ServiceStats {
+        let stats = ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             cache: self.cache.stats(),
@@ -521,7 +607,24 @@ impl QueryService {
             shards_spawned: self.shards_spawned.load(Ordering::Relaxed),
             sequential_fallbacks: self.sequential_fallbacks.load(Ordering::Relaxed),
             merge_stall_us: self.merge_stall_ns.load(Ordering::Relaxed) / 1_000,
-        }
+            early_terminations: self.early_terminations.load(Ordering::Relaxed),
+        };
+        (stats, Arc::clone(&snapshot.banks))
+    }
+
+    /// The slow-query log (worst cold queries with span breakdowns).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// Cold (cache-miss) end-to-end latency histogram, nanosecond ticks.
+    pub fn cold_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.cold_latency)
+    }
+
+    /// Cache-hit lookup latency histogram, nanosecond ticks.
+    pub fn hit_latency(&self) -> Arc<Histogram> {
+        Arc::clone(&self.hit_latency)
     }
 
     /// Direct cache access (benchmarks and tests).
@@ -972,5 +1075,60 @@ mod tests {
         // Every distinct query computed at least once, repeats hit.
         assert!(stats.cache.hits >= stats.queries - 4 * 4);
         assert_eq!(stats.cache.entries, 4);
+    }
+
+    #[test]
+    fn cold_queries_record_spans_slow_log_and_latency() {
+        let service = service();
+        let cold = service
+            .search("mohan sudarshan", QueryOptions::default())
+            .unwrap();
+        assert!(!cold.cached);
+        let names: Vec<&str> = cold.result.spans.iter().map(|s| s.name).collect();
+        for phase in ["parse", "match", "expand", "score"] {
+            assert!(names.contains(&phase), "missing {phase} span in {names:?}");
+        }
+        for span in &cold.result.spans {
+            assert!(span.end_ns >= span.start_ns, "span {span:?} runs backwards");
+        }
+        // A hit serves the cold run's spans and records hit latency.
+        let hit = service
+            .search("mohan sudarshan", QueryOptions::default())
+            .unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.result.spans.len(), cold.result.spans.len());
+        assert_eq!(service.cold_latency().snapshot().count(), 1);
+        assert_eq!(service.hit_latency().snapshot().count(), 1);
+        // The slow log retained the cold query under its normalized text.
+        let slow = service.slow_log().snapshot();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].query, "mohan sudarshan");
+        assert!(!slow[0].spans.is_empty());
+        assert!(slow[0].total_us <= cold.result.cold_elapsed.as_micros() as u64);
+    }
+
+    #[test]
+    fn span_recording_can_be_disabled_and_forced_per_query() {
+        let banks = Arc::new(Banks::new(dblp()).unwrap());
+        let service = QueryService::new(
+            banks,
+            ServiceConfig {
+                record_spans: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let untraced = service.search("mohan", QueryOptions::default()).unwrap();
+        assert!(untraced.result.spans.is_empty());
+        // `?trace=1` overrides a service-wide off switch for one query.
+        let traced = service
+            .search(
+                "sudarshan",
+                QueryOptions {
+                    trace: true,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(!traced.result.spans.is_empty());
     }
 }

@@ -1,0 +1,20 @@
+//! Captures `git describe` at compile time so `/health` can report
+//! exactly which build a node is running. Falls back to `"unknown"`
+//! when git or the repository is unavailable (e.g. a source tarball).
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=BANKS_GIT_DESCRIBE={describe}");
+    // Re-run when HEAD moves so the describe string stays fresh.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

@@ -10,12 +10,19 @@
 //!   `banks-server` std-only HTTP endpoint;
 //! * [`fs`] — crash-safe atomic file replacement (temp file + fsync +
 //!   rename), shared by graph snapshots and the `banks-persist`
-//!   durability layer.
+//!   durability layer;
+//! * [`log`] — a leveled stderr logger with RFC 3339 timestamps and
+//!   component tags (`BANKS_LOG` / `--log-level`), replacing the
+//!   scattered `eprintln!` calls in the serving roles;
+//! * [`build`] — compile-time build identity (crate version plus
+//!   `git describe`) surfaced by every role's `/health`.
 
+pub mod build;
 pub mod fs;
 pub mod fxhash;
 pub mod http;
 pub mod json;
+pub mod log;
 
 pub use fs::atomic_write;
 pub use json::{Json, ToJson};
