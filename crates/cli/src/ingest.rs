@@ -18,6 +18,7 @@ use banks_core::Banks;
 use banks_ingest::DeltaBatch;
 use banks_server::{IngestEndpoint, QueryService, ServiceConfig};
 use banks_util::http::{http_request, ClientError};
+use banks_util::retry::{parse_retry_after, Outcome, RetryPolicy};
 use banks_util::{log_info, log_warn};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
@@ -126,49 +127,121 @@ fn url_encode(s: &str) -> String {
     out
 }
 
-/// How many times a connect-refused POST is retried before giving up.
+/// How many POST attempts are made before giving up.
 const POST_ATTEMPTS: u32 = 5;
-/// First retry delay; doubles per attempt, capped at [`POST_MAX_BACKOFF`].
+/// Backoff base for the first retry (scales by 2× with full jitter).
 const POST_BACKOFF: Duration = Duration::from_millis(200);
 /// Backoff ceiling across retries.
 const POST_MAX_BACKOFF: Duration = Duration::from_secs(2);
+/// Longest server `Retry-After` hint the CLI will honor — a hostile or
+/// miscounting server must not stall the tool for minutes.
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(5);
+
+/// How one POST `/ingest` attempt failed, and whether retrying is safe.
+enum PostFault {
+    /// Nothing reached the server (refused, unreachable) — always safe
+    /// to retry.
+    Connect(String),
+    /// The connection was up but the request died mid-flight; the batch
+    /// may already have been applied, so this is terminal.
+    Transport(String),
+    /// The server explicitly refused before doing any work — a 409/503
+    /// carrying `Retry-After` — and told us when to come back.
+    Busy {
+        status: u16,
+        body: String,
+        after: Duration,
+    },
+    /// Any other rejection is terminal.
+    Rejected { status: u16, body: String },
+}
+
+impl PostFault {
+    fn describe(&self, addr: &str) -> String {
+        match self {
+            PostFault::Connect(e) => format!("connect {addr}: {e}"),
+            PostFault::Transport(e) => format!("{addr}: {e}"),
+            PostFault::Busy { status, body, .. } => {
+                format!("server busy ({status}): {body}")
+            }
+            PostFault::Rejected { status, body } => {
+                format!("server rejected the batch ({status}): {body}")
+            }
+        }
+    }
+}
 
 /// POST a batch to a running server's `/ingest`. Returns the response
 /// body on success.
 ///
 /// Ingest is not idempotent — replaying an insert can publish a second
-/// epoch — so only failures where **no byte reached the server**
-/// ([`ClientError::Connect`]: refused, unreachable, reset before write)
-/// are retried, with capped exponential backoff. An error after the
-/// connection was up is reported to the caller instead, since the batch
-/// may already have been applied.
+/// epoch — so retries are limited to failures where the batch provably
+/// was **not** applied: connect errors (no byte reached the server) and
+/// explicit `409`/`503` refusals that carry a `Retry-After` hint (the
+/// server rejected the request before doing any work — overload
+/// shedding, replication lag). The shared [`RetryPolicy`] paces the
+/// retries with capped exponential backoff and full jitter, stretched
+/// to the server's `Retry-After` when it asks for longer. A `409`/`503`
+/// *without* the hint (a read-only follower, a real conflict) and any
+/// error after the connection was up are reported to the caller
+/// immediately.
 pub fn post_to_server(addr: &str, batch: &DeltaBatch, ts: &str) -> Result<String, String> {
     let target = format!("/ingest?ts={}", url_encode(ts));
     let body = batch.to_json().compact();
-    let mut backoff = POST_BACKOFF;
-    let mut attempt = 1;
-    let resp = loop {
-        match http_request(
-            addr,
-            "POST",
-            &target,
-            Some(body.as_bytes()),
-            Duration::from_secs(60),
-        ) {
-            Ok(resp) => break resp,
-            Err(ClientError::Connect(e)) if attempt < POST_ATTEMPTS => {
-                log_warn!(
-                    "ingest",
-                    "connect {addr}: {e} — retrying in {}ms (attempt {attempt}/{POST_ATTEMPTS})",
-                    backoff.as_millis(),
-                );
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(POST_MAX_BACKOFF);
-                attempt += 1;
-            }
-            Err(e) => return Err(format!("{addr}: {e}")),
-        }
+    let policy = RetryPolicy {
+        attempts: POST_ATTEMPTS,
+        base: POST_BACKOFF,
+        cap: POST_MAX_BACKOFF,
+        ..RetryPolicy::default()
     };
+    let outcome = policy.run(
+        None,
+        |_| {
+            let resp = match http_request(
+                addr,
+                "POST",
+                &target,
+                Some(body.as_bytes()),
+                Duration::from_secs(60),
+            ) {
+                Ok(resp) => resp,
+                Err(ClientError::Connect(e)) => return Err(PostFault::Connect(e.to_string())),
+                Err(e) => return Err(PostFault::Transport(e.to_string())),
+            };
+            match resp.status {
+                409 | 503 => match parse_retry_after(resp.header("retry-after")) {
+                    Some(after) => Err(PostFault::Busy {
+                        status: resp.status,
+                        body: resp.text(),
+                        after: after.min(MAX_RETRY_AFTER),
+                    }),
+                    None => Err(PostFault::Rejected {
+                        status: resp.status,
+                        body: resp.text(),
+                    }),
+                },
+                _ => Ok(resp),
+            }
+        },
+        |fault| match fault {
+            PostFault::Connect(_) | PostFault::Busy { .. } => Outcome::Retryable,
+            PostFault::Transport(_) | PostFault::Rejected { .. } => Outcome::Fatal,
+        },
+        |attempt, fault, sleep| {
+            let sleep = match fault {
+                PostFault::Busy { after, .. } => sleep.max(*after),
+                _ => sleep,
+            };
+            log_warn!(
+                "ingest",
+                "{} — retrying in {}ms (attempt {attempt}/{POST_ATTEMPTS})",
+                fault.describe(addr),
+                sleep.as_millis(),
+            );
+            sleep
+        },
+    );
+    let resp = outcome.map_err(|fault| fault.describe(addr))?;
     if resp.status != 200 {
         return Err(format!(
             "server rejected the batch ({}): {}",
@@ -359,6 +432,59 @@ mod tests {
         });
         let out = post_to_server(&addr, &tiny_batch(), "t0").unwrap();
         assert_eq!(out, "epoch 1 published");
+    }
+
+    /// Serve a fixed sequence of canned responses, one per connection.
+    /// `retry_after` adds a `Retry-After` header to that response.
+    fn answer_sequence(
+        listener: std::net::TcpListener,
+        responses: Vec<(&'static str, &'static str, Option<&'static str>)>,
+    ) {
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            for (status, body, retry_after) in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let _ = stream.read(&mut buf);
+                let extra = retry_after
+                    .map(|v| format!("Retry-After: {v}\r\n"))
+                    .unwrap_or_default();
+                let _ = write!(
+                    stream,
+                    "HTTP/1.1 {status}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn post_honors_retry_after_on_503_then_succeeds() {
+        // A 503 *with* Retry-After means "rejected before any work, come
+        // back" — the client must retry and then succeed.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        answer_sequence(
+            listener,
+            vec![
+                ("503 Service Unavailable", "shedding", Some("0")),
+                ("200 OK", "epoch 2 published", None),
+            ],
+        );
+        let out = post_to_server(&addr, &tiny_batch(), "t0").unwrap();
+        assert_eq!(out, "epoch 2 published");
+    }
+
+    #[test]
+    fn post_treats_409_without_retry_after_as_fatal() {
+        // A 409 with no Retry-After is a real conflict, not backpressure:
+        // one canned response — a retry would hang on accept.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        answer_sequence(listener, vec![("409 Conflict", "stale epoch", None)]);
+        let err = post_to_server(&addr, &tiny_batch(), "t0").unwrap_err();
+        assert!(err.contains("409"), "{err}");
+        assert!(err.contains("stale epoch"), "{err}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use banks_server::{BanksServer, IngestEndpoint, QueryService, ServerConfig, Serv
 use banks_util::{log_info, log_warn};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed `serve` arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +77,24 @@ pub struct ServeArgs {
     /// Follower mode: tail this leader (`banks-replica`); requires
     /// `--data-dir`.
     pub follow: Option<String>,
+    /// Deadline budget for requests without `X-Banks-Deadline-Ms`
+    /// (`--default-deadline-ms`); `None` leaves unannotated requests
+    /// unbounded.
+    pub default_deadline_ms: Option<u64>,
+    /// Cap on client-supplied deadline budgets (`--max-deadline-ms`).
+    pub max_deadline_ms: u64,
+    /// Hard cap on a `POST /ingest` body (`--max-body-bytes`; accepts
+    /// `k`/`m`/`g` suffixes).
+    pub max_body_bytes: u64,
+    /// Per-client token-bucket rate limit in requests/second
+    /// (`--rate-limit-rps`); `None` disables limiting.
+    pub rate_limit_rps: Option<f64>,
+    /// Queue-wait bound before a connection is shed with 503
+    /// (`--shed-after-ms`).
+    pub shed_after_ms: u64,
+    /// Budget for reading the request line + headers
+    /// (`--header-read-timeout-ms`); cuts off slowloris clients.
+    pub header_read_timeout_ms: u64,
     /// Log verbosity override (`error|warn|info|debug`); defaults to
     /// the `BANKS_LOG` environment variable, then `info`.
     pub log_level: Option<banks_util::log::Level>,
@@ -98,9 +117,21 @@ impl Default for ServeArgs {
             memory_budget: 256 * 1024 * 1024,
             no_ingest: false,
             follow: None,
+            default_deadline_ms: server_defaults().default_deadline_ms,
+            max_deadline_ms: server_defaults().max_deadline_ms,
+            max_body_bytes: server_defaults().max_body_bytes,
+            rate_limit_rps: server_defaults().rate_limit_rps,
+            shed_after_ms: server_defaults().shed_after.as_millis() as u64,
+            header_read_timeout_ms: server_defaults().header_read_timeout.as_millis() as u64,
             log_level: None,
         }
     }
+}
+
+/// The server crate's own defaults — the CLI mirrors them instead of
+/// restating the numbers, so the two can never drift apart.
+fn server_defaults() -> ServerConfig {
+    ServerConfig::default()
 }
 
 impl ServeArgs {
@@ -155,6 +186,41 @@ impl ServeArgs {
                 }
                 "--no-ingest" => parsed.no_ingest = true,
                 "--follow" => parsed.follow = Some(value("--follow")?),
+                "--default-deadline-ms" => {
+                    parsed.default_deadline_ms = Some(
+                        value("--default-deadline-ms")?
+                            .parse()
+                            .map_err(|_| "--default-deadline-ms must be an integer".to_string())?,
+                    )
+                }
+                "--max-deadline-ms" => {
+                    parsed.max_deadline_ms = value("--max-deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--max-deadline-ms must be an integer".to_string())?
+                }
+                "--max-body-bytes" => {
+                    parsed.max_body_bytes = parse_byte_size(&value("--max-body-bytes")?)?
+                }
+                "--rate-limit-rps" => {
+                    let raw = value("--rate-limit-rps")?;
+                    let rps: f64 = raw
+                        .parse()
+                        .map_err(|_| "--rate-limit-rps must be a number".to_string())?;
+                    if !rps.is_finite() || rps <= 0.0 {
+                        return Err("--rate-limit-rps must be positive".to_string());
+                    }
+                    parsed.rate_limit_rps = Some(rps);
+                }
+                "--shed-after-ms" => {
+                    parsed.shed_after_ms = value("--shed-after-ms")?
+                        .parse()
+                        .map_err(|_| "--shed-after-ms must be an integer".to_string())?
+                }
+                "--header-read-timeout-ms" => {
+                    parsed.header_read_timeout_ms = value("--header-read-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--header-read-timeout-ms must be an integer".to_string())?
+                }
                 "--log-level" => {
                     let raw = value("--log-level")?;
                     parsed.log_level =
@@ -311,6 +377,22 @@ fn resolve_search_threads(args: &ServeArgs) -> usize {
     (cores / workers.max(1)).max(1)
 }
 
+/// Assemble the server's config from the parsed flags.
+fn server_config(args: &ServeArgs, workers: usize, leader_hint: Option<String>) -> ServerConfig {
+    ServerConfig {
+        addr: args.addr.clone(),
+        workers,
+        leader_hint,
+        max_body_bytes: args.max_body_bytes,
+        default_deadline_ms: args.default_deadline_ms,
+        max_deadline_ms: args.max_deadline_ms,
+        shed_after: Duration::from_millis(args.shed_after_ms),
+        rate_limit_rps: args.rate_limit_rps,
+        header_read_timeout: Duration::from_millis(args.header_read_timeout_ms),
+        ..ServerConfig::default()
+    }
+}
+
 fn summary_line(args: &ServeArgs, banks: &Banks, source: &str) -> String {
     let backend = if args.paged {
         format!(
@@ -375,11 +457,7 @@ pub fn start(
         Arc::clone(&service),
         ingest,
         store,
-        ServerConfig {
-            addr: args.addr.clone(),
-            workers,
-            ..ServerConfig::default()
-        },
+        server_config(args, workers, None),
     )
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
     log_info!("serve", "{summary}");
@@ -467,12 +545,7 @@ fn start_follower(
         None,
         Some(replica.store()),
         registry,
-        ServerConfig {
-            addr: args.addr.clone(),
-            workers,
-            leader_hint: Some(leader.clone()),
-            ..ServerConfig::default()
-        },
+        server_config(args, workers, Some(leader.clone())),
     )
     .map_err(|e| format!("bind {}: {e}", args.addr))?;
     let downloaded = replica.stats().snapshots_downloaded > 0;
@@ -583,6 +656,50 @@ mod tests {
                 .as_deref(),
             Some("127.0.0.1:7331")
         );
+    }
+
+    #[test]
+    fn parse_overload_control_flags() {
+        let args = ServeArgs::parse(&strings(&[
+            "--default-deadline-ms",
+            "250",
+            "--max-deadline-ms",
+            "2000",
+            "--max-body-bytes",
+            "1m",
+            "--rate-limit-rps",
+            "50",
+            "--shed-after-ms",
+            "100",
+            "--header-read-timeout-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(args.default_deadline_ms, Some(250));
+        assert_eq!(args.max_deadline_ms, 2000);
+        assert_eq!(args.max_body_bytes, 1 << 20);
+        assert_eq!(args.rate_limit_rps, Some(50.0));
+        assert_eq!(args.shed_after_ms, 100);
+        assert_eq!(args.header_read_timeout_ms, 500);
+        let config = server_config(&args, 2, None);
+        assert_eq!(config.default_deadline_ms, Some(250));
+        assert_eq!(config.max_deadline_ms, 2000);
+        assert_eq!(config.max_body_bytes, 1 << 20);
+        assert_eq!(config.rate_limit_rps, Some(50.0));
+        assert_eq!(config.shed_after, Duration::from_millis(100));
+        assert_eq!(config.header_read_timeout, Duration::from_millis(500));
+        // Defaults mirror the server crate's own.
+        let defaults = ServeArgs::default();
+        assert_eq!(
+            defaults.max_body_bytes,
+            ServerConfig::default().max_body_bytes
+        );
+        assert_eq!(defaults.rate_limit_rps, None);
+        // Bad values are refused with a flag-specific message.
+        assert!(ServeArgs::parse(&strings(&["--rate-limit-rps", "0"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--rate-limit-rps", "x"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--default-deadline-ms", "x"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--max-body-bytes", "lots"])).is_err());
     }
 
     #[test]

@@ -239,6 +239,13 @@ fn sequential_backward_search(
     let mut early_stop = EarlyStop::new(config, scorer, max_handicap, keyword_sets);
 
     while sink.want_more() {
+        // Cooperative cancellation: an expired request stops burning
+        // CPU and returns whatever prefix it has produced (the serving
+        // layer flags the result as partial and never caches it).
+        if arena.deadline.expired() {
+            sink.stats.deadline_expirations += 1;
+            break;
+        }
         let Some(&frontier) = iter_heap.peek() else {
             break;
         };

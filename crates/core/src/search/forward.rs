@@ -160,6 +160,11 @@ pub fn forward_search_in(
     let mut backward_path: Vec<(NodeId, NodeId, f64)> = Vec::new();
 
     while emitted.len() < config.max_results && stats.pops < config.max_pops {
+        // Cooperative cancellation, same contract as the backward loop.
+        if arena.deadline.expired() {
+            stats.deadline_expirations += 1;
+            break;
+        }
         let Some(&frontier) = iter_heap.peek() else {
             break;
         };

@@ -72,6 +72,10 @@ pub struct SearchStats {
     /// Bytes pinned by the caller's [`SearchArena`] pools after this
     /// query (post shrink-policy). Excluded from equality.
     pub arena_retained_bytes: usize,
+    /// 1 when the expansion was cut short by the caller's deadline
+    /// token and the answers are a (possibly empty) prefix of the full
+    /// result. Timing-dependent, so excluded from equality.
+    pub deadline_expirations: usize,
 }
 
 impl PartialEq for SearchStats {

@@ -456,6 +456,12 @@ pub(super) fn parallel_backward_search(
 
         // ---- the deterministic merge stage (caller thread) ----
         'merge: while sink.want_more() {
+            // Cooperative cancellation: breaking here reaches the
+            // `stop` store below, which halts every shard thread.
+            if arena.deadline.expired() {
+                sink.stats.deadline_expirations += 1;
+                break 'merge;
+            }
             // Select the globally smallest candidate: a queue head, or
             // an empty live shard's frontier bound. Identical total
             // order to the sequential iterator heap: (dist, idx), with

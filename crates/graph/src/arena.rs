@@ -458,6 +458,59 @@ impl MergeScratch {
     }
 }
 
+/// Cooperative cancellation for one in-flight search.
+///
+/// The serving layer arms the token with the request's absolute
+/// deadline before dispatching a search; the expansion loops poll
+/// [`DeadlineToken::expired`] once per pop. A poll reads the monotonic
+/// clock only every [`DeadlineToken::POLL_INTERVAL`] calls, so the hot
+/// loop pays one decrement-and-branch per pop. Unarmed (the default),
+/// every poll is `false` — searches outside a server never expire.
+#[derive(Debug, Default)]
+pub struct DeadlineToken {
+    deadline: Option<std::time::Instant>,
+    expired: bool,
+    countdown: u32,
+}
+
+impl DeadlineToken {
+    /// Polls between clock reads. At BANKS pop rates (millions/s) this
+    /// bounds deadline overshoot to well under a millisecond.
+    pub const POLL_INTERVAL: u32 = 256;
+
+    /// Arm with an absolute deadline (`None` disarms). Resets the
+    /// sticky expired flag; the first poll after arming reads the
+    /// clock, so an already-lapsed deadline is caught immediately.
+    pub fn arm(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+        self.expired = false;
+        self.countdown = 0;
+    }
+
+    /// Disarm the token (between queries on a pooled arena).
+    pub fn clear(&mut self) {
+        self.arm(None);
+    }
+
+    /// Has the armed deadline passed? Sticky once `true` until re-armed.
+    #[inline]
+    pub fn expired(&mut self) -> bool {
+        if self.expired {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return false;
+        }
+        self.countdown = Self::POLL_INTERVAL;
+        self.expired = std::time::Instant::now() >= deadline;
+        self.expired
+    }
+}
+
 /// Pooled scratch memory for one search worker.
 ///
 /// Owns idle [`DijkstraState`] blocks plus the kernel's origin-list and
@@ -491,6 +544,8 @@ pub struct SearchArena {
     shards: Vec<ShardArena>,
     /// Merge-stage path maps for the parallel executor.
     pub merge: MergeScratch,
+    /// Cooperative-cancellation token polled by the expansion loops.
+    pub deadline: DeadlineToken,
     states_created: u64,
     states_reused: u64,
 }

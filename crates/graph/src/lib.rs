@@ -54,7 +54,8 @@ pub mod snapshot;
 pub mod store;
 
 pub use arena::{
-    CrossScratch, DijkstraState, MergeScratch, OriginListPool, SearchArena, ShardArena, NIL,
+    CrossScratch, DeadlineToken, DijkstraState, MergeScratch, OriginListPool, SearchArena,
+    ShardArena, NIL,
 };
 pub use dijkstra::{Dijkstra, Direction, Visit};
 pub use fxhash::{FxHashMap, FxHashSet};

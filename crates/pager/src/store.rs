@@ -353,6 +353,8 @@ impl PagedGraphStore {
         // faults, which also guarantees each segment is decoded once.
         let meta = &self.metas[key as usize];
         let start = Instant::now();
+        banks_util::fault::maybe_fault("pager.page_in")
+            .unwrap_or_else(|e| panic!("paged graph read failed: {e}"));
         let mut payload = vec![0u8; meta.len as usize];
         meta.src
             .read_at(meta.offset, &mut payload)

@@ -394,6 +394,7 @@ fn section_slice<'a>(bytes: &'a [u8], entry: &SectionEntry) -> &'a [u8] {
 }
 
 fn verify_section<'a>(bytes: &'a [u8], entry: &SectionEntry) -> PersistResult<&'a [u8]> {
+    banks_util::fault::maybe_fault("bundle.section.read")?;
     let payload = section_slice(bytes, entry);
     if stream_checksum(payload) != entry.checksum {
         return Err(PersistError::BadChecksum);
@@ -648,6 +649,7 @@ pub fn open_bundle_paged(
     let dir = parse_directory_v2(&header, file_len)?;
 
     let read_section = |entry: &SectionEntry| -> PersistResult<Vec<u8>> {
+        banks_util::fault::maybe_fault("bundle.section.read")?;
         let mut buf = vec![0u8; entry.len as usize];
         file.read_exact_at(&mut buf, entry.offset)?;
         if stream_checksum(&buf) != entry.checksum {

@@ -250,9 +250,20 @@ impl WalWriter {
         let frame = encode_frame(epoch, batch);
         let mut fsync_elapsed = None;
         let result = (|| -> PersistResult<()> {
+            if let Some(cut) = banks_util::fault::torn_write("wal.append.write", frame.len())? {
+                // Simulated crash mid-write: a prefix of the frame hits
+                // the file, then the append fails. The rollback below
+                // (or, post-crash, the recovery scan) must erase it.
+                self.file.write_all(&frame[..cut])?;
+                self.file.flush()?;
+                return Err(
+                    std::io::Error::other("injected fault: wal.append.write (torn)").into(),
+                );
+            }
             self.file.write_all(&frame)?;
             self.file.flush()?;
             if self.fsync {
+                banks_util::fault::maybe_fault("wal.append.fsync")?;
                 let t0 = std::time::Instant::now();
                 self.file.sync_data()?;
                 fsync_elapsed = Some(t0.elapsed());

@@ -48,6 +48,7 @@ use banks_persist::{
 };
 use banks_server::{QueryService, ServiceConfig};
 use banks_util::http::{http_request, http_request_to_writer, ClientError, HttpResponse};
+use banks_util::retry::{Outcome, RetryPolicy};
 use std::io::BufWriter;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -138,6 +139,9 @@ pub struct ReplicaStats {
     pub rebootstraps: u64,
     /// Failed leader requests (connect, timeout, non-200 statuses).
     pub leader_errors: u64,
+    /// Backoff windows slept under the shared retry policy (bootstrap
+    /// retries + tail-loop error naps).
+    pub retries: u64,
     /// The follower's current serving epoch.
     pub epoch: u64,
     /// The leader's durable epoch as last observed, if ever.
@@ -155,6 +159,7 @@ struct Shared {
     frame_bytes: AtomicU64,
     rebootstraps: AtomicU64,
     leader_errors: AtomicU64,
+    retries: AtomicU64,
     last_error: Mutex<Option<String>>,
 }
 
@@ -263,6 +268,7 @@ impl Replica {
             frame_bytes: self.shared.frame_bytes.load(Ordering::Relaxed),
             rebootstraps: self.shared.rebootstraps.load(Ordering::Relaxed),
             leader_errors: self.shared.leader_errors.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
             epoch: self.service.epoch(),
             leader_epoch: self.service.leader_epoch(),
             last_error: self
@@ -346,6 +352,12 @@ fn replica_families(
             "Failed leader requests (connect, timeout, non-200).",
             c,
             shared.leader_errors.load(Ordering::Relaxed) as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_retries_total",
+            "Backoff windows slept under the shared retry policy.",
+            c,
+            shared.retries.load(Ordering::Relaxed) as f64,
         ),
         CollectedFamily::scalar(
             "banks_replica_epoch",
@@ -447,30 +459,49 @@ fn install_bundle(
     Ok(Arc::new(banks))
 }
 
+/// The shared capped-exponential policy the replica retries under:
+/// base and attempt count come from the config, the cap from
+/// [`MAX_BACKOFF`], and full jitter spreads a herd of followers
+/// recovering from the same leader outage.
+fn retry_policy(config: &ReplicaConfig) -> RetryPolicy {
+    RetryPolicy {
+        attempts: config.bootstrap_attempts.max(1),
+        base: config.retry_backoff,
+        cap: MAX_BACKOFF,
+        ..RetryPolicy::default()
+    }
+}
+
 fn fetch_bundle_with_retry(
     config: &ReplicaConfig,
     shared: &Shared,
 ) -> Result<(PathBuf, u64), ReplicaError> {
-    let mut backoff = config.retry_backoff;
-    let mut last = String::new();
-    for _ in 0..config.bootstrap_attempts.max(1) {
-        match fetch_bundle(config) {
-            Ok(downloaded) => return Ok(downloaded),
-            Err(e) => {
-                shared.note_error(e.clone());
-                last = e;
-                shared.pause(backoff);
-                backoff = (backoff * 2).min(MAX_BACKOFF);
-            }
-        }
-        if shared.is_shutdown() {
-            break;
-        }
-    }
-    Err(ReplicaError::Leader(format!(
-        "bootstrap gave up after {} attempt(s): {last}",
-        config.bootstrap_attempts.max(1)
-    )))
+    retry_policy(config)
+        .run(
+            None,
+            |_| fetch_bundle(config).inspect_err(|e| shared.note_error(e.clone())),
+            |_| {
+                if shared.is_shutdown() {
+                    Outcome::Fatal
+                } else {
+                    Outcome::Retryable
+                }
+            },
+            |_, _, sleep| {
+                // Sleep through the shutdown-aware pause, not the
+                // policy's own thread::sleep, so `shutdown()` never
+                // waits out a backoff window.
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                shared.pause(sleep);
+                Duration::ZERO
+            },
+        )
+        .map_err(|last| {
+            ReplicaError::Leader(format!(
+                "bootstrap gave up after {} attempt(s): {last}",
+                config.bootstrap_attempts.max(1)
+            ))
+        })
 }
 
 /// Mirror the leader's durable epoch off a `/replication/*` response.
@@ -565,8 +596,42 @@ fn rebootstrap(
     Ok(())
 }
 
-/// The follower's main loop: long-poll, apply, repeat — with doubling
-/// backoff on errors and a full re-bootstrap on `410 Gone`.
+/// Consecutive-error backoff for the tail loop, drawing jittered
+/// windows from the same shared [`RetryPolicy`] as bootstrap. Unlike
+/// [`RetryPolicy::run`] this never gives up — a follower tails forever —
+/// it only widens the window while the errors keep coming.
+struct TailBackoff {
+    policy: RetryPolicy,
+    rng: u64,
+    streak: u32,
+}
+
+impl TailBackoff {
+    fn new(policy: RetryPolicy) -> TailBackoff {
+        let rng = policy.seed | 1;
+        TailBackoff {
+            policy,
+            rng,
+            streak: 0,
+        }
+    }
+
+    /// Sleep out the next jittered window (shutdown-aware) and widen it.
+    fn nap(&mut self, shared: &Shared) {
+        shared.retries.fetch_add(1, Ordering::Relaxed);
+        let sleep = self.policy.backoff(self.streak, &mut self.rng);
+        self.streak = self.streak.saturating_add(1);
+        shared.pause(sleep);
+    }
+
+    /// A healthy poll: the next error starts back at the base window.
+    fn reset(&mut self) {
+        self.streak = 0;
+    }
+}
+
+/// The follower's main loop: long-poll, apply, repeat — with jittered
+/// doubling backoff on errors and a full re-bootstrap on `410 Gone`.
 fn tail_loop(
     config: &ReplicaConfig,
     base: &BanksConfig,
@@ -576,7 +641,7 @@ fn tail_loop(
     shared: &Shared,
 ) {
     let timeout = Duration::from_millis(config.poll_wait_ms) + config.request_slack;
-    let mut backoff = config.retry_backoff;
+    let mut backoff = TailBackoff::new(retry_policy(config));
     while !shared.is_shutdown() {
         let target = format!(
             "/replication/wal?from_epoch={}&wait_ms={}",
@@ -587,21 +652,19 @@ fn tail_loop(
             Ok(resp) => resp,
             Err(ClientError::Connect(e)) => {
                 shared.note_error(format!("connect {}: {e}", config.leader));
-                shared.pause(backoff);
-                backoff = (backoff * 2).min(MAX_BACKOFF);
+                backoff.nap(shared);
                 continue;
             }
             Err(e) => {
                 shared.note_error(format!("GET {target}: {e}"));
-                shared.pause(backoff);
-                backoff = (backoff * 2).min(MAX_BACKOFF);
+                backoff.nap(shared);
                 continue;
             }
         };
         note_leader_epoch(service, &resp);
         match resp.status {
             200 => {
-                backoff = config.retry_backoff;
+                backoff.reset();
                 if resp.body.is_empty() {
                     continue; // idle poll window expired — go right back
                 }
@@ -609,8 +672,7 @@ fn tail_loop(
                     Ok(()) => {}
                     Err(TailFault::Retry(msg)) => {
                         shared.note_error(msg);
-                        shared.pause(backoff);
-                        backoff = (backoff * 2).min(MAX_BACKOFF);
+                        backoff.nap(shared);
                     }
                     Err(TailFault::Diverged(msg)) => {
                         shared.note_error(msg);
@@ -618,8 +680,7 @@ fn tail_loop(
                             rebootstrap(config, base, store, service, &mut publisher, shared)
                         {
                             shared.note_error(e);
-                            shared.pause(backoff);
-                            backoff = (backoff * 2).min(MAX_BACKOFF);
+                            backoff.nap(shared);
                         }
                     }
                 }
@@ -629,16 +690,14 @@ fn tail_loop(
                 // no longer exists anywhere.
                 if let Err(e) = rebootstrap(config, base, store, service, &mut publisher, shared) {
                     shared.note_error(e);
-                    shared.pause(backoff);
-                    backoff = (backoff * 2).min(MAX_BACKOFF);
+                    backoff.nap(shared);
                 } else {
-                    backoff = config.retry_backoff;
+                    backoff.reset();
                 }
             }
             status => {
                 shared.note_error(format!("GET {target}: leader answered {status}"));
-                shared.pause(backoff);
-                backoff = (backoff * 2).min(MAX_BACKOFF);
+                backoff.nap(shared);
             }
         }
     }

@@ -5,12 +5,14 @@
 //! followers (`banks-replica`), and this broker in front deciding who
 //! answers what.
 //!
-//! * **Health-checked registry** — a prober thread hits every backend's
-//!   `/health` (which carries its serving epoch) on a fixed cadence.
-//!   Consecutive failures eject a backend from rotation; an ejected
-//!   backend is re-probed with doubling backoff and re-admitted on the
-//!   first success. An in-request connection failure ejects
-//!   immediately — the next client never retries a corpse.
+//! * **Circuit-broken registry** — each backend carries a three-state
+//!   breaker. **Closed**: in rotation, probed on a fixed cadence;
+//!   `eject_after` consecutive failures (or one in-request connect
+//!   failure) trip it. **Open**: out of rotation, no traffic at all,
+//!   for a doubling backoff window. **Half-open**: the window lapsed;
+//!   exactly one trial probe is allowed — success re-closes the breaker
+//!   (re-admission), failure re-opens it with a longer window. Clients
+//!   never pay to discover a dead backend twice.
 //! * **Cache-affinity routing** — `/search` traffic is spread over
 //!   followers by **rendezvous (highest-random-weight) hashing** of the
 //!   PR-1 normalized query key ([`banks_server::QueryKey`]): `mohan
@@ -40,8 +42,9 @@
 use banks_server::{QueryKey, QueryOptions};
 use banks_telemetry::{CollectedFamily, Kind, Registry, Sample};
 use banks_util::fxhash::FxHasher;
-use banks_util::http::{http_request, parse_query_string, query_param, HttpResponse};
+use banks_util::http::{http_request, parse_query_string, query_param, ClientError, HttpResponse};
 use banks_util::json::Json;
+use banks_util::retry::Outcome;
 use std::hash::Hasher;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -73,10 +76,16 @@ pub struct RouterConfig {
     /// Per-forwarded-request timeout (must exceed the backends'
     /// `min_epoch` wait ceiling for pass-through waits to work).
     pub request_timeout: Duration,
-    /// Consecutive probe failures before a backend leaves rotation.
+    /// Consecutive probe failures before a backend's breaker opens.
     pub eject_after: u32,
-    /// Ceiling for the doubling re-probe backoff of an ejected backend.
+    /// Ceiling for the doubling open-window of a tripped breaker.
     pub max_probe_backoff: Duration,
+    /// Retry policy for forwarded requests that failed before any byte
+    /// reached the backend (connect errors — idempotent-safe).
+    pub retry: banks_util::retry::RetryPolicy,
+    /// Retry tokens shared across all forwarded requests; a dead
+    /// backend drains it and later calls fail fast (storm protection).
+    pub retry_budget_tokens: u64,
     /// Max epochs a follower may lag behind the newest known epoch and
     /// still serve reads.
     pub staleness_bound: u64,
@@ -96,6 +105,50 @@ impl Default for RouterConfig {
             eject_after: 2,
             max_probe_backoff: Duration::from_secs(5),
             staleness_bound: 8,
+            retry: banks_util::retry::RetryPolicy {
+                attempts: 3,
+                base: Duration::from_millis(50),
+                cap: Duration::from_millis(500),
+                ..banks_util::retry::RetryPolicy::default()
+            },
+            retry_budget_tokens: 64,
+        }
+    }
+}
+
+/// Breaker position of one backend.
+///
+/// `Closed` is the only state that serves client traffic. `Open` means
+/// the breaker tripped and the backend is resting out its backoff
+/// window. `HalfOpen` means the window lapsed and the prober owes it
+/// one trial probe; the outcome snaps the breaker shut or re-opens it
+/// with a doubled window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// In rotation; failures are being counted against `eject_after`.
+    Closed,
+    /// Tripped; no traffic until the backoff window lapses.
+    Open,
+    /// Probation: one trial probe decides closed vs re-opened.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for `/stats` and the `banks_breaker_state` gauge.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Gauge encoding: 0 closed, 1 half-open, 2 open (higher = worse).
+    pub fn gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
         }
     }
 }
@@ -107,8 +160,10 @@ pub struct BackendSnapshot {
     pub url: String,
     /// `"leader"` or `"follower"`.
     pub role: &'static str,
-    /// In rotation?
+    /// In rotation? (breaker closed)
     pub healthy: bool,
+    /// Breaker position.
+    pub breaker: BreakerState,
     /// Serving epoch at the last successful probe.
     pub epoch: u64,
     /// Requests forwarded here.
@@ -138,6 +193,10 @@ pub struct RouterStats {
     pub unavailable: u64,
     /// Health probes sent.
     pub probes: u64,
+    /// Forwarding retries performed under the shared retry policy.
+    pub retries: u64,
+    /// Whole retry tokens left in the shared budget.
+    pub retry_tokens: u64,
     /// Registry snapshot (leader first).
     pub backends: Vec<BackendSnapshot>,
 }
@@ -145,9 +204,12 @@ pub struct RouterStats {
 struct Backend {
     url: String,
     is_leader: bool,
-    healthy: bool,
+    breaker: BreakerState,
     consecutive_failures: u32,
-    probe_backoff: Duration,
+    /// Open-window length; doubles on every re-open up to the ceiling.
+    open_backoff: Duration,
+    /// Closed: next cadence probe. Open: when the window lapses and the
+    /// breaker may go half-open. HalfOpen: probe due immediately.
     next_probe: Instant,
     epoch: u64,
     forwarded: u64,
@@ -161,9 +223,9 @@ impl Backend {
         Backend {
             url,
             is_leader,
-            healthy: true,
+            breaker: BreakerState::Closed,
             consecutive_failures: 0,
-            probe_backoff: Duration::ZERO,
+            open_backoff: Duration::ZERO,
             next_probe: now, // probe immediately on startup
             epoch: 0,
             forwarded: 0,
@@ -173,11 +235,16 @@ impl Backend {
         }
     }
 
+    fn healthy(&self) -> bool {
+        self.breaker == BreakerState::Closed
+    }
+
     fn snapshot(&self) -> BackendSnapshot {
         BackendSnapshot {
             url: self.url.clone(),
             role: if self.is_leader { "leader" } else { "follower" },
-            healthy: self.healthy,
+            healthy: self.healthy(),
+            breaker: self.breaker,
             epoch: self.epoch,
             forwarded: self.forwarded,
             ejections: self.ejections,
@@ -195,6 +262,7 @@ struct Counters {
     leader_fallbacks: AtomicU64,
     unavailable: AtomicU64,
     probes: AtomicU64,
+    retries: AtomicU64,
 }
 
 struct Shared {
@@ -204,6 +272,7 @@ struct Shared {
     shutdown: AtomicBool,
     registry: Registry,
     started: Instant,
+    retry_budget: banks_util::retry::RetryBudget,
 }
 
 impl Shared {
@@ -214,9 +283,10 @@ impl Shared {
         }
     }
 
-    /// A probe (or in-request attempt) failed. Healthy backends get
-    /// `eject_after` strikes; an already-ejected one doubles its
-    /// re-probe backoff.
+    /// A probe (or in-request attempt) failed. A closed breaker takes
+    /// `eject_after` strikes (one, for an in-request connect failure)
+    /// before tripping open; a half-open breaker re-opens immediately
+    /// with its backoff window doubled — probation admits no strikes.
     fn note_failure(&self, url: &str, immediate: bool) {
         let (interval, max_backoff, eject_after) = (
             self.config.probe_interval,
@@ -225,32 +295,60 @@ impl Shared {
         );
         self.with_backend(url, |b| {
             b.consecutive_failures = b.consecutive_failures.saturating_add(1);
-            if b.healthy && (immediate || b.consecutive_failures >= eject_after) {
-                b.healthy = false;
-                b.ejections += 1;
-                b.probe_backoff = interval;
-            } else if !b.healthy {
-                b.probe_backoff = (b.probe_backoff * 2).min(max_backoff).max(interval);
+            match b.breaker {
+                BreakerState::Closed => {
+                    if immediate || b.consecutive_failures >= eject_after {
+                        b.breaker = BreakerState::Open;
+                        b.ejections += 1;
+                        b.open_backoff = interval;
+                    }
+                }
+                BreakerState::HalfOpen | BreakerState::Open => {
+                    b.breaker = BreakerState::Open;
+                    b.open_backoff = (b.open_backoff * 2).min(max_backoff).max(interval);
+                }
             }
-            b.next_probe = Instant::now() + if b.healthy { interval } else { b.probe_backoff };
+            b.next_probe = Instant::now()
+                + match b.breaker {
+                    BreakerState::Closed => interval,
+                    _ => b.open_backoff,
+                };
         });
     }
 
-    /// A probe succeeded at `epoch` after `latency`: reset strikes,
-    /// re-admit if ejected, record the round trip.
+    /// A probe succeeded at `epoch` after `latency`: snap the breaker
+    /// shut (re-admission when it was open/half-open), reset strikes,
+    /// record the round trip.
     fn note_success(&self, url: &str, epoch: u64, latency: Duration) {
         let interval = self.config.probe_interval;
         self.with_backend(url, |b| {
-            if !b.healthy {
+            if b.breaker != BreakerState::Closed {
                 b.readmissions += 1;
             }
-            b.healthy = true;
+            b.breaker = BreakerState::Closed;
             b.consecutive_failures = 0;
-            b.probe_backoff = Duration::ZERO;
+            b.open_backoff = Duration::ZERO;
             b.epoch = epoch.max(b.epoch);
             b.last_probe_us = latency.as_micros() as u64;
             b.next_probe = Instant::now() + interval;
         });
+    }
+
+    /// Breakers whose open window has lapsed move to half-open; the
+    /// returned URLs owe a trial probe *now*. Runs under the same lock
+    /// as the due-probe scan, so a window cannot lapse twice.
+    fn take_due_probes(&self, now: Instant) -> Vec<String> {
+        let mut backends = self.backends.lock().expect("registry lock");
+        backends
+            .iter_mut()
+            .filter(|b| b.next_probe <= now)
+            .map(|b| {
+                if b.breaker == BreakerState::Open {
+                    b.breaker = BreakerState::HalfOpen;
+                }
+                b.url.clone()
+            })
+            .collect()
     }
 
     fn note_forward(&self, url: &str) {
@@ -270,7 +368,7 @@ impl Shared {
             .iter()
             .filter(|b| {
                 !b.is_leader
-                    && b.healthy
+                    && b.healthy()
                     && newest.saturating_sub(b.epoch) <= self.config.staleness_bound
             })
             .map(|b| (rendezvous_score(&b.url, affinity), b.url.as_str()))
@@ -294,6 +392,8 @@ impl Shared {
             leader_fallbacks: self.counters.leader_fallbacks.load(Ordering::Relaxed),
             unavailable: self.counters.unavailable.load(Ordering::Relaxed),
             probes: self.counters.probes.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            retry_tokens: self.retry_budget.available(),
             backends: backends.iter().map(Backend::snapshot).collect(),
         }
     }
@@ -364,6 +464,7 @@ impl Router {
             backends: Mutex::new(backends),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            retry_budget: banks_util::retry::RetryBudget::new(config.retry_budget_tokens),
             config,
             registry: Registry::new(),
             started: now,
@@ -489,18 +590,12 @@ impl Drop for Router {
     }
 }
 
-/// Probe every due backend, apply results, nap, repeat.
+/// Probe every due backend, apply results, nap, repeat. An open
+/// breaker whose window lapsed flips to half-open here and gets its
+/// trial probe in the same pass.
 fn prober_loop(shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
-        let now = Instant::now();
-        let due: Vec<String> = {
-            let backends = shared.backends.lock().expect("registry lock");
-            backends
-                .iter()
-                .filter(|b| b.next_probe <= now)
-                .map(|b| b.url.clone())
-                .collect()
-        };
+        let due = shared.take_due_probes(Instant::now());
         for url in due {
             shared.counters.probes.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
@@ -683,6 +778,32 @@ fn route(shared: &Shared, method: &str, target: &str, body: &[u8]) -> Reply {
     }
 }
 
+/// One forwarded request under the shared retry policy: only connect
+/// failures — where no byte reached the backend, so nothing can
+/// double-apply — are retried, with full-jitter backoff and the
+/// router-wide retry budget. Everything else surfaces to the caller's
+/// failover logic.
+fn forward_with_retry(
+    shared: &Shared,
+    url: &str,
+    method: &str,
+    target: &str,
+    body: Option<&[u8]>,
+) -> Result<HttpResponse, ClientError> {
+    shared.config.retry.run(
+        Some(&shared.retry_budget),
+        |_| http_request(url, method, target, body, shared.config.request_timeout),
+        |e| match e {
+            ClientError::Connect(_) => Outcome::Retryable,
+            _ => Outcome::Fatal,
+        },
+        |_, _, sleep| {
+            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+            sleep
+        },
+    )
+}
+
 /// Reads: walk the rendezvous plan, failing over past dead or lagging
 /// backends; the leader is always the last resort.
 fn forward_read(shared: &Shared, target: &str, affinity: u64) -> Reply {
@@ -696,7 +817,7 @@ fn forward_read(shared: &Shared, target: &str, affinity: u64) -> Reply {
     let total = plan.len();
     for (i, url) in plan.iter().enumerate() {
         let is_last = i + 1 == total;
-        match http_request(url, "GET", target, None, shared.config.request_timeout) {
+        match forward_with_retry(shared, url, "GET", target, None) {
             Ok(resp) if resp.status == 409 && !is_last => {
                 // This backend couldn't reach the client's `min_epoch`
                 // in time; someone later in the plan (ultimately the
@@ -740,13 +861,7 @@ fn forward_write(shared: &Shared, target: &str, body: &[u8]) -> Reply {
     let leader = shared.config.leader.clone();
     let method = if body.is_empty() { "GET" } else { "POST" };
     let payload = if body.is_empty() { None } else { Some(body) };
-    match http_request(
-        &leader,
-        method,
-        target,
-        payload,
-        shared.config.request_timeout,
-    ) {
+    match forward_with_retry(shared, &leader, method, target, payload) {
         Ok(resp) => {
             shared.note_forward(&leader);
             Reply::passthrough(resp)
@@ -795,6 +910,7 @@ fn stats_reply(shared: &Shared) -> Reply {
                 ("url", Json::Str(b.url.clone())),
                 ("role", Json::Str(b.role.to_string())),
                 ("healthy", Json::Bool(b.healthy)),
+                ("breaker", Json::Str(b.breaker.label().to_string())),
                 ("epoch", Json::Uint(b.epoch)),
                 ("forwarded", Json::Uint(b.forwarded)),
                 ("ejections", Json::Uint(b.ejections)),
@@ -815,6 +931,8 @@ fn stats_reply(shared: &Shared) -> Reply {
                     ("leader_fallbacks", Json::Uint(stats.leader_fallbacks)),
                     ("unavailable", Json::Uint(stats.unavailable)),
                     ("probes", Json::Uint(stats.probes)),
+                    ("retries", Json::Uint(stats.retries)),
+                    ("retry_tokens", Json::Uint(stats.retry_tokens)),
                 ]),
             ),
             ("backends", Json::Arr(backends)),
@@ -868,6 +986,18 @@ fn router_families(shared: &Shared) -> Vec<CollectedFamily> {
             stats.probes as f64,
         ),
         CollectedFamily::scalar(
+            "banks_retries_total",
+            "Forwarding retries under the shared retry policy.",
+            c,
+            stats.retries as f64,
+        ),
+        CollectedFamily::scalar(
+            "banks_retry_budget_tokens",
+            "Whole retry tokens left in the router's shared budget.",
+            g,
+            stats.retry_tokens as f64,
+        ),
+        CollectedFamily::scalar(
             "banks_router_uptime_seconds",
             "Seconds since the router was bound.",
             g,
@@ -890,6 +1020,12 @@ fn router_families(shared: &Shared) -> Vec<CollectedFamily> {
             "1 when the backend is in rotation.",
             g,
             (|b| if b.healthy { 1.0 } else { 0.0 }) as fn(&BackendSnapshot) -> f64,
+        ),
+        (
+            "banks_breaker_state",
+            "Backend circuit breaker: 0 closed, 1 half-open, 2 open.",
+            g,
+            |b| b.breaker.gauge(),
         ),
         (
             "banks_router_backend_epoch",
@@ -1003,6 +1139,7 @@ mod tests {
                 Backend::new("f:1".to_string(), false, Instant::now()),
             ]),
             counters: Counters::default(),
+            retry_budget: banks_util::retry::RetryBudget::new(64),
             shutdown: AtomicBool::new(false),
             registry: Registry::new(),
             started: Instant::now(),
@@ -1030,6 +1167,57 @@ mod tests {
     }
 
     #[test]
+    fn breaker_walks_closed_open_half_open() {
+        let shared = Shared {
+            config: RouterConfig {
+                leader: "l:1".to_string(),
+                followers: vec!["f:1".to_string()],
+                probe_interval: Duration::from_millis(10),
+                max_probe_backoff: Duration::from_millis(80),
+                ..RouterConfig::default()
+            },
+            backends: Mutex::new(vec![
+                Backend::new("l:1".to_string(), true, Instant::now()),
+                Backend::new("f:1".to_string(), false, Instant::now()),
+            ]),
+            counters: Counters::default(),
+            retry_budget: banks_util::retry::RetryBudget::new(64),
+            shutdown: AtomicBool::new(false),
+            registry: Registry::new(),
+            started: Instant::now(),
+        };
+        let breaker = |shared: &Shared| shared.stats().backends[1].breaker;
+        // An in-request connect failure trips the breaker immediately.
+        shared.note_failure("f:1", true);
+        assert_eq!(breaker(&shared), BreakerState::Open);
+        // Open absorbs traffic-free time; the window lapsing (simulated
+        // by a far-future scan instant) flips it to half-open and owes
+        // exactly one trial probe.
+        let due = shared.take_due_probes(Instant::now() + Duration::from_secs(60));
+        assert!(due.contains(&"f:1".to_string()));
+        assert_eq!(breaker(&shared), BreakerState::HalfOpen);
+        // A failed trial re-opens with a doubled window — no strikes in
+        // probation.
+        shared.note_failure("f:1", false);
+        assert_eq!(breaker(&shared), BreakerState::Open);
+        {
+            let backends = shared.backends.lock().unwrap();
+            assert_eq!(backends[1].open_backoff, Duration::from_millis(20));
+            assert_eq!(backends[1].ejections, 1, "re-open is not a new ejection");
+        }
+        // Second lapse + successful trial: breaker snaps shut and the
+        // backend is back in rotation.
+        shared.take_due_probes(Instant::now() + Duration::from_secs(60));
+        assert_eq!(breaker(&shared), BreakerState::HalfOpen);
+        shared.note_success("f:1", 4, Duration::from_micros(100));
+        assert_eq!(breaker(&shared), BreakerState::Closed);
+        let stats = shared.stats();
+        assert!(stats.backends[1].healthy);
+        assert_eq!(stats.backends[1].readmissions, 1);
+        assert!(shared.read_plan(1).0.contains(&"f:1".to_string()));
+    }
+
+    #[test]
     fn stale_followers_leave_rotation() {
         let config = RouterConfig {
             leader: "l:1".to_string(),
@@ -1045,6 +1233,7 @@ mod tests {
                 Backend::new("f:2".to_string(), false, now),
             ]),
             counters: Counters::default(),
+            retry_budget: banks_util::retry::RetryBudget::new(64),
             shutdown: AtomicBool::new(false),
             config,
             registry: Registry::new(),
@@ -1077,6 +1266,7 @@ mod tests {
                 Backend::new("f:1".to_string(), false, now),
             ]),
             counters: Counters::default(),
+            retry_budget: banks_util::retry::RetryBudget::new(64),
             shutdown: AtomicBool::new(false),
             registry: Registry::new(),
             started: now,
@@ -1097,8 +1287,11 @@ mod tests {
             "banks_router_leader_fallbacks_total",
             "banks_router_unavailable_total",
             "banks_router_probes_total",
+            "banks_retries_total",
+            "banks_retry_budget_tokens",
             "banks_router_uptime_seconds",
             "banks_router_backend_healthy",
+            "banks_breaker_state",
             "banks_router_backend_epoch",
             "banks_router_backend_forwarded_total",
             "banks_router_backend_ejections_total",

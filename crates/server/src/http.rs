@@ -61,6 +61,31 @@ pub struct ServerConfig {
     /// follower: surfaced as the `leader` redirect hint on `min_epoch`
     /// 409s and on rejected `POST /ingest`.
     pub leader_hint: Option<String>,
+    /// Hard cap on a `POST /ingest` body (`--max-body-bytes`); larger
+    /// declared bodies are rejected with 413 before any read.
+    pub max_body_bytes: u64,
+    /// Deadline budget granted to a request that does not carry an
+    /// `X-Banks-Deadline-Ms` header (`--default-deadline-ms`). `None`
+    /// disables deadlines for unannotated requests.
+    pub default_deadline_ms: Option<u64>,
+    /// Cap on a client-supplied `X-Banks-Deadline-Ms` budget, so a
+    /// client cannot grant itself an unbounded hold on a worker.
+    pub max_deadline_ms: u64,
+    /// Admission bound: a connection that waited longer than this in
+    /// the accept queue is shed with `503` + `Retry-After` instead of
+    /// being served (the work it would trigger is already late, and the
+    /// clients behind it are better served by fast failure). `/health`
+    /// and `/metrics` are exempt.
+    pub shed_after: Duration,
+    /// Per-client (peer IP) token-bucket rate limit in requests/second;
+    /// over-limit requests get `429` + `Retry-After`. `None` (the
+    /// default) disables rate limiting. `/health` and `/metrics` are
+    /// exempt.
+    pub rate_limit_rps: Option<f64>,
+    /// Budget for reading the request line + headers. A slowloris-style
+    /// client that trickles header bytes is cut off after this long
+    /// instead of pinning a worker for the full request timeout.
+    pub header_read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +97,12 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             backlog: 256,
             leader_hint: None,
+            max_body_bytes: 8 * 1024 * 1024,
+            default_deadline_ms: None,
+            max_deadline_ms: 60_000,
+            shed_after: Duration::from_secs(5),
+            rate_limit_rps: None,
+            header_read_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -131,7 +162,12 @@ impl BanksServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(config.backlog);
+        // Each queued connection carries its accept timestamp so the
+        // worker that picks it up can measure queue latency — the load
+        // signal behind shedding — and anchor the request's deadline at
+        // arrival (queue time counts against the budget).
+        type Queued = (TcpStream, Instant);
+        let (tx, rx): (SyncSender<Queued>, Receiver<Queued>) = sync_channel(config.backlog);
         let rx = Arc::new(Mutex::new(rx));
 
         let metrics = ServerMetrics::new(registry);
@@ -152,6 +188,12 @@ impl BanksServer {
             leader_hint: config.leader_hint.clone(),
             metrics,
             started: Instant::now(),
+            max_body_bytes: config.max_body_bytes,
+            default_deadline_ms: config.default_deadline_ms,
+            max_deadline_ms: config.max_deadline_ms,
+            shed_after: config.shed_after,
+            limiter: config.rate_limit_rps.map(RateLimiter::new),
+            header_read_timeout: config.header_read_timeout,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -190,7 +232,7 @@ impl BanksServer {
                         // channel; the worker decrements on pickup.
                         shared.metrics.queue_depth.add(1);
                         // If all workers are gone the send fails; stop.
-                        if tx.send(stream).is_err() {
+                        if tx.send((stream, Instant::now())).is_err() {
                             shared.metrics.queue_depth.sub(1);
                             break;
                         }
@@ -277,12 +319,68 @@ struct Shared {
     metrics: ServerMetrics,
     /// Bind time, for `/health`'s `uptime_s`.
     started: Instant,
+    max_body_bytes: u64,
+    default_deadline_ms: Option<u64>,
+    max_deadline_ms: u64,
+    shed_after: Duration,
+    limiter: Option<RateLimiter>,
+    header_read_timeout: Duration,
 }
 
-fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
+/// Per-client token-bucket rate limiter, keyed by peer IP.
+///
+/// Buckets refill continuously at `rps` and hold at most `burst`
+/// tokens (2× the rate, min 1), so a client gets a small surge
+/// allowance but sustained traffic is clamped to the configured rate.
+struct RateLimiter {
+    rps: f64,
+    burst: f64,
+    buckets: Mutex<std::collections::HashMap<std::net::IpAddr, (f64, Instant)>>,
+}
+
+impl RateLimiter {
+    /// Keys retained before the table is reset — an address-spoofing
+    /// flood must not grow server memory without bound. Resetting hands
+    /// every live client a fresh burst once, which is acceptable
+    /// exactly because it takes tens of thousands of distinct IPs.
+    const MAX_TRACKED_CLIENTS: usize = 65_536;
+
+    fn new(rps: f64) -> RateLimiter {
+        RateLimiter {
+            rps: rps.max(f64::MIN_POSITIVE),
+            burst: (rps * 2.0).max(1.0),
+            buckets: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Take one token for `ip`; `false` means over limit (429).
+    fn admit(&self, ip: std::net::IpAddr) -> bool {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("rate limiter lock");
+        if buckets.len() >= Self::MAX_TRACKED_CLIENTS && !buckets.contains_key(&ip) {
+            buckets.clear();
+        }
+        let (tokens, last) = buckets.entry(ip).or_insert((self.burst, now));
+        *tokens = (*tokens + now.duration_since(*last).as_secs_f64() * self.rps).min(self.burst);
+        *last = now;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Seconds until one token exists again, for `Retry-After`.
+    fn retry_after_secs(&self) -> u64 {
+        (1.0 / self.rps).ceil().max(1.0) as u64
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, shared: Arc<Shared>) {
     loop {
-        let stream = match rx.lock().expect("worker queue lock").recv() {
-            Ok(stream) => stream,
+        let (stream, enqueued_at) = match rx.lock().expect("worker queue lock").recv() {
+            Ok(queued) => queued,
             Err(_) => return, // acceptor gone and queue drained
         };
         shared.metrics.queue_depth.sub(1);
@@ -291,7 +389,7 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
         // would otherwise shrink the pool until the server is dead. The
         // service is immutable-plus-atomics, hence panic-safe to reuse.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = handle_connection(stream, &shared);
+            let _ = handle_connection(stream, enqueued_at, &shared);
         }));
     }
 }
@@ -300,9 +398,6 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
 /// than this per connection, bounding both memory and the time a slow
 /// (or malicious) client can pin it.
 const MAX_REQUEST_BYTES: u64 = 16 * 1024;
-
-/// Hard cap on a `POST /ingest` body.
-const MAX_INGEST_BODY_BYTES: u64 = 8 * 1024 * 1024;
 
 /// Longest a long-polling route (`/replication/wal`, `min_epoch` search)
 /// may park before answering with whatever state exists.
@@ -347,20 +442,29 @@ impl Response {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    enqueued_at: Instant,
+    shared: &Shared,
+) -> std::io::Result<()> {
     let t0 = Instant::now();
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let queue_wait = t0.duration_since(enqueued_at);
+    // The head is read under the (short) slowloris budget; the body
+    // read below runs under the normal request timeout.
+    stream.set_read_timeout(Some(shared.header_read_timeout))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
 
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
-    // Drain headers, remembering Content-Length for the write path.
-    // `take` above makes this loop terminate even for a client that
-    // streams bytes forever.
+    // Drain headers, remembering Content-Length for the write path and
+    // the request's deadline budget. `take` above makes this loop
+    // terminate even for a client that streams bytes forever.
     let mut complete = false;
     let mut content_length: u64 = 0;
     let mut bad_content_length = false;
+    let mut deadline_ms: Option<u64> = None;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -379,31 +483,69 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                     Ok(n) => content_length = n,
                     Err(_) => bad_content_length = true,
                 }
+            } else if name.eq_ignore_ascii_case("x-banks-deadline-ms") {
+                deadline_ms = value.trim().parse().ok();
             }
         }
     }
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
 
     let mut stream = stream;
+    let path = request_line
+        .split_whitespace()
+        .nth(1)
+        .map(|t| t.split_once('?').map_or(t, |(p, _)| p))
+        .unwrap_or("")
+        .to_string();
+    // Probes and scrapes are exempt from every admission control: an
+    // overloaded server must stay observable (and must not be restarted
+    // by a health-checker that mistakes shedding for death).
+    let exempt = path == "/health" || path == "/metrics";
+
+    // The request's absolute deadline, anchored at *accept* time —
+    // queue wait spends the same budget that searching does. A
+    // client-supplied budget is capped; without one, the configured
+    // default (if any) applies.
+    let deadline = deadline_ms
+        .map(|ms| ms.min(shared.max_deadline_ms))
+        .or(shared.default_deadline_ms)
+        .map(|ms| enqueued_at + Duration::from_millis(ms));
+
     // Only an *unterminated* head at the cap is oversized — a request
     // whose headers end exactly at the limit is complete and valid.
     // Only `POST /ingest` carries a meaningful body; draining (and
-    // UTF-8 validating) up to 8 MiB for routes that will never look at
-    // it would let any client pin a worker with useless work. The
-    // connection is one-request (`Connection: close`), so an unread
+    // UTF-8 validating) up to the body cap for routes that will never
+    // look at it would let any client pin a worker with useless work.
+    // The connection is one-request (`Connection: close`), so an unread
     // body needs no draining for protocol correctness.
-    let wants_body = {
-        let mut parts = request_line.split_whitespace();
-        parts.next() == Some("POST")
-            && parts
-                .next()
-                .is_some_and(|t| t.split_once('?').map_or(t, |(p, _)| p) == "/ingest")
-    };
+    let wants_body = request_line.starts_with("POST ") && path == "/ingest";
 
-    let response = if !complete && reader.limit() == 0 {
+    let response = if !exempt && queue_wait > shared.shed_after {
+        // Load shedding: this connection already waited so long that
+        // serving it would only delay everything behind it further.
+        shared.metrics.shed_total.inc();
+        error_response("503 Service Unavailable", "server overloaded, request shed")
+            .with_header("Retry-After", "1".to_string())
+    } else if let Some(limiter) = shared
+        .limiter
+        .as_ref()
+        .filter(|_| !exempt)
+        .filter(|l| !peer_ip.is_none_or(|ip| l.admit(ip)))
+    {
+        shared.metrics.rate_limited_total.inc();
+        error_response("429 Too Many Requests", "client rate limit exceeded")
+            .with_header("Retry-After", limiter.retry_after_secs().to_string())
+    } else if !exempt && deadline.is_some_and(|d| Instant::now() >= d) {
+        // The budget lapsed before any work started (queue wait ate
+        // it); answering 504 now is strictly cheaper than searching.
+        shared.metrics.deadline_exceeded_total.inc();
+        error_response("504 Gateway Timeout", "deadline exceeded before processing")
+            .with_header("Retry-After", "1".to_string())
+    } else if !complete && reader.limit() == 0 {
         error_response("431 Request Header Fields Too Large", "request too large")
     } else if bad_content_length {
         error_response("400 Bad Request", "bad Content-Length header")
-    } else if wants_body && content_length > MAX_INGEST_BODY_BYTES {
+    } else if wants_body && content_length > shared.max_body_bytes {
         error_response("413 Payload Too Large", "request body too large")
     } else {
         // The head reader's byte budget does not constrain the body. A
@@ -420,7 +562,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             Some(String::new())
         };
         match request_body {
-            Some(request_body) => route(&request_line, &request_body, shared),
+            Some(request_body) => route(&request_line, &request_body, deadline, shared),
             None => error_response("400 Bad Request", "request body is not valid UTF-8"),
         }
     };
@@ -454,7 +596,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
     stream.flush()
 }
 
-fn route(request_line: &str, request_body: &str, shared: &Shared) -> Response {
+fn route(
+    request_line: &str,
+    request_body: &str,
+    deadline: Option<Instant>,
+    shared: &Shared,
+) -> Response {
     let service = shared.service.as_ref();
     let ingest = shared.ingest.as_deref();
     let store = shared.store.as_deref();
@@ -472,7 +619,7 @@ fn route(request_line: &str, request_body: &str, shared: &Shared) -> Response {
         ("POST", "/ingest") => handle_ingest(&params, request_body, ingest, shared),
         (_, "/ingest") => error_response("405 Method Not Allowed", "/ingest requires POST"),
         ("GET", _) => match path {
-            "/search" => handle_search(&params, service, shared),
+            "/search" => handle_search(&params, deadline, service, shared),
             "/node" => handle_node(&params, service),
             "/stats" => Response::json("200 OK", stats_json(service, ingest, store).compact()),
             "/epochs" => handle_epochs(service, ingest),
@@ -621,7 +768,12 @@ fn error_response(status: &'static str, message: &str) -> Response {
     )
 }
 
-fn handle_search(params: &[(String, String)], service: &QueryService, shared: &Shared) -> Response {
+fn handle_search(
+    params: &[(String, String)],
+    deadline: Option<Instant>,
+    service: &QueryService,
+    shared: &Shared,
+) -> Response {
     let Some(q) = query_param(params, "q") else {
         return error_response("400 Bad Request", "missing required parameter `q`");
     };
@@ -681,11 +833,26 @@ fn handle_search(params: &[(String, String)], service: &QueryService, shared: &S
             strategy,
             limit,
             trace,
+            deadline,
         },
     ) {
         Ok(response) => response,
         Err(e) => return error_response("400 Bad Request", &e.to_string()),
     };
+
+    // Deadline semantics: an expired search that still produced answers
+    // returns them flagged `partial: true` (the prefix is correct, just
+    // incomplete); an expired search with nothing to show is a 504 —
+    // there is no useful body and the client should retry with a larger
+    // budget or against a less loaded node.
+    let partial = response.result.stats.deadline_expirations > 0;
+    if partial {
+        shared.metrics.deadline_exceeded_total.inc();
+        if response.result.answers.is_empty() {
+            return error_response("504 Gateway Timeout", "deadline exceeded during search")
+                .with_header("Retry-After", "1".to_string());
+        }
+    }
 
     // The heavy part of the body — rendered trees and search counters —
     // is identical for every request hitting this cache entry, so it is
@@ -715,6 +882,7 @@ fn handle_search(params: &[(String, String)], service: &QueryService, shared: &S
             ),
         ),
         ("cached", Json::Bool(response.cached)),
+        ("partial", Json::Bool(partial)),
         ("epoch", Json::Uint(response.epoch)),
         (
             "elapsed_us",
@@ -1126,19 +1294,38 @@ mod tests {
     }
 
     fn server(workers: usize) -> BanksServer {
+        server_with(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn server_with(config: ServerConfig) -> BanksServer {
         let banks = Arc::new(Banks::new(dblp()).unwrap());
         let service = Arc::new(crate::service::QueryService::new(
             banks,
             ServiceConfig::default(),
         ));
-        BanksServer::bind(
-            service,
-            ServerConfig {
-                workers,
-                ..ServerConfig::default()
-            },
-        )
-        .unwrap()
+        BanksServer::bind(service, config).unwrap()
+    }
+
+    /// One raw request with arbitrary extra header lines — for the
+    /// admission-control tests (`X-Banks-Deadline-Ms`, oversized
+    /// `Content-Length`) that the plain client helper cannot send.
+    fn raw_request(addr: SocketAddr, head: &str, body: &str) -> (u16, String) {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("{head}\r\n{body}").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        (status, response)
     }
 
     fn get(addr: SocketAddr, target: &str) -> HttpResponse {
@@ -1170,6 +1357,9 @@ mod tests {
             "banks_http_requests_total",
             "banks_http_request_seconds",
             "banks_http_queue_depth",
+            "banks_shed_total",
+            "banks_rate_limited_total",
+            "banks_deadline_exceeded_total",
             "banks_query_seconds",
             "banks_queries_total",
             "banks_query_errors_total",
@@ -1262,6 +1452,124 @@ mod tests {
             "{body}"
         );
         assert!(body.contains(r#""uptime_s""#), "{body}");
+    }
+
+    /// The saturation regression: with the shedding bound at zero every
+    /// regular request is "too late" the moment a worker picks it up —
+    /// 503 + `Retry-After` — but `/health` and `/metrics` are exempt
+    /// from all admission control and keep answering 200, and the
+    /// scrape taken *during* the shedding reports it.
+    #[test]
+    fn health_and_metrics_answer_while_everything_else_sheds() {
+        let server = server_with(ServerConfig {
+            workers: 2,
+            shed_after: Duration::ZERO,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        for _ in 0..3 {
+            let resp = get(addr, "/search?q=mohan");
+            assert_eq!(resp.status, 503, "{}", resp.text());
+            assert_eq!(resp.header("retry-after"), Some("1"));
+            assert!(resp.text().contains("shed"), "{}", resp.text());
+        }
+        assert_eq!(get(addr, "/stats").status, 503, "stats is not exempt");
+        let health = get(addr, "/health");
+        assert_eq!(health.status, 200, "{}", health.text());
+        let scrape = get(addr, "/metrics");
+        assert_eq!(scrape.status, 200);
+        let body = scrape.text();
+        assert!(body.contains("banks_shed_total 4"), "{body}");
+    }
+
+    /// Per-client token-bucket rate limiting: a burst past the bucket
+    /// answers 429 + `Retry-After`; probes stay exempt; the metric
+    /// counts the rejections.
+    #[test]
+    fn rate_limit_answers_429_and_exempts_probes() {
+        let server = server_with(ServerConfig {
+            workers: 1,
+            rate_limit_rps: Some(1.0), // burst = 2 tokens
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        let mut statuses = Vec::new();
+        for _ in 0..5 {
+            statuses.push(get(addr, "/search?q=mohan").status);
+        }
+        assert_eq!(
+            statuses.iter().filter(|&&s| s == 200).count(),
+            2,
+            "{statuses:?}"
+        );
+        assert_eq!(
+            statuses.iter().filter(|&&s| s == 429).count(),
+            3,
+            "{statuses:?}"
+        );
+        // Probes never count against (or get caught by) the bucket.
+        for _ in 0..4 {
+            assert_eq!(get(addr, "/health").status, 200);
+        }
+        let body = get(addr, "/metrics").text();
+        assert!(body.contains("banks_rate_limited_total 3"), "{body}");
+    }
+
+    /// A declared body over the cap is refused with 413 before any read;
+    /// the limit applies only to routes that consume a body.
+    #[test]
+    fn oversized_ingest_body_is_rejected_413() {
+        let server = server_with(ServerConfig {
+            workers: 1,
+            max_body_bytes: 64,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        let body = "x".repeat(256);
+        let (status, response) = raw_request(
+            addr,
+            &format!(
+                "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n",
+                body.len()
+            ),
+            &body,
+        );
+        assert_eq!(status, 413, "{response}");
+        // A tiny body passes the size gate (and fails later, on parsing).
+        let (status, response) = raw_request(
+            addr,
+            "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nConnection: close\r\n",
+            "{}",
+        );
+        assert_ne!(status, 413, "{response}");
+    }
+
+    /// An exhausted deadline budget answers 504 before any search work,
+    /// and the client-supplied budget is capped by the server.
+    #[test]
+    fn zero_deadline_budget_answers_504_before_work() {
+        let server = server_with(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        let (status, response) = raw_request(
+            addr,
+            "GET /search?q=mohan HTTP/1.1\r\nHost: x\r\nX-Banks-Deadline-Ms: 0\r\nConnection: close\r\n",
+            "",
+        );
+        assert_eq!(status, 504, "{response}");
+        assert!(response.contains("Retry-After"), "{response}");
+        assert!(response.contains("deadline exceeded"), "{response}");
+        // A generous budget on the same server serves normally.
+        let (status, _) = raw_request(
+            addr,
+            "GET /search?q=mohan HTTP/1.1\r\nHost: x\r\nX-Banks-Deadline-Ms: 30000\r\nConnection: close\r\n",
+            "",
+        );
+        assert_eq!(status, 200);
+        let body = get(addr, "/metrics").text();
+        assert!(body.contains("banks_deadline_exceeded_total 1"), "{body}");
     }
 
     /// Regression: `/stats` and `/metrics` must answer from counter

@@ -50,6 +50,14 @@ pub struct ServerMetrics {
     /// Connections accepted but not yet picked up by a worker — the
     /// live backpressure signal of the `sync_channel` accept queue.
     pub queue_depth: Arc<Gauge>,
+    /// Requests shed with `503` because their accept-queue wait passed
+    /// the shedding bound.
+    pub shed_total: Arc<Counter>,
+    /// Requests rejected with `429` by the per-client token bucket.
+    pub rate_limited_total: Arc<Counter>,
+    /// Requests whose deadline budget lapsed — answered `504`, or `200`
+    /// with `partial: true` when the expansion had produced answers.
+    pub deadline_exceeded_total: Arc<Counter>,
     endpoints: Vec<(&'static str, EndpointMetrics)>,
     fallback: EndpointMetrics,
 }
@@ -78,9 +86,27 @@ impl ServerMetrics {
             "Accepted connections waiting for a worker.",
             &[],
         );
+        let shed_total = registry.counter(
+            "banks_shed_total",
+            "Requests shed (503) because queue wait exceeded the shedding bound.",
+            &[],
+        );
+        let rate_limited_total = registry.counter(
+            "banks_rate_limited_total",
+            "Requests rejected (429) by the per-client token-bucket rate limit.",
+            &[],
+        );
+        let deadline_exceeded_total = registry.counter(
+            "banks_deadline_exceeded_total",
+            "Requests whose deadline budget lapsed before or during the search.",
+            &[],
+        );
         ServerMetrics {
             registry,
             queue_depth,
+            shed_total,
+            rate_limited_total,
+            deadline_exceeded_total,
             endpoints,
             fallback,
         }

@@ -88,6 +88,12 @@ pub struct QueryOptions {
     /// query share one entry, and a hit serves the spans recorded by
     /// whichever cold run populated it.
     pub trace: bool,
+    /// Absolute deadline for a cold search. The expansion loops poll it
+    /// (arena [`banks_graph::DeadlineToken`]) and cut the search short
+    /// when it lapses; the truncated result is flagged via
+    /// `SearchStats::deadline_expirations` and **never cached**. Not
+    /// part of the cache key — a hit ignores the deadline entirely.
+    pub deadline: Option<Instant>,
 }
 
 /// The normalized cache key: order- and case-insensitive keywords plus
@@ -484,7 +490,9 @@ impl QueryService {
                         arena.spans.push("parse", 0, 0, parse_ns);
                     }
                 }
+                arena.deadline.arm(options.deadline);
                 let result = banks.search_parsed_in(&query, options.strategy, &config, &mut arena);
+                arena.deadline.clear();
                 let spans = if trace {
                     let spans = arena.spans.take();
                     arena.spans.disable();
@@ -532,11 +540,15 @@ impl QueryService {
         // Conditional insert under the shard lock: a fresher-epoch entry
         // (cached by a racing reader after a publish we missed, whether
         // it was visible at lookup time or landed while we searched)
-        // must not be clobbered by this result.
-        self.cache
-            .insert_if(key.clone(), Arc::clone(&result), |existing| {
-                existing.epoch <= snapshot.epoch
-            });
+        // must not be clobbered by this result. A deadline-truncated
+        // result is a prefix of the real answer set and must never be
+        // served to a later (unexpired) request, so it skips the cache.
+        if result.stats.deadline_expirations == 0 {
+            self.cache
+                .insert_if(key.clone(), Arc::clone(&result), |existing| {
+                    existing.epoch <= snapshot.epoch
+                });
+        }
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(SearchResponse {
             cached: false,

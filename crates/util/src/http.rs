@@ -167,6 +167,7 @@ pub fn http_request(
     timeout: Duration,
 ) -> Result<HttpResponse, ClientError> {
     let addr = host_port(addr);
+    crate::fault::maybe_fault("http.connect").map_err(ClientError::Connect)?;
     let sock = addr
         .to_socket_addrs()
         .map_err(ClientError::Connect)?
@@ -189,6 +190,7 @@ pub fn http_request(
     stream.write_all(body).map_err(ClientError::Io)?;
     stream.flush().map_err(ClientError::Io)?;
 
+    crate::fault::maybe_fault("http.read").map_err(ClientError::Io)?;
     let mut raw = Vec::with_capacity(4 * 1024);
     stream.read_to_end(&mut raw).map_err(ClientError::Io)?;
     parse_response(&raw)
@@ -232,6 +234,7 @@ pub fn http_request_to_writer(
     sink: &mut dyn Write,
 ) -> Result<StreamedResponse, ClientError> {
     let addr = host_port(addr);
+    crate::fault::maybe_fault("http.connect").map_err(ClientError::Connect)?;
     let sock = addr
         .to_socket_addrs()
         .map_err(ClientError::Connect)?
@@ -253,6 +256,7 @@ pub fn http_request_to_writer(
 
     // Read until the header terminator; whatever follows it in the same
     // chunk is the body's first bytes.
+    crate::fault::maybe_fault("http.read").map_err(ClientError::Io)?;
     let mut head_buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 64 * 1024];
     let head_end = loop {

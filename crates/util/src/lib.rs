@@ -15,14 +15,21 @@
 //!   component tags (`BANKS_LOG` / `--log-level`), replacing the
 //!   scattered `eprintln!` calls in the serving roles;
 //! * [`build`] — compile-time build identity (crate version plus
-//!   `git describe`) surfaced by every role's `/health`.
+//!   `git describe`) surfaced by every role's `/health`;
+//! * [`retry`] — the shared retry policy (capped exponential backoff,
+//!   full jitter, retry budget) used by every HTTP client in the
+//!   workspace;
+//! * [`fault`] — deterministic fault injection behind the
+//!   `fault-injection` cargo feature (zero-cost no-ops otherwise).
 
 pub mod build;
+pub mod fault;
 pub mod fs;
 pub mod fxhash;
 pub mod http;
 pub mod json;
 pub mod log;
+pub mod retry;
 
 pub use fs::atomic_write;
 pub use json::{Json, ToJson};
