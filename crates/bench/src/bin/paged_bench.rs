@@ -5,19 +5,23 @@
 //! the first:
 //!
 //! * `--phase prepare --corpus DIR --work DIR` — load a `banks datagen`
-//!   shard corpus, build the in-RAM system, save it as a v2 bundle
+//!   shard corpus, build the in-RAM system, save it as a bundle
 //!   laid out as a data directory (`snapshot-…` name, so `banks serve
 //!   --data-dir WORK/data --paged` can recover from it directly), time
 //!   a **full** bundle decode, record the reference answer fingerprints
 //!   and the fully-decoded graph size (every segment touched through a
 //!   paged store with an unbounded budget).
 //! * `--phase run --work DIR --budget BYTES [--out PATH]` — reopen the
-//!   same bundle *paged* under the budget, replay the query set, and
-//!   fail unless (a) every fingerprint is bit-identical to the in-RAM
-//!   reference, (b) the budget really is below the decoded graph size,
-//!   and (c) the resident segment bytes stayed within the budget.
-//!   Emits `BENCH_paged.json` with cold-start times, page-in/eviction
-//!   counts, and per-query latencies.
+//!   same bundle *paged* under the budget, replay the query set (and
+//!   render every answer, which decodes tuple values through the lazy
+//!   DATA section), and fail unless (a) every fingerprint is
+//!   bit-identical to the in-RAM reference, (b) the budget really is
+//!   below the decoded graph size, and (c) both the resident segment
+//!   bytes and the resident tuple bytes stayed within the budget.
+//!   Emits `BENCH_paged.json` with cold-start times (including
+//!   `data_open_ms`, the O(blocks) directory-only open of the DATA
+//!   section alone), page-in/eviction counts for both stores, and
+//!   per-query latencies.
 //!
 //! The fingerprint format is `banks_bench::fingerprint_answers` — the
 //! same order-sensitive digest the thread-equivalence CI check uses.
@@ -61,6 +65,24 @@ fn parse_bytes(s: &str) -> u64 {
         Ok(n) => n << shift,
         Err(e) => fail(&format!("bad byte size `{s}`: {e}")),
     }
+}
+
+/// Offset and length of the `BNKSDATA` section, read straight from the
+/// bundle's four-entry directory (32 bytes per entry from offset 16:
+/// 8 magic, 8 offset, 8 len, 8 checksum; DATA is the second).
+fn data_section(bundle: &Path) -> (u64, u64) {
+    use std::io::Read;
+    let mut header = [0u8; 16 + 4 * 32];
+    let mut file =
+        std::fs::File::open(bundle).unwrap_or_else(|e| fail(&format!("open bundle: {e}")));
+    file.read_exact(&mut header)
+        .unwrap_or_else(|e| fail(&format!("read bundle directory: {e}")));
+    let entry = 16 + 32;
+    if &header[entry..entry + 8] != b"BNKSDATA" {
+        fail("bundle directory does not carry a DATA section where expected");
+    }
+    let word = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().unwrap());
+    (word(entry + 8), word(entry + 16))
 }
 
 /// Force every graph segment resident and report the decoded total —
@@ -155,6 +177,25 @@ fn run(work: &Path, budget: u64, out: &Path) {
     }
 
     let bundle = work.join("data").join(snapshot_file(0));
+
+    // Cold open of the DATA section in isolation: directory + PK lanes
+    // only, O(blocks) — not one tuple block is decoded. This is the
+    // number the v3 layout exists to shrink.
+    let (data_offset, data_len) = data_section(&bundle);
+    let start = Instant::now();
+    let file = std::sync::Arc::new(
+        std::fs::File::open(&bundle).unwrap_or_else(|e| fail(&format!("open bundle: {e}"))),
+    );
+    let probe = banks_pager::PagedTupleStore::open_file(
+        file,
+        data_offset,
+        data_len,
+        banks_pager::SharedBudget::new(budget as usize),
+    )
+    .unwrap_or_else(|e| fail(&format!("DATA section open: {e}")));
+    let data_open_ms = start.elapsed().as_millis();
+    drop(probe);
+
     let start = Instant::now();
     let (banks, _) = open_bundle_paged(&bundle, budget as usize, &BanksConfig::default())
         .unwrap_or_else(|e| fail(&format!("paged open: {e}")));
@@ -178,6 +219,12 @@ fn run(work: &Path, budget: u64, out: &Path) {
             mismatches.push(query.to_string());
         }
         latencies.push((query.to_string(), micros, answers.len()));
+        // Render outside the timed window: rendering is what decodes
+        // tuple values, so it drives the tuple page-in/residency
+        // figures below without polluting the search latencies.
+        for answer in &answers {
+            let _ = banks.render_answer(answer);
+        }
     }
 
     let stats = banks
@@ -189,6 +236,19 @@ fn run(work: &Path, budget: u64, out: &Path) {
         fail(&format!(
             "resident {} exceeds budget {}",
             stats.resident_bytes, stats.budget_bytes
+        ));
+    }
+    let tstats = banks
+        .db()
+        .tuple_store_stats()
+        .unwrap_or_else(|| fail("paged bundle did not open with a lazy tuple store"));
+    if tstats.page_ins == 0 {
+        fail("rendering answers paged no tuple blocks in — the DATA section is not lazy");
+    }
+    if tstats.resident_bytes > budget as usize {
+        fail(&format!(
+            "tuple resident {} exceeds budget {budget}",
+            tstats.resident_bytes
         ));
     }
     if !mismatches.is_empty() {
@@ -214,9 +274,12 @@ fn run(work: &Path, budget: u64, out: &Path) {
         "{{\n  \"corpus_tuples\": {tuples},\n  \"bundle_bytes\": {bundle_bytes},\n  \
          \"decoded_graph_bytes\": {decoded},\n  \"budget_bytes\": {budget},\n  \
          \"cold_start_full_ms\": {full_load_ms},\n  \"cold_start_paged_ms\": {paged_open_ms},\n  \
-         \"cold_start_speedup\": {speedup:.2},\n  \"resident_bytes\": {},\n  \
+         \"cold_start_speedup\": {speedup:.2},\n  \"data_open_ms\": {data_open_ms},\n  \
+         \"resident_bytes\": {},\n  \
          \"pinned_bytes\": {},\n  \"segments_total\": {},\n  \"segments_resident\": {},\n  \
          \"page_ins\": {},\n  \"evictions\": {},\n  \"decode_micros\": {},\n  \
+         \"tuple_resident_bytes\": {},\n  \"tuple_page_ins\": {},\n  \
+         \"tuple_evictions\": {},\n  \
          \"fingerprints_match\": true,\n  \"queries\": [\n{}\n  ]\n}}\n",
         stats.resident_bytes,
         stats.pinned_bytes,
@@ -225,15 +288,22 @@ fn run(work: &Path, budget: u64, out: &Path) {
         stats.page_ins,
         stats.evictions,
         stats.decode_nanos / 1_000,
+        tstats.resident_bytes,
+        tstats.page_ins,
+        tstats.evictions,
         queries_json.join(",\n"),
     );
     std::fs::write(out, &json).unwrap_or_else(|e| fail(&format!("write {}: {e}", out.display())));
     println!(
-        "paged cold start {paged_open_ms} ms vs full {full_load_ms} ms ({speedup:.1}x), \
-         {} page-ins, {} evictions, resident {} / budget {budget} — report at {}",
+        "paged cold start {paged_open_ms} ms (DATA alone {data_open_ms} ms) vs full \
+         {full_load_ms} ms ({speedup:.1}x), {} graph / {} tuple page-ins, \
+         {} / {} evictions, resident {} + {} / budget {budget} — report at {}",
         stats.page_ins,
+        tstats.page_ins,
         stats.evictions,
+        tstats.evictions,
         stats.resident_bytes,
+        tstats.resident_bytes,
         out.display(),
     );
 }

@@ -8,8 +8,10 @@
 //! ```
 //!
 //! `save` builds the corpus and writes a bundle (atomically, fsync'd);
-//! `inspect` fully validates one — sections, checksum, decodability —
-//! and prints a summary; `load` restores a query-ready system from it
+//! `inspect` validates one — sections, checksums — and prints a
+//! summary, reading the per-relation live-tuple counts of a v3 bundle
+//! straight from its DATA directory without decoding a single tuple
+//! block; `load` restores a query-ready system from it
 //! and optionally runs a query, which doubles as an end-to-end check
 //! that restore-from-bundle serves real answers.
 

@@ -34,6 +34,10 @@ impl TupleGraph {
     /// ordering is the contract that lets [`TupleGraph::rebind`] attach
     /// a snapshot graph to a freshly loaded database: both paths derive
     /// their maps from this single function.
+    ///
+    /// Walks liveness only (`live_slots`), never tuple values — on a
+    /// lazily-opened database this costs zero block decodes, which is
+    /// what keeps a paged bundle open independent of tuple count.
     fn rid_maps(db: &Database) -> (Vec<Rid>, FxHashMap<Rid, NodeId>, Vec<u32>) {
         let n = db.total_tuples();
         let mut node_rids = Vec::with_capacity(n);
@@ -41,7 +45,9 @@ impl TupleGraph {
         rid_nodes.reserve(n);
         let mut relation_of = Vec::with_capacity(n);
         for table in db.relations() {
-            for (rid, _) in table.scan() {
+            let id = table.id();
+            for slot in table.live_slots() {
+                let rid = Rid::new(id, slot);
                 let node = NodeId(node_rids.len() as u32);
                 node_rids.push(rid);
                 rid_nodes.insert(rid, node);
@@ -152,7 +158,8 @@ impl TupleGraph {
     /// Verify that this tuple graph actually describes `db`: same total
     /// node count, same relation catalog width, same per-relation tuple
     /// counts, and every node's rid resolving to a live tuple of the
-    /// expected relation. O(n) — cheap next to an index build, and the
+    /// expected relation. O(n) over liveness bitmaps — no tuple decodes
+    /// on a lazy database — cheap next to an index build, and the
     /// check that stops a same-cardinality-but-different-database
     /// snapshot from being silently accepted.
     pub fn verify_catalog(&self, db: &Database) -> StorageResult<()> {
@@ -173,7 +180,7 @@ impl TupleGraph {
                 });
             }
             per_relation[rid.relation.index()] += 1;
-            if db.tuple(rid).is_err() {
+            if !db.is_live(rid) {
                 return Err(StorageError::SnapshotMismatch {
                     expected: format!("live tuple {rid}"),
                     actual: "no such tuple".to_string(),

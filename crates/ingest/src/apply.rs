@@ -319,8 +319,11 @@ pub fn apply_batch(
     let total = db.total_tuples();
     let mut new_rids: Vec<Rid> = Vec::with_capacity(total);
     for table in db.relations() {
-        for (rid, _) in table.scan() {
-            new_rids.push(rid);
+        let id = table.id();
+        // Liveness only — on a lazily-opened database this walks the
+        // presence bitmaps without decoding any tuple block.
+        for slot in table.live_slots() {
+            new_rids.push(Rid::new(id, slot));
         }
     }
     let mut node_of: FxHashMap<Rid, u32> = FxHashMap::default();

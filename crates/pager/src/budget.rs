@@ -1,0 +1,54 @@
+//! One memory budget shared by every paged store of a snapshot.
+//!
+//! `--memory-budget` bounds *decoded resident bytes* across the graph
+//! segments and the tuple blocks together, not per store. Each store
+//! adds what it pages in, subtracts what it evicts, and sweeps its own
+//! LRU entries while the combined total is over; when one store has
+//! nothing left to give back, the other reclaims the remainder on its
+//! next page-in. This keeps eviction local (no cross-store locking or
+//! victim exchange) while the sum stays bounded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared decoded-bytes budget (see the module docs).
+#[derive(Debug)]
+pub struct SharedBudget {
+    total: usize,
+    used: AtomicUsize,
+}
+
+impl SharedBudget {
+    /// A budget of `total` bytes, to be shared via `Arc`.
+    pub fn new(total: usize) -> Arc<SharedBudget> {
+        Arc::new(SharedBudget {
+            total,
+            used: AtomicUsize::new(0),
+        })
+    }
+
+    /// The configured total in bytes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Combined resident bytes across all participating stores.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Record `bytes` newly resident.
+    pub fn add(&self, bytes: usize) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` evicted.
+    pub fn sub(&self, bytes: usize) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Is the combined total over budget?
+    pub fn over(&self) -> bool {
+        self.used() > self.total
+    }
+}

@@ -31,12 +31,22 @@
 //! assert_eq!(paged.out_adjacency(x), g.out_adjacency(x));
 //! ```
 
+//! The same machinery pages the relational side: [`PagedTupleStore`]
+//! serves the v3 DATA section (fixed-span tuple-slot blocks behind a
+//! checksummed directory, see `banks_storage::blocks`) lazily, and a
+//! [`SharedBudget`] lets `--memory-budget` bound graph segments and
+//! tuple blocks *together*.
+
 pub mod blob;
+pub mod budget;
 pub mod codec;
 pub mod error;
 pub mod store;
+pub mod tuples;
 pub mod varint;
 
 pub use blob::{encode_paged_blob, ByteSource, Layout, SegEntry, DEFAULT_SEG_SPAN};
+pub use budget::SharedBudget;
 pub use error::PagerError;
 pub use store::{page_graph, PagedGraphStore};
+pub use tuples::PagedTupleStore;

@@ -33,6 +33,7 @@ use crate::blob::{
     encode_paged_blob, read_layout, seg_count_for, seg_edges, seg_range, segment_checksum,
     ByteSource, DEFAULT_SEG_SPAN,
 };
+use crate::budget::SharedBudget;
 use crate::codec::{decode_segment, encode_segment, DecodedSegment};
 use crate::error::PagerError;
 use banks_graph::store::{GraphStore, StorageStats};
@@ -127,7 +128,9 @@ pub struct PagedGraphStore {
     max_node_weight: f64,
     /// Forward then reverse metadata, `seg_count` entries each.
     metas: Vec<SegMeta>,
-    budget: usize,
+    /// Shared with the paged tuple store of the same snapshot, so
+    /// `--memory-budget` bounds graph segments + tuple blocks together.
+    budget: Arc<SharedBudget>,
     cache: Mutex<SegCache>,
     page_ins: AtomicU64,
     evictions: AtomicU64,
@@ -152,6 +155,18 @@ impl PagedGraphStore {
         len: u64,
         budget: usize,
     ) -> Result<Arc<PagedGraphStore>, PagerError> {
+        PagedGraphStore::open_source(ByteSource::File { file, base, len }, SharedBudget::new(budget))
+    }
+
+    /// [`PagedGraphStore::open_file`] drawing from an existing shared
+    /// budget (the bundle open path, where the tuple store draws from
+    /// the same pool).
+    pub fn open_file_shared(
+        file: Arc<File>,
+        base: u64,
+        len: u64,
+        budget: Arc<SharedBudget>,
+    ) -> Result<Arc<PagedGraphStore>, PagerError> {
         PagedGraphStore::open_source(ByteSource::File { file, base, len }, budget)
     }
 
@@ -159,11 +174,23 @@ impl PagedGraphStore {
     /// tests; the *encoded* bytes stay resident, decoded segments are
     /// still paged and budgeted).
     pub fn open_mem(bytes: Arc<[u8]>, budget: usize) -> Result<Arc<PagedGraphStore>, PagerError> {
+        PagedGraphStore::open_source(ByteSource::Mem(bytes), SharedBudget::new(budget))
+    }
+
+    /// [`PagedGraphStore::open_mem`] drawing from an existing shared
+    /// budget (epoch re-encodes keep the snapshot-wide pool).
+    pub fn open_mem_shared(
+        bytes: Arc<[u8]>,
+        budget: Arc<SharedBudget>,
+    ) -> Result<Arc<PagedGraphStore>, PagerError> {
         PagedGraphStore::open_source(ByteSource::Mem(bytes), budget)
     }
 
     /// Open a blob from any [`ByteSource`].
-    pub fn open_source(src: ByteSource, budget: usize) -> Result<Arc<PagedGraphStore>, PagerError> {
+    pub fn open_source(
+        src: ByteSource,
+        budget: Arc<SharedBudget>,
+    ) -> Result<Arc<PagedGraphStore>, PagerError> {
         let layout = read_layout(&src)?;
         let seg_count = seg_count_for(layout.node_count, layout.seg_span);
         let mut metas = Vec::with_capacity(seg_count as usize * 2);
@@ -214,7 +241,7 @@ impl PagedGraphStore {
         min_edge_weight: f64,
         max_node_weight: f64,
         metas: Vec<SegMeta>,
-        budget: usize,
+        budget: Arc<SharedBudget>,
     ) -> PagedGraphStore {
         let seg_count = seg_count_for(node_count, seg_span);
         debug_assert_eq!(metas.len(), seg_count as usize * 2);
@@ -223,7 +250,7 @@ impl PagedGraphStore {
         // pin (both directions of) the heaviest until the estimated
         // pinned footprint reaches budget / PIN_FRACTION.
         let mut pinned = vec![false; metas.len()];
-        let pin_target = budget / PIN_FRACTION;
+        let pin_target = budget.total() / PIN_FRACTION;
         let mut order: Vec<u32> = (0..seg_count).collect();
         let mass = |s: u32| -> f64 {
             let (first, end) = seg_range(s, seg_span, node_count);
@@ -269,7 +296,12 @@ impl PagedGraphStore {
 
     /// The configured memory budget in bytes.
     pub fn budget(&self) -> usize {
-        self.budget
+        self.budget.total()
+    }
+
+    /// The shared budget pool this store draws from.
+    pub fn shared_budget(&self) -> &Arc<SharedBudget> {
+        &self.budget
     }
 
     /// The segment span this store was encoded with.
@@ -397,6 +429,7 @@ impl PagedGraphStore {
             },
         );
         cache.resident_bytes += bytes;
+        self.budget.add(bytes);
         self.evict_to_budget(&mut cache, key);
         seg_arc
     }
@@ -416,7 +449,7 @@ impl PagedGraphStore {
     /// resident total fits the budget; periodically re-derive the
     /// pinned set from access counters.
     fn evict_to_budget(&self, cache: &mut SegCache, just_inserted: u32) {
-        while cache.resident_bytes > self.budget {
+        while self.budget.over() {
             let victim = cache
                 .map
                 .iter()
@@ -426,6 +459,7 @@ impl PagedGraphStore {
             let Some(key) = victim else { break };
             let entry = cache.map.remove(&key).expect("victim present");
             cache.resident_bytes -= entry.bytes;
+            self.budget.sub(entry.bytes);
             cache.evictions_since_repin += 1;
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -439,7 +473,7 @@ impl PagedGraphStore {
     /// segments until the estimated pinned footprint reaches
     /// budget / PIN_FRACTION, unpinning everything else.
     fn repin_from_access(&self, cache: &mut SegCache) {
-        let pin_target = self.budget / PIN_FRACTION;
+        let pin_target = self.budget.total() / PIN_FRACTION;
         let mut order: Vec<usize> = (0..cache.access.len()).collect();
         order.sort_by_key(|&k| (std::cmp::Reverse(cache.access[k]), k));
         cache.pinned.fill(false);
@@ -580,7 +614,7 @@ impl PagedGraphStore {
             min_edge_weight,
             max_node_weight,
             metas,
-            self.budget,
+            Arc::clone(&self.budget),
         ))))
     }
 
@@ -706,7 +740,7 @@ impl GraphStore for PagedGraphStore {
         StorageStats {
             resident_bytes: cache.resident_bytes,
             pinned_bytes: pinned_resident,
-            budget_bytes: self.budget,
+            budget_bytes: self.budget.total(),
             segment_count: self.metas.len(),
             resident_segments: cache.map.len(),
             pinned_segments: cache.pinned.iter().filter(|&&p| p).count(),
@@ -722,9 +756,18 @@ impl GraphStore for PagedGraphStore {
 
     fn reencode(&self, graph: &Graph) -> Option<Arc<dyn GraphStore>> {
         let blob = encode_paged_blob(graph, self.seg_span);
-        let store = PagedGraphStore::open_mem(blob.into(), self.budget)
+        let store = PagedGraphStore::open_mem_shared(blob.into(), Arc::clone(&self.budget))
             .expect("freshly encoded blob must be valid");
         Some(store)
+    }
+}
+
+impl Drop for PagedGraphStore {
+    fn drop(&mut self) {
+        // Return this store's resident bytes to the shared pool so a
+        // dropped epoch doesn't starve the stores that replaced it.
+        let resident = self.cache.get_mut().map(|c| c.resident_bytes).unwrap_or(0);
+        self.budget.sub(resident);
     }
 }
 

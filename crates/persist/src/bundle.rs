@@ -1,17 +1,17 @@
 //! Full-system snapshot bundles: one file holding everything a server
 //! needs to answer queries — catalog + schemas, table tuples, text-index
 //! postings, the CSR graph, ranking parameters, and the publication
-//! epoch. Version 2 lays the file out for *out-of-core* serving: every
-//! section sits at a directory-recorded offset, and the two bulky
-//! sections (postings and graph) use formats that can be served
+//! epoch. Version 3 lays the file out for *out-of-core* serving: every
+//! section sits at a directory-recorded offset, and the three bulky
+//! sections (tuples, postings, graph) use formats that can be served
 //! straight off the file — [`open_bundle_paged`] — instead of decoded
 //! front-to-back.
 //!
-//! ## Version 2 layout (all integers little-endian)
+//! ## Version 3 layout (all integers little-endian)
 //!
 //! ```text
 //! magic           "BNKSBNDL"                        8 bytes
-//! version         u32  (= 2)                        4
+//! version         u32  (= 3)                        4
 //! section_count   u32  (= 4)                        4
 //! directory       4 × 32 bytes                      per section:
 //!                                                     magic     [u8; 8]
@@ -20,7 +20,7 @@
 //!                                                     checksum  u64  (stream over payload)
 //! header checksum u64                               stream over everything above
 //! BNKSMETA payload                                  epoch, score params, graph config
-//! BNKSDATA payload                                  banks_storage::binary::write_database
+//! BNKSDATA payload                                  banks_storage::blocks v3 DATA section
 //! BNKSTIDX payload                                  banks_storage::postings (packed, lazy-readable)
 //! zero padding to a 4096 boundary
 //! BNKSGRPH payload                                  banks_pager::encode_paged_blob
@@ -31,17 +31,24 @@
 //! The graph payload is the `banks-pager` paged blob: 4096-aligned so
 //! its 64-byte-aligned internal segments stay aligned on disk, directly
 //! mmap-able, and openable by [`banks_pager::PagedGraphStore`] without
-//! touching the segment payloads. A *full* load still verifies every
-//! section's whole-payload checksum; a *paged* open verifies the bundle
-//! header, the meta/data payloads it must decode anyway, and the
-//! internal checksummed directories of the postings and graph sections,
-//! trading whole-payload verification of the two lazy sections for not
-//! reading their bytes (payload corruption there is still caught —
-//! per-segment checksums at page-in, skeleton validation at open).
+//! touching the segment payloads. The DATA payload is the v3 tuple
+//! section of `banks_storage::blocks`: catalog text, liveness bitmaps,
+//! and PK→slot lanes behind a checksummed directory, with tuples in
+//! fixed-span slot blocks that [`banks_pager::PagedTupleStore`] pages in
+//! on first touch. A *full* load still verifies every section's
+//! whole-payload checksum; a *paged* open verifies the bundle header,
+//! the (few-dozen-byte) meta payload, and the internal checksummed
+//! directories of the data, postings, and graph sections, trading
+//! whole-payload verification of the lazy sections for not reading
+//! their bytes (payload corruption there is still caught — per-segment
+//! and per-block checksums at page-in, skeleton validation at open).
 //!
-//! Version 1 bundles (sequential `magic + len` frames, graph as the
+//! Version 2 bundles (same directory, DATA as the sequential
+//! `banks_storage::binary` stream — eager-only) and version 1 bundles
+//! (sequential `magic + len` frames, graph as the
 //! `banks_graph::snapshot` format, postings interleaved) remain fully
-//! loadable; writing always produces version 2.
+//! loadable; a v2 file can still be *paged* for its postings and graph,
+//! with its tuples decoded eagerly. Writing always produces version 3.
 //!
 //! Saving goes through [`banks_util::fs::atomic_write`]: temp file,
 //! fsync, rename, directory fsync. A bundle either exists completely at
@@ -62,9 +69,9 @@ use banks_core::{
 };
 use banks_graph::fxhash::FxHasher;
 use banks_graph::Graph;
-use banks_pager::{ByteSource, PagedGraphStore};
+use banks_pager::{ByteSource, PagedGraphStore, PagedTupleStore, SharedBudget};
 use banks_storage::postings::{self, LazyTextIndex, PostingSource};
-use banks_storage::{binary, TextIndex};
+use banks_storage::{binary, blocks, Database, TextIndex};
 use std::fs::File;
 use std::hash::Hasher;
 use std::io::{Read, Write};
@@ -75,7 +82,7 @@ use std::sync::Arc;
 /// File magic.
 pub const BUNDLE_MAGIC: &[u8; 8] = b"BNKSBNDL";
 /// Format version written by [`write_bundle`].
-pub const BUNDLE_VERSION: u32 = 2;
+pub const BUNDLE_VERSION: u32 = 3;
 
 const SECTION_META: &[u8; 8] = b"BNKSMETA";
 const SECTION_DATA: &[u8; 8] = b"BNKSDATA";
@@ -241,11 +248,16 @@ fn decode_meta(bytes: &[u8]) -> PersistResult<BundleMeta> {
     })
 }
 
-/// Serialize `banks` (stamped as `epoch`) into `out` — always version 2.
+/// Serialize `banks` (stamped as `epoch`) into `out` — always version 3.
+///
+/// The DATA section goes through [`blocks::encode_database_v3`], which
+/// is copy-on-write for a lazily-opened database: tuple blocks and PK
+/// lanes untouched since the snapshot was opened are copied raw from
+/// the backing store, so publishing an ingest epoch rewrites only the
+/// blocks that epoch touched.
 pub fn write_bundle(banks: &Banks, epoch: u64, mut out: impl Write) -> PersistResult<()> {
     let meta = encode_meta(epoch, banks.config());
-    let mut data = Vec::with_capacity(64 * 1024);
-    binary::write_database(banks.db(), &mut data)?;
+    let data = blocks::encode_database_v3(banks.db())?;
     let mut tidx = Vec::with_capacity(64 * 1024);
     postings::write_packed_postings(banks.text_index(), &mut tidx)?;
     let grph =
@@ -402,7 +414,13 @@ fn verify_section<'a>(bytes: &'a [u8], entry: &SectionEntry) -> PersistResult<&'
     Ok(payload)
 }
 
-fn decode_bundle_v2(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Banks, BundleMeta)> {
+/// Decode a directory-laid-out bundle (version 2 or 3 — they share the
+/// header; only the DATA payload format differs).
+fn decode_bundle_dir(
+    bytes: &[u8],
+    base_config: &BanksConfig,
+    version: u32,
+) -> PersistResult<(Banks, BundleMeta)> {
     let dir = parse_directory_v2(bytes, bytes.len() as u64)?;
     // Inter-section gaps (alignment padding) must be zero — every byte
     // of the file is either checksummed payload or provably-dead zeros,
@@ -427,8 +445,13 @@ fn decode_bundle_v2(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(B
     // threads while this one takes the database — restore wall-clock is
     // the *max* of the section costs, not their sum. A single-core host
     // decodes sequentially (spawning would only add overhead).
-    let decode_data =
-        || -> PersistResult<_> { Ok(binary::read_database(verify_section(bytes, &dir.data)?)?) };
+    let decode_data = || -> PersistResult<_> {
+        let payload = verify_section(bytes, &dir.data)?;
+        Ok(match version {
+            2 => binary::read_database(payload)?,
+            _ => blocks::decode_database_v3(payload)?,
+        })
+    };
     let decode_tidx = || -> PersistResult<_> {
         Ok(postings::read_packed_postings(verify_section(
             bytes, &dir.tidx,
@@ -574,7 +597,7 @@ fn bundle_version(bytes: &[u8]) -> PersistResult<u32> {
 fn decode_bundle(bytes: &[u8], base_config: &BanksConfig) -> PersistResult<(Banks, BundleMeta)> {
     match bundle_version(bytes)? {
         1 => decode_bundle_v1(bytes, base_config),
-        2 => decode_bundle_v2(bytes, base_config),
+        v @ (2 | 3) => decode_bundle_dir(bytes, base_config, v),
         other => Err(PersistError::BadVersion(other)),
     }
 }
@@ -620,15 +643,18 @@ impl PostingSource for FileRange {
     }
 }
 
-/// Open the version-2 bundle at `path` *paged*: catalog and tuples are
-/// decoded eagerly (they are structural — every search path walks
-/// them), but postings serve lazily off the file per term, and the
-/// graph serves through a [`PagedGraphStore`] that keeps decoded
-/// segments under `budget` bytes. Cold-open cost is the meta + data
-/// sections plus two small directories — independent of how large the
-/// postings and graph payloads are.
+/// Open the bundle at `path` *paged*: every bulky section serves
+/// lazily off the file. Postings page in per term, the graph serves
+/// through a [`PagedGraphStore`], and — on a version-3 bundle — tuples
+/// serve through a [`PagedTupleStore`] over the v3 DATA section. The
+/// graph and tuple caches draw from one [`SharedBudget`], so `budget`
+/// bounds their *combined* decoded-resident bytes. Cold-open cost is
+/// the meta section plus three checksummed directories —
+/// O(segments + blocks), independent of tuple, posting, and edge
+/// counts.
 ///
-/// Only version 2 bundles can be paged; a version-1 file is
+/// A version-2 bundle still pages its postings and graph but decodes
+/// its (sequential-format) DATA section eagerly. A version-1 file is
 /// [`PersistError::BadVersion`] here (load it fully instead).
 pub fn open_bundle_paged(
     path: &Path,
@@ -642,10 +668,10 @@ pub fn open_bundle_paged(
     }
     let mut header = vec![0u8; V2_HEADER];
     file.read_exact_at(&mut header, 0)?;
-    match bundle_version(&header)? {
-        2 => {}
+    let version = match bundle_version(&header)? {
+        v @ (2 | 3) => v,
         other => return Err(PersistError::BadVersion(other)),
-    }
+    };
     let dir = parse_directory_v2(&header, file_len)?;
 
     let read_section = |entry: &SectionEntry| -> PersistResult<Vec<u8>> {
@@ -658,29 +684,37 @@ pub fn open_bundle_paged(
         Ok(buf)
     };
     let meta = decode_meta(&read_section(&dir.meta)?)?;
-    // The data read+decode dominates a paged open; the two directory
-    // opens are small but disk-bound, so overlap them with it.
-    let (db, tidx_and_store) = std::thread::scope(|scope| {
-        let dirs = scope.spawn(|| -> PersistResult<_> {
-            let lazy = LazyTextIndex::open(Arc::new(FileRange {
-                file: Arc::clone(&file),
-                base: dir.tidx.offset,
-                len: dir.tidx.len,
-            }))?;
-            let store = PagedGraphStore::open_file(
+    // Every per-section open here is a directory-sized read — nothing
+    // left worth overlapping on a thread (v2's eager DATA decode used
+    // to be, but it is the compat path now and stays simple).
+    let lazy = LazyTextIndex::open(Arc::new(FileRange {
+        file: Arc::clone(&file),
+        base: dir.tidx.offset,
+        len: dir.tidx.len,
+    }))?;
+    let shared = SharedBudget::new(budget);
+    let store = PagedGraphStore::open_file_shared(
+        Arc::clone(&file),
+        dir.grph.offset,
+        dir.grph.len,
+        Arc::clone(&shared),
+    )?;
+    let db = match version {
+        2 => binary::read_database(&read_section(&dir.data)?)?,
+        _ => {
+            banks_util::fault::maybe_fault("bundle.section.read")?;
+            let tuples = PagedTupleStore::open_file(
                 Arc::clone(&file),
-                dir.grph.offset,
-                dir.grph.len,
-                budget,
+                dir.data.offset,
+                dir.data.len,
+                shared,
             )?;
-            Ok((lazy, store))
-        });
-        let db: PersistResult<_> = (|| Ok(binary::read_database(&read_section(&dir.data)?)?))();
-        (db, dirs.join().expect("directory-open thread panicked"))
-    });
-    let (lazy, store) = tidx_and_store?;
+            let schema_text = tuples.layout().schema_text.clone();
+            Database::open_lazy(&schema_text, tuples)?
+        }
+    };
     let text_index = TextIndex::from_lazy(Arc::new(lazy));
-    assemble(db?, text_index, Graph::from_store(store), meta, base_config)
+    assemble(db, text_index, Graph::from_store(store), meta, base_config)
 }
 
 /// Read just enough of the bundle at `path` to learn its epoch: the
@@ -716,7 +750,7 @@ pub fn peek_epoch(path: &Path) -> PersistResult<u64> {
             file.read_exact_at(&mut meta, 28)?;
             Ok(decode_meta(&meta)?.epoch)
         }
-        2 => {
+        2 | 3 => {
             if file_len < V2_HEADER as u64 {
                 return Err(PersistError::Malformed("bundle shorter than header".into()));
             }
@@ -739,7 +773,7 @@ pub fn peek_epoch(path: &Path) -> PersistResult<u64> {
 pub struct BundleInfo {
     /// The meta section.
     pub meta: BundleMeta,
-    /// Bundle format version (1 or 2).
+    /// Bundle format version (1, 2, or 3).
     pub version: u32,
     /// Database name.
     pub database: String,
@@ -761,12 +795,51 @@ pub struct BundleInfo {
     pub file_bytes: u64,
 }
 
-/// Fully validate and summarize the bundle at `path` (decodes every
-/// section, verifies the checksums — an `Ok` here means the bundle
-/// loads).
+/// Validate and summarize the bundle at `path`. Every section's
+/// checksum is verified — an `Ok` here means the bundle loads. On a
+/// version-3 bundle the per-relation tuple counts come straight from
+/// the v3 DATA directory (and the graph's node/edge counts from the
+/// paged blob's), without decoding a single tuple block or adjacency
+/// segment; older versions decode their sections fully.
 pub fn inspect_bundle(path: &Path) -> PersistResult<BundleInfo> {
     let bytes = std::fs::read(path)?;
     let version = bundle_version(&bytes)?;
+    if version == 3 {
+        let dir = parse_directory_v2(&bytes, bytes.len() as u64)?;
+        let meta = decode_meta(verify_section(&bytes, &dir.meta)?)?;
+        let layout = blocks::DataLayout::parse(verify_section(&bytes, &dir.data)?)?;
+        let schema = banks_storage::bundle::schema_from_text(&layout.schema_text)?;
+        if schema.relation_count() != layout.relations.len() {
+            return Err(PersistError::Malformed(format!(
+                "schema declares {} relations but the v3 directory carries {}",
+                schema.relation_count(),
+                layout.relations.len()
+            )));
+        }
+        let text_index = postings::read_packed_postings(verify_section(&bytes, &dir.tidx)?)?;
+        let graph_store = banks_pager::PagedGraphStore::open_mem(
+            verify_section(&bytes, &dir.grph)?.to_vec().into(),
+            0,
+        )?;
+        let graph = Graph::from_store(graph_store);
+        return Ok(BundleInfo {
+            version,
+            database: schema.name().to_string(),
+            relations: schema
+                .relations()
+                .zip(&layout.relations)
+                .map(|(t, r)| (t.schema().name.clone(), r.live_count as usize))
+                .collect(),
+            tuples: layout.total_live() as usize,
+            tokens: text_index.distinct_tokens(),
+            postings: text_index.posting_count(),
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            section_bytes: (dir.meta.len, dir.data.len, dir.tidx.len, dir.grph.len),
+            file_bytes: bytes.len() as u64,
+            meta,
+        });
+    }
     let (meta, db, text_index, graph, section_bytes) = match version {
         1 => {
             let sections = split_sections_v1(&bytes)?;
@@ -997,6 +1070,11 @@ mod tests {
         let (paged, meta) = open_bundle_paged(&path, 1 << 16, &BanksConfig::default()).unwrap();
         assert_eq!(meta.epoch, 7);
         assert!(paged.text_index().is_lazy());
+        // The tuple store is lazy too, and the open itself decoded no
+        // tuple block — the O(blocks) cold-open contract.
+        let tstats = paged.db().tuple_store_stats().expect("lazy tuple store");
+        assert_eq!(tstats.page_ins, 0, "cold open must not decode tuple blocks");
+        assert_eq!(tstats.budget_bytes, 1 << 16);
         let stats = paged
             .tuple_graph()
             .graph()
@@ -1005,6 +1083,23 @@ mod tests {
         assert!(stats.budget_bytes == 1 << 16);
         assert_same_answers(&full, &paged, "mohan sudarshan");
         assert_same_answers(&full, &paged, "recovery");
+        // Search itself never decoded a tuple (it runs on the graph and
+        // text index); reading values — what answer rendering does —
+        // pages blocks in, and the values match the eager load.
+        for (ft, pt) in full.db().relations().zip(paged.db().relations()) {
+            for slot in 0..ft.slot_count() as u32 {
+                assert_eq!(ft.get(slot).cloned(), pt.get(slot).cloned());
+            }
+        }
+        let tstats = paged.db().tuple_store_stats().unwrap();
+        assert!(tstats.page_ins > 0, "value reads must page tuple blocks in");
+        let gstats = paged.tuple_graph().graph().storage_stats().unwrap();
+        assert!(
+            tstats.resident_bytes + gstats.resident_bytes <= 1 << 16,
+            "shared budget overshot: tuples {} + graph {}",
+            tstats.resident_bytes,
+            gstats.resident_bytes
+        );
         // The paged graph is bit-identical to the decoded one.
         let (g, h) = (full.tuple_graph().graph(), paged.tuple_graph().graph());
         for v in g.nodes() {
@@ -1046,6 +1141,114 @@ mod tests {
         let checksum = stream_checksum(&bytes);
         bytes.extend_from_slice(&checksum.to_le_bytes());
         bytes
+    }
+
+    /// A hand-rolled v2 writer: same directory layout as v3 but with
+    /// the DATA payload in the sequential `banks_storage::binary`
+    /// stream format. Exactly what `write_bundle` produced before
+    /// version 3; reading — and paging — those files must keep working.
+    fn write_bundle_v2(banks: &Banks, epoch: u64) -> Vec<u8> {
+        let meta = encode_meta(epoch, banks.config());
+        let mut data = Vec::new();
+        binary::write_database(banks.db(), &mut data).unwrap();
+        let mut tidx = Vec::new();
+        postings::write_packed_postings(banks.text_index(), &mut tidx).unwrap();
+        let grph = banks_pager::encode_paged_blob(
+            banks.tuple_graph().graph(),
+            banks_pager::DEFAULT_SEG_SPAN,
+        );
+
+        let meta_off = V2_HEADER as u64;
+        let data_off = meta_off + meta.len() as u64;
+        let tidx_off = data_off + data.len() as u64;
+        let tidx_end = tidx_off + tidx.len() as u64;
+        let grph_off = tidx_end.next_multiple_of(GRAPH_ALIGN);
+
+        let mut out = Vec::new();
+        out.extend_from_slice(BUNDLE_MAGIC);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&(SECTION_MAGICS.len() as u32).to_le_bytes());
+        let payloads: [(&[u8; 8], u64, &[u8]); 4] = [
+            (SECTION_META, meta_off, &meta),
+            (SECTION_DATA, data_off, &data),
+            (SECTION_TIDX, tidx_off, &tidx),
+            (SECTION_GRPH, grph_off, &grph),
+        ];
+        for (magic, offset, payload) in &payloads {
+            out.extend_from_slice(*magic);
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&stream_checksum(payload).to_le_bytes());
+        }
+        let header_checksum = stream_checksum(&out);
+        out.extend_from_slice(&header_checksum.to_le_bytes());
+        out.extend_from_slice(&meta);
+        out.extend_from_slice(&data);
+        out.extend_from_slice(&tidx);
+        out.extend_from_slice(&vec![0u8; (grph_off - tidx_end) as usize]);
+        out.extend_from_slice(&grph);
+        out
+    }
+
+    #[test]
+    fn version2_bundles_still_load_and_page() {
+        let banks = Banks::new(dblp()).unwrap();
+        let v2 = write_bundle_v2(&banks, 13);
+        let (restored, meta) = read_bundle(v2.as_slice(), &BanksConfig::default()).unwrap();
+        assert_eq!(meta.epoch, 13);
+        assert_same_answers(&banks, &restored, "mohan sudarshan");
+
+        // v2 corruption still detected.
+        let mut bad = v2.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(read_bundle(bad.as_slice(), &BanksConfig::default()).is_err());
+
+        // A v2 file pages its postings and graph; tuples fall back to
+        // an eager decode (no lazy tuple store).
+        let dir = std::env::temp_dir().join(format!(
+            "banks_bundle_v2_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.banks");
+        std::fs::write(&path, &v2).unwrap();
+        let (paged, meta) = open_bundle_paged(&path, 1 << 20, &BanksConfig::default()).unwrap();
+        assert_eq!(meta.epoch, 13);
+        assert!(paged.text_index().is_lazy());
+        assert!(paged.db().tuple_store_stats().is_none());
+        assert_same_answers(&banks, &paged, "mohan sudarshan");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_counts_come_from_the_v3_directory() {
+        let banks = Banks::new(dblp()).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "banks_bundle_inspect_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.banks");
+        save_bundle(&banks, 21, &path).unwrap();
+        let info = inspect_bundle(&path).unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.database, "dblp");
+        assert_eq!(info.tuples, 5);
+        assert_eq!(
+            info.relations,
+            vec![
+                ("Author".to_string(), 2),
+                ("Paper".to_string(), 1),
+                ("Writes".to_string(), 2),
+            ]
+        );
+        assert_eq!(info.nodes, 5);
+        assert!(info.edges > 0);
+        assert!(info.tokens > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

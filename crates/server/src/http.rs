@@ -1191,6 +1191,28 @@ fn stats_json(
                         ]),
                     ));
                 }
+                // Lazy tuple store (v3 bundles): block residency under
+                // the same shared budget as the graph segments.
+                if let Some(t) = banks.db().tuple_store_stats() {
+                    pairs.push((
+                        "tuples".to_string(),
+                        Json::obj([
+                            ("resident_bytes", Json::Uint(t.resident_bytes as u64)),
+                            ("pinned_bytes", Json::Uint(t.pinned_bytes as u64)),
+                            (
+                                "blocks",
+                                Json::obj([
+                                    ("total", Json::Uint(t.block_count as u64)),
+                                    ("resident", Json::Uint(t.resident_blocks as u64)),
+                                    ("pinned", Json::Uint(t.pinned_blocks as u64)),
+                                ]),
+                            ),
+                            ("page_ins", Json::Uint(t.page_ins)),
+                            ("evictions", Json::Uint(t.evictions)),
+                            ("decode_micros", Json::Uint(t.decode_nanos / 1_000)),
+                        ]),
+                    ));
+                }
                 Json::Obj(pairs)
             }
             None => Json::obj([("backend", Json::Str("in-ram".into()))]),
@@ -1376,6 +1398,9 @@ mod tests {
             "banks_pager_budget_bytes",
             "banks_pager_resident_bytes",
             "banks_pager_page_ins_total",
+            "banks_tuple_resident_bytes",
+            "banks_tuple_page_ins_total",
+            "banks_tuple_evictions_total",
         ] {
             assert!(
                 body.contains(&format!("# TYPE {family} ")),
@@ -1390,6 +1415,7 @@ mod tests {
         assert!(body.contains(r#"banks_http_requests_total{endpoint="/search"} 2"#));
         // The in-RAM backend still exports pager families, as zeros.
         assert!(body.contains("banks_pager_budget_bytes 0"));
+        assert!(body.contains("banks_tuple_resident_bytes 0"));
     }
 
     #[test]

@@ -308,6 +308,31 @@ fn service_families(service: &QueryService) -> Vec<CollectedFamily> {
         c,
         pick(|s| s.evictions as f64),
     ));
+    // Tuple-store families mirror the pager's: zeros for an eager
+    // database, live counters when `--paged` serves tuples lazily off
+    // the v3 DATA section. The tuple and graph caches share one
+    // budget, so `banks_pager_budget_bytes` is the combined cap.
+    let tuples = banks.db().tuple_store_stats();
+    let tpick =
+        |f: fn(&banks_storage::TupleStoreStats) -> f64| tuples.as_ref().map(f).unwrap_or(0.0);
+    fams.push(CollectedFamily::scalar(
+        "banks_tuple_resident_bytes",
+        "Decoded tuple-block bytes currently resident.",
+        g,
+        tpick(|s| s.resident_bytes as f64),
+    ));
+    fams.push(CollectedFamily::scalar(
+        "banks_tuple_page_ins_total",
+        "Tuple blocks decoded into residency.",
+        c,
+        tpick(|s| s.page_ins as f64),
+    ));
+    fams.push(CollectedFamily::scalar(
+        "banks_tuple_evictions_total",
+        "Resident tuple blocks evicted under budget pressure.",
+        c,
+        tpick(|s| s.evictions as f64),
+    ));
     fams
 }
 

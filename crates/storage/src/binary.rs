@@ -199,6 +199,15 @@ fn take_value(cur: &mut Cur<'_>) -> StorageResult<Value> {
 /// dumping it verbatim preserves the live system's exact per-target
 /// reference order.
 pub fn write_database(db: &Database, w: &mut impl Write) -> StorageResult<()> {
+    if db.tuple_store().is_some() {
+        // A lazy database serializes through the copy-on-write v3
+        // writer (`blocks::encode_database_v3`); this path collects
+        // more borrowed reference lists at once than the keep-alive
+        // ring licenses.
+        return Err(StorageError::Corrupt(
+            "cannot write a lazily-opened database as a v2 DATA stream".into(),
+        ));
+    }
     put_bytes(w, schema_to_text(db).as_bytes())?;
     put_u32(w, db.relation_count() as u32)?;
     for table in db.relations() {

@@ -6,13 +6,19 @@
 //! (both derived from indegree) and the "browse a primary key backwards"
 //! feature of §4.
 
+use crate::blocks::{
+    checksum64, decode_lane, encode_block, encode_lane, RelationPayload, TupleBlock, TupleStore,
+    TupleStoreStats, BLOCK_SPAN,
+};
+use crate::bundle::schema_from_text;
 use crate::error::{StorageError, StorageResult};
 use crate::schema::RelationSchema;
 use crate::table::Table;
 use crate::tuple::{RelationId, Rid, Tuple};
 use crate::value::Value;
-use banks_util::fxhash::FxHashMap;
+use banks_util::fxhash::{FxHashMap, FxHashSet};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A recorded reverse reference: tuple `from` references the indexed tuple
 /// through foreign key `fk_index` of `from`'s relation.
@@ -24,6 +30,29 @@ pub struct BackRef {
     pub fk_index: usize,
 }
 
+/// The reverse-reference index: fully resident, or a view over a
+/// [`TupleStore`]'s per-block back-reference sublanes.
+///
+/// In the lazy representation a target's list is read straight out of
+/// its tuple block until the first mutation touches it, at which point
+/// the full list materializes into the overlay (lists are short — a
+/// tuple's indegree — so full-replacement is cheap) and stays
+/// authoritative from then on.
+#[derive(Debug, Clone)]
+enum BackRefsRepr {
+    Eager(FxHashMap<Rid, Vec<BackRef>>),
+    Lazy {
+        store: Arc<dyn TupleStore>,
+        overlay: FxHashMap<Rid, Vec<BackRef>>,
+    },
+}
+
+impl Default for BackRefsRepr {
+    fn default() -> BackRefsRepr {
+        BackRefsRepr::Eager(FxHashMap::default())
+    }
+}
+
 /// An in-memory relational database.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
@@ -32,8 +61,9 @@ pub struct Database {
     by_name: HashMap<String, RelationId>,
     /// rid → tuples referencing it. Maintained on insert/delete;
     /// Fx-hashed — touched on every insert/delete/update and rebuilt
-    /// wholesale on binary-snapshot restore.
-    back_refs: FxHashMap<Rid, Vec<BackRef>>,
+    /// wholesale on binary-snapshot restore. Lazy databases read base
+    /// lists out of tuple blocks instead (see [`BackRefsRepr`]).
+    back_refs: BackRefsRepr,
     /// Total number of resolved foreign-key links.
     link_count: usize,
 }
@@ -183,19 +213,53 @@ impl Database {
         }
         let rid = self.tables[id.index()].insert(values)?;
         for (fk_index, target) in resolved {
-            self.back_refs.entry(target).or_default().push(BackRef {
+            self.add_back_ref(target, BackRef {
                 from: rid,
                 fk_index,
             });
-            self.link_count += 1;
         }
         Ok(rid)
+    }
+
+    /// Record that `br.from` references `target`.
+    fn add_back_ref(&mut self, target: Rid, br: BackRef) {
+        match &mut self.back_refs {
+            BackRefsRepr::Eager(map) => map.entry(target).or_default().push(br),
+            BackRefsRepr::Lazy { store, overlay } => {
+                overlay
+                    .entry(target)
+                    .or_insert_with(|| base_refs_of(&**store, target))
+                    .push(br);
+            }
+        }
+        self.link_count += 1;
+    }
+
+    /// Drop the reverse reference `(from, fk_index)` from `target`'s
+    /// list, if present.
+    fn remove_back_ref(&mut self, target: Rid, from: Rid, fk_index: usize) {
+        let refs = match &mut self.back_refs {
+            BackRefsRepr::Eager(map) => match map.get_mut(&target) {
+                Some(refs) => refs,
+                None => return,
+            },
+            BackRefsRepr::Lazy { store, overlay } => overlay
+                .entry(target)
+                .or_insert_with(|| base_refs_of(&**store, target)),
+        };
+        if let Some(pos) = refs
+            .iter()
+            .position(|b| b.from == from && b.fk_index == fk_index)
+        {
+            refs.swap_remove(pos);
+            self.link_count -= 1;
+        }
     }
 
     /// Delete a tuple. Fails (RESTRICT semantics) if other tuples still
     /// reference it.
     pub fn delete(&mut self, rid: Rid) -> StorageResult<Tuple> {
-        if self.back_refs.get(&rid).is_some_and(|v| !v.is_empty()) {
+        if !self.referencing(rid).is_empty() {
             return Err(StorageError::ForeignKeyViolation {
                 relation: self.table(rid.relation).schema().name.clone(),
                 referenced: self.table(rid.relation).schema().name.clone(),
@@ -209,15 +273,7 @@ impl Database {
             if let Some(key) = Self::fk_key(&schema, fk_index, &values) {
                 let fk = &schema.foreign_keys[fk_index];
                 if let Some(target_rid) = self.relation(&fk.ref_relation)?.lookup_pk(&key) {
-                    if let Some(refs) = self.back_refs.get_mut(&target_rid) {
-                        if let Some(pos) = refs
-                            .iter()
-                            .position(|b| b.from == rid && b.fk_index == fk_index)
-                        {
-                            refs.swap_remove(pos);
-                            self.link_count -= 1;
-                        }
-                    }
+                    self.remove_back_ref(target_rid, rid, fk_index);
                 }
             }
         }
@@ -333,22 +389,13 @@ impl Database {
         }
         for (fk_index, old_target, new_target) in relink {
             if let Some(target) = old_target {
-                if let Some(refs) = self.back_refs.get_mut(&target) {
-                    if let Some(pos) = refs
-                        .iter()
-                        .position(|b| b.from == rid && b.fk_index == fk_index)
-                    {
-                        refs.swap_remove(pos);
-                        self.link_count -= 1;
-                    }
-                }
+                self.remove_back_ref(target, rid, fk_index);
             }
             if let Some(target) = new_target {
-                self.back_refs.entry(target).or_default().push(BackRef {
+                self.add_back_ref(target, BackRef {
                     from: rid,
                     fk_index,
                 });
-                self.link_count += 1;
             }
         }
         Ok(assignments
@@ -424,7 +471,7 @@ impl Database {
                 )));
             }
         }
-        self.back_refs = back_refs;
+        self.back_refs = BackRefsRepr::Eager(back_refs);
         self.link_count = total;
         Ok(())
     }
@@ -454,11 +501,26 @@ impl Database {
 
     /// All tuples referencing `rid` (the backward direction of §4 browsing
     /// and the indegree of §2.2).
+    ///
+    /// On a lazy database an untouched target's list is read out of its
+    /// tuple block, so the borrow is keep-alive-ring licensed (valid for
+    /// the next 63 block accesses on this thread); every in-tree caller
+    /// consumes it before the next access.
     pub fn referencing(&self, rid: Rid) -> &[BackRef] {
-        self.back_refs
-            .get(&rid)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        match &self.back_refs {
+            BackRefsRepr::Eager(map) => {
+                map.get(&rid).map(|v| v.as_slice()).unwrap_or(&[])
+            }
+            BackRefsRepr::Lazy { overlay, .. } => {
+                if let Some(refs) = overlay.get(&rid) {
+                    return refs;
+                }
+                self.tables
+                    .get(rid.relation.index())
+                    .and_then(|t| t.base_refs(rid.slot))
+                    .unwrap_or(&[])
+            }
+        }
     }
 
     /// Indegree of a tuple: number of references to it (the paper's node
@@ -518,6 +580,297 @@ impl Database {
             Some(t) => format!("{}({key}: {t})", schema.name),
             None => format!("{}({key})", schema.name),
         })
+    }
+
+    /// Is `rid` a live tuple? Answered from presence information alone —
+    /// no block decodes on a lazy database.
+    pub fn is_live(&self, rid: Rid) -> bool {
+        self.tables
+            .get(rid.relation.index())
+            .is_some_and(|t| t.is_live(rid.slot))
+    }
+
+    /// Open a lazy database over `store`: the catalog comes from
+    /// `schema_text` (the store's recorded schema), tuples and reverse
+    /// references page in from the store on demand, and mutations land
+    /// in per-table overlays so a later snapshot rewrites only touched
+    /// blocks.
+    pub fn open_lazy(schema_text: &str, store: Arc<dyn TupleStore>) -> StorageResult<Database> {
+        let mut db = schema_from_text(schema_text)?;
+        if db.relation_count() != store.relation_count() {
+            return Err(StorageError::Corrupt(format!(
+                "schema declares {} relations but the tuple store carries {}",
+                db.relation_count(),
+                store.relation_count()
+            )));
+        }
+        for (rel, table) in db.tables.iter_mut().enumerate() {
+            table.make_lazy(Arc::clone(&store), rel as u32)?;
+        }
+        db.link_count = usize::try_from(store.link_count())
+            .map_err(|_| StorageError::Corrupt("tuple store link count overflows usize".into()))?;
+        db.back_refs = BackRefsRepr::Lazy {
+            store,
+            overlay: FxHashMap::default(),
+        };
+        Ok(db)
+    }
+
+    /// The backing tuple store, if this database is lazy.
+    pub fn tuple_store(&self) -> Option<&Arc<dyn TupleStore>> {
+        match &self.back_refs {
+            BackRefsRepr::Eager(_) => None,
+            BackRefsRepr::Lazy { store, .. } => Some(store),
+        }
+    }
+
+    /// Cache counters of the backing tuple store (`None` when fully
+    /// resident).
+    pub fn tuple_store_stats(&self) -> Option<TupleStoreStats> {
+        self.tuple_store().map(|s| s.stats())
+    }
+
+    /// Build one relation's v3 section payloads (see
+    /// [`crate::blocks::encode_database_v3`]). On a lazy database this
+    /// is copy-on-write: blocks and lanes untouched since open are
+    /// copied raw from the backing store, checksums and all.
+    pub(crate) fn v3_relation_payload(
+        &self,
+        id: RelationId,
+        span: u32,
+    ) -> StorageResult<RelationPayload> {
+        let table = self.table(id);
+        let slot_count = u32::try_from(table.slot_count()).expect("slot count fits u32");
+        let block_count = u64::from(slot_count).div_ceil(u64::from(span)) as u32;
+        let mut presence = vec![0u8; slot_count.div_ceil(8) as usize];
+        for slot in table.live_slots() {
+            presence[(slot / 8) as usize] |= 1 << (slot % 8);
+        }
+
+        // Which blocks must be re-encoded? All of them on an eager
+        // database; on a lazy one, only blocks whose tuples or
+        // back-reference lists changed, plus any block whose covered
+        // range grew with appends.
+        let parts = table.lazy_parts();
+        let mut dirty: FxHashSet<u32> = FxHashSet::default();
+        let (clean_source, lane) = match &parts {
+            None => (None, None),
+            Some(p) => {
+                for &slot in &p.overlay_slots {
+                    dirty.insert(slot / span);
+                }
+                if let BackRefsRepr::Lazy { overlay, .. } = &self.back_refs {
+                    for target in overlay.keys().filter(|r| r.relation == id) {
+                        dirty.insert(target.slot / span);
+                    }
+                }
+                if p.slot_count != p.base_slots {
+                    // Blocks ending past the old slot count now cover
+                    // more slots than the stored bytes do.
+                    let first_grown = p.base_slots / span;
+                    for b in first_grown..block_count {
+                        dirty.insert(b);
+                    }
+                }
+                let lane = if p.pk_dirty() {
+                    let (raw, _, _) = p.store.raw_pk_lane(p.rel)?;
+                    let mut entries = decode_lane(&raw)?;
+                    entries.retain(|e| !p.pk_deleted.contains(e));
+                    entries.extend_from_slice(&p.pk_added);
+                    Some(encode_lane(entries))
+                } else {
+                    None
+                };
+                (Some((Arc::clone(p.store), p.rel)), lane)
+            }
+        };
+
+        let pk_lane = match lane {
+            Some(bytes) => bytes,
+            None => match &clean_source {
+                Some((store, rel)) => store.raw_pk_lane(*rel)?.0,
+                None => {
+                    let entries = if table.schema().has_primary_key() {
+                        table
+                            .scan()
+                            .map(|(rid, t)| (table.pk_hash_of_row(t.values()), rid.slot))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    encode_lane(entries)
+                }
+            },
+        };
+
+        let mut blocks = Vec::with_capacity(block_count as usize);
+        for b in 0..block_count {
+            let reuse = match &clean_source {
+                Some((store, rel)) if !dirty.contains(&b) => Some(store.raw_block(*rel, b)?),
+                _ => None,
+            };
+            blocks.push(match reuse {
+                Some(raw) => raw,
+                None => {
+                    let first = b * span;
+                    let end = slot_count.min(first.saturating_add(span));
+                    let bytes = self.encode_block_range(id, first, end);
+                    let checksum = checksum64(&bytes);
+                    (bytes, checksum)
+                }
+            });
+        }
+
+        Ok(RelationPayload {
+            slot_count,
+            live_count: table.len() as u64,
+            presence,
+            pk_checksum: checksum64(&pk_lane),
+            pk_entries: (pk_lane.len() / 12) as u64,
+            pk_lane,
+            blocks,
+        })
+    }
+
+    /// Encode slots `[first, end)` of relation `id` from live state.
+    fn encode_block_range(&self, id: RelationId, first: u32, end: u32) -> Vec<u8> {
+        let table = self.table(id);
+        encode_block((first..end).map(|slot| {
+            table
+                .get(slot)
+                .map(|tuple| (tuple, self.referencing(Rid::new(id, slot))))
+        }))
+    }
+}
+
+/// A target's base reverse-reference list, cloned out of its tuple
+/// block (empty for appended slots, which have no base block).
+fn base_refs_of(store: &dyn TupleStore, target: Rid) -> Vec<BackRef> {
+    let rel = target.relation.0;
+    if target.slot >= store.slot_count(rel) {
+        return Vec::new();
+    }
+    store
+        .block(rel, target.slot / store.block_span())
+        .refs(target.slot)
+        .to_vec()
+}
+
+/// The eager database *is* a tuple store: blocks materialize by cloning
+/// out of the slot vectors. This keeps the two representations
+/// interchangeable (tests diff them directly) and gives the snapshot
+/// writer one code path; it is not a hot path.
+impl TupleStore for Database {
+    fn relation_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn block_span(&self) -> u32 {
+        BLOCK_SPAN
+    }
+
+    fn slot_count(&self, rel: u32) -> u32 {
+        self.tables
+            .get(rel as usize)
+            .map(|t| t.slot_count() as u32)
+            .unwrap_or(0)
+    }
+
+    fn live_count(&self, rel: u32) -> usize {
+        self.tables.get(rel as usize).map(|t| t.len()).unwrap_or(0)
+    }
+
+    fn link_count(&self) -> u64 {
+        self.link_count as u64
+    }
+
+    fn is_live(&self, rel: u32, slot: u32) -> bool {
+        self.is_live(Rid::new(RelationId(rel), slot))
+    }
+
+    fn block(&self, rel: u32, block: u32) -> Arc<TupleBlock> {
+        let id = RelationId(rel);
+        let table = self.table(id);
+        let span = TupleStore::block_span(self);
+        let first = block * span;
+        let end = (table.slot_count() as u32).min(first.saturating_add(span));
+        let mut bytes = 64usize;
+        let tuples: Vec<Option<Tuple>> = (first..end)
+            .map(|s| {
+                let t = table.get(s).cloned();
+                if let Some(t) = &t {
+                    bytes += 48
+                        + t.arity() * 32
+                        + t.values()
+                            .iter()
+                            .map(|v| match v {
+                                Value::Text(s) => s.len(),
+                                _ => 0,
+                            })
+                            .sum::<usize>();
+                }
+                t
+            })
+            .collect();
+        let back_refs: Vec<Vec<BackRef>> = (first..end)
+            .map(|s| {
+                let refs = self.referencing(Rid::new(id, s)).to_vec();
+                bytes += 24 + refs.len() * std::mem::size_of::<BackRef>();
+                refs
+            })
+            .collect();
+        Arc::new(TupleBlock {
+            first_slot: first,
+            tuples,
+            back_refs,
+            bytes,
+        })
+    }
+
+    fn pk_candidates(&self, rel: u32, hash: u64) -> Vec<u32> {
+        self.tables
+            .get(rel as usize)
+            .map(|t| t.pk_candidates_by_hash(hash))
+            .unwrap_or_default()
+    }
+
+    fn raw_block(&self, rel: u32, block: u32) -> StorageResult<(Vec<u8>, u64)> {
+        let id = RelationId(rel);
+        let span = TupleStore::block_span(self);
+        let first = block * span;
+        let end = (self.table(id).slot_count() as u32).min(first.saturating_add(span));
+        let bytes = self.encode_block_range(id, first, end);
+        let checksum = checksum64(&bytes);
+        Ok((bytes, checksum))
+    }
+
+    fn raw_pk_lane(&self, rel: u32) -> StorageResult<(Vec<u8>, u64, u64)> {
+        let id = RelationId(rel);
+        let table = self.table(id);
+        let entries = if table.schema().has_primary_key() {
+            table
+                .scan()
+                .map(|(rid, t)| (table.pk_hash_of_row(t.values()), rid.slot))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let lane = encode_lane(entries);
+        let checksum = checksum64(&lane);
+        let count = (lane.len() / 12) as u64;
+        Ok((lane, checksum, count))
+    }
+
+    fn stats(&self) -> TupleStoreStats {
+        let span = u64::from(TupleStore::block_span(self));
+        TupleStoreStats {
+            block_count: self
+                .tables
+                .iter()
+                .map(|t| (t.slot_count() as u64).div_ceil(span) as usize)
+                .sum(),
+            ..TupleStoreStats::default()
+        }
     }
 }
 

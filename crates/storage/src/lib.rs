@@ -44,6 +44,7 @@
 //! ```
 
 pub mod binary;
+pub mod blocks;
 pub mod bundle;
 pub mod catalog;
 pub mod csv;
@@ -59,6 +60,9 @@ pub mod tokenizer;
 pub mod tuple;
 pub mod value;
 
+pub use blocks::{
+    DataLayout, TupleBlock, TupleStore, TupleStoreStats, BLOCK_SPAN, DATA_V3_MAGIC,
+};
 pub use catalog::{BackRef, Database};
 pub use error::{StorageError, StorageResult};
 pub use metadata::{MetadataIndex, MetadataTarget};

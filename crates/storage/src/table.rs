@@ -1,11 +1,13 @@
 //! A single relation's stored tuples plus its primary-key index.
 
+use crate::blocks::{extend_ref, keep_alive, TupleStore};
 use crate::error::{StorageError, StorageResult};
 use crate::schema::RelationSchema;
 use crate::tuple::{RelationId, Rid, Tuple};
 use crate::value::Value;
-use banks_util::fxhash::{FxHashMap, FxHasher};
+use banks_util::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Slots sharing one primary-key hash. 64-bit hashes over at most a few
 /// million keys make `Many` astronomically rare, so the common entry
@@ -28,6 +30,94 @@ impl PkSlots {
     }
 }
 
+fn pk_map_link(map: &mut FxHashMap<u64, PkSlots>, hash: u64, slot: u32) {
+    match map.entry(hash) {
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(PkSlots::One(slot));
+        }
+        std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+            PkSlots::One(existing) => {
+                let existing = *existing;
+                e.insert(PkSlots::Many(vec![existing, slot]));
+            }
+            PkSlots::Many(slots) => slots.push(slot),
+        },
+    }
+}
+
+fn pk_map_unlink(map: &mut FxHashMap<u64, PkSlots>, hash: u64, slot: u32) {
+    match map.get_mut(&hash) {
+        Some(PkSlots::One(s)) if *s == slot => {
+            map.remove(&hash);
+        }
+        Some(PkSlots::Many(slots)) => {
+            slots.retain(|&s| s != slot);
+            if let [last] = slots[..] {
+                map.insert(hash, PkSlots::One(last));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Where a table's tuples live.
+///
+/// `Eager` is the classic fully-resident slot vector. `Lazy` fronts a
+/// [`TupleStore`] (typically `banks-pager`'s block-paged store): base
+/// slots page in on demand, and all mutation goes to an overlay keyed by
+/// slot, so an ingest epoch touches only the blocks it changes. Reads
+/// merge overlay-over-base; borrows handed out of the base are licensed
+/// by the per-thread keep-alive ring (valid for the next 63 block
+/// accesses on the thread), exactly like the paged graph store's
+/// adjacency slices.
+#[derive(Debug, Clone)]
+enum Repr {
+    Eager {
+        slots: Vec<Option<Tuple>>,
+        live: usize,
+        pk_index: FxHashMap<u64, PkSlots>,
+    },
+    Lazy {
+        store: Arc<dyn TupleStore>,
+        rel: u32,
+        /// Slots present in the backing store; slots at or above this
+        /// are overlay appends.
+        base_slots: u32,
+        /// Current slot count (base + appends).
+        slot_count: u32,
+        live: usize,
+        /// Slot → current tuple (`None` = tombstoned). Appended slots
+        /// are always here; base slots appear once touched.
+        overlay: FxHashMap<u32, Option<Tuple>>,
+        /// PK index over overlay-appended rows only.
+        pk_overlay: FxHashMap<u64, PkSlots>,
+        /// Base PK-lane entries masked out by deletes.
+        pk_deleted: FxHashSet<(u64, u32)>,
+    },
+}
+
+/// Borrowed view of a lazy table's internals, for the copy-on-write
+/// v3 snapshot writer (see [`crate::blocks::encode_database_v3`]).
+pub(crate) struct LazyParts<'a> {
+    pub store: &'a Arc<dyn TupleStore>,
+    pub rel: u32,
+    pub base_slots: u32,
+    pub slot_count: u32,
+    /// Slots with overlay entries (touched base slots + all appends).
+    pub overlay_slots: Vec<u32>,
+    /// PK entries added since open (appended rows).
+    pub pk_added: Vec<(u64, u32)>,
+    /// Base PK-lane entries deleted since open.
+    pub pk_deleted: &'a FxHashSet<(u64, u32)>,
+}
+
+impl LazyParts<'_> {
+    /// Has the PK lane changed since open?
+    pub fn pk_dirty(&self) -> bool {
+        !self.pk_added.is_empty() || !self.pk_deleted.is_empty()
+    }
+}
+
 /// Storage for one relation: a slot vector of tuples (deleted slots become
 /// `None`, so rids stay stable) and a hash index on the primary key.
 ///
@@ -36,13 +126,17 @@ impl PkSlots {
 /// probe key and confirm candidates against the stored tuple, so inserts
 /// and binary-snapshot restores never clone key values, and the index
 /// costs 12 bytes per tuple instead of a cloned `Vec<Value>`.
+///
+/// A table opened from a paged bundle is *lazy*: the slot vector stays
+/// on disk as fixed-span blocks and pages in on first touch, the PK
+/// index is a sorted on-disk lane probed by hash, and mutations land in
+/// an overlay (see [`Repr`]). Every public accessor behaves identically
+/// in both representations.
 #[derive(Debug, Clone)]
 pub struct Table {
     id: RelationId,
     schema: RelationSchema,
-    slots: Vec<Option<Tuple>>,
-    live: usize,
-    pk_index: FxHashMap<u64, PkSlots>,
+    repr: Repr,
 }
 
 impl Table {
@@ -51,14 +145,72 @@ impl Table {
         Table {
             id,
             schema,
-            slots: Vec::new(),
-            live: 0,
-            pk_index: FxHashMap::default(),
+            repr: Repr::Eager {
+                slots: Vec::new(),
+                live: 0,
+                pk_index: FxHashMap::default(),
+            },
         }
     }
 
-    /// Fx hash of a primary-key value sequence.
-    fn pk_hash<'v>(key: impl Iterator<Item = &'v Value>) -> u64 {
+    /// Switch a fresh, empty table to the lazy representation over
+    /// `store`, which carries this relation at index `rel`.
+    pub(crate) fn make_lazy(&mut self, store: Arc<dyn TupleStore>, rel: u32) -> StorageResult<()> {
+        match &self.repr {
+            Repr::Eager { slots, .. } if slots.is_empty() => {}
+            _ => {
+                return Err(StorageError::Corrupt(format!(
+                    "relation `{}` must be empty to attach a tuple store",
+                    self.schema.name
+                )))
+            }
+        }
+        let base_slots = store.slot_count(rel);
+        let live = store.live_count(rel);
+        self.repr = Repr::Lazy {
+            store,
+            rel,
+            base_slots,
+            slot_count: base_slots,
+            live,
+            overlay: FxHashMap::default(),
+            pk_overlay: FxHashMap::default(),
+            pk_deleted: FxHashSet::default(),
+        };
+        Ok(())
+    }
+
+    /// The lazy internals, if this table fronts a tuple store.
+    pub(crate) fn lazy_parts(&self) -> Option<LazyParts<'_>> {
+        match &self.repr {
+            Repr::Eager { .. } => None,
+            Repr::Lazy {
+                store,
+                rel,
+                base_slots,
+                slot_count,
+                overlay,
+                pk_overlay,
+                pk_deleted,
+                ..
+            } => Some(LazyParts {
+                store,
+                rel: *rel,
+                base_slots: *base_slots,
+                slot_count: *slot_count,
+                overlay_slots: overlay.keys().copied().collect(),
+                pk_added: pk_overlay
+                    .iter()
+                    .flat_map(|(&hash, e)| e.candidates().iter().map(move |&s| (hash, s)))
+                    .collect(),
+                pk_deleted,
+            }),
+        }
+    }
+
+    /// Fx hash of a primary-key value sequence — also the hash stored in
+    /// the v3 PK lane, so lane probes and index probes agree.
+    pub(crate) fn pk_hash<'v>(key: impl Iterator<Item = &'v Value>) -> u64 {
         let mut h = FxHasher::default();
         for v in key {
             v.hash(&mut h);
@@ -67,13 +219,13 @@ impl Table {
     }
 
     /// Hash of the primary key embedded in a full tuple's values.
-    fn pk_hash_of_row(&self, values: &[Value]) -> u64 {
+    pub(crate) fn pk_hash_of_row(&self, values: &[Value]) -> u64 {
         Self::pk_hash(self.schema.primary_key.iter().map(|&c| &values[c]))
     }
 
     /// Does the live tuple at `slot` carry exactly this primary key?
     fn slot_key_matches(&self, slot: u32, key: &[Value]) -> bool {
-        let Some(tuple) = self.slots.get(slot as usize).and_then(|t| t.as_ref()) else {
+        let Some(tuple) = self.get(slot) else {
             return false;
         };
         self.schema
@@ -83,49 +235,42 @@ impl Table {
             .all(|(&c, k)| &tuple.values()[c] == k)
     }
 
+    /// All slots whose primary-key hash is `hash` (unconfirmed
+    /// candidates, overlay-aware).
+    pub(crate) fn pk_candidates_by_hash(&self, hash: u64) -> Vec<u32> {
+        match &self.repr {
+            Repr::Eager { pk_index, .. } => pk_index
+                .get(&hash)
+                .map(|e| e.candidates().to_vec())
+                .unwrap_or_default(),
+            Repr::Lazy {
+                store,
+                rel,
+                pk_overlay,
+                pk_deleted,
+                ..
+            } => {
+                let mut c = store.pk_candidates(*rel, hash);
+                if !pk_deleted.is_empty() {
+                    c.retain(|&s| !pk_deleted.contains(&(hash, s)));
+                }
+                if let Some(e) = pk_overlay.get(&hash) {
+                    c.extend_from_slice(e.candidates());
+                }
+                c
+            }
+        }
+    }
+
     /// Find the slot holding `key` (hash → candidate confirmation).
     fn pk_slot(&self, key: &[Value]) -> Option<u32> {
-        if key.len() != self.schema.primary_key.len() {
+        if key.len() != self.schema.primary_key.len() || key.is_empty() {
             return None;
         }
-        self.pk_index
-            .get(&Self::pk_hash(key.iter()))?
-            .candidates()
-            .iter()
-            .copied()
+        let hash = Self::pk_hash(key.iter());
+        self.pk_candidates_by_hash(hash)
+            .into_iter()
             .find(|&slot| self.slot_key_matches(slot, key))
-    }
-
-    /// Register `slot` under `hash`.
-    fn pk_link(&mut self, hash: u64, slot: u32) {
-        match self.pk_index.entry(hash) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(PkSlots::One(slot));
-            }
-            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
-                PkSlots::One(existing) => {
-                    let existing = *existing;
-                    e.insert(PkSlots::Many(vec![existing, slot]));
-                }
-                PkSlots::Many(slots) => slots.push(slot),
-            },
-        }
-    }
-
-    /// Unregister `slot` from `hash`.
-    fn pk_unlink(&mut self, hash: u64, slot: u32) {
-        match self.pk_index.get_mut(&hash) {
-            Some(PkSlots::One(s)) if *s == slot => {
-                self.pk_index.remove(&hash);
-            }
-            Some(PkSlots::Many(slots)) => {
-                slots.retain(|&s| s != slot);
-                if let [last] = slots[..] {
-                    self.pk_index.insert(hash, PkSlots::One(last));
-                }
-            }
-            _ => {}
-        }
     }
 
     /// The catalog id of this relation.
@@ -140,17 +285,22 @@ impl Table {
 
     /// Number of live (non-deleted) tuples.
     pub fn len(&self) -> usize {
-        self.live
+        match &self.repr {
+            Repr::Eager { live, .. } | Repr::Lazy { live, .. } => *live,
+        }
     }
 
     /// Whether the table holds no live tuples.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
     /// Number of slots ever allocated (live + deleted).
     pub fn slot_count(&self) -> usize {
-        self.slots.len()
+        match &self.repr {
+            Repr::Eager { slots, .. } => slots.len(),
+            Repr::Lazy { slot_count, .. } => *slot_count as usize,
+        }
     }
 
     /// Type/arity/nullability-check `values` against the schema.
@@ -192,22 +342,16 @@ impl Table {
         self.check_values(&values)?;
         let hash = if self.schema.has_primary_key() {
             let hash = self.pk_hash_of_row(&values);
-            let key: Vec<&Value> = self.schema.key_of(&values);
-            let duplicate = self
-                .pk_index
-                .get(&hash)
-                .into_iter()
-                .flat_map(|e| e.candidates())
-                .any(|&slot| {
-                    self.schema.primary_key.iter().zip(&key).all(|(&c, &k)| {
-                        &self.slots[slot as usize]
-                            .as_ref()
-                            .expect("indexed slots are live")
-                            .values()[c]
-                            == k
-                    })
-                });
+            let duplicate = self.pk_candidates_by_hash(hash).into_iter().any(|slot| {
+                self.get(slot).is_some_and(|tuple| {
+                    self.schema
+                        .primary_key
+                        .iter()
+                        .all(|&c| tuple.values()[c] == values[c])
+                })
+            });
             if duplicate {
+                let key: Vec<&Value> = self.schema.key_of(&values);
                 return Err(StorageError::DuplicateKey {
                     relation: self.schema.name.clone(),
                     key: format!("{key:?}"),
@@ -217,18 +361,114 @@ impl Table {
         } else {
             None
         };
-        let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX tuples");
-        self.slots.push(Some(Tuple::new(values)));
-        self.live += 1;
-        if let Some(hash) = hash {
-            self.pk_link(hash, slot);
+        match &mut self.repr {
+            Repr::Eager {
+                slots,
+                live,
+                pk_index,
+            } => {
+                let slot = u32::try_from(slots.len()).expect("more than u32::MAX tuples");
+                slots.push(Some(Tuple::new(values)));
+                *live += 1;
+                if let Some(hash) = hash {
+                    pk_map_link(pk_index, hash, slot);
+                }
+                Ok(Rid::new(self.id, slot))
+            }
+            Repr::Lazy {
+                slot_count,
+                live,
+                overlay,
+                pk_overlay,
+                ..
+            } => {
+                let slot = *slot_count;
+                *slot_count = slot
+                    .checked_add(1)
+                    .expect("more than u32::MAX tuples");
+                overlay.insert(slot, Some(Tuple::new(values)));
+                *live += 1;
+                if let Some(hash) = hash {
+                    pk_map_link(pk_overlay, hash, slot);
+                }
+                Ok(Rid::new(self.id, slot))
+            }
         }
-        Ok(Rid::new(self.id, slot))
     }
 
     /// Fetch the tuple at `slot`, if live.
+    ///
+    /// On a lazy table the borrow is licensed by the keep-alive ring:
+    /// it stays valid for the next 63 block accesses on this thread.
+    /// Every in-tree caller consumes the tuple before the next access.
     pub fn get(&self, slot: u32) -> Option<&Tuple> {
-        self.slots.get(slot as usize).and_then(|t| t.as_ref())
+        match &self.repr {
+            Repr::Eager { slots, .. } => slots.get(slot as usize).and_then(|t| t.as_ref()),
+            Repr::Lazy {
+                store,
+                rel,
+                base_slots,
+                overlay,
+                ..
+            } => {
+                if let Some(entry) = overlay.get(&slot) {
+                    return entry.as_ref();
+                }
+                if slot >= *base_slots || !store.is_live(*rel, slot) {
+                    return None;
+                }
+                let block = store.block(*rel, slot / store.block_span());
+                let tuple = block.tuple(slot)?;
+                // SAFETY: the ring keeps `block` alive per the documented
+                // borrow contract.
+                let tuple = unsafe { extend_ref(tuple) };
+                keep_alive(&block);
+                Some(tuple)
+            }
+        }
+    }
+
+    /// Is the slot live? Answered without decoding any block.
+    pub fn is_live(&self, slot: u32) -> bool {
+        match &self.repr {
+            Repr::Eager { slots, .. } => {
+                slots.get(slot as usize).is_some_and(|t| t.is_some())
+            }
+            Repr::Lazy {
+                store,
+                rel,
+                base_slots,
+                overlay,
+                ..
+            } => match overlay.get(&slot) {
+                Some(entry) => entry.is_some(),
+                None => slot < *base_slots && store.is_live(*rel, slot),
+            },
+        }
+    }
+
+    /// Reverse references of the tuple at `slot` recorded in the backing
+    /// store, if this table is lazy (ring-licensed borrow; overlay
+    /// handling lives in [`crate::Database::referencing`]).
+    pub(crate) fn base_refs(&self, slot: u32) -> Option<&[crate::catalog::BackRef]> {
+        match &self.repr {
+            Repr::Eager { .. } => None,
+            Repr::Lazy {
+                store,
+                rel,
+                base_slots,
+                ..
+            } => {
+                if slot >= *base_slots {
+                    return Some(&[]);
+                }
+                let block = store.block(*rel, slot / store.block_span());
+                // SAFETY: ring-licensed, as in `get`.
+                let refs = unsafe { extend_ref(block.refs(slot)) };
+                keep_alive(&block);
+                Some(refs)
+            }
+        }
     }
 
     /// Look up a tuple by its full primary-key value.
@@ -240,17 +480,50 @@ impl Table {
     ///
     /// The slot is tombstoned, keeping every other rid stable.
     pub fn delete(&mut self, slot: u32) -> StorageResult<Tuple> {
-        let entry = self
-            .slots
-            .get_mut(slot as usize)
-            .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} out of range")))?;
-        let tuple = entry
-            .take()
+        if (slot as usize) >= self.slot_count() {
+            return Err(StorageError::InvalidRid(format!("slot {slot} out of range")));
+        }
+        let tuple = self
+            .get(slot)
+            .cloned()
             .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} already deleted")))?;
-        self.live -= 1;
-        if self.schema.has_primary_key() {
-            let hash = self.pk_hash_of_row(tuple.values());
-            self.pk_unlink(hash, slot);
+        let hash = self
+            .schema
+            .has_primary_key()
+            .then(|| self.pk_hash_of_row(tuple.values()));
+        match &mut self.repr {
+            Repr::Eager {
+                slots,
+                live,
+                pk_index,
+            } => {
+                slots[slot as usize] = None;
+                *live -= 1;
+                if let Some(hash) = hash {
+                    pk_map_unlink(pk_index, hash, slot);
+                }
+            }
+            Repr::Lazy {
+                base_slots,
+                live,
+                overlay,
+                pk_overlay,
+                pk_deleted,
+                ..
+            } => {
+                overlay.insert(slot, None);
+                *live -= 1;
+                if let Some(hash) = hash {
+                    if slot >= *base_slots {
+                        pk_map_unlink(pk_overlay, hash, slot);
+                    } else {
+                        // Base rows never enter the overlay PK index
+                        // (PK columns are immutable), so masking the
+                        // lane entry suffices.
+                        pk_deleted.insert((hash, slot));
+                    }
+                }
+            }
         }
         Ok(tuple)
     }
@@ -289,13 +562,28 @@ impl Table {
                 actual: value.to_string(),
             });
         }
-        let tuple = self
-            .slots
-            .get_mut(slot as usize)
-            .and_then(|t| t.as_mut())
-            .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} not live")))?;
-        *tuple.get_mut(column).expect("arity checked at insert") = value;
-        Ok(())
+        match &mut self.repr {
+            Repr::Eager { slots, .. } => {
+                let tuple = slots
+                    .get_mut(slot as usize)
+                    .and_then(|t| t.as_mut())
+                    .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} not live")))?;
+                *tuple.get_mut(column).expect("arity checked at insert") = value;
+                Ok(())
+            }
+            Repr::Lazy { .. } => {
+                let mut tuple = self
+                    .get(slot)
+                    .cloned()
+                    .ok_or_else(|| StorageError::InvalidRid(format!("slot {slot} not live")))?;
+                *tuple.get_mut(column).expect("arity checked at insert") = value;
+                let Repr::Lazy { overlay, .. } = &mut self.repr else {
+                    unreachable!("matched above")
+                };
+                overlay.insert(slot, Some(tuple));
+                Ok(())
+            }
+        }
     }
 
     /// Restore a deserialized slot vector wholesale, **preserving slot
@@ -315,7 +603,10 @@ impl Table {
     /// an already-validated table, and restore latency is the whole
     /// point of binary snapshots.
     pub(crate) fn restore_slots(&mut self, slots: Vec<Option<Tuple>>) -> StorageResult<()> {
-        debug_assert!(self.slots.is_empty(), "restore into a fresh table only");
+        debug_assert!(
+            matches!(&self.repr, Repr::Eager { slots, .. } if slots.is_empty()),
+            "restore into a fresh table only"
+        );
         let mut live = 0usize;
         let mut pk_index = FxHashMap::default();
         pk_index.reserve(if self.schema.has_primary_key() {
@@ -378,25 +669,35 @@ impl Table {
                 }
             }
         }
-        self.slots = slots;
-        self.live = live;
-        self.pk_index = pk_index;
+        self.repr = Repr::Eager {
+            slots,
+            live,
+            pk_index,
+        };
         Ok(())
     }
 
     /// Iterate over every slot (live or tombstoned), in slot order — the
     /// binary-snapshot save path, which must preserve slot layout.
+    ///
+    /// On a lazy table this pages in every block; prefer
+    /// [`Table::live_slots`] when only liveness is needed.
     pub fn slots(&self) -> impl Iterator<Item = Option<&Tuple>> + '_ {
-        self.slots.iter().map(|t| t.as_ref())
+        (0..self.slot_count() as u32).map(move |slot| self.get(slot))
+    }
+
+    /// Iterate over the slot numbers of live tuples, in slot order —
+    /// answered from presence information alone, with no block decodes
+    /// on a lazy table.
+    pub fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.slot_count() as u32).filter(move |&slot| self.is_live(slot))
     }
 
     /// Iterate over live tuples as `(Rid, &Tuple)`.
     pub fn scan(&self) -> impl Iterator<Item = (Rid, &Tuple)> + '_ {
         let id = self.id;
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(move |(slot, t)| t.as_ref().map(|t| (Rid::new(id, slot as u32), t)))
+        (0..self.slot_count() as u32)
+            .filter_map(move |slot| self.get(slot).map(|t| (Rid::new(id, slot), t)))
     }
 }
 
@@ -506,5 +807,17 @@ mod tests {
         t.insert(vec![Value::text("a"), Value::text("p")]).unwrap();
         assert_eq!(t.len(), 2);
         assert!(t.lookup_pk(&[]).is_none());
+    }
+
+    #[test]
+    fn live_slots_skips_tombstones() {
+        let mut t = author_table();
+        for (id, name) in [("A", "a"), ("B", "b"), ("C", "c")] {
+            t.insert(row(id, name)).unwrap();
+        }
+        t.delete(1).unwrap();
+        assert_eq!(t.live_slots().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(t.is_live(0) && !t.is_live(1) && t.is_live(2));
+        assert!(!t.is_live(99));
     }
 }

@@ -18,7 +18,8 @@
 //! 2. **Paged storage faults** — bundle section reads fail loudly at
 //!    open (typed error, not corruption); page-in delays never change
 //!    answers; page-in I/O errors panic (loud) instead of serving
-//!    wrong bytes.
+//!    wrong bytes. The tuple-block lane (`data.block.read`) holds the
+//!    same contract for the lazy DATA section.
 //! 3. **Network chaos through the cluster** — leader + follower +
 //!    router with `http.connect` / `http.read` faults firing on every
 //!    internal hop: the client-visible error rate stays bounded, no
@@ -327,6 +328,81 @@ fn paged_read_faults_are_loud_never_corrupt() {
         }
     }));
     assert!(panicked.is_err(), "page-in faults must panic, not corrupt");
+    fault::clear();
+    drop(doomed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scenario 2b: tuple-block faults on the lazy DATA section. Block
+/// reads under injected delays stay bit-equal to the in-RAM database
+/// (rendered answers included); block read errors panic loudly instead
+/// of serving fabricated tuples.
+#[test]
+fn tuple_block_faults_are_loud_never_corrupt() {
+    let _guard = serial();
+    fault::clear();
+    let dir = tmp_dir("tuple_blocks");
+    let config = BanksConfig::default();
+    let dataset = generate(DblpConfig::tiny(5)).expect("datagen");
+    let in_ram = Banks::new(dataset.db.clone()).expect("banks");
+    {
+        let (store, _) =
+            PersistentStore::open(&dir, &config, PersistOptions::default()).expect("open");
+        store
+            .save_snapshot(&Arc::new(Banks::new(dataset.db.clone()).expect("banks")), 0)
+            .expect("snapshot");
+    }
+    let bundle = dir.join(banks_persist::snapshot_file(0));
+
+    // Block-read delays: slower, never different. The 1 KiB budget
+    // keeps almost nothing resident, so every rendered answer and
+    // every raw value read must page tuple blocks back in through the
+    // armed fault point.
+    fault::arm(
+        "data.block.read",
+        FaultPoint::Delay(Duration::from_millis(2)),
+        0.5,
+        51,
+    );
+    let (paged, _) = banks_persist::open_bundle_paged(&bundle, 1024, &config).expect("paged open");
+    assert!(
+        paged.db().tuple_store_stats().is_some(),
+        "a v3 bundle must open with a lazy tuple store"
+    );
+    for q in ["soumen sunita", "author sunita", "transaction"] {
+        let a = in_ram.search(q).expect("in-ram search");
+        let b = paged.search(q).expect("paged search");
+        assert_eq!(a.len(), b.len(), "{q}");
+        for (x, y) in a.iter().zip(&b) {
+            // Rendering is what decodes tuple values — this is the
+            // read path the fault point sits on.
+            assert_eq!(in_ram.render_answer(x), paged.render_answer(y), "{q}");
+        }
+    }
+    // And a full raw sweep: every live slot of every relation decodes
+    // to the exact same tuple despite the stalls.
+    for (ft, pt) in in_ram.db().relations().zip(paged.db().relations()) {
+        for slot in 0..ft.slot_count() as u32 {
+            assert_eq!(ft.get(slot).cloned(), pt.get(slot).cloned());
+        }
+    }
+    assert!(fault::fired("data.block.read") > 0, "block delays fired");
+    fault::clear();
+    drop(paged);
+
+    // Block-read I/O errors panic (the tuple accessors have no error
+    // channel) — loud refusal, never a fabricated tuple. Fresh
+    // instance so nothing warm survives from the delay phase.
+    let (doomed, _) = banks_persist::open_bundle_paged(&bundle, 1024, &config).expect("paged open");
+    fault::arm("data.block.read", FaultPoint::ReturnErr, 1.0, 13);
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for table in doomed.db().relations() {
+            for slot in 0..table.slot_count() as u32 {
+                let _ = table.get(slot);
+            }
+        }
+    }));
+    assert!(panicked.is_err(), "block faults must panic, not corrupt");
     fault::clear();
     drop(doomed);
     std::fs::remove_dir_all(&dir).ok();

@@ -1,10 +1,11 @@
 //! The out-of-core backend must be invisible: a bundle opened paged
 //! under *any* memory budget answers every query bit-for-bit like the
-//! in-RAM backend — same answers, same relevance bits, same search
-//! counters — across search strategies, corpus seeds, and an
-//! ingest-driven epoch change. And a bundle whose paged-graph segment
-//! directory is torn or corrupted must be rejected with a typed error,
-//! never a wrong answer.
+//! in-RAM backend — same answers, same rendered trees, same relevance
+//! bits, same search counters — across search strategies, corpus
+//! seeds, and an ingest-driven epoch change; every tuple value decoded
+//! through the lazy DATA section is bit-equal too. And a bundle whose
+//! paged-graph segment directory is torn or corrupted must be rejected
+//! with a typed error, never a wrong answer.
 
 use banks_core::{Banks, BanksConfig, SearchStrategy};
 use banks_datagen::dblp::{generate, DblpConfig};
@@ -13,6 +14,7 @@ use banks_pager::PagerError;
 use banks_persist::{
     open_bundle_paged, save_bundle, snapshot_file, PersistError, PersistOptions, PersistentStore,
 };
+use banks_server::{BanksServer, QueryService, ServerConfig, ServiceConfig};
 use banks_storage::Value;
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -50,6 +52,13 @@ fn assert_search_equivalent(in_ram: &Banks, paged: &Banks) {
                 assert_eq!(
                     x.relevance.to_bits(),
                     y.relevance.to_bits(),
+                    "{query} {strategy:?}"
+                );
+                // Rendering decodes tuple values, so this is the path
+                // that pulls blocks through the lazy DATA section.
+                assert_eq!(
+                    in_ram.render_answer(x),
+                    paged.render_answer(y),
                     "{query} {strategy:?}"
                 );
             }
@@ -93,6 +102,43 @@ fn assert_budget_respected(paged: &Banks) {
     );
 }
 
+/// Every slot of every relation must decode to the same tuple through
+/// both backends — the raw read path of the lazy DATA section, below
+/// rendering.
+fn assert_tuples_equivalent(in_ram: &Banks, paged: &Banks) {
+    for (ft, pt) in in_ram.db().relations().zip(paged.db().relations()) {
+        assert_eq!(ft.slot_count(), pt.slot_count(), "{}", ft.schema().name);
+        for slot in 0..ft.slot_count() as u32 {
+            assert_eq!(
+                ft.get(slot).cloned(),
+                pt.get(slot).cloned(),
+                "{} slot {slot}",
+                ft.schema().name
+            );
+        }
+    }
+}
+
+/// The lazy tuple store must have actually paged blocks in, and its
+/// residency (which shares one budget with the graph store) must obey
+/// the same rule as the graph side: within budget, or over only by the
+/// pinned floor plus the one block eviction never removes.
+fn assert_tuple_budget_respected(paged: &Banks) {
+    let t = paged
+        .db()
+        .tuple_store_stats()
+        .expect("paged v3 bundle opens with a lazy tuple store");
+    assert!(t.page_ins > 0, "value reads must page blocks in");
+    assert!(
+        t.resident_bytes <= t.budget_bytes || t.resident_blocks <= t.pinned_blocks + 1,
+        "tuple resident {} over shared budget {} with {} resident / {} pinned blocks",
+        t.resident_bytes,
+        t.budget_bytes,
+        t.resident_blocks,
+        t.pinned_blocks,
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -114,7 +160,9 @@ proptest! {
         prop_assert_eq!(meta.epoch, 3);
         prop_assert!(paged.text_index().is_lazy());
         assert_search_equivalent(&in_ram, &paged);
+        assert_tuples_equivalent(&in_ram, &paged);
         assert_budget_respected(&paged);
+        assert_tuple_budget_respected(&paged);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -150,7 +198,7 @@ proptest! {
                 publisher.publish(&batch, None).unwrap();
             }
             // Roll a snapshot at the final epoch so the paged reopen has
-            // a v2 bundle carrying the post-ingest state.
+            // a bundle carrying the post-ingest state.
             store
                 .save_snapshot(&publisher.current(), publisher.epoch())
                 .unwrap();
@@ -167,11 +215,115 @@ proptest! {
         let full = full.banks.expect("full recovery");
         let paged = paged.banks.expect("paged recovery");
         assert_search_equivalent(&full, &paged);
+        assert_tuples_equivalent(&full, &paged);
+        prop_assert!(
+            paged.db().tuple_store_stats().is_some(),
+            "recovery from a v3 bundle must keep the tuple store lazy"
+        );
         // The ingested rows are visible through the paged backend.
         let hits = paged.search("paged").unwrap();
         prop_assert!(!hits.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Minimal HTTP/1.1 client: one GET, returns (status_code, body).
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// A server over a paged bundle under a starvation-level budget serves
+/// `/node` and rendered answers byte-identical to a server over the
+/// in-RAM backend, while tuple residency stays bounded and the
+/// eviction counter advances — the HTTP layer cannot tell the
+/// difference, it is just slower.
+#[test]
+fn paged_server_serves_bit_identical_node_and_answer_json() {
+    let dir = tmp_dir("server");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dataset = generate(DblpConfig::tiny(7)).unwrap();
+    let in_ram = Arc::new(Banks::new(dataset.db).unwrap());
+    let path = dir.join("bundle.banks");
+    save_bundle(&in_ram, 0, &path).unwrap();
+
+    // 1 KiB for graph + tuples together: essentially nothing stays
+    // resident, so every request re-pages what it touches.
+    const BUDGET: usize = 1024;
+    let (paged, _) = open_bundle_paged(&path, BUDGET, &BanksConfig::default()).unwrap();
+    let paged = Arc::new(paged);
+
+    let serve = |banks: &Arc<Banks>| {
+        let service = Arc::new(QueryService::new(
+            Arc::clone(banks),
+            ServiceConfig::default(),
+        ));
+        BanksServer::bind(
+            service,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    };
+    let ram_server = serve(&in_ram);
+    let paged_server = serve(&paged);
+
+    // Every node document — tuple values included — is byte-identical.
+    for id in 0..in_ram.tuple_graph().node_count() {
+        let (sa, a) = http_get(ram_server.local_addr(), &format!("/node?id={id}"));
+        let (sb, b) = http_get(paged_server.local_addr(), &format!("/node?id={id}"));
+        assert_eq!((sa, &a), (sb, &b), "node {id}");
+    }
+
+    // Rendered answer payloads are byte-identical past the volatile
+    // envelope (timings differ; everything from `count` on is the
+    // memoized fragment built from tuple values).
+    for q in QUERIES {
+        let target = format!("/search?q={}", q.replace(' ', "+"));
+        let (sa, a) = http_get(ram_server.local_addr(), &target);
+        let (sb, b) = http_get(paged_server.local_addr(), &target);
+        assert_eq!((sa, sb), (200, 200), "{q}");
+        let strip = |body: &str| body[body.find(r#""count""#).expect("fragment")..].to_string();
+        assert_eq!(strip(&a), strip(&b), "{q}");
+    }
+
+    let t = paged
+        .db()
+        .tuple_store_stats()
+        .expect("paged v3 bundle opens with a lazy tuple store");
+    assert!(t.page_ins > 0, "serving decoded tuple blocks");
+    assert!(t.evictions > 0, "a 1 KiB budget must evict");
+    assert!(
+        t.resident_bytes <= t.budget_bytes || t.resident_blocks <= t.pinned_blocks + 1,
+        "tuple resident {} over shared budget {} with {} resident / {} pinned blocks",
+        t.resident_bytes,
+        t.budget_bytes,
+        t.resident_blocks,
+        t.pinned_blocks,
+    );
+
+    ram_server.shutdown();
+    paged_server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Locate the GRPH section payload inside a v2 bundle file by walking
